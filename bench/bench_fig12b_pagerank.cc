@@ -1,0 +1,50 @@
+// Reproduces Fig 12(b): one PageRank iteration (synchronous vertex-centric
+// BSP) on R-MAT graphs, sweeping node count and machine count. The paper's
+// shape: time per iteration grows linearly with graph size and shrinks as
+// machines are added (1B nodes, 8 machines: < 60 s per iteration).
+
+#include <cstdio>
+
+#include "algos/pagerank.h"
+#include "bench_util.h"
+
+namespace trinity {
+namespace {
+
+void Run() {
+  bench::PrintHeader("Figure 12(b)",
+                     "PageRank seconds/iteration, R-MAT, degree 13");
+  const int machine_counts[] = {8, 10, 12, 14};
+  const std::uint64_t node_counts[] = {8192, 16384, 32768, 65536};
+  std::printf("%10s", "nodes");
+  for (int m : machine_counts) std::printf(" %11s%02d", "machines_", m);
+  std::printf("\n");
+  for (std::uint64_t nodes : node_counts) {
+    const auto edges = graph::Generators::Rmat(nodes, 13.0, 42);
+    std::printf("%10llu", static_cast<unsigned long long>(nodes));
+    for (int machines : machine_counts) {
+      auto cloud = bench::NewCloud(machines);
+      auto graph = bench::LoadGraph(cloud.get(), edges, false,
+                                    /*track_inlinks=*/false);
+      algos::PageRankOptions options;
+      options.iterations = 2;
+      algos::PageRankResult result;
+      Status s = algos::RunPageRank(graph.get(), options, &result);
+      TRINITY_CHECK(s.ok(), "pagerank failed");
+      std::printf(" %13.4f", result.seconds_per_iteration);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "(modeled cluster seconds; paper: 1B nodes / 8 machines ~51 s per "
+      "iteration, decreasing with machine count)\n");
+  bench::PrintFooter();
+}
+
+}  // namespace
+}  // namespace trinity
+
+int main() {
+  trinity::Run();
+  return 0;
+}

@@ -1,0 +1,52 @@
+#ifndef TRINITY_BENCH_BENCH_UTIL_H_
+#define TRINITY_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "cloud/memory_cloud.h"
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace trinity::bench {
+
+/// Builds an in-process cluster with `slaves` machines sized for benchmark
+/// graphs. p_bits chosen so every slave owns several trunks (paper §3:
+/// 2^p > m).
+inline std::unique_ptr<cloud::MemoryCloud> NewCloud(
+    int slaves, std::uint64_t trunk_bytes = 64ull << 20) {
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 6;  // 64 trunks.
+  options.storage.trunk.capacity = trunk_bytes;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  Status s = cloud::MemoryCloud::Create(options, &cloud);
+  TRINITY_CHECK(s.ok(), "bench cloud creation failed");
+  return cloud;
+}
+
+/// Loads an edge list into a fresh graph on `cloud`.
+inline std::unique_ptr<graph::Graph> LoadGraph(
+    cloud::MemoryCloud* cloud, const graph::Generators::EdgeList& edges,
+    bool with_names = false, bool track_inlinks = true,
+    std::uint64_t seed = 0) {
+  graph::Graph::Options options;
+  options.track_inlinks = track_inlinks;
+  auto g = std::make_unique<graph::Graph>(cloud, options);
+  Status s = graph::Generators::Load(g.get(), edges, with_names, seed);
+  TRINITY_CHECK(s.ok(), "bench graph load failed");
+  return g;
+}
+
+/// Section header matching the paper's figure/table numbering.
+inline void PrintHeader(const char* figure, const char* description) {
+  std::printf("\n==== %s: %s ====\n", figure, description);
+}
+
+inline void PrintFooter() { std::printf("\n"); }
+
+}  // namespace trinity::bench
+
+#endif  // TRINITY_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,90 @@
+// A knowledge graph on the memory cloud (paper §1/§8: Trinity backs
+// knowledge bases like Probase and the Trinity.RDF engine [36]): LUBM-shaped
+// university data stored as predicate-tagged adjacency inside entity cells,
+// queried with machine-parallel SPARQL-style scans — no relational joins.
+//
+// Build & run:  ./build/examples/knowledge_graph
+
+#include <cstdio>
+
+#include "query/lubm.h"
+#include "query/rdf_store.h"
+
+int main() {
+  using namespace trinity;
+
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 8;
+  options.p_bits = 5;
+  options.storage.trunk.capacity = 16 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  Status s = cloud::MemoryCloud::Create(options, &cloud);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cloud error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  query::RdfStore store(cloud.get());
+
+  query::LubmGenerator::Options lubm;
+  lubm.universities = 6;
+  lubm.departments_per_university = 10;
+  lubm.professors_per_department = 8;
+  lubm.courses_per_professor = 2;
+  lubm.students_per_department = 80;
+  lubm.courses_per_student = 4;
+  query::LubmGenerator::Dataset dataset;
+  s = query::LubmGenerator::Generate(&store, lubm, &dataset);
+  if (!s.ok()) {
+    std::fprintf(stderr, "generation error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "knowledge base: %llu entities, %llu triples over %d machines\n\n",
+      static_cast<unsigned long long>(dataset.entities),
+      static_cast<unsigned long long>(dataset.triples), options.num_slaves);
+
+  query::SparqlQueries queries(&store, net::CostModel{});
+
+  query::SparqlQueries::QueryStats q;
+  s = queries.StudentsOfCourse(dataset.first_course, &q);
+  std::printf(
+      "Q1 students taking course %llu:        %6llu results  (%.3f ms, %llu "
+      "remote lookups)\n",
+      static_cast<unsigned long long>(dataset.first_course),
+      static_cast<unsigned long long>(q.results), q.modeled_millis,
+      static_cast<unsigned long long>(q.remote_lookups));
+
+  s = queries.ProfessorsOfUniversity(dataset.first_university, &q);
+  std::printf(
+      "Q2 professors of university %llu:       %6llu results  (%.3f ms, %llu "
+      "remote lookups)\n",
+      static_cast<unsigned long long>(dataset.first_university),
+      static_cast<unsigned long long>(q.results), q.modeled_millis,
+      static_cast<unsigned long long>(q.remote_lookups));
+
+  s = queries.StudentsAdvisedByTheirTeacher(&q);
+  std::printf(
+      "Q3 students taught by their advisor:  %6llu results  (%.3f ms, %llu "
+      "remote lookups)\n",
+      static_cast<unsigned long long>(q.results), q.modeled_millis,
+      static_cast<unsigned long long>(q.remote_lookups));
+
+  s = queries.ProfessorsAffiliatedWith(dataset.first_university, &q);
+  std::printf(
+      "Q4 professors affiliated (path query): %6llu results  (%.3f ms, %llu "
+      "remote lookups)\n",
+      static_cast<unsigned long long>(q.results), q.modeled_millis,
+      static_cast<unsigned long long>(q.remote_lookups));
+
+  // Entities stay editable at memory speed: enroll one more student.
+  const CellId new_student = dataset.entities + 1000;
+  (void)store.AddEntity(new_student, query::EntityType::kStudent);
+  (void)store.AddTriple(new_student, query::Predicate::kTakesCourse,
+                        dataset.first_course);
+  s = queries.StudentsOfCourse(dataset.first_course, &q);
+  std::printf(
+      "\nafter enrolling student %llu, Q1 now returns %llu results\n",
+      static_cast<unsigned long long>(new_student),
+      static_cast<unsigned long long>(q.results));
+  return 0;
+}

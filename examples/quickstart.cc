@@ -1,0 +1,130 @@
+// Quickstart: the paper's Fig 4/5/6 workflow end to end.
+//
+//  1. Declare a graph schema and a communication protocol in TSL.
+//  2. Spin up an in-process memory cloud (the simulated cluster).
+//  3. Create cells and manipulate them through generated-style accessors.
+//  4. Traverse the graph, and call a TSL protocol like a local method.
+//
+// Build & run:  ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "cloud/memory_cloud.h"
+#include "tsl/cell_io.h"
+#include "tsl/codegen.h"
+#include "tsl/protocol.h"
+
+namespace {
+
+// The movie/actor TSL script from the paper (Fig 4) plus an Echo protocol
+// (Fig 5).
+constexpr const char* kScript = R"(
+  [CellType: NodeCell]
+  cell struct Movie {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Actor]
+    List<long> Actors;
+  }
+  [CellType: NodeCell]
+  cell struct Actor {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Movie]
+    List<long> Movies;
+  }
+  struct MyMessage { string Text; }
+  protocol Echo { Type: Syn; Request: MyMessage; Response: MyMessage; }
+)";
+
+}  // namespace
+
+int main() {
+  using namespace trinity;
+
+  // --- 1. Compile the TSL script -----------------------------------------
+  tsl::SchemaRegistry registry;
+  Status s = tsl::SchemaRegistry::Compile(kScript, &registry);
+  if (!s.ok()) {
+    std::fprintf(stderr, "TSL compile error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("compiled TSL: %zu cell types, %zu protocols\n",
+              registry.cell_schemas().size(), registry.protocols().size());
+
+  // --- 2. Start a 4-slave memory cloud ------------------------------------
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 4;
+  options.p_bits = 4;  // 16 memory trunks spread over the slaves.
+  options.storage.trunk.capacity = 16 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  s = cloud::MemoryCloud::Create(options, &cloud);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cloud error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  const MachineId client = cloud->client_id();
+
+  // --- 3. Create and manipulate cells -------------------------------------
+  const tsl::Schema* movie = registry.struct_schema("Movie");
+  const tsl::Schema* actor = registry.struct_schema("Actor");
+  const CellId kMatrix = 1, kKeanu = 100, kCarrie = 101;
+  (void)tsl::NewCell(cloud.get(), client, kMatrix, movie);
+  (void)tsl::NewCell(cloud.get(), client, kKeanu, actor);
+  (void)tsl::NewCell(cloud.get(), client, kCarrie, actor);
+
+  {
+    // using (var cell = UseMovieAccessor(kMatrix)) { ... } — commits on
+    // scope exit.
+    tsl::ScopedCell cell;
+    (void)tsl::ScopedCell::Use(cloud.get(), client, kMatrix, movie, &cell);
+    (void)cell.accessor().SetString(0, Slice("The Matrix"));
+    (void)cell.accessor().AppendListInt64(1, kKeanu);
+    (void)cell.accessor().AppendListInt64(1, kCarrie);
+  }
+  {
+    tsl::ScopedCell cell;
+    (void)tsl::ScopedCell::Use(cloud.get(), client, kKeanu, actor, &cell);
+    (void)cell.accessor().SetString(0, Slice("Keanu Reeves"));
+    (void)cell.accessor().AppendListInt64(1, kMatrix);
+  }
+
+  // --- 4. Read it back through the accessor (zero-parse field mapping) ----
+  tsl::CellAccessor loaded;
+  (void)tsl::LoadCell(cloud.get(), client, kMatrix, movie, &loaded);
+  std::string name;
+  (void)loaded.GetString(0, &name);
+  std::size_t cast_size = 0;
+  (void)loaded.ListSize(1, &cast_size);
+  std::printf("movie %llu: \"%s\" with %zu actors, stored on machine %d\n",
+              static_cast<unsigned long long>(kMatrix), name.c_str(),
+              cast_size, cloud->MachineOf(kMatrix));
+
+  // --- 5. Call the Echo protocol like a local method ----------------------
+  tsl::ProtocolRuntime runtime(&registry, cloud.get());
+  (void)runtime.RegisterSynHandler(
+      0, "Echo",
+      [](MachineId src, const tsl::CellAccessor& request,
+         tsl::CellAccessor* response) {
+        std::string text;
+        Status gs = request.GetString(0, &text);
+        if (!gs.ok()) return gs;
+        return response->SetString(
+            0, Slice("machine 0 echoes '" + text + "' back to machine " +
+                     std::to_string(src)));
+      });
+  tsl::CellAccessor request =
+      tsl::CellAccessor::NewDefault(registry.struct_schema("MyMessage"));
+  (void)request.SetString(0, Slice("hello trinity"));
+  tsl::CellAccessor response;
+  s = runtime.Call(client, 0, "Echo", request, &response);
+  std::string text;
+  (void)response.GetString(0, &text);
+  std::printf("Echo response: %s\n", text.c_str());
+
+  // --- 6. Show what the TSL compiler would generate -----------------------
+  const std::string generated =
+      tsl::Codegen::GenerateHeader(registry, "QUICKSTART_GENERATED_H_");
+  std::printf("\nTSL codegen would emit %zu bytes of C++; first lines:\n",
+              generated.size());
+  std::printf("%.*s...\n", 220, generated.c_str());
+  return 0;
+}

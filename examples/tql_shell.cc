@@ -1,0 +1,60 @@
+// Interactive TQL shell over a generated social graph (§4.2 mentions TQL as
+// a query language built within the TSL framework). Reads one statement per
+// line from stdin; exits on EOF or "quit".
+//
+// Try:
+//   echo "EXPLORE FROM 42 HOPS 1..2 WHERE NAME = 'David' LIMIT 5
+//   COUNT FROM 42 HOPS 1..3
+//   NODE 42
+//   PATH FROM 42 TO 1000" | ./build/examples/tql_shell
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "graph/generators.h"
+#include "query/tql.h"
+
+int main() {
+  using namespace trinity;
+
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 4;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 16 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  Status s = cloud::MemoryCloud::Create(options, &cloud);
+  if (!s.ok()) {
+    std::fprintf(stderr, "cloud error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  graph::Graph graph(cloud.get());
+  const auto edges = graph::Generators::PowerLaw(10000, 10.0, 2.16, 5);
+  s = graph::Generators::Load(&graph, edges, /*with_names=*/true, 5);
+  if (!s.ok()) {
+    std::fprintf(stderr, "load error: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf(
+      "TQL shell over a 10000-person social graph on 4 machines.\n"
+      "Statements: EXPLORE, COUNT, NEIGHBORS, NODE, PATH. 'quit' exits.\n");
+
+  query::Tql tql(&graph);
+  std::string line;
+  while (true) {
+    std::printf("tql> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line == "quit" || line == "exit") break;
+    if (line.empty()) continue;
+    query::Tql::Result result;
+    s = tql.Execute(line, &result);
+    if (!s.ok()) {
+      std::printf("error: %s\n", s.ToString().c_str());
+      continue;
+    }
+    std::printf("%s", query::Tql::Format(result).c_str());
+  }
+  std::printf("\nbye\n");
+  return 0;
+}

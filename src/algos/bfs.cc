@@ -1,0 +1,16 @@
+#include "algos/bfs.h"
+
+namespace trinity::algos {
+
+Status RunBfs(graph::Graph* graph, CellId start,
+              const compute::TraversalEngine::Options& options,
+              BfsResult* result) {
+  compute::TraversalEngine engine(graph, options);
+  Status s = engine.Bfs(start, &result->distances, &result->stats);
+  if (!s.ok()) return s;
+  result->modeled_seconds = result->stats.modeled_millis / 1000.0;
+  result->reached = result->distances.size();
+  return Status::OK();
+}
+
+}  // namespace trinity::algos

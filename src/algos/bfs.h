@@ -1,0 +1,28 @@
+#ifndef TRINITY_ALGOS_BFS_H_
+#define TRINITY_ALGOS_BFS_H_
+
+#include <unordered_map>
+
+#include "compute/traversal.h"
+#include "graph/graph.h"
+
+namespace trinity::algos {
+
+/// Distributed breadth-first search (paper §7, Fig 12c / Fig 13; the
+/// Graph500 kernel). Runs on the traversal engine: per level, machines
+/// expand their local frontier zero-copy and ship discovered remote vertices
+/// as packed one-sided messages.
+struct BfsResult {
+  std::unordered_map<CellId, std::uint32_t> distances;
+  compute::TraversalEngine::QueryStats stats;
+  double modeled_seconds = 0;
+  std::uint64_t reached = 0;
+};
+
+Status RunBfs(graph::Graph* graph, CellId start,
+              const compute::TraversalEngine::Options& options,
+              BfsResult* result);
+
+}  // namespace trinity::algos
+
+#endif  // TRINITY_ALGOS_BFS_H_

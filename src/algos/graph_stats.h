@@ -1,0 +1,39 @@
+#ifndef TRINITY_ALGOS_GRAPH_STATS_H_
+#define TRINITY_ALGOS_GRAPH_STATS_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "net/cost_model.h"
+
+namespace trinity::algos {
+
+/// Distributed structural statistics over a memory-cloud graph: degree
+/// histogram, moments, and a Hill-style tail-exponent estimate. Runs as a
+/// machine-parallel scan over local trunks (metered), the access pattern
+/// the paper's §5.5 "new offline paradigm" builds on — each machine
+/// derives statistics from its own partition, and the client folds them.
+struct GraphStats {
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;  ///< Out-edges.
+  double avg_out_degree = 0;
+  std::uint64_t max_out_degree = 0;
+  /// Out-degree histogram (degree -> count).
+  std::map<std::uint64_t, std::uint64_t> degree_histogram;
+  /// Hill estimator of the power-law tail exponent gamma over degrees >=
+  /// tail_cutoff (0 when the tail is too small to estimate).
+  double power_law_gamma = 0;
+  double modeled_millis = 0;  ///< Modeled scan time.
+};
+
+/// Computes stats with one distributed scan. `tail_cutoff` sets the Hill
+/// estimator's threshold (degrees >= cutoff are "the tail").
+Status ComputeGraphStats(graph::Graph* graph, std::uint64_t tail_cutoff,
+                         const net::CostModel& cost_model, GraphStats* out);
+
+}  // namespace trinity::algos
+
+#endif  // TRINITY_ALGOS_GRAPH_STATS_H_

@@ -1,0 +1,263 @@
+#include "algos/landmark.h"
+
+#include <algorithm>
+#include <deque>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/random.h"
+
+namespace trinity::algos {
+
+std::vector<double> ApproxBetweenness(const graph::Csr& csr, int samples,
+                                      std::uint64_t seed) {
+  // Brandes' algorithm from sampled sources (unweighted): forward BFS
+  // collecting shortest-path counts sigma, then reverse dependency
+  // accumulation.
+  const std::uint64_t n = csr.num_nodes;
+  std::vector<double> centrality(n, 0.0);
+  if (n == 0) return centrality;
+  Random rng(seed);
+  std::vector<std::int64_t> dist(n);
+  std::vector<double> sigma(n), delta(n);
+  std::vector<std::uint32_t> order;  // BFS visitation order.
+  order.reserve(n);
+  const int rounds = std::min<std::uint64_t>(samples, n);
+  for (int round = 0; round < rounds; ++round) {
+    const std::uint32_t source =
+        static_cast<std::uint32_t>(rng.Uniform(n));
+    std::fill(dist.begin(), dist.end(), -1);
+    std::fill(sigma.begin(), sigma.end(), 0.0);
+    std::fill(delta.begin(), delta.end(), 0.0);
+    order.clear();
+    dist[source] = 0;
+    sigma[source] = 1.0;
+    std::deque<std::uint32_t> queue{source};
+    while (!queue.empty()) {
+      const std::uint32_t v = queue.front();
+      queue.pop_front();
+      order.push_back(v);
+      for (std::size_t i = 0; i < csr.Degree(v); ++i) {
+        const std::uint32_t u = csr.Neighbors(v)[i];
+        if (dist[u] < 0) {
+          dist[u] = dist[v] + 1;
+          queue.push_back(u);
+        }
+        if (dist[u] == dist[v] + 1) sigma[u] += sigma[v];
+      }
+    }
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      const std::uint32_t u = *it;
+      for (std::size_t i = 0; i < csr.Degree(u); ++i) {
+        const std::uint32_t w = csr.Neighbors(u)[i];
+        if (dist[w] == dist[u] + 1 && sigma[w] > 0) {
+          delta[u] += sigma[u] / sigma[w] * (1.0 + delta[w]);
+        }
+      }
+      if (u != source) centrality[u] += delta[u];
+    }
+  }
+  return centrality;
+}
+
+namespace {
+
+/// Extracts a symmetrized CSR plus the dense id mapping from the
+/// distributed graph.
+Status ExtractCsr(graph::Graph* graph, graph::Csr* csr,
+                  std::vector<CellId>* node_ids,
+                  std::vector<std::vector<CellId>>* local_sets) {
+  cloud::MemoryCloud* cloud = graph->cloud();
+  graph::Generators::EdgeList edges;
+  std::vector<CellId> ids;
+  local_sets->assign(cloud->num_slaves(), {});
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    for (CellId v : graph->LocalNodes(m)) {
+      ids.push_back(v);
+      (*local_sets)[m].push_back(v);
+    }
+  }
+  std::sort(ids.begin(), ids.end());
+  // Generators use dense ids; verify and rely on identity mapping.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    if (ids[i] != static_cast<CellId>(i)) {
+      return Status::InvalidArgument(
+          "distance oracle requires dense node ids [0, n)");
+    }
+  }
+  edges.num_nodes = ids.size();
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    for (CellId v : (*local_sets)[m]) {
+      Status s = graph->VisitLocalNode(
+          m, v,
+          [&](Slice, const CellId*, std::size_t, const CellId* out,
+              std::size_t out_count) {
+            for (std::size_t i = 0; i < out_count; ++i) {
+              edges.edges.emplace_back(v, out[i]);
+            }
+          });
+      if (!s.ok()) return s;
+    }
+  }
+  *csr = graph::Csr::FromEdges(edges);
+  *node_ids = std::move(ids);
+  return Status::OK();
+}
+
+std::vector<CellId> TopK(const std::vector<double>& score,
+                         const std::vector<CellId>& ids, int k) {
+  std::vector<std::uint32_t> idx(score.size());
+  std::iota(idx.begin(), idx.end(), 0);
+  std::partial_sort(idx.begin(),
+                    idx.begin() + std::min<std::size_t>(k, idx.size()),
+                    idx.end(), [&](std::uint32_t a, std::uint32_t b) {
+                      return score[a] > score[b];
+                    });
+  std::vector<CellId> out;
+  for (std::size_t i = 0; i < std::min<std::size_t>(k, idx.size()); ++i) {
+    out.push_back(ids[idx[i]]);
+  }
+  return out;
+}
+
+}  // namespace
+
+Status DistanceOracle::Build(graph::Graph* graph, const Options& options,
+                             DistanceOracle* oracle) {
+  std::vector<std::vector<CellId>> local_sets;
+  Status s = ExtractCsr(graph, &oracle->csr_, &oracle->node_ids_,
+                        &local_sets);
+  if (!s.ok()) return s;
+  const std::uint64_t n = oracle->csr_.num_nodes;
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  oracle->dense_of_.resize(n);
+  std::iota(oracle->dense_of_.begin(), oracle->dense_of_.end(), 0);
+
+  switch (options.strategy) {
+    case LandmarkStrategy::kLargestDegree: {
+      std::vector<double> degree(n);
+      for (std::uint64_t v = 0; v < n; ++v) {
+        degree[v] = static_cast<double>(oracle->csr_.Degree(v));
+      }
+      oracle->landmarks_ =
+          TopK(degree, oracle->node_ids_, options.num_landmarks);
+      break;
+    }
+    case LandmarkStrategy::kGlobalBetweenness: {
+      const std::vector<double> centrality = ApproxBetweenness(
+          oracle->csr_, options.betweenness_samples, options.seed);
+      oracle->landmarks_ =
+          TopK(centrality, oracle->node_ids_, options.num_landmarks);
+      break;
+    }
+    case LandmarkStrategy::kLocalBetweenness: {
+      // Per-machine: betweenness on the locally induced subgraph only —
+      // no cross-machine communication. Budget split proportionally.
+      oracle->landmarks_.clear();
+      for (const std::vector<CellId>& local : local_sets) {
+        if (local.empty()) continue;
+        // Dense ids within the local subgraph.
+        std::unordered_map<CellId, std::uint32_t> local_index;
+        for (std::size_t i = 0; i < local.size(); ++i) {
+          local_index.emplace(local[i], static_cast<std::uint32_t>(i));
+        }
+        graph::Generators::EdgeList sub;
+        sub.num_nodes = local.size();
+        for (CellId v : local) {
+          const std::uint32_t dv = local_index[v];
+          const std::uint64_t global = v;
+          for (std::size_t i = oracle->csr_.offsets[global];
+               i < oracle->csr_.offsets[global + 1]; ++i) {
+            auto it = local_index.find(oracle->csr_.neighbors[i]);
+            if (it != local_index.end() && it->second > dv) {
+              sub.edges.emplace_back(dv, it->second);
+            }
+          }
+        }
+        const graph::Csr sub_csr = graph::Csr::FromEdges(sub);
+        const std::vector<double> centrality = ApproxBetweenness(
+            sub_csr, options.betweenness_samples, options.seed);
+        const int budget = std::max<int>(
+            1, static_cast<int>(options.num_landmarks * local.size() / n));
+        for (CellId id : TopK(centrality, local, budget)) {
+          oracle->landmarks_.push_back(id);
+        }
+      }
+      // Trim/merge to the requested count.
+      if (oracle->landmarks_.size() >
+          static_cast<std::size_t>(options.num_landmarks)) {
+        oracle->landmarks_.resize(options.num_landmarks);
+      }
+      break;
+    }
+  }
+
+  oracle->distances_.clear();
+  for (CellId landmark : oracle->landmarks_) {
+    oracle->distances_.push_back(
+        oracle->BfsFrom(static_cast<std::uint32_t>(landmark)));
+  }
+  return Status::OK();
+}
+
+std::vector<std::uint32_t> DistanceOracle::BfsFrom(
+    std::uint32_t source) const {
+  std::vector<std::uint32_t> dist(csr_.num_nodes, kUnreachable);
+  std::deque<std::uint32_t> queue{source};
+  dist[source] = 0;
+  while (!queue.empty()) {
+    const std::uint32_t v = queue.front();
+    queue.pop_front();
+    for (std::size_t i = 0; i < csr_.Degree(v); ++i) {
+      const std::uint32_t u = csr_.Neighbors(v)[i];
+      if (dist[u] == kUnreachable) {
+        dist[u] = dist[v] + 1;
+        queue.push_back(u);
+      }
+    }
+  }
+  return dist;
+}
+
+std::uint32_t DistanceOracle::Estimate(CellId s, CellId t) const {
+  std::uint32_t best = kUnreachable;
+  for (const auto& dist : distances_) {
+    const std::uint32_t ds = dist[s];
+    const std::uint32_t dt = dist[t];
+    if (ds == kUnreachable || dt == kUnreachable) continue;
+    best = std::min(best, ds + dt);
+  }
+  return best;
+}
+
+std::uint32_t DistanceOracle::Exact(CellId s, CellId t) const {
+  const std::vector<std::uint32_t> dist =
+      BfsFrom(static_cast<std::uint32_t>(s));
+  return dist[t];
+}
+
+DistanceOracle::EvalReport DistanceOracle::Evaluate(
+    int pairs, std::uint64_t seed) const {
+  EvalReport report;
+  report.landmarks = landmarks_;
+  Random rng(seed);
+  double total = 0;
+  int used = 0;
+  for (int i = 0; i < pairs * 4 && used < pairs; ++i) {
+    const CellId s = rng.Uniform(csr_.num_nodes);
+    const CellId t = rng.Uniform(csr_.num_nodes);
+    if (s == t) continue;
+    const std::uint32_t exact = Exact(s, t);
+    if (exact == kUnreachable || exact == 0) continue;
+    const std::uint32_t estimate = Estimate(s, t);
+    if (estimate == kUnreachable) continue;
+    // Estimates are upper bounds: accuracy = exact / estimate.
+    total += static_cast<double>(exact) / static_cast<double>(estimate);
+    ++used;
+  }
+  report.pairs_evaluated = used;
+  report.accuracy_pct = used == 0 ? 0 : 100.0 * total / used;
+  return report;
+}
+
+}  // namespace trinity::algos

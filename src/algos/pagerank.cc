@@ -1,0 +1,98 @@
+#include "algos/pagerank.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace trinity::algos {
+
+namespace {
+
+double DecodeDouble(Slice s) {
+  double v = 0;
+  if (s.size() == 8) std::memcpy(&v, s.data(), 8);
+  return v;
+}
+
+Slice EncodeDouble(const double& v) {
+  return Slice(reinterpret_cast<const char*>(&v), 8);
+}
+
+}  // namespace
+
+Status RunPageRank(graph::Graph* graph, const PageRankOptions& options,
+                   PageRankResult* result) {
+  const double n = static_cast<double>(graph->CountNodes());
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  compute::BspEngine::Options bsp = options.bsp;
+  // Incoming rank contributions sum — inboxes stay O(V).
+  bsp.combiner = [](std::string* accumulator, Slice message) {
+    double acc = 0;
+    std::memcpy(&acc, accumulator->data(), 8);
+    acc += DecodeDouble(message);
+    std::memcpy(accumulator->data(), &acc, 8);
+  };
+  if (bsp.superstep_limit < options.iterations + 1) {
+    bsp.superstep_limit = options.iterations + 1;
+  }
+  const double epsilon = options.convergence_epsilon;
+  if (epsilon > 0) {
+    // Global L1 residual through the BSP aggregator (sum of doubles).
+    bsp.aggregator = [](std::string* accumulator, Slice contribution) {
+      double acc = 0;
+      std::memcpy(&acc, accumulator->data(), 8);
+      acc += DecodeDouble(contribution);
+      std::memcpy(accumulator->data(), &acc, 8);
+    };
+  }
+  compute::BspEngine engine(graph, bsp);
+  const int iterations = options.iterations;
+  const double damping = options.damping;
+  Status s = engine.Run(
+      [n, iterations, damping,
+       epsilon](compute::BspEngine::VertexContext& ctx) {
+        double rank;
+        double previous = 0;
+        if (ctx.superstep() == 0) {
+          rank = 1.0 / n;
+        } else {
+          previous = DecodeDouble(Slice(ctx.value()));
+          double incoming = 0;
+          for (const std::string& msg : ctx.messages()) {
+            incoming += DecodeDouble(Slice(msg));
+          }
+          rank = (1.0 - damping) / n + damping * incoming;
+        }
+        ctx.value().assign(reinterpret_cast<const char*>(&rank), 8);
+        bool stop = ctx.superstep() >= iterations;
+        if (epsilon > 0) {
+          const double residual = std::abs(rank - previous);
+          ctx.Aggregate(EncodeDouble(residual));
+          // aggregated() holds the previous superstep's global residual.
+          if (ctx.superstep() >= 2 &&
+              DecodeDouble(ctx.aggregated()) < epsilon) {
+            stop = true;
+          }
+        }
+        if (!stop) {
+          if (ctx.out_count() > 0) {
+            const double share = rank / static_cast<double>(ctx.out_count());
+            ctx.SendToAllOut(EncodeDouble(share));
+          }
+        } else {
+          ctx.VoteToHalt();
+        }
+      },
+      &result->stats);
+  if (!s.ok()) return s;
+  result->ranks.clear();
+  engine.ForEachValue([&](CellId vertex, const std::string& value) {
+    result->ranks[vertex] = DecodeDouble(Slice(value));
+  });
+  result->seconds_per_iteration =
+      result->stats.supersteps > 0
+          ? result->stats.modeled_seconds / result->stats.supersteps
+          : 0;
+  return Status::OK();
+}
+
+}  // namespace trinity::algos

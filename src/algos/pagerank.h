@@ -1,0 +1,37 @@
+#ifndef TRINITY_ALGOS_PAGERANK_H_
+#define TRINITY_ALGOS_PAGERANK_H_
+
+#include <unordered_map>
+
+#include "compute/bsp.h"
+#include "graph/graph.h"
+
+namespace trinity::algos {
+
+/// PageRank on the BSP engine (paper §7, Fig 12b/12d): the canonical
+/// restrictive vertex-centric computation — every vertex talks only to its
+/// out-neighbors, so messages combine at delivery and pack on the wire.
+struct PageRankOptions {
+  int iterations = 10;
+  double damping = 0.85;
+  /// When > 0, stop as soon as the global L1 residual (sum of per-vertex
+  /// rank changes, folded through the BSP aggregator) drops below this;
+  /// `iterations` then acts as an upper bound.
+  double convergence_epsilon = 0.0;
+  compute::BspEngine::Options bsp;
+};
+
+struct PageRankResult {
+  std::unordered_map<CellId, double> ranks;
+  compute::BspEngine::RunStats stats;
+  /// Modeled seconds for one iteration (total / iterations) — the quantity
+  /// Fig 12(b) plots.
+  double seconds_per_iteration = 0;
+};
+
+Status RunPageRank(graph::Graph* graph, const PageRankOptions& options,
+                   PageRankResult* result);
+
+}  // namespace trinity::algos
+
+#endif  // TRINITY_ALGOS_PAGERANK_H_

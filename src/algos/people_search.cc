@@ -1,0 +1,29 @@
+#include "algos/people_search.h"
+
+namespace trinity::algos {
+
+Status RunPeopleSearch(graph::Graph* graph, CellId user,
+                       const std::string& name,
+                       const PeopleSearchOptions& options,
+                       PeopleSearchResult* result) {
+  result->matches.clear();
+  compute::TraversalEngine engine(graph, options.traversal);
+  const std::size_t limit = options.max_matches;
+  return engine.KHopExplore(
+      user, options.max_hops,
+      [&](CellId vertex, int depth, Slice data) {
+        if (depth > 0 && data.size() == name.size() &&
+            std::memcmp(data.data(), name.data(), name.size()) == 0) {
+          if (limit == 0 || result->matches.size() < limit) {
+            result->matches.push_back(
+                PersonMatch{vertex, depth, data.ToString()});
+          }
+        }
+        // Keep expanding until the hop budget runs out (the engine enforces
+        // max_hops); stop expanding once enough matches were collected.
+        return limit == 0 || result->matches.size() < limit;
+      },
+      &result->stats);
+}
+
+}  // namespace trinity::algos

@@ -1,0 +1,43 @@
+#ifndef TRINITY_ALGOS_PEOPLE_SEARCH_H_
+#define TRINITY_ALGOS_PEOPLE_SEARCH_H_
+
+#include <string>
+#include <vector>
+
+#include "compute/traversal.h"
+#include "graph/graph.h"
+
+namespace trinity::algos {
+
+/// The "David problem" (paper §5.1, Fig 7, Fig 12a): on a social network,
+/// find anyone with a given first name among a user's friends, friends'
+/// friends, and friends' friends' friends. Unindexable at web scale; Trinity
+/// answers it by raw memory-speed k-hop exploration.
+struct PeopleSearchOptions {
+  int max_hops = 3;
+  compute::TraversalEngine::Options traversal;
+  /// Stop after this many matches (0 = find all in range).
+  std::size_t max_matches = 0;
+};
+
+struct PersonMatch {
+  CellId person = kInvalidCell;
+  int hops = 0;
+  std::string name;
+};
+
+struct PeopleSearchResult {
+  std::vector<PersonMatch> matches;
+  compute::TraversalEngine::QueryStats stats;
+};
+
+/// Searches `name` within `options.max_hops` hops of `user`. Node data is
+/// interpreted as the person's first name (see Generators::NameFor).
+Status RunPeopleSearch(graph::Graph* graph, CellId user,
+                       const std::string& name,
+                       const PeopleSearchOptions& options,
+                       PeopleSearchResult* result);
+
+}  // namespace trinity::algos
+
+#endif  // TRINITY_ALGOS_PEOPLE_SEARCH_H_

@@ -1,0 +1,52 @@
+#include "algos/sssp.h"
+
+#include <cstring>
+#include <limits>
+
+#include "common/hash.h"
+
+namespace trinity::algos {
+
+double SsspEdgeWeight(CellId u, CellId v, std::uint64_t weight_range) {
+  if (weight_range <= 1) return 1.0;
+  return 1.0 + static_cast<double>(Mix64(u ^ (v * 0x9e3779b97f4a7c15ULL)) %
+                                   weight_range);
+}
+
+Status RunSssp(graph::Graph* graph, CellId source, const SsspOptions& options,
+               SsspResult* result) {
+  compute::AsyncEngine engine(graph, options.async);
+  const double zero = 0.0;
+  Status s = engine.Seed(source,
+                         Slice(reinterpret_cast<const char*>(&zero), 8));
+  if (!s.ok()) return s;
+  const std::uint64_t range = options.weight_range;
+  s = engine.Run(
+      [range](compute::AsyncEngine::Context& ctx, Slice message) {
+        double candidate = 0;
+        std::memcpy(&candidate, message.data(), 8);
+        double current = std::numeric_limits<double>::infinity();
+        if (ctx.value().size() == 8) {
+          std::memcpy(&current, ctx.value().data(), 8);
+        }
+        if (candidate >= current) return;  // Stale relaxation.
+        ctx.value().assign(reinterpret_cast<const char*>(&candidate), 8);
+        for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+          const CellId neighbor = ctx.out()[i];
+          const double next =
+              candidate + SsspEdgeWeight(ctx.vertex(), neighbor, range);
+          ctx.Send(neighbor, Slice(reinterpret_cast<const char*>(&next), 8));
+        }
+      },
+      &result->stats);
+  if (!s.ok()) return s;
+  result->distances.clear();
+  engine.ForEachValue([&](CellId vertex, const std::string& value) {
+    double d = 0;
+    if (value.size() == 8) std::memcpy(&d, value.data(), 8);
+    result->distances[vertex] = d;
+  });
+  return Status::OK();
+}
+
+}  // namespace trinity::algos

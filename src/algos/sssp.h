@@ -1,0 +1,35 @@
+#ifndef TRINITY_ALGOS_SSSP_H_
+#define TRINITY_ALGOS_SSSP_H_
+
+#include <unordered_map>
+
+#include "compute/async_engine.h"
+#include "graph/graph.h"
+
+namespace trinity::algos {
+
+/// Single-source shortest paths by asynchronous relaxation on the
+/// AsyncEngine — the paper's example of a computation that fits the
+/// asynchronous model (a vertex can act on partially updated information
+/// from its in-links, §8). Edge weights are derived deterministically from
+/// the endpoint ids so the experiment needs no stored weights.
+struct SsspOptions {
+  compute::AsyncEngine::Options async;
+  /// Weights are 1 + Mix64(u^v) % weight_range (1 = unweighted BFS).
+  std::uint64_t weight_range = 8;
+};
+
+struct SsspResult {
+  std::unordered_map<CellId, double> distances;
+  compute::AsyncEngine::RunStats stats;
+};
+
+/// Deterministic weight of edge (u, v).
+double SsspEdgeWeight(CellId u, CellId v, std::uint64_t weight_range);
+
+Status RunSssp(graph::Graph* graph, CellId source, const SsspOptions& options,
+               SsspResult* result);
+
+}  // namespace trinity::algos
+
+#endif  // TRINITY_ALGOS_SSSP_H_

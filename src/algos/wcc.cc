@@ -1,0 +1,72 @@
+#include "algos/wcc.h"
+
+#include <cstring>
+#include <unordered_set>
+
+namespace trinity::algos {
+
+namespace {
+
+CellId DecodeId(Slice s) {
+  CellId v = 0;
+  if (s.size() == 8) std::memcpy(&v, s.data(), 8);
+  return v;
+}
+
+}  // namespace
+
+Status RunWcc(graph::Graph* graph, const WccOptions& options,
+              WccResult* result) {
+  compute::BspEngine::Options bsp = options.bsp;
+  // Min-combiner keeps one candidate label per vertex.
+  bsp.combiner = [](std::string* accumulator, Slice message) {
+    CellId acc = 0, incoming = 0;
+    std::memcpy(&acc, accumulator->data(), 8);
+    std::memcpy(&incoming, message.data(), 8);
+    if (incoming < acc) std::memcpy(accumulator->data(), &incoming, 8);
+  };
+  compute::BspEngine engine(graph, bsp);
+  Status s = engine.Run(
+      [](compute::BspEngine::VertexContext& ctx) {
+        CellId label;
+        bool changed = false;
+        if (ctx.superstep() == 0) {
+          label = ctx.vertex();
+          changed = true;
+        } else {
+          label = DecodeId(Slice(ctx.value()));
+          for (const std::string& msg : ctx.messages()) {
+            const CellId candidate = DecodeId(Slice(msg));
+            if (candidate < label) {
+              label = candidate;
+              changed = true;
+            }
+          }
+        }
+        if (changed) {
+          ctx.value().assign(reinterpret_cast<const char*>(&label), 8);
+          const Slice msg(reinterpret_cast<const char*>(&label), 8);
+          // Weak connectivity: labels flow along both directions.
+          for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+            ctx.Send(ctx.out()[i], msg);
+          }
+          for (std::size_t i = 0; i < ctx.in_count(); ++i) {
+            ctx.Send(ctx.in()[i], msg);
+          }
+        }
+        ctx.VoteToHalt();
+      },
+      &result->stats);
+  if (!s.ok()) return s;
+  result->component.clear();
+  std::unordered_set<CellId> roots;
+  engine.ForEachValue([&](CellId vertex, const std::string& value) {
+    const CellId label = DecodeId(Slice(value));
+    result->component[vertex] = label;
+    roots.insert(label);
+  });
+  result->num_components = roots.size();
+  return Status::OK();
+}
+
+}  // namespace trinity::algos

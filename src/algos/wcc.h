@@ -1,0 +1,29 @@
+#ifndef TRINITY_ALGOS_WCC_H_
+#define TRINITY_ALGOS_WCC_H_
+
+#include <unordered_map>
+
+#include "compute/bsp.h"
+#include "graph/graph.h"
+
+namespace trinity::algos {
+
+/// Weakly connected components by min-label propagation on the BSP engine.
+/// Labels travel across both edge directions (weak connectivity), which
+/// exercises the general — not just restrictive — messaging model.
+struct WccResult {
+  std::unordered_map<CellId, CellId> component;  ///< Vertex -> min label.
+  std::uint64_t num_components = 0;
+  compute::BspEngine::RunStats stats;
+};
+
+struct WccOptions {
+  compute::BspEngine::Options bsp;
+};
+
+Status RunWcc(graph::Graph* graph, const WccOptions& options,
+              WccResult* result);
+
+}  // namespace trinity::algos
+
+#endif  // TRINITY_ALGOS_WCC_H_

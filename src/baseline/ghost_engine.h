@@ -1,0 +1,96 @@
+#ifndef TRINITY_BASELINE_GHOST_ENGINE_H_
+#define TRINITY_BASELINE_GHOST_ENGINE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/generators.h"
+#include "net/cost_model.h"
+#include "net/fabric.h"
+
+namespace trinity::baseline {
+
+/// PBGL-like distributed BFS baseline for the Fig 13 comparison.
+///
+/// The Parallel Boost Graph Library keeps a *ghost cell* — a local replica —
+/// for every remote vertex referenced by local adjacency, and exchanges
+/// fine-grained two-sided messages (MPI) without Trinity's transparent
+/// message packing. Paper §8: "the ghost cell mechanism only works well for
+/// well-partitioned graphs. Great memory overhead would be incurred for
+/// not-well-partitioned large graphs" — and hash partitioning (what both
+/// systems use here) is exactly that worst case.
+///
+/// The engine runs a real level-synchronous BFS over a hash-partitioned
+/// in-memory graph; what makes it a *baseline model* is the representation
+/// and communication overheads, which follow PBGL's mechanisms:
+///  * per-vertex / per-edge / per-ghost object overheads (adjacency as
+///    pointer-based property-mapped structures, not blobs);
+///  * one unpacked message per ghost update (two-sided, fine-grained);
+///  * a CPU factor for pointer-chasing over heap objects vs. scanning
+///    contiguous blobs.
+class GhostEngine {
+ public:
+  struct Options {
+    int num_machines = 16;
+    net::CostModel::Params cost;
+    /// Representation overheads (bytes). Defaults approximate PBGL's
+    /// distributed adjacency_list: vertex objects with property maps,
+    /// per-edge objects (descriptor + stored target + properties), and
+    /// ghost cells holding the replicated remote vertex state.
+    std::size_t per_vertex_bytes = 88;
+    std::size_t per_edge_bytes = 40;
+    std::size_t per_ghost_bytes = 64;
+    /// CPU multiplier for heap-object traversal vs. Trinity's blob scan.
+    double cpu_factor = 2.0;
+  };
+
+  struct LoadStats {
+    std::uint64_t ghost_cells = 0;
+    std::uint64_t memory_bytes = 0;  ///< The Fig 13(c) quantity.
+  };
+
+  struct BfsStats {
+    double modeled_seconds = 0;  ///< The Fig 13(a) quantity.
+    std::uint64_t reached = 0;
+    int rounds = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t transfers = 0;
+  };
+
+  explicit GhostEngine(Options options);
+
+  GhostEngine(const GhostEngine&) = delete;
+  GhostEngine& operator=(const GhostEngine&) = delete;
+
+  /// Hash-partitions the edge list, builds per-machine adjacency and the
+  /// ghost-cell tables.
+  Status LoadGraph(const graph::Generators::EdgeList& edges,
+                   LoadStats* stats);
+
+  Status RunBfs(CellId start, BfsStats* stats);
+
+ private:
+  struct Machine {
+    /// Local vertex -> adjacency (global ids).
+    std::unordered_map<CellId, std::vector<CellId>> adjacency;
+    /// Ghost cells: remote vertex -> last known distance.
+    std::unordered_map<CellId, std::uint32_t> ghosts;
+    std::unordered_map<CellId, std::uint32_t> distance;
+  };
+
+  MachineId OwnerOf(CellId v) const {
+    return static_cast<MachineId>(Mix64(v) % options_.num_machines);
+  }
+
+  Options options_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<Machine> machines_;
+  std::uint64_t num_nodes_ = 0;
+};
+
+}  // namespace trinity::baseline
+
+#endif  // TRINITY_BASELINE_GHOST_ENGINE_H_

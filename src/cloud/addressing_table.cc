@@ -1,0 +1,82 @@
+#include "cloud/addressing_table.h"
+
+#include "common/logging.h"
+#include "common/serializer.h"
+
+namespace trinity::cloud {
+
+AddressingTable::AddressingTable(int p_bits, int num_machines)
+    : p_bits_(p_bits), version_(1) {
+  TRINITY_CHECK(p_bits >= 0 && p_bits <= 20, "unreasonable p_bits");
+  TRINITY_CHECK(num_machines >= 1, "need at least one machine");
+  const int slots = 1 << p_bits;
+  TRINITY_CHECK(slots >= num_machines,
+                "need 2^p >= machine count (paper: 2^p > m)");
+  slots_.resize(slots);
+  for (int i = 0; i < slots; ++i) {
+    slots_[i] = static_cast<MachineId>(i % num_machines);
+  }
+}
+
+std::vector<TrunkId> AddressingTable::trunks_of(MachineId machine) const {
+  std::vector<TrunkId> result;
+  for (int i = 0; i < num_slots(); ++i) {
+    if (slots_[i] == machine) result.push_back(i);
+  }
+  return result;
+}
+
+void AddressingTable::MoveTrunk(TrunkId trunk, MachineId to) {
+  TRINITY_CHECK(trunk >= 0 && trunk < num_slots(), "trunk out of range");
+  slots_[trunk] = to;
+  ++version_;
+}
+
+void AddressingTable::EvacuateMachine(MachineId from,
+                                      const std::vector<MachineId>& targets) {
+  TRINITY_CHECK(!targets.empty(), "no evacuation targets");
+  std::size_t next = 0;
+  for (int i = 0; i < num_slots(); ++i) {
+    if (slots_[i] == from) {
+      slots_[i] = targets[next % targets.size()];
+      ++next;
+    }
+  }
+  ++version_;
+}
+
+std::string AddressingTable::Serialize() const {
+  BinaryWriter writer;
+  writer.PutU32(static_cast<std::uint32_t>(p_bits_));
+  writer.PutU64(version_);
+  writer.PutU32(static_cast<std::uint32_t>(slots_.size()));
+  for (MachineId m : slots_) writer.PutI32(m);
+  return writer.Release();
+}
+
+Status AddressingTable::Deserialize(Slice data, AddressingTable* out) {
+  BinaryReader reader(data);
+  std::uint32_t p_bits = 0;
+  std::uint64_t version = 0;
+  std::uint32_t count = 0;
+  if (!reader.GetU32(&p_bits) || !reader.GetU64(&version) ||
+      !reader.GetU32(&count)) {
+    return Status::Corruption("addressing table header");
+  }
+  if (count != (1u << p_bits)) {
+    return Status::Corruption("addressing table slot count mismatch");
+  }
+  AddressingTable table;
+  table.p_bits_ = static_cast<int>(p_bits);
+  table.version_ = version;
+  table.slots_.resize(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    if (!reader.GetI32(&table.slots_[i])) {
+      return Status::Corruption("addressing table slot");
+    }
+  }
+  *out = table;
+  return Status::OK();
+}
+
+}  // namespace trinity::cloud

@@ -1,0 +1,68 @@
+#ifndef TRINITY_CLOUD_ADDRESSING_TABLE_H_
+#define TRINITY_CLOUD_ADDRESSING_TABLE_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace trinity::cloud {
+
+/// The shared addressing table (paper §3, Fig 3): 2^p slots, one per memory
+/// trunk, each holding the id of the machine currently hosting that trunk.
+/// Every machine keeps a replica; the primary lives on the leader and is
+/// persisted to TFS before any update commits (§6.2).
+///
+/// The table is what makes the memory cloud's hashing *consistent*: machines
+/// join/leave by reassigning slots, never by rehashing keys.
+class AddressingTable {
+ public:
+  /// Builds a table with 2^p_bits slots spread round-robin over
+  /// `num_machines` machines.
+  AddressingTable(int p_bits, int num_machines);
+
+  AddressingTable(const AddressingTable&) = default;
+  AddressingTable& operator=(const AddressingTable&) = default;
+
+  int p_bits() const { return p_bits_; }
+  int num_slots() const { return static_cast<int>(slots_.size()); }
+
+  /// Monotonic version; bumped on every mutation so replicas can detect
+  /// staleness.
+  std::uint64_t version() const { return version_; }
+
+  MachineId machine_of_trunk(TrunkId trunk) const { return slots_[trunk]; }
+
+  /// All trunks currently assigned to `machine`.
+  std::vector<TrunkId> trunks_of(MachineId machine) const;
+
+  /// Reassigns one trunk. Bumps the version.
+  void MoveTrunk(TrunkId trunk, MachineId to);
+
+  /// Reassigns every trunk owned by `from` across `targets` round-robin
+  /// (failure recovery / machine departure). Bumps the version once.
+  void EvacuateMachine(MachineId from, const std::vector<MachineId>& targets);
+
+  /// Serialized image for TFS persistence and broadcast to replicas.
+  std::string Serialize() const;
+  static Status Deserialize(Slice data, AddressingTable* out);
+
+  bool operator==(const AddressingTable& other) const {
+    return p_bits_ == other.p_bits_ && slots_ == other.slots_;
+  }
+
+ private:
+  AddressingTable() = default;
+
+  int p_bits_ = 0;
+  std::uint64_t version_ = 0;
+  std::vector<MachineId> slots_;
+};
+
+}  // namespace trinity::cloud
+
+#endif  // TRINITY_CLOUD_ADDRESSING_TABLE_H_

@@ -1,0 +1,72 @@
+#include "cloud/external_store.h"
+
+#include <filesystem>
+
+#include "common/hash.h"
+
+namespace trinity::cloud {
+
+namespace {
+// Record layout at each handle offset: [u32 length][u64 checksum][bytes].
+constexpr std::uint64_t kRecordHeader = 12;
+}  // namespace
+
+Status ExternalStore::Open(const std::string& path,
+                           std::unique_ptr<ExternalStore>* out) {
+  if (path.empty()) return Status::InvalidArgument("empty path");
+  std::unique_ptr<ExternalStore> store(new ExternalStore(path));
+  std::error_code ec;
+  const auto parent = std::filesystem::path(path).parent_path();
+  if (!parent.empty()) std::filesystem::create_directories(parent, ec);
+  if (!std::filesystem::exists(path)) {
+    std::ofstream create(path, std::ios::binary);  // Touch.
+    if (!create) return Status::IOError("cannot create " + path);
+  }
+  store->end_offset_ = std::filesystem::file_size(path, ec);
+  if (ec) return Status::IOError("cannot stat " + path);
+  *out = std::move(store);
+  return Status::OK();
+}
+
+Status ExternalStore::Store(Slice blob, std::uint64_t* handle) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::ofstream out(path_, std::ios::binary | std::ios::app);
+  if (!out) return Status::IOError("cannot open " + path_);
+  const std::uint32_t length = static_cast<std::uint32_t>(blob.size());
+  const std::uint64_t checksum = HashSlice(blob);
+  out.write(reinterpret_cast<const char*>(&length), 4);
+  out.write(reinterpret_cast<const char*>(&checksum), 8);
+  out.write(blob.data(), static_cast<std::streamsize>(blob.size()));
+  if (!out) return Status::IOError("short write to " + path_);
+  *handle = end_offset_;
+  end_offset_ += kRecordHeader + blob.size();
+  ++blob_count_;
+  byte_count_ += blob.size();
+  return Status::OK();
+}
+
+Status ExternalStore::Fetch(std::uint64_t handle, std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (handle + kRecordHeader > end_offset_) {
+    return Status::NotFound("handle beyond store");
+  }
+  std::ifstream in(path_, std::ios::binary);
+  if (!in) return Status::IOError("cannot open " + path_);
+  in.seekg(static_cast<std::streamoff>(handle));
+  std::uint32_t length = 0;
+  std::uint64_t checksum = 0;
+  in.read(reinterpret_cast<char*>(&length), 4);
+  in.read(reinterpret_cast<char*>(&checksum), 8);
+  if (!in || handle + kRecordHeader + length > end_offset_) {
+    return Status::Corruption("bad external record header");
+  }
+  out->resize(length);
+  in.read(out->data(), length);
+  if (!in) return Status::Corruption("short external record");
+  if (HashSlice(Slice(*out)) != checksum) {
+    return Status::Corruption("external record checksum mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace trinity::cloud

@@ -1,0 +1,56 @@
+#ifndef TRINITY_CLOUD_EXTERNAL_STORE_H_
+#define TRINITY_CLOUD_EXTERNAL_STORE_H_
+
+#include <cstdint>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace trinity::cloud {
+
+/// Disk-resident store for rich payloads that should not live in RAM
+/// (paper §1 note 1: "Trinity usually makes the graph topology and
+/// frequently used information of the graph memory-resident. Trinity
+/// provides transparent access to other information associated with the
+/// graph in DBMSs"; §4.2: "store graph topology and some critical data in
+/// Trinity's memory cloud, while leaving other rich information (such as
+/// images) on disk").
+///
+/// The store is an append-only file of checksummed records. Store() returns
+/// an 8-byte handle the caller embeds in a cell (e.g. a TSL `long` field);
+/// Fetch() resolves it back. Handles stay valid across reopen.
+class ExternalStore {
+ public:
+  static Status Open(const std::string& path,
+                     std::unique_ptr<ExternalStore>* out);
+
+  ~ExternalStore() = default;
+  ExternalStore(const ExternalStore&) = delete;
+  ExternalStore& operator=(const ExternalStore&) = delete;
+
+  /// Appends a blob; *handle identifies it forever.
+  Status Store(Slice blob, std::uint64_t* handle);
+
+  /// Reads a blob back; verifies its checksum.
+  Status Fetch(std::uint64_t handle, std::string* out);
+
+  std::uint64_t blob_count() const { return blob_count_; }
+  std::uint64_t byte_count() const { return byte_count_; }
+
+ private:
+  explicit ExternalStore(std::string path) : path_(std::move(path)) {}
+
+  const std::string path_;
+  std::mutex mu_;
+  std::uint64_t end_offset_ = 0;
+  std::uint64_t blob_count_ = 0;
+  std::uint64_t byte_count_ = 0;
+};
+
+}  // namespace trinity::cloud
+
+#endif  // TRINITY_CLOUD_EXTERNAL_STORE_H_

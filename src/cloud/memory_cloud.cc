@@ -1,0 +1,590 @@
+#include "cloud/memory_cloud.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/serializer.h"
+
+namespace trinity::cloud {
+
+namespace {
+
+std::string EncodeCellOp(std::uint8_t op, CellId id, Slice payload) {
+  BinaryWriter writer;
+  writer.PutU8(op);
+  writer.PutU64(id);
+  writer.PutBytes(payload);
+  return writer.Release();
+}
+
+bool DecodeCellOp(Slice data, std::uint8_t* op, CellId* id, Slice* payload) {
+  BinaryReader reader(data);
+  return reader.GetU8(op) && reader.GetU64(id) && reader.GetBytes(payload);
+}
+
+}  // namespace
+
+MemoryCloud::MemoryCloud(const Options& options) : options_(options) {}
+
+Status MemoryCloud::Create(const Options& options,
+                           std::unique_ptr<MemoryCloud>* out) {
+  if (options.num_slaves < 1) {
+    return Status::InvalidArgument("need at least one slave");
+  }
+  if ((1 << options.p_bits) < options.num_slaves) {
+    return Status::InvalidArgument("need 2^p_bits >= num_slaves");
+  }
+  if (options.buffered_logging && options.num_slaves < 2) {
+    return Status::InvalidArgument("buffered logging needs a backup slave");
+  }
+  std::unique_ptr<MemoryCloud> cloud(new MemoryCloud(options));
+  Status s = cloud->Init();
+  if (!s.ok()) return s;
+  *out = std::move(cloud);
+  return Status::OK();
+}
+
+Status MemoryCloud::Init() {
+  fabric_ = std::make_unique<net::Fabric>(num_endpoints(), options_.fabric);
+  primary_table_ = AddressingTable(options_.p_bits, options_.num_slaves);
+  machines_.resize(num_endpoints());
+  alive_.assign(num_endpoints(), true);
+  for (MachineId m = 0; m < num_endpoints(); ++m) {
+    machines_[m].table_replica = primary_table_;
+    if (m < options_.num_slaves) {
+      machines_[m].storage =
+          std::make_unique<storage::MemoryStorage>(options_.storage);
+      for (TrunkId t : primary_table_.trunks_of(m)) {
+        Status s = machines_[m].storage->AttachTrunk(t);
+        if (!s.ok()) return s;
+      }
+    }
+    RegisterHandlers(m);
+  }
+  leader_ = 0;
+  return Status::OK();
+}
+
+void MemoryCloud::RegisterHandlers(MachineId m) {
+  // Addressing-table broadcast: every endpoint keeps a replica (§3).
+  fabric_->RegisterAsyncHandler(
+      m, kTableUpdateHandler, [this, m](MachineId, Slice payload) {
+        AddressingTable table(0, 1);
+        if (AddressingTable::Deserialize(payload, &table).ok()) {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (table.version() > machines_[m].table_replica.version()) {
+            machines_[m].table_replica = table;
+          }
+        }
+      });
+  if (m >= options_.num_slaves) return;  // Proxies/client carry no data.
+
+  fabric_->RegisterSyncHandler(
+      m, kCellOpHandler,
+      [this, m](MachineId, Slice request, std::string* response) {
+        std::uint8_t op = 0;
+        CellId id = 0;
+        Slice payload;
+        if (!DecodeCellOp(request, &op, &id, &payload)) {
+          return Status::Corruption("bad cell op request");
+        }
+        return ExecuteLocal(m, static_cast<CellOp>(op), id, payload,
+                            response);
+      });
+  fabric_->RegisterSyncHandler(
+      m, kHeartbeatHandler,
+      [](MachineId, Slice, std::string* response) {
+        if (response != nullptr) *response = "pong";
+        return Status::OK();
+      });
+  fabric_->RegisterSyncHandler(
+      m, kLogRecordHandler,
+      [this, m](MachineId src, Slice request, std::string*) {
+        BinaryReader reader(request);
+        LogRecord record;
+        std::uint8_t op = 0;
+        Slice payload;
+        if (!reader.GetU64(&record.seq) || !reader.GetU8(&op) ||
+            !reader.GetU64(&record.id) || !reader.GetBytes(&payload)) {
+          return Status::Corruption("bad log record");
+        }
+        record.op = static_cast<CellOp>(op);
+        record.payload = payload.ToString();
+        std::lock_guard<std::mutex> lock(mu_);
+        machines_[m].backup_logs[src].push_back(std::move(record));
+        return Status::OK();
+      });
+  fabric_->RegisterAsyncHandler(
+      m, kLogTruncateHandler, [this, m](MachineId src, Slice) {
+        std::lock_guard<std::mutex> lock(mu_);
+        machines_[m].backup_logs[src].clear();
+      });
+  fabric_->RegisterSyncHandler(
+      m, kTrunkMigrateHandler,
+      [this, m](MachineId, Slice request, std::string*) {
+        BinaryReader reader(request);
+        std::int32_t trunk_id = 0;
+        Slice image;
+        if (!reader.GetI32(&trunk_id) || !reader.GetBytes(&image)) {
+          return Status::Corruption("bad trunk migration request");
+        }
+        std::unique_ptr<storage::MemoryTrunk> trunk;
+        Status s = storage::MemoryTrunk::Deserialize(
+            image, options_.storage.trunk, &trunk);
+        if (!s.ok()) return s;
+        if (machines_[m].storage == nullptr) {
+          return Status::Unavailable("not a slave");
+        }
+        return machines_[m].storage->AttachTrunk(trunk_id, std::move(trunk));
+      });
+}
+
+MachineId MemoryCloud::MachineOf(CellId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return primary_table_.machine_of_trunk(TrunkOf(id));
+}
+
+storage::MemoryStorage* MemoryCloud::storage(MachineId m) {
+  return machines_[m].storage.get();
+}
+
+const AddressingTable& MemoryCloud::table() const { return primary_table_; }
+
+std::uint64_t MemoryCloud::MemoryFootprintBytes() const {
+  std::uint64_t total = 0;
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (machines_[m].storage != nullptr) {
+      total += machines_[m].storage->MemoryFootprintBytes();
+    }
+  }
+  return total;
+}
+
+std::uint64_t MemoryCloud::TotalCellCount() const {
+  std::uint64_t total = 0;
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (machines_[m].storage != nullptr) {
+      total += machines_[m].storage->TotalCellCount();
+    }
+  }
+  return total;
+}
+
+Status MemoryCloud::ExecuteLocal(MachineId m, CellOp op, CellId id,
+                                 Slice payload, std::string* response) {
+  storage::MemoryStorage* store = machines_[m].storage.get();
+  if (store == nullptr) return Status::Unavailable("not a slave");
+  storage::MemoryTrunk* trunk = store->trunk(TrunkOf(id));
+  if (trunk == nullptr) {
+    // The caller's addressing-table replica is stale.
+    return Status::Unavailable("trunk not hosted");
+  }
+  const bool mutating = op == CellOp::kAdd || op == CellOp::kPut ||
+                        op == CellOp::kRemove || op == CellOp::kAppend;
+  Status result;
+  switch (op) {
+    case CellOp::kAdd:
+      result = trunk->AddCell(id, payload);
+      break;
+    case CellOp::kPut:
+      result = trunk->PutCell(id, payload);
+      break;
+    case CellOp::kGet: {
+      if (response == nullptr) return Status::InvalidArgument("no response");
+      return trunk->GetCell(id, response);
+    }
+    case CellOp::kRemove:
+      result = trunk->RemoveCell(id);
+      break;
+    case CellOp::kAppend:
+      result = trunk->AppendToCell(id, payload);
+      break;
+    case CellOp::kContains:
+      return trunk->Contains(id) ? Status::OK() : Status::NotFound("");
+    default:
+      return Status::InvalidArgument("unknown op");
+  }
+  // Only *successful* mutations reach the backup's log buffer — a rejected
+  // op (e.g. AddCell on an existing id) must not be replayed at recovery.
+  // (The coarse crash model here — failures happen between operations —
+  // makes log-after-apply equivalent to RAMCloud's log-before-commit.)
+  if (result.ok() && mutating && options_.buffered_logging &&
+      options_.tfs != nullptr) {
+    LogToBackup(m, op, id, payload);
+  }
+  return result;
+}
+
+void MemoryCloud::LogToBackup(MachineId primary, CellOp op, CellId id,
+                              Slice payload) {
+  MachineId backup = BackupOf(primary);
+  if (backup == kInvalidMachine) return;
+  std::uint64_t seq;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    seq = machines_[primary].next_log_seq++;
+  }
+  BinaryWriter writer;
+  writer.PutU64(seq);
+  writer.PutU8(static_cast<std::uint8_t>(op));
+  writer.PutU64(id);
+  writer.PutBytes(payload);
+  // Synchronous: the record must reach the backup's memory *before* the
+  // mutation commits locally (RAMCloud buffered logging).
+  std::string unused;
+  fabric_->Call(primary, backup, kLogRecordHandler, Slice(writer.buffer()),
+                &unused);
+}
+
+MachineId MemoryCloud::BackupOf(MachineId m) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (int step = 1; step < options_.num_slaves; ++step) {
+    const MachineId candidate = (m + step) % options_.num_slaves;
+    if (alive_[candidate]) return candidate;
+  }
+  return kInvalidMachine;
+}
+
+Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
+                            Slice payload, std::string* response) {
+  Status last = Status::Unavailable("unroutable");
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    MachineId dst;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      dst = machines_[src].table_replica.machine_of_trunk(TrunkOf(id));
+    }
+    if (dst == src && machines_[src].storage != nullptr) {
+      net::Fabric::MeterScope meter(*fabric_, src);
+      last = ExecuteLocal(src, op, id, payload, response);
+    } else {
+      const std::string request =
+          EncodeCellOp(static_cast<std::uint8_t>(op), id, payload);
+      last = fabric_->Call(src, dst, kCellOpHandler, Slice(request),
+                           response);
+    }
+    if (!last.IsUnavailable()) return last;
+    // Unavailable: either our table replica is stale ("trunk not hosted")
+    // or the owner crashed. Recover / re-sync and retry (§6.2: "machine A
+    // will wait for the addressing table to be updated, and attempt to
+    // access the item again").
+    if (!fabric_->IsMachineUp(dst)) {
+      if (options_.tfs == nullptr) return last;  // No recovery path.
+      Status rs = RecoverMachine(dst);
+      if (!rs.ok()) return rs;
+    }
+    std::lock_guard<std::mutex> lock(mu_);
+    machines_[src].table_replica = primary_table_;
+  }
+  return last;
+}
+
+Status MemoryCloud::AddCellFrom(MachineId src, CellId id, Slice payload) {
+  return RouteOp(src, CellOp::kAdd, id, payload, nullptr);
+}
+
+Status MemoryCloud::PutCellFrom(MachineId src, CellId id, Slice payload) {
+  return RouteOp(src, CellOp::kPut, id, payload, nullptr);
+}
+
+Status MemoryCloud::GetCellFrom(MachineId src, CellId id, std::string* out) {
+  return RouteOp(src, CellOp::kGet, id, Slice(), out);
+}
+
+Status MemoryCloud::RemoveCellFrom(MachineId src, CellId id) {
+  return RouteOp(src, CellOp::kRemove, id, Slice(), nullptr);
+}
+
+Status MemoryCloud::AppendToCellFrom(MachineId src, CellId id, Slice suffix) {
+  return RouteOp(src, CellOp::kAppend, id, suffix, nullptr);
+}
+
+bool MemoryCloud::Contains(CellId id) {
+  return RouteOp(client_id(), CellOp::kContains, id, Slice(), nullptr).ok();
+}
+
+Status MemoryCloud::PersistTableLocked() {
+  if (options_.tfs == nullptr) return Status::OK();
+  // "An update to the primary table must be applied to the persistent
+  // replica before committing" (§6.2).
+  return options_.tfs->WriteFile(options_.tfs_prefix + "/addressing_table",
+                                 Slice(primary_table_.Serialize()));
+}
+
+void MemoryCloud::BroadcastTableLocked() {
+  const std::string image = primary_table_.Serialize();
+  for (MachineId m = 0; m < num_endpoints(); ++m) {
+    if (m == leader_) {
+      machines_[m].table_replica = primary_table_;
+      continue;
+    }
+    if (!alive_[m]) continue;
+    // Direct replica install; losing the broadcast is tolerated because a
+    // stale machine re-syncs on its next failed access.
+    AddressingTable table(0, 1);
+    if (AddressingTable::Deserialize(Slice(image), &table).ok()) {
+      machines_[m].table_replica = table;
+    }
+  }
+}
+
+Status MemoryCloud::SaveSnapshot() {
+  if (options_.tfs == nullptr) {
+    return Status::InvalidArgument("no TFS configured");
+  }
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (!alive_[m] || machines_[m].storage == nullptr) continue;
+    Status s = machines_[m].storage->SaveToTfs(options_.tfs,
+                                               options_.tfs_prefix);
+    if (!s.ok()) return s;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  // Snapshot makes buffered log records redundant; truncate them all.
+  for (auto& machine : machines_) {
+    machine.backup_logs.clear();
+  }
+  return PersistTableLocked();
+}
+
+Status MemoryCloud::FailMachine(MachineId m) {
+  if (m < 0 || m >= options_.num_slaves) {
+    return Status::InvalidArgument("can only fail slaves");
+  }
+  fabric_->SetMachineDown(m);
+  std::lock_guard<std::mutex> lock(mu_);
+  alive_[m] = false;
+  machines_[m].storage.reset();     // RAM contents are gone.
+  machines_[m].backup_logs.clear();  // So are the logs it held as backup.
+  return Status::OK();
+}
+
+std::vector<MachineId> MemoryCloud::AliveSlavesLocked() const {
+  std::vector<MachineId> result;
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (alive_[m]) result.push_back(m);
+  }
+  return result;
+}
+
+Status MemoryCloud::ElectLeader() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::vector<MachineId> alive = AliveSlavesLocked();
+  if (alive.empty()) return Status::Unavailable("no alive slaves");
+  const MachineId candidate = alive.front();
+  if (options_.tfs != nullptr) {
+    // Fence through TFS so two partitions cannot both elect a leader
+    // (§6.2: "the new leader marks a flag on the shared distributed
+    // fault-tolerant file system").
+    for (int tries = 0; tries < 1000; ++tries) {
+      ++leader_epoch_;
+      const std::string flag = options_.tfs_prefix + "/leader_epoch_" +
+                               std::to_string(leader_epoch_);
+      Status s = options_.tfs->CreateExclusive(
+          flag, Slice(std::to_string(candidate)));
+      if (s.ok()) break;
+      if (!s.IsAlreadyExists()) return s;
+    }
+  }
+  leader_ = candidate;
+  return Status::OK();
+}
+
+Status MemoryCloud::RecoverMachine(MachineId failed) {
+  if (options_.tfs == nullptr) {
+    return Status::InvalidArgument("recovery requires TFS");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (alive_[failed]) {
+    alive_[failed] = false;
+    fabric_->SetMachineDown(failed);
+    machines_[failed].storage.reset();
+  }
+  if (leader_ == failed || !alive_[leader_]) {
+    // Leader is gone; elect a new one (inline, we already hold the state).
+    const std::vector<MachineId> alive = AliveSlavesLocked();
+    if (alive.empty()) return Status::Unavailable("no alive slaves");
+    leader_ = alive.front();
+    if (options_.tfs != nullptr) {
+      ++leader_epoch_;
+      options_.tfs->CreateExclusive(
+          options_.tfs_prefix + "/leader_epoch_" +
+              std::to_string(leader_epoch_),
+          Slice(std::to_string(leader_)));
+    }
+  }
+  const std::vector<MachineId> targets = AliveSlavesLocked();
+  if (targets.empty()) return Status::Unavailable("no recovery targets");
+  const std::vector<TrunkId> trunks = primary_table_.trunks_of(failed);
+  if (trunks.empty()) return Status::OK();  // Already recovered.
+
+  // "During recovery, the leader reloads data owned by the failed machine
+  // to other alive machines, updates the primary addressing table and
+  // broadcasts it" (§6.2).
+  std::size_t next = 0;
+  for (TrunkId t : trunks) {
+    const MachineId target = targets[next++ % targets.size()];
+    std::unique_ptr<storage::MemoryTrunk> trunk;
+    Status s = storage::MemoryStorage::LoadTrunkFromTfs(
+        options_.tfs, options_.tfs_prefix, t, options_.storage.trunk, &trunk);
+    if (s.IsNotFound()) {
+      // Never snapshotted: recover an empty trunk (plus log replay below).
+      s = storage::MemoryTrunk::Create(options_.storage.trunk, &trunk);
+    }
+    if (!s.ok()) return s;
+    s = machines_[target].storage->AttachTrunk(t, std::move(trunk));
+    if (!s.ok()) return s;
+    primary_table_.MoveTrunk(t, target);
+  }
+
+  // Replay buffered log records held for the failed primary by its backup.
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (!alive_[m]) continue;
+    auto it = machines_[m].backup_logs.find(failed);
+    if (it == machines_[m].backup_logs.end()) continue;
+    for (const LogRecord& record : it->second) {
+      const TrunkId t = TrunkOf(record.id);
+      const MachineId owner = primary_table_.machine_of_trunk(t);
+      storage::MemoryTrunk* trunk = machines_[owner].storage->trunk(t);
+      if (trunk == nullptr) continue;
+      switch (record.op) {
+        case CellOp::kAdd:
+        case CellOp::kPut:
+          trunk->PutCell(record.id, Slice(record.payload));
+          break;
+        case CellOp::kRemove:
+          trunk->RemoveCell(record.id);
+          break;
+        case CellOp::kAppend:
+          trunk->AppendToCell(record.id, Slice(record.payload));
+          break;
+        default:
+          break;
+      }
+    }
+    machines_[m].backup_logs.erase(it);
+  }
+
+  Status s = PersistTableLocked();
+  if (!s.ok()) return s;
+  BroadcastTableLocked();
+  return Status::OK();
+}
+
+int MemoryCloud::DetectAndRecover() {
+  int recovered = 0;
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!alive_[m]) {
+        if (!primary_table_.trunks_of(m).empty()) {
+          // Known dead but not yet recovered.
+        } else {
+          continue;
+        }
+      }
+    }
+    // Heartbeat from the leader (§6.2: "Trinity uses heartbeat messages to
+    // proactively detect machine failures").
+    std::string pong;
+    Status s = fabric_->Call(leader_, m, kHeartbeatHandler, Slice(), &pong);
+    if (s.IsUnavailable()) {
+      if (RecoverMachine(m).ok()) ++recovered;
+    }
+  }
+  return recovered;
+}
+
+Status MemoryCloud::MigrateTrunk(TrunkId trunk, MachineId to) {
+  MachineId from;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (trunk < 0 || trunk >= primary_table_.num_slots()) {
+      return Status::InvalidArgument("trunk out of range");
+    }
+    if (to < 0 || to >= options_.num_slaves || !alive_[to]) {
+      return Status::InvalidArgument("destination is not an alive slave");
+    }
+    from = primary_table_.machine_of_trunk(trunk);
+    if (from == to) return Status::OK();
+    if (!alive_[from] || machines_[from].storage == nullptr) {
+      return Status::Unavailable("source machine is down");
+    }
+  }
+  // 1. Serialize the trunk at the source (metered as its CPU work).
+  storage::MemoryTrunk* source = machines_[from].storage->trunk(trunk);
+  if (source == nullptr) return Status::NotFound("trunk not hosted at source");
+  std::string image;
+  {
+    net::Fabric::MeterScope meter(*fabric_, from);
+    Status s = source->Serialize(&image);
+    if (!s.ok()) return s;
+  }
+  // 2. Ship the image to the destination over the fabric.
+  BinaryWriter writer;
+  writer.PutI32(trunk);
+  writer.PutBytes(Slice(image));
+  std::string unused;
+  Status s = fabric_->Call(from, to, kTrunkMigrateHandler,
+                           Slice(writer.buffer()), &unused);
+  if (!s.ok()) return s;
+  // 3. Drop the source copy and commit the new ownership.
+  s = machines_[from].storage->DetachTrunk(trunk);
+  if (!s.ok()) return s;
+  std::lock_guard<std::mutex> lock(mu_);
+  primary_table_.MoveTrunk(trunk, to);
+  Status ps = PersistTableLocked();
+  if (!ps.ok()) return ps;
+  BroadcastTableLocked();
+  return Status::OK();
+}
+
+int MemoryCloud::RebalanceTrunks() {
+  int moved = 0;
+  for (;;) {
+    TrunkId candidate = -1;
+    MachineId from = kInvalidMachine, to = kInvalidMachine;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      // Find the most- and least-loaded alive slaves.
+      std::size_t max_count = 0, min_count = ~std::size_t{0};
+      for (MachineId m = 0; m < options_.num_slaves; ++m) {
+        if (!alive_[m] || machines_[m].storage == nullptr) continue;
+        const std::size_t count = primary_table_.trunks_of(m).size();
+        if (count > max_count) {
+          max_count = count;
+          from = m;
+        }
+        if (count < min_count) {
+          min_count = count;
+          to = m;
+        }
+      }
+      if (from == kInvalidMachine || to == kInvalidMachine ||
+          max_count <= min_count + 1) {
+        break;  // Balanced within one trunk.
+      }
+      candidate = primary_table_.trunks_of(from).front();
+    }
+    if (!MigrateTrunk(candidate, to).ok()) break;
+    ++moved;
+  }
+  return moved;
+}
+
+Status MemoryCloud::RestartMachine(MachineId m) {
+  if (m < 0 || m >= options_.num_slaves) {
+    return Status::InvalidArgument("can only restart slaves");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (alive_[m]) return Status::AlreadyExists("machine is up");
+  machines_[m].storage =
+      std::make_unique<storage::MemoryStorage>(options_.storage);
+  machines_[m].table_replica = primary_table_;
+  machines_[m].next_log_seq = 1;
+  alive_[m] = true;
+  fabric_->SetMachineUp(m);
+  RegisterHandlers(m);
+  return Status::OK();
+}
+
+}  // namespace trinity::cloud

@@ -1,0 +1,232 @@
+#ifndef TRINITY_CLOUD_MEMORY_CLOUD_H_
+#define TRINITY_CLOUD_MEMORY_CLOUD_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/addressing_table.h"
+#include "common/hash.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/fabric.h"
+#include "storage/memory_storage.h"
+#include "tfs/tfs.h"
+
+namespace trinity::cloud {
+
+/// Handler-id ranges on the fabric. User/compute protocols must register at
+/// kUserHandlerBase or above.
+enum CloudHandlerIds : net::HandlerId {
+  kCellOpHandler = 1,        ///< Sync KV operation dispatch.
+  kHeartbeatHandler = 50,    ///< Leader ping.
+  kTableUpdateHandler = 51,  ///< Addressing-table broadcast.
+  kLogRecordHandler = 52,    ///< Buffered-logging append to a backup.
+  kLogTruncateHandler = 53,  ///< Backup log truncation after a snapshot.
+  kTrunkMigrateHandler = 54,  ///< Live trunk migration (image transfer).
+  // Compute-engine handlers (60..99).
+  kBspMessageHandler = 60,       ///< BSP vertex messages.
+  kTraversalExpandHandler = 61,  ///< Online traversal frontier expansion.
+  kAsyncUpdateHandler = 62,      ///< Asynchronous-engine update messages.
+  kSafraTokenHandler = 63,       ///< Safra termination-detection token.
+  kGhostSyncHandler = 64,        ///< PBGL-baseline ghost-cell refresh.
+  kSubgraphMatchHandler = 65,    ///< Embedding routing for subgraph match.
+  kRdfQueryHandler = 66,         ///< SPARQL-lite distributed scans.
+  kUserHandlerBase = 100,        ///< TSL protocols start here.
+};
+
+/// Trinity's memory cloud (paper §3): a distributed in-memory key-value
+/// store globally addressable through a two-level hash — key → trunk
+/// (TrunkHash) and trunk → machine (the addressing table).
+///
+/// The cloud hosts a simulated cluster: `num_slaves` slave machines (each
+/// owning a MemoryStorage with its share of the 2^p trunks), optional
+/// proxies (message-only, no data), and one implicit client endpoint. All
+/// remote operations travel through the net::Fabric so traffic and handler
+/// CPU time are metered.
+///
+/// Fault tolerance follows §6.2: every machine keeps an addressing-table
+/// replica; the primary replica lives on the leader and is persisted to TFS
+/// before updates commit; failures are detected by heartbeat or on access;
+/// recovery reloads the failed machine's trunks from TFS onto survivors,
+/// replays RAMCloud-style buffered log records held by backups, and
+/// rebroadcasts the table.
+class MemoryCloud {
+ public:
+  struct Options {
+    int num_slaves = 4;
+    int num_proxies = 0;
+    int p_bits = 6;  ///< 2^p memory trunks; must satisfy 2^p >= num_slaves.
+    storage::MemoryStorage::Options storage;
+    net::Fabric::Params fabric;
+    /// Borrowed TFS instance; may be null, which disables persistence,
+    /// recovery and leader fencing (pure in-memory mode).
+    tfs::Tfs* tfs = nullptr;
+    std::string tfs_prefix = "cloud";
+    /// Log mutations to a remote backup's memory before applying (RAMCloud
+    /// buffered logging, §6.2) so recovery loses nothing since the snapshot.
+    bool buffered_logging = false;
+  };
+
+  static Status Create(const Options& options,
+                       std::unique_ptr<MemoryCloud>* out);
+
+  ~MemoryCloud() = default;
+  MemoryCloud(const MemoryCloud&) = delete;
+  MemoryCloud& operator=(const MemoryCloud&) = delete;
+
+  // --- Topology ---------------------------------------------------------
+  int num_slaves() const { return options_.num_slaves; }
+  int num_proxies() const { return options_.num_proxies; }
+  /// Total fabric endpoints: slaves + proxies + 1 client.
+  int num_endpoints() const { return options_.num_slaves +
+                                     options_.num_proxies + 1; }
+  /// The implicit client endpoint id (last endpoint).
+  MachineId client_id() const { return num_endpoints() - 1; }
+  bool IsProxy(MachineId m) const {
+    return m >= options_.num_slaves && m < client_id();
+  }
+
+  TrunkId TrunkOf(CellId id) const {
+    return static_cast<TrunkId>(TrunkHash(id, options_.p_bits));
+  }
+  /// Owner machine according to the leader's primary table.
+  MachineId MachineOf(CellId id) const;
+
+  // --- Key-value operations (from the client endpoint) -------------------
+  Status AddCell(CellId id, Slice payload) {
+    return AddCellFrom(client_id(), id, payload);
+  }
+  Status PutCell(CellId id, Slice payload) {
+    return PutCellFrom(client_id(), id, payload);
+  }
+  Status GetCell(CellId id, std::string* out) {
+    return GetCellFrom(client_id(), id, out);
+  }
+  Status RemoveCell(CellId id) { return RemoveCellFrom(client_id(), id); }
+  Status AppendToCell(CellId id, Slice suffix) {
+    return AppendToCellFrom(client_id(), id, suffix);
+  }
+  bool Contains(CellId id);
+
+  // --- Key-value operations from an arbitrary endpoint. Local accesses on
+  // the owning slave bypass the network; remote ones are metered sync calls.
+  Status AddCellFrom(MachineId src, CellId id, Slice payload);
+  Status PutCellFrom(MachineId src, CellId id, Slice payload);
+  Status GetCellFrom(MachineId src, CellId id, std::string* out);
+  Status RemoveCellFrom(MachineId src, CellId id);
+  Status AppendToCellFrom(MachineId src, CellId id, Slice suffix);
+
+  /// Direct pointer to the local storage of a slave (engines use this for
+  /// partition-local scans; access is expected to be metered by the caller).
+  storage::MemoryStorage* storage(MachineId m);
+
+  net::Fabric& fabric() { return *fabric_; }
+  const AddressingTable& table() const;
+
+  /// Sum of committed trunk bytes over all slaves.
+  std::uint64_t MemoryFootprintBytes() const;
+  std::uint64_t TotalCellCount() const;
+
+  // --- Fault tolerance ----------------------------------------------------
+  /// Persists all trunks and the primary addressing table to TFS and
+  /// truncates buffered logs. Requires options.tfs.
+  Status SaveSnapshot();
+
+  /// Simulates a machine crash: storage dropped, endpoint marked down.
+  Status FailMachine(MachineId m);
+
+  /// Leader heartbeat sweep; recovers every failed slave found. Returns the
+  /// number of machines recovered.
+  int DetectAndRecover();
+
+  /// Recovers one known-failed slave (reload from TFS + log replay +
+  /// table rebroadcast). The machine stays down; its data moves elsewhere.
+  Status RecoverMachine(MachineId failed);
+
+  /// Restarts a previously failed machine as an empty slave that can take
+  /// trunk assignments again.
+  Status RestartMachine(MachineId m);
+
+  /// Live trunk relocation (§3: "when new machines join the memory cloud,
+  /// we relocate some memory trunks to those new machines and update the
+  /// addressing table accordingly"). The trunk image travels over the
+  /// fabric (metered); the primary table updates and rebroadcasts after the
+  /// hand-off. Migration is leader-coordinated and assumes no concurrent
+  /// writes to the trunk being moved.
+  Status MigrateTrunk(TrunkId trunk, MachineId to);
+
+  /// Evens out trunk ownership across alive slaves by migrating trunks from
+  /// the most- to the least-loaded machines (run after a machine rejoins).
+  /// Returns the number of trunks moved.
+  int RebalanceTrunks();
+
+  MachineId leader() const { return leader_; }
+  /// Elects the lowest-id alive slave, fencing through a TFS flag file when
+  /// TFS is configured.
+  Status ElectLeader();
+
+ private:
+  enum class CellOp : std::uint8_t {
+    kAdd = 1,
+    kPut = 2,
+    kGet = 3,
+    kRemove = 4,
+    kAppend = 5,
+    kContains = 6,
+  };
+
+  struct LogRecord {
+    std::uint64_t seq;
+    CellOp op;
+    CellId id;
+    std::string payload;
+  };
+
+  struct MachineState {
+    std::unique_ptr<storage::MemoryStorage> storage;
+    AddressingTable table_replica{0, 1};
+    /// Buffered log records this machine holds as backup, keyed by primary.
+    std::map<MachineId, std::vector<LogRecord>> backup_logs;
+    std::uint64_t next_log_seq = 1;
+  };
+
+  explicit MemoryCloud(const Options& options);
+  Status Init();
+  void RegisterHandlers(MachineId m);
+
+  /// Executes an op against machine m's local storage. Called both by the
+  /// local fast path and by the remote sync handler.
+  Status ExecuteLocal(MachineId m, CellOp op, CellId id, Slice payload,
+                      std::string* response);
+
+  /// Encodes and routes an op from src to the owner of id, handling stale
+  /// table replicas and machine failures with one retry after re-sync.
+  Status RouteOp(MachineId src, CellOp op, CellId id, Slice payload,
+                 std::string* response);
+
+  /// Sends the mutation to the primary's backup before it applies locally.
+  void LogToBackup(MachineId primary, CellOp op, CellId id, Slice payload);
+
+  Status PersistTableLocked();
+  void BroadcastTableLocked();
+  MachineId BackupOf(MachineId m) const;
+  std::vector<MachineId> AliveSlavesLocked() const;
+
+  const Options options_;
+  std::unique_ptr<net::Fabric> fabric_;
+  std::vector<MachineState> machines_;  ///< One per endpoint (incl. client).
+  std::vector<bool> alive_;             ///< Slave liveness (proxies too).
+
+  mutable std::mutex mu_;  ///< Guards table/membership/leader state.
+  AddressingTable primary_table_{0, 1};
+  MachineId leader_ = 0;
+  std::uint64_t leader_epoch_ = 0;
+};
+
+}  // namespace trinity::cloud
+
+#endif  // TRINITY_CLOUD_MEMORY_CLOUD_H_

@@ -1,0 +1,129 @@
+#include "cloud/multiop.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+#include "common/spinlock.h"
+
+namespace trinity::cloud {
+
+namespace {
+
+/// Striped lock table for MultiOp isolation. MultiOps lock the stripes of
+/// every touched cell in stripe order (deadlock-free); single-cell cloud
+/// operations remain atomic on their own via the trunk locks, so the
+/// isolation MultiOp adds is against *other MultiOps* — the light-weight
+/// level §4.4 describes.
+constexpr int kStripes = 1024;
+
+SpinLock* Stripes() {
+  static SpinLock* stripes = new SpinLock[kStripes];
+  return stripes;
+}
+
+int StripeOf(CellId id) {
+  return static_cast<int>(InTrunkHash(id ^ 0x517cc1b727220a95ULL) % kStripes);
+}
+
+}  // namespace
+
+MultiOp& MultiOp::CompareEquals(CellId id, Slice expected) {
+  guards_.push_back(Guard{GuardKind::kEquals, id, expected.ToString()});
+  return *this;
+}
+
+MultiOp& MultiOp::CompareExists(CellId id) {
+  guards_.push_back(Guard{GuardKind::kExists, id, ""});
+  return *this;
+}
+
+MultiOp& MultiOp::CompareAbsent(CellId id) {
+  guards_.push_back(Guard{GuardKind::kAbsent, id, ""});
+  return *this;
+}
+
+MultiOp& MultiOp::Put(CellId id, Slice payload) {
+  actions_.push_back(Action{ActionKind::kPut, id, payload.ToString()});
+  return *this;
+}
+
+MultiOp& MultiOp::Append(CellId id, Slice suffix) {
+  actions_.push_back(Action{ActionKind::kAppend, id, suffix.ToString()});
+  return *this;
+}
+
+MultiOp& MultiOp::Remove(CellId id) {
+  actions_.push_back(Action{ActionKind::kRemove, id, ""});
+  return *this;
+}
+
+Status MultiOp::Execute(MachineId src) {
+  // Collect the distinct stripes of every touched cell and lock them in
+  // ascending order.
+  std::vector<int> stripes;
+  stripes.reserve(guards_.size() + actions_.size());
+  for (const Guard& guard : guards_) stripes.push_back(StripeOf(guard.id));
+  for (const Action& action : actions_) {
+    stripes.push_back(StripeOf(action.id));
+  }
+  std::sort(stripes.begin(), stripes.end());
+  stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
+  for (int s : stripes) Stripes()[s].Lock();
+  struct Unlocker {
+    const std::vector<int>& stripes;
+    ~Unlocker() {
+      for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
+        Stripes()[*it].Unlock();
+      }
+    }
+  } unlocker{stripes};
+
+  // Phase 1: evaluate every guard.
+  for (const Guard& guard : guards_) {
+    std::string current;
+    const Status s = cloud_->GetCellFrom(src, guard.id, &current);
+    switch (guard.kind) {
+      case GuardKind::kEquals:
+        if (!s.ok()) return Status::Aborted("guard cell missing");
+        if (current != guard.expected) {
+          return Status::Aborted("guard value mismatch");
+        }
+        break;
+      case GuardKind::kExists:
+        if (!s.ok()) return Status::Aborted("guard cell missing");
+        break;
+      case GuardKind::kAbsent:
+        if (s.ok()) return Status::Aborted("guard cell present");
+        if (!s.IsNotFound()) return s;
+        break;
+    }
+  }
+  // Phase 2: apply every action. Infrastructure failures here can leave a
+  // partially applied MultiOp (no undo log) — the documented light-weight
+  // semantics.
+  for (const Action& action : actions_) {
+    Status s;
+    switch (action.kind) {
+      case ActionKind::kPut:
+        s = cloud_->PutCellFrom(src, action.id, Slice(action.payload));
+        break;
+      case ActionKind::kAppend:
+        s = cloud_->AppendToCellFrom(src, action.id, Slice(action.payload));
+        break;
+      case ActionKind::kRemove:
+        s = cloud_->RemoveCellFrom(src, action.id);
+        break;
+    }
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status MultiOp::CompareAndSwap(MemoryCloud* cloud, CellId id, Slice expected,
+                               Slice replacement) {
+  MultiOp op(cloud);
+  op.CompareEquals(id, expected).Put(id, replacement);
+  return op.Execute();
+}
+
+}  // namespace trinity::cloud

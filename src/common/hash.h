@@ -1,0 +1,50 @@
+#ifndef TRINITY_COMMON_HASH_H_
+#define TRINITY_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace trinity {
+
+/// Finalizer-quality 64-bit mixer (splitmix64 / murmur3 fmix64 family).
+/// Used both to map a CellId to a memory trunk (first-level hash, paper §3)
+/// and to index within a trunk's hash table (second-level hash).
+inline std::uint64_t Mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// First-level hash: maps a 64-bit key to a p-bit trunk index in
+/// [0, 2^p - 1]. All replicas of the addressing table agree on this mapping.
+inline std::uint32_t TrunkHash(std::uint64_t key, int p_bits) {
+  return static_cast<std::uint32_t>(Mix64(key) >> (64 - p_bits));
+}
+
+/// Second-level hash: position of a key inside a trunk's hash table.
+inline std::uint64_t InTrunkHash(std::uint64_t key) {
+  // Distinct stream from TrunkHash so the two levels are independent.
+  return Mix64(key ^ 0xa0761d6478bd642fULL);
+}
+
+/// FNV-1a over arbitrary bytes; used for checksums and string keys.
+inline std::uint64_t HashBytes(const void* data, std::size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+inline std::uint64_t HashSlice(const Slice& s) {
+  return HashBytes(s.data(), s.size());
+}
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_HASH_H_

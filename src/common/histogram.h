@@ -1,0 +1,55 @@
+#ifndef TRINITY_COMMON_HISTOGRAM_H_
+#define TRINITY_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace trinity {
+
+/// Latency/throughput statistics accumulator used by the benchmark harness.
+/// Stores raw samples (experiments here are small enough) and reports
+/// min/mean/percentiles.
+class Histogram {
+ public:
+  Histogram() = default;
+
+  void Add(double value) { samples_.push_back(value); }
+  void Clear() { samples_.clear(); }
+
+  std::size_t count() const { return samples_.size(); }
+  double Min() const;
+  double Max() const;
+  double Mean() const;
+  /// p in [0, 100]. Returns 0 when empty.
+  double Percentile(double p) const;
+  double Median() const { return Percentile(50.0); }
+
+  /// One-line summary, e.g. "n=100 mean=1.23 p50=1.10 p99=3.40".
+  std::string ToString() const;
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+
+  void Sort() const;
+};
+
+/// Wall-clock stopwatch measuring in microseconds.
+class Stopwatch {
+ public:
+  Stopwatch();
+  /// Restarts the watch.
+  void Reset();
+  /// Microseconds since construction or last Reset().
+  double ElapsedMicros() const;
+  double ElapsedMillis() const { return ElapsedMicros() / 1000.0; }
+  double ElapsedSeconds() const { return ElapsedMicros() / 1e6; }
+
+ private:
+  std::int64_t start_ns_;
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_HISTOGRAM_H_

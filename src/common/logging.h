@@ -1,0 +1,52 @@
+#ifndef TRINITY_COMMON_LOGGING_H_
+#define TRINITY_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace trinity {
+
+/// Log severity. Logging below the global threshold is compiled to a cheap
+/// runtime check; kFatal aborts the process.
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Returns/sets the global log threshold (default kWarn so tests stay quiet).
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal_logging {
+void LogV(LogLevel level, const char* file, int line, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 4, 5)))
+#endif
+    ;
+}  // namespace internal_logging
+
+#define TRINITY_LOG(level, ...)                                             \
+  do {                                                                      \
+    if (static_cast<int>(level) >=                                          \
+        static_cast<int>(::trinity::GetLogLevel())) {                       \
+      ::trinity::internal_logging::LogV(level, __FILE__, __LINE__,          \
+                                        __VA_ARGS__);                       \
+    }                                                                       \
+  } while (0)
+
+#define TRINITY_DEBUG(...) TRINITY_LOG(::trinity::LogLevel::kDebug, __VA_ARGS__)
+#define TRINITY_INFO(...) TRINITY_LOG(::trinity::LogLevel::kInfo, __VA_ARGS__)
+#define TRINITY_WARN(...) TRINITY_LOG(::trinity::LogLevel::kWarn, __VA_ARGS__)
+#define TRINITY_ERROR(...) TRINITY_LOG(::trinity::LogLevel::kError, __VA_ARGS__)
+
+/// Invariant check that stays on in release builds (storage-layer corruption
+/// must never be silent).
+#define TRINITY_CHECK(cond, msg)                                            \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      std::fprintf(stderr, "CHECK failed at %s:%d: %s\n", __FILE__,         \
+                   __LINE__, msg);                                          \
+      std::abort();                                                         \
+    }                                                                       \
+  } while (0)
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_LOGGING_H_

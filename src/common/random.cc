@@ -1,0 +1,27 @@
+#include "common/random.h"
+
+#include <cmath>
+
+namespace trinity {
+
+std::uint64_t Random::PowerLaw(double gamma, std::uint64_t max_value) {
+  if (max_value <= 1) return 1;
+  // Inverse CDF of the continuous Pareto distribution truncated at
+  // [1, max_value], rounded down to an integer degree.
+  const double one_minus_gamma = 1.0 - gamma;
+  const double xmax = static_cast<double>(max_value);
+  const double u = NextDouble();
+  double value;
+  if (std::fabs(one_minus_gamma) < 1e-9) {
+    value = std::exp(u * std::log(xmax));
+  } else {
+    const double a = 1.0;
+    const double b = std::pow(xmax, one_minus_gamma);
+    value = std::pow(a + u * (b - a), 1.0 / one_minus_gamma);
+  }
+  if (value < 1.0) value = 1.0;
+  if (value > xmax) value = xmax;
+  return static_cast<std::uint64_t>(value);
+}
+
+}  // namespace trinity

@@ -1,0 +1,60 @@
+#ifndef TRINITY_COMMON_RANDOM_H_
+#define TRINITY_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+#include "common/hash.h"
+
+namespace trinity {
+
+/// Deterministic xoshiro256**-style PRNG. Benchmarks and graph generators
+/// seed it explicitly so experiment runs are reproducible.
+class Random {
+ public:
+  explicit Random(std::uint64_t seed = 0x5eed5eed5eedULL) {
+    // SplitMix the seed into four non-zero lanes.
+    std::uint64_t s = seed;
+    for (auto& lane : state_) {
+      s += 0x9e3779b97f4a7c15ULL;
+      lane = Mix64(s) | 1;  // never all-zero
+    }
+  }
+
+  std::uint64_t Next() {
+    const std::uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, n). n must be > 0.
+  std::uint64_t Uniform(std::uint64_t n) { return Next() % n; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// True with probability prob.
+  bool Bernoulli(double prob) { return NextDouble() < prob; }
+
+  /// Approximately power-law distributed integer in [1, max_value] with
+  /// exponent gamma (P(k) ~ k^-gamma), via inverse transform sampling.
+  std::uint64_t PowerLaw(double gamma, std::uint64_t max_value);
+
+ private:
+  static std::uint64_t Rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_RANDOM_H_

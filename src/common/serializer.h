@@ -1,0 +1,102 @@
+#ifndef TRINITY_COMMON_SERIALIZER_H_
+#define TRINITY_COMMON_SERIALIZER_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace trinity {
+
+/// Appends fixed-width little-endian values and length-prefixed byte strings
+/// to a growable buffer. Cells, messages and TFS blocks are all laid out with
+/// this writer so the format matches what BinaryReader expects.
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+
+  void PutU8(std::uint8_t v) { buf_.push_back(static_cast<char>(v)); }
+  void PutU16(std::uint16_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU32(std::uint32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutU64(std::uint64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI32(std::int32_t v) { PutRaw(&v, sizeof(v)); }
+  void PutI64(std::int64_t v) { PutRaw(&v, sizeof(v)); }
+  void PutDouble(double v) { PutRaw(&v, sizeof(v)); }
+
+  /// Writes a 32-bit length prefix followed by the bytes.
+  void PutBytes(const Slice& s) {
+    PutU32(static_cast<std::uint32_t>(s.size()));
+    PutRaw(s.data(), s.size());
+  }
+  void PutString(const std::string& s) { PutBytes(Slice(s)); }
+
+  /// Writes raw bytes with no prefix (caller controls framing).
+  void PutRaw(const void* data, std::size_t n) {
+    const char* p = static_cast<const char*>(data);
+    buf_.insert(buf_.end(), p, p + n);
+  }
+
+  const std::string& buffer() const { return buf_; }
+  std::string Release() { return std::move(buf_); }
+  std::size_t size() const { return buf_.size(); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  std::string buf_;
+};
+
+/// Reads values written by BinaryWriter. All getters return false (and leave
+/// the output untouched) on underflow rather than crashing, so corrupted
+/// blobs surface as Status::Corruption at the call site.
+class BinaryReader {
+ public:
+  explicit BinaryReader(Slice data) : data_(data), pos_(0) {}
+
+  bool GetU8(std::uint8_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU16(std::uint16_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU32(std::uint32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetU64(std::uint64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetI32(std::int32_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetI64(std::int64_t* v) { return GetRaw(v, sizeof(*v)); }
+  bool GetDouble(double* v) { return GetRaw(v, sizeof(*v)); }
+
+  /// Reads a 32-bit length prefix and returns a view of the following bytes.
+  /// The view aliases the underlying buffer; no copy is made.
+  bool GetBytes(Slice* out) {
+    std::uint32_t n = 0;
+    if (!GetU32(&n)) return false;
+    if (pos_ + n > data_.size()) return false;
+    *out = Slice(data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  bool GetString(std::string* out) {
+    Slice s;
+    if (!GetBytes(&s)) return false;
+    out->assign(s.data(), s.size());
+    return true;
+  }
+
+  bool GetRaw(void* out, std::size_t n) {
+    if (pos_ + n > data_.size()) return false;
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  std::size_t position() const { return pos_; }
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool AtEnd() const { return pos_ == data_.size(); }
+
+ private:
+  Slice data_;
+  std::size_t pos_;
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_SERIALIZER_H_

@@ -1,0 +1,70 @@
+#ifndef TRINITY_COMMON_SLICE_H_
+#define TRINITY_COMMON_SLICE_H_
+
+#include <cassert>
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace trinity {
+
+/// Non-owning view over a contiguous byte region, used for zero-copy access
+/// to cell payloads inside memory trunks. The referenced storage must outlive
+/// the Slice (or be pinned through a CellLockGuard while the Slice is live).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const char* data, std::size_t size) : data_(data), size_(size) {}
+  Slice(const std::string& s) : data_(s.data()), size_(s.size()) {}  // NOLINT
+  Slice(const char* s) : data_(s), size_(s ? std::strlen(s) : 0) {}  // NOLINT
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  char operator[](std::size_t i) const {
+    assert(i < size_);
+    return data_[i];
+  }
+
+  /// Drops the first n bytes from the view.
+  void RemovePrefix(std::size_t n) {
+    assert(n <= size_);
+    data_ += n;
+    size_ -= n;
+  }
+
+  std::string ToString() const { return std::string(data_, size_); }
+  std::string_view ToView() const { return std::string_view(data_, size_); }
+
+  int Compare(const Slice& other) const;
+
+ private:
+  const char* data_;
+  std::size_t size_;
+};
+
+inline int Slice::Compare(const Slice& other) const {
+  const std::size_t min_len = size_ < other.size_ ? size_ : other.size_;
+  int r = min_len == 0 ? 0 : std::memcmp(data_, other.data_, min_len);
+  if (r == 0) {
+    if (size_ < other.size_) {
+      r = -1;
+    } else if (size_ > other.size_) {
+      r = 1;
+    }
+  }
+  return r;
+}
+
+inline bool operator==(const Slice& a, const Slice& b) {
+  return a.size() == b.size() &&
+         (a.size() == 0 || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+inline bool operator!=(const Slice& a, const Slice& b) { return !(a == b); }
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_SLICE_H_

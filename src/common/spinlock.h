@@ -1,0 +1,57 @@
+#ifndef TRINITY_COMMON_SPINLOCK_H_
+#define TRINITY_COMMON_SPINLOCK_H_
+
+#include <atomic>
+#include <thread>
+
+namespace trinity {
+
+/// Tiny test-and-test-and-set spin lock. The memory cloud associates one with
+/// every key-value pair (paper §3): it provides both concurrency control and
+/// physical memory pinning — a cell must be locked before any thread reads,
+/// writes or relocates it during defragmentation.
+class SpinLock {
+ public:
+  SpinLock() = default;
+  SpinLock(const SpinLock&) = delete;
+  SpinLock& operator=(const SpinLock&) = delete;
+
+  void Lock() {
+    int spins = 0;
+    while (flag_.exchange(true, std::memory_order_acquire)) {
+      while (flag_.load(std::memory_order_relaxed)) {
+        if (++spins > 256) {
+          std::this_thread::yield();
+          spins = 0;
+        }
+      }
+    }
+  }
+
+  bool TryLock() {
+    return !flag_.load(std::memory_order_relaxed) &&
+           !flag_.exchange(true, std::memory_order_acquire);
+  }
+
+  void Unlock() { flag_.store(false, std::memory_order_release); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// RAII guard for SpinLock.
+class SpinLockGuard {
+ public:
+  explicit SpinLockGuard(SpinLock& lock) : lock_(lock) { lock_.Lock(); }
+  ~SpinLockGuard() { lock_.Unlock(); }
+
+  SpinLockGuard(const SpinLockGuard&) = delete;
+  SpinLockGuard& operator=(const SpinLockGuard&) = delete;
+
+ private:
+  SpinLock& lock_;
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_SPINLOCK_H_

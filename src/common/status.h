@@ -1,0 +1,94 @@
+#ifndef TRINITY_COMMON_STATUS_H_
+#define TRINITY_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+namespace trinity {
+
+/// Result of an operation that can fail. Trinity never throws exceptions
+/// across its public API; fallible calls return a Status (or set one through
+/// an output parameter) in the style of RocksDB / LevelDB.
+class Status {
+ public:
+  enum class Code : unsigned char {
+    kOk = 0,
+    kNotFound = 1,
+    kAlreadyExists = 2,
+    kCorruption = 3,
+    kInvalidArgument = 4,
+    kIOError = 5,
+    kOutOfMemory = 6,
+    kUnavailable = 7,   // machine down / addressing table stale
+    kTimedOut = 8,
+    kAborted = 9,
+    kNotSupported = 10,
+  };
+
+  Status() : code_(Code::kOk) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string msg = "") {
+    return Status(Code::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg = "") {
+    return Status(Code::kAlreadyExists, std::move(msg));
+  }
+  static Status Corruption(std::string msg = "") {
+    return Status(Code::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg = "") {
+    return Status(Code::kInvalidArgument, std::move(msg));
+  }
+  static Status IOError(std::string msg = "") {
+    return Status(Code::kIOError, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg = "") {
+    return Status(Code::kOutOfMemory, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "") {
+    return Status(Code::kUnavailable, std::move(msg));
+  }
+  static Status TimedOut(std::string msg = "") {
+    return Status(Code::kTimedOut, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "") {
+    return Status(Code::kAborted, std::move(msg));
+  }
+  static Status NotSupported(std::string msg = "") {
+    return Status(Code::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsAlreadyExists() const { return code_ == Code::kAlreadyExists; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsOutOfMemory() const { return code_ == Code::kOutOfMemory; }
+  bool IsUnavailable() const { return code_ == Code::kUnavailable; }
+  bool IsTimedOut() const { return code_ == Code::kTimedOut; }
+  bool IsAborted() const { return code_ == Code::kAborted; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return msg_; }
+
+  /// Human-readable "<code>: <message>" string for logs and test failures.
+  std::string ToString() const;
+
+ private:
+  Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
+
+  Code code_;
+  std::string msg_;
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_STATUS_H_

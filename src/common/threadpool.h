@@ -1,0 +1,49 @@
+#ifndef TRINITY_COMMON_THREADPOOL_H_
+#define TRINITY_COMMON_THREADPOOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace trinity {
+
+/// Fixed-size worker pool. Trinity slaves run their message handlers and BSP
+/// partition jobs on a pool like this; WaitIdle() gives the bulk-synchronous
+/// barrier between supersteps.
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Never blocks.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(int n, const std::function<void(int)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  int active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_THREADPOOL_H_

@@ -1,0 +1,27 @@
+#ifndef TRINITY_COMMON_TYPES_H_
+#define TRINITY_COMMON_TYPES_H_
+
+#include <cstdint>
+
+namespace trinity {
+
+/// 64-bit globally unique cell identifier. Keys in the memory cloud's
+/// key-value store are CellIds (paper §3: "keys are 64-bit globally unique
+/// identifiers, and values are blobs of arbitrary length").
+using CellId = std::uint64_t;
+
+/// Identifier of a machine (slave or proxy) in the Trinity cluster.
+using MachineId = std::int32_t;
+
+/// Index of a memory trunk inside the global memory cloud (0 .. 2^p - 1).
+using TrunkId = std::int32_t;
+
+/// Sentinel for "no machine".
+inline constexpr MachineId kInvalidMachine = -1;
+
+/// Sentinel cell id that is never allocated by the graph layer.
+inline constexpr CellId kInvalidCell = ~static_cast<CellId>(0);
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_TYPES_H_

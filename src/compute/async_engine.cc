@@ -1,0 +1,195 @@
+#include "compute/async_engine.h"
+
+#include "common/serializer.h"
+
+namespace trinity::compute {
+
+void AsyncEngine::Context::Send(CellId target, Slice message) {
+  engine_->SendUpdate(machine_, target, message);
+}
+
+AsyncEngine::AsyncEngine(graph::Graph* graph, Options options)
+    : graph_(graph), options_(std::move(options)) {
+  cloud::MemoryCloud* cloud = graph_->cloud();
+  num_slaves_ = cloud->num_slaves();
+  machines_.resize(num_slaves_);
+  trunk_owner_.resize(cloud->table().num_slots());
+  for (int t = 0; t < cloud->table().num_slots(); ++t) {
+    trunk_owner_[t] = cloud->table().machine_of_trunk(t);
+  }
+  net::Fabric& fabric = cloud->fabric();
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    fabric.RegisterAsyncHandler(
+        m, cloud::kAsyncUpdateHandler, [this, m](MachineId, Slice payload) {
+          BinaryReader reader(payload);
+          CellId target = 0;
+          Slice message;
+          if (reader.GetU64(&target) && reader.GetBytes(&message)) {
+            // Receiving a message makes the machine black (Safra) and
+            // settles one unit of the sender's deficit on our side.
+            machines_[m].black = true;
+            --machines_[m].deficit;
+            EnqueueLocal(m, target, message);
+          }
+        });
+  }
+}
+
+MachineId AsyncEngine::OwnerOf(CellId vertex) const {
+  return trunk_owner_[graph_->cloud()->TrunkOf(vertex)];
+}
+
+void AsyncEngine::EnqueueLocal(MachineId machine, CellId target,
+                               Slice message) {
+  machines_[machine].queue.push_back(Update{target, message.ToString()});
+}
+
+void AsyncEngine::SendUpdate(MachineId src, CellId target, Slice message) {
+  const MachineId dst = OwnerOf(target);
+  if (dst == src) {
+    EnqueueLocal(dst, target, message);
+    return;
+  }
+  ++machines_[src].deficit;
+  BinaryWriter writer;
+  writer.PutU64(target);
+  writer.PutBytes(message);
+  graph_->cloud()->fabric().SendAsync(src, dst, cloud::kAsyncUpdateHandler,
+                                      Slice(writer.buffer()));
+}
+
+Status AsyncEngine::Seed(CellId vertex, Slice message) {
+  const MachineId owner = OwnerOf(vertex);
+  if (owner < 0 || owner >= num_slaves_) {
+    return Status::NotFound("vertex unroutable");
+  }
+  EnqueueLocal(owner, vertex, message);
+  return Status::OK();
+}
+
+bool AsyncEngine::SafraProbe(bool require_idle_queues) {
+  // Safra's version of the Dijkstra termination-detection token [16]:
+  // machine 0 launches a white token with count 0 around the ring; each
+  // passive machine adds its deficit and blackens the token if it is black,
+  // then whitens itself. Termination is certified when the token returns
+  // white with a zero total and machine 0 is passive and white.
+  std::int64_t token_count = 0;
+  bool token_black = false;
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    MachineState& state = machines_[m];
+    if (require_idle_queues && !state.queue.empty()) {
+      return false;  // Active machine: abort probe.
+    }
+    token_count += state.deficit;
+    if (state.black) token_black = true;
+    state.black = false;
+  }
+  return !token_black && token_count == 0;
+}
+
+Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
+  *stats = RunStats();
+  net::Fabric& fabric = graph_->cloud()->fabric();
+  fabric.ResetMeters();
+  std::uint64_t since_snapshot = 0;
+  Status failure;
+  for (;;) {
+    bool processed_any = false;
+    for (MachineId m = 0; m < num_slaves_; ++m) {
+      net::Fabric::MeterScope meter(fabric, m);
+      MachineState& state = machines_[m];
+      for (int i = 0; i < options_.batch_size && !state.queue.empty(); ++i) {
+        Update update = std::move(state.queue.front());
+        state.queue.pop_front();
+        Context ctx;
+        ctx.engine_ = this;
+        ctx.machine_ = m;
+        ctx.vertex_ = update.vertex;
+        ctx.value_ = &state.values[update.vertex];
+        Status vs = graph_->VisitLocalNode(
+            m, update.vertex,
+            [&](Slice data, const CellId*, std::size_t, const CellId* out,
+                std::size_t out_count) {
+              ctx.data_ = data;
+              ctx.out_ = out;
+              ctx.out_count_ = out_count;
+              handler(ctx, Slice(update.message));
+            });
+        if (!vs.ok() && !vs.IsNotFound()) failure = vs;
+        ++stats->updates;
+        ++since_snapshot;
+        processed_any = true;
+        if (stats->updates >= options_.max_updates) {
+          return Status::Aborted("async update limit reached");
+        }
+      }
+    }
+    if (!failure.ok()) return failure;
+    // Asynchronous delivery: drain in-flight messages opportunistically.
+    fabric.FlushAll();
+    // Periodic interruption + snapshot (§6.2).
+    if (options_.snapshot_interval > 0 && options_.tfs != nullptr &&
+        since_snapshot >= options_.snapshot_interval) {
+      since_snapshot = 0;
+      // All machines have paused after the update in hand; Safra's token
+      // must certify that no messages are in flight before the snapshot is
+      // cut (§6.2: "a snapshot is written ... once the system ceases").
+      // One token round whitens the machines it visits, so while the system
+      // stays paused the detection converges within two rounds.
+      bool quiesced = false;
+      for (int round = 0; round < 2 && !quiesced; ++round) {
+        ++stats->safra_probes;
+        quiesced = SafraProbe(/*require_idle_queues=*/false);
+        if (!quiesced) ++stats->safra_rejections;
+      }
+      if (quiesced) {
+        Status ss = WriteSnapshot(stats->snapshots);
+        if (!ss.ok()) return ss;
+        ++stats->snapshots;
+      }
+    }
+    if (!processed_any) {
+      ++stats->safra_probes;
+      if (SafraProbe(/*require_idle_queues=*/true)) break;
+      ++stats->safra_rejections;
+    }
+  }
+  stats->modeled_seconds = options_.cost_model.PhaseSeconds(fabric);
+  return Status::OK();
+}
+
+Status AsyncEngine::WriteSnapshot(int index) {
+  BinaryWriter writer;
+  std::uint64_t total = 0;
+  for (const MachineState& state : machines_) {
+    total += state.values.size();
+  }
+  writer.PutU64(total);
+  for (const MachineState& state : machines_) {
+    for (const auto& [vertex, value] : state.values) {
+      writer.PutU64(vertex);
+      writer.PutString(value);
+    }
+  }
+  return options_.tfs->WriteFile(
+      options_.snapshot_prefix + "/snap_" + std::to_string(index),
+      Slice(writer.buffer()));
+}
+
+Status AsyncEngine::GetValue(CellId vertex, std::string* out) const {
+  const MachineId m = OwnerOf(vertex);
+  if (m < 0 || m >= num_slaves_) return Status::NotFound("no such vertex");
+  auto it = machines_[m].values.find(vertex);
+  if (it == machines_[m].values.end()) return Status::NotFound("no value");
+  *out = it->second;
+  return Status::OK();
+}
+
+void AsyncEngine::ForEachValue(
+    const std::function<void(CellId, const std::string&)>& fn) const {
+  for (const MachineState& state : machines_) {
+    for (const auto& [vertex, value] : state.values) fn(vertex, value);
+  }
+}
+
+}  // namespace trinity::compute

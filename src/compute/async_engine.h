@@ -1,0 +1,129 @@
+#ifndef TRINITY_COMPUTE_ASYNC_ENGINE_H_
+#define TRINITY_COMPUTE_ASYNC_ENGINE_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "net/cost_model.h"
+#include "tfs/tfs.h"
+
+namespace trinity::compute {
+
+/// Asynchronous vertex computation (paper §5.3/§6.2): updates are processed
+/// as they arrive with no superstep barrier — the model GraphChi supports
+/// and Trinity also offers ("Trinity can adopt any computation model").
+/// Classic uses: delta-PageRank, asynchronous SSSP relaxation.
+///
+/// Fault tolerance follows §6.2's asynchronous path exactly: checkpoints
+/// cannot be cut mid-flight, so the engine periodically issues an
+/// interruption signal; every machine pauses after finishing the update in
+/// hand; the engine then runs **Safra's termination-detection algorithm**
+/// around the machine ring to confirm the system has ceased (no queued work,
+/// no in-flight messages), writes a snapshot to TFS, and resumes.
+///
+/// Safra's algorithm is also what detects the natural end of the run.
+class AsyncEngine {
+ public:
+  struct Options {
+    net::CostModel cost_model;
+    /// Issue an interruption + snapshot every N processed updates (0 = no
+    /// snapshots). Requires tfs.
+    std::uint64_t snapshot_interval = 0;
+    tfs::Tfs* tfs = nullptr;
+    std::string snapshot_prefix = "async_snap";
+    /// Updates a machine processes per scheduling slice.
+    int batch_size = 256;
+    /// Safety valve against non-terminating programs.
+    std::uint64_t max_updates = 100'000'000;
+  };
+
+  /// Context handed to the update handler.
+  class Context {
+   public:
+    CellId vertex() const { return vertex_; }
+    MachineId machine() const { return machine_; }
+    Slice data() const { return data_; }
+    const CellId* out() const { return out_; }
+    std::size_t out_count() const { return out_count_; }
+    std::string& value() { return *value_; }
+
+    /// Emits an update for another vertex (processed asynchronously).
+    void Send(CellId target, Slice message);
+
+   private:
+    friend class AsyncEngine;
+    AsyncEngine* engine_ = nullptr;
+    MachineId machine_ = kInvalidMachine;
+    CellId vertex_ = kInvalidCell;
+    Slice data_;
+    const CellId* out_ = nullptr;
+    std::size_t out_count_ = 0;
+    std::string* value_ = nullptr;
+  };
+
+  /// Processes one update message for one vertex.
+  using Handler = std::function<void(Context&, Slice message)>;
+
+  struct RunStats {
+    std::uint64_t updates = 0;
+    int safra_probes = 0;        ///< Token rounds launched.
+    int safra_rejections = 0;    ///< Probes that found residual activity.
+    int snapshots = 0;
+    double modeled_seconds = 0;
+  };
+
+  AsyncEngine(graph::Graph* graph, Options options);
+
+  AsyncEngine(const AsyncEngine&) = delete;
+  AsyncEngine& operator=(const AsyncEngine&) = delete;
+
+  /// Enqueues an initial update before Run().
+  Status Seed(CellId vertex, Slice message);
+
+  /// Processes updates until Safra's algorithm certifies termination.
+  Status Run(const Handler& handler, RunStats* stats);
+
+  Status GetValue(CellId vertex, std::string* out) const;
+  void ForEachValue(
+      const std::function<void(CellId, const std::string&)>& fn) const;
+
+ private:
+  struct Update {
+    CellId vertex;
+    std::string message;
+  };
+
+  struct MachineState {
+    std::deque<Update> queue;
+    std::unordered_map<CellId, std::string> values;
+    /// Safra bookkeeping: message deficit (sent - received) and color.
+    std::int64_t deficit = 0;
+    bool black = false;
+  };
+
+  MachineId OwnerOf(CellId vertex) const;
+  void SendUpdate(MachineId src, CellId target, Slice message);
+  void EnqueueLocal(MachineId machine, CellId target, Slice message);
+  /// One pass of Safra's token around the ring. With `require_idle_queues`
+  /// the token certifies global termination (no work, no in-flight
+  /// messages); without, it certifies only transport quiescence — the
+  /// condition the snapshot path needs while work is merely paused.
+  bool SafraProbe(bool require_idle_queues);
+  Status WriteSnapshot(int index);
+
+  graph::Graph* graph_;
+  Options options_;
+  std::vector<MachineState> machines_;
+  std::vector<MachineId> trunk_owner_;
+  int num_slaves_;
+};
+
+}  // namespace trinity::compute
+
+#endif  // TRINITY_COMPUTE_ASYNC_ENGINE_H_

@@ -1,0 +1,294 @@
+#include "compute/bsp.h"
+
+#include "common/logging.h"
+#include "common/serializer.h"
+
+namespace trinity::compute {
+
+void BspEngine::VertexContext::Send(CellId target, Slice message) {
+  engine_->SendMessage(machine_, target, message);
+}
+
+void BspEngine::VertexContext::SendToAllOut(Slice message) {
+  for (std::size_t i = 0; i < out_count_; ++i) {
+    engine_->SendMessage(machine_, out_[i], message);
+  }
+}
+
+void BspEngine::VertexContext::Aggregate(Slice contribution) {
+  engine_->AggregateLocal(machine_, contribution);
+}
+
+void BspEngine::AggregateLocal(MachineId machine, Slice contribution) {
+  if (!options_.aggregator) return;
+  MachineState& state = machines_[machine];
+  if (!state.has_partial_aggregate) {
+    state.partial_aggregate = contribution.ToString();
+    state.has_partial_aggregate = true;
+  } else {
+    options_.aggregator(&state.partial_aggregate, contribution);
+  }
+}
+
+BspEngine::BspEngine(graph::Graph* graph, Options options)
+    : graph_(graph),
+      options_(std::move(options)),
+      handler_id_(cloud::kBspMessageHandler) {
+  cloud::MemoryCloud* cloud = graph_->cloud();
+  num_slaves_ = cloud->num_slaves();
+  machines_.resize(num_slaves_);
+  // Snapshot trunk ownership so per-message routing is lock-free. BSP runs
+  // assume stable membership for their duration.
+  trunk_owner_.resize(cloud->table().num_slots());
+  for (int t = 0; t < cloud->table().num_slots(); ++t) {
+    trunk_owner_[t] = cloud->table().machine_of_trunk(t);
+  }
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    machines_[m].vertices = graph_->LocalNodes(m);
+    cloud->fabric().RegisterAsyncHandler(
+        m, handler_id_, [this, m](MachineId, Slice payload) {
+          BinaryReader reader(payload);
+          CellId target = 0;
+          Slice message;
+          if (reader.GetU64(&target) && reader.GetBytes(&message)) {
+            DeliverLocal(m, target, message);
+          }
+        });
+  }
+}
+
+MachineId BspEngine::OwnerOf(CellId vertex) const {
+  return trunk_owner_[graph_->cloud()->TrunkOf(vertex)];
+}
+
+void BspEngine::SendMessage(MachineId src, CellId target, Slice message) {
+  const MachineId dst = OwnerOf(target);
+  if (dst == src) {
+    // Local messages bypass the fabric entirely (and its CPU meter — the
+    // surrounding superstep MeterScope already covers this work).
+    DeliverLocal(dst, target, message);
+    return;
+  }
+  BinaryWriter writer;
+  writer.PutU64(target);
+  writer.PutBytes(message);
+  graph_->cloud()->fabric().SendAsync(src, dst, handler_id_,
+                                      Slice(writer.buffer()));
+}
+
+void BspEngine::DeliverLocal(MachineId machine, CellId target,
+                             Slice message) {
+  MachineState& state = machines_[machine];
+  auto& slot = state.next_inbox[target];
+  if (options_.combiner) {
+    if (slot.empty()) {
+      slot.emplace_back(message.ToString());
+    } else {
+      options_.combiner(&slot.front(), message);
+    }
+  } else {
+    slot.emplace_back(message.ToString());
+  }
+  state.halted.erase(target);  // A message reawakens a halted vertex.
+}
+
+Status BspEngine::RunSuperstep(const Program& program, int superstep,
+                               bool* all_quiet) {
+  net::Fabric& fabric = graph_->cloud()->fabric();
+  bool any_active = false;
+  static const std::vector<std::string> kNoMessages;
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    net::Fabric::MeterScope meter(fabric, m);
+    MachineState& state = machines_[m];
+    for (CellId v : state.vertices) {
+      auto msg_it = state.inbox.find(v);
+      const bool has_messages = msg_it != state.inbox.end();
+      const bool is_halted = state.halted.count(v) != 0;
+      // A vertex runs if it has messages, or has not halted (superstep 0
+      // activates everyone).
+      if (is_halted && !has_messages) continue;
+      any_active = true;
+      VertexContext ctx;
+      ctx.engine_ = this;
+      ctx.machine_ = m;
+      ctx.vertex_ = v;
+      ctx.superstep_ = superstep;
+      ctx.messages_ = has_messages ? &msg_it->second : &kNoMessages;
+      ctx.value_ = &state.values[v];
+      ctx.aggregated_ = Slice(aggregated_);
+      Status vs = graph_->VisitLocalNode(
+          m, v,
+          [&](Slice data, const CellId* in, std::size_t in_count,
+              const CellId* out, std::size_t out_count) {
+            ctx.data_ = data;
+            ctx.in_ = in;
+            ctx.in_count_ = in_count;
+            ctx.out_ = out;
+            ctx.out_count_ = out_count;
+            program(ctx);
+          });
+      if (!vs.ok()) return vs;
+      if (ctx.halt_) {
+        state.halted.insert(v);
+      } else {
+        state.halted.erase(v);
+      }
+    }
+  }
+  // Superstep barrier: deliver all in-flight messages.
+  fabric.FlushAll();
+  // Fold the per-machine partial aggregates (in a real deployment each
+  // machine ships one small value to the master here — negligible traffic).
+  if (options_.aggregator) {
+    aggregated_.clear();
+    bool first = true;
+    for (MachineState& state : machines_) {
+      if (!state.has_partial_aggregate) continue;
+      if (first) {
+        aggregated_ = std::move(state.partial_aggregate);
+        first = false;
+      } else {
+        options_.aggregator(&aggregated_, Slice(state.partial_aggregate));
+      }
+      state.partial_aggregate.clear();
+      state.has_partial_aggregate = false;
+    }
+  }
+  // Swap inboxes and decide quiescence.
+  bool any_messages = false;
+  for (MachineState& state : machines_) {
+    state.inbox = std::move(state.next_inbox);
+    state.next_inbox.clear();
+    if (!state.inbox.empty()) any_messages = true;
+  }
+  *all_quiet = !any_messages && !any_active;
+  return Status::OK();
+}
+
+Status BspEngine::Run(const Program& program, RunStats* stats) {
+  *stats = RunStats();
+  net::Fabric& fabric = graph_->cloud()->fabric();
+  int superstep = 0;
+  if (options_.checkpoint_interval > 0 && options_.tfs != nullptr) {
+    Status rs = TryRestoreCheckpoint(&superstep);
+    if (rs.ok() && superstep > 0) stats->restored_from_checkpoint = true;
+  }
+  for (; superstep < options_.superstep_limit; ++superstep) {
+    fabric.ResetMeters();
+    bool all_quiet = false;
+    Status s = RunSuperstep(program, superstep, &all_quiet);
+    if (!s.ok()) return s;
+    const double step_seconds = options_.cost_model.PhaseSeconds(fabric);
+    stats->superstep_seconds.push_back(step_seconds);
+    stats->modeled_seconds += step_seconds;
+    const net::NetworkStats net = fabric.stats();
+    stats->messages += net.messages + net.local_messages;
+    stats->transfers += net.transfers;
+    stats->bytes += net.bytes;
+    ++stats->supersteps;
+    if (options_.checkpoint_interval > 0 && options_.tfs != nullptr &&
+        (superstep + 1) % options_.checkpoint_interval == 0) {
+      Status cs = WriteCheckpoint(superstep + 1);
+      if (!cs.ok()) return cs;
+      ++stats->checkpoints_written;
+    }
+    if (all_quiet) break;
+  }
+  return Status::OK();
+}
+
+Status BspEngine::GetValue(CellId vertex, std::string* out) const {
+  const MachineId m = OwnerOf(vertex);
+  if (m < 0 || m >= num_slaves_) return Status::NotFound("no such vertex");
+  auto it = machines_[m].values.find(vertex);
+  if (it == machines_[m].values.end()) {
+    return Status::NotFound("no value for vertex");
+  }
+  *out = it->second;
+  return Status::OK();
+}
+
+void BspEngine::ForEachValue(
+    const std::function<void(CellId, const std::string&)>& fn) const {
+  for (const MachineState& state : machines_) {
+    for (const auto& [vertex, value] : state.values) {
+      fn(vertex, value);
+    }
+  }
+}
+
+Status BspEngine::WriteCheckpoint(int superstep) {
+  BinaryWriter writer;
+  writer.PutI32(superstep);
+  writer.PutI32(num_slaves_);
+  for (const MachineState& state : machines_) {
+    writer.PutU32(static_cast<std::uint32_t>(state.values.size()));
+    for (const auto& [vertex, value] : state.values) {
+      writer.PutU64(vertex);
+      writer.PutString(value);
+    }
+    writer.PutU32(static_cast<std::uint32_t>(state.halted.size()));
+    for (CellId v : state.halted) writer.PutU64(v);
+    writer.PutU32(static_cast<std::uint32_t>(state.inbox.size()));
+    for (const auto& [vertex, messages] : state.inbox) {
+      writer.PutU64(vertex);
+      writer.PutU32(static_cast<std::uint32_t>(messages.size()));
+      for (const std::string& msg : messages) writer.PutString(msg);
+    }
+  }
+  return options_.tfs->WriteFile(options_.checkpoint_prefix + "/state",
+                                 Slice(writer.buffer()));
+}
+
+Status BspEngine::TryRestoreCheckpoint(int* superstep) {
+  std::string image;
+  Status s =
+      options_.tfs->ReadFile(options_.checkpoint_prefix + "/state", &image);
+  if (!s.ok()) return s;
+  BinaryReader reader{Slice(image)};
+  std::int32_t step = 0, slaves = 0;
+  if (!reader.GetI32(&step) || !reader.GetI32(&slaves) ||
+      slaves != num_slaves_) {
+    return Status::Corruption("checkpoint header mismatch");
+  }
+  for (MachineState& state : machines_) {
+    state.values.clear();
+    state.halted.clear();
+    state.inbox.clear();
+    state.next_inbox.clear();
+    std::uint32_t count = 0;
+    if (!reader.GetU32(&count)) return Status::Corruption("ckpt values");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      CellId v = 0;
+      std::string value;
+      if (!reader.GetU64(&v) || !reader.GetString(&value)) {
+        return Status::Corruption("ckpt value entry");
+      }
+      state.values.emplace(v, std::move(value));
+    }
+    if (!reader.GetU32(&count)) return Status::Corruption("ckpt halted");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      CellId v = 0;
+      if (!reader.GetU64(&v)) return Status::Corruption("ckpt halted entry");
+      state.halted.insert(v);
+    }
+    if (!reader.GetU32(&count)) return Status::Corruption("ckpt inbox");
+    for (std::uint32_t i = 0; i < count; ++i) {
+      CellId v = 0;
+      std::uint32_t msgs = 0;
+      if (!reader.GetU64(&v) || !reader.GetU32(&msgs)) {
+        return Status::Corruption("ckpt inbox entry");
+      }
+      auto& slot = state.inbox[v];
+      for (std::uint32_t k = 0; k < msgs; ++k) {
+        std::string msg;
+        if (!reader.GetString(&msg)) return Status::Corruption("ckpt msg");
+        slot.push_back(std::move(msg));
+      }
+    }
+  }
+  *superstep = step;
+  return Status::OK();
+}
+
+}  // namespace trinity::compute

@@ -1,0 +1,178 @@
+#ifndef TRINITY_COMPUTE_BSP_H_
+#define TRINITY_COMPUTE_BSP_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "net/cost_model.h"
+#include "tfs/tfs.h"
+
+namespace trinity::compute {
+
+/// Trinity's vertex-centric bulk-synchronous engine (paper §5.3): a
+/// computation is a sequence of supersteps; in each superstep every active
+/// vertex receives the messages sent to it in the previous superstep, runs
+/// the vertex program, sends messages (usually to its out-neighbors — the
+/// *restrictive* model), and may vote to halt. A halted vertex is reawakened
+/// by an incoming message.
+///
+/// Messages travel through the fabric's one-sided async path, so small
+/// per-vertex messages are automatically packed into few physical transfers
+/// (§4.2), and per-superstep CPU + traffic are metered per machine. The
+/// engine reports both measured meter totals and the CostModel's modeled
+/// cluster seconds — the number the Fig 12(b)/(c) benchmarks plot.
+/// Each engine binds the cloud's BSP message handler at construction, so at
+/// most one BspEngine may be *running* on a given MemoryCloud at a time
+/// (constructing a new engine retargets the handler, which is fine once the
+/// previous run has finished).
+class BspEngine {
+ public:
+  struct Options {
+    int superstep_limit = 64;
+    net::CostModel cost_model;
+    /// Optional associative combiner: incoming messages for one vertex are
+    /// folded into a single accumulator at delivery time (PageRank's sum),
+    /// keeping inboxes O(V) instead of O(E).
+    std::function<void(std::string* accumulator, Slice message)> combiner;
+    /// Checkpoint every N supersteps to TFS (0 = off). See §6.2: "For BSP
+    /// based synchronous computation, we make check points every a few
+    /// supersteps."
+    int checkpoint_interval = 0;
+    tfs::Tfs* tfs = nullptr;
+    std::string checkpoint_prefix = "bsp_ckpt";
+    /// Optional global aggregator (Pregel-style): per-machine partial
+    /// aggregates fold through this associative function at the barrier;
+    /// the result is visible to every vertex in the next superstep.
+    /// Convergence tests (e.g. PageRank residuals) use this.
+    std::function<void(std::string* accumulator, Slice contribution)>
+        aggregator;
+  };
+
+  /// Execution context handed to the vertex program.
+  class VertexContext {
+   public:
+    CellId vertex() const { return vertex_; }
+    int superstep() const { return superstep_; }
+    /// Node payload and adjacency, zero-copy over trunk memory.
+    Slice data() const { return data_; }
+    const CellId* out() const { return out_; }
+    std::size_t out_count() const { return out_count_; }
+    const CellId* in() const { return in_; }
+    std::size_t in_count() const { return in_count_; }
+    /// Combined/collected messages delivered to this vertex this superstep.
+    const std::vector<std::string>& messages() const { return *messages_; }
+    /// Mutable per-vertex state ("local variables" in Fig 10).
+    std::string& value() { return *value_; }
+
+    /// Sends a message for delivery at the next superstep.
+    void Send(CellId target, Slice message);
+    /// Restrictive-model convenience: message to every out-neighbor.
+    void SendToAllOut(Slice message);
+    /// Votes to halt; the vertex stays inactive until a message arrives.
+    void VoteToHalt() { halt_ = true; }
+
+    /// Contributes to the global aggregator (folded at the barrier).
+    void Aggregate(Slice contribution);
+    /// The aggregated value from the *previous* superstep (empty at
+    /// superstep 0 or when no aggregator is configured).
+    Slice aggregated() const { return aggregated_; }
+
+   private:
+    friend class BspEngine;
+    BspEngine* engine_ = nullptr;
+    MachineId machine_ = kInvalidMachine;
+    CellId vertex_ = kInvalidCell;
+    int superstep_ = 0;
+    Slice data_;
+    const CellId* out_ = nullptr;
+    std::size_t out_count_ = 0;
+    const CellId* in_ = nullptr;
+    std::size_t in_count_ = 0;
+    const std::vector<std::string>* messages_ = nullptr;
+    std::string* value_ = nullptr;
+    Slice aggregated_;
+    bool halt_ = false;
+  };
+
+  using Program = std::function<void(VertexContext&)>;
+
+  struct RunStats {
+    int supersteps = 0;
+    double modeled_seconds = 0;  ///< Sum of per-superstep modeled times.
+    std::vector<double> superstep_seconds;
+    std::uint64_t messages = 0;
+    std::uint64_t transfers = 0;
+    std::uint64_t bytes = 0;
+    int checkpoints_written = 0;
+    bool restored_from_checkpoint = false;
+  };
+
+  BspEngine(graph::Graph* graph, Options options);
+
+  BspEngine(const BspEngine&) = delete;
+  BspEngine& operator=(const BspEngine&) = delete;
+
+  /// Runs the program to quiescence (all vertices halted, no messages in
+  /// flight) or to the superstep limit. If checkpointing is enabled and a
+  /// checkpoint exists under the prefix, execution resumes from it.
+  Status Run(const Program& program, RunStats* stats);
+
+  /// Final value of a vertex after Run().
+  Status GetValue(CellId vertex, std::string* out) const;
+
+  /// Iterates (vertex, value) over all vertices.
+  void ForEachValue(
+      const std::function<void(CellId, const std::string&)>& fn) const;
+
+  /// The aggregated value after the last completed superstep.
+  const std::string& aggregated() const { return aggregated_; }
+
+ private:
+  struct MachineState {
+    std::vector<CellId> vertices;
+    std::unordered_map<CellId, std::string> values;
+    std::unordered_set<CellId> halted;
+    /// Messages for the next superstep, keyed by target vertex.
+    std::unordered_map<CellId, std::vector<std::string>> inbox;
+    std::unordered_map<CellId, std::vector<std::string>> next_inbox;
+    /// Per-machine partial aggregate for the current superstep. In a real
+    /// cluster each machine folds locally and ships one value to the
+    /// master at the barrier; the fold function is associative so the
+    /// result is identical.
+    std::string partial_aggregate;
+    bool has_partial_aggregate = false;
+  };
+
+  /// Owner machine of a vertex (lock-free snapshot of the addressing table
+  /// taken at engine construction; BSP runs assume stable membership).
+  MachineId OwnerOf(CellId vertex) const;
+  /// Routes a message: local targets are delivered directly; remote targets
+  /// ride the fabric's packed one-sided path.
+  void SendMessage(MachineId src, CellId target, Slice message);
+  void DeliverLocal(MachineId machine, CellId target, Slice message);
+  Status RunSuperstep(const Program& program, int superstep,
+                      bool* all_quiet);
+  Status WriteCheckpoint(int superstep);
+  Status TryRestoreCheckpoint(int* superstep);
+
+  /// Folds a contribution into machine's partial aggregate.
+  void AggregateLocal(MachineId machine, Slice contribution);
+
+  graph::Graph* graph_;
+  Options options_;
+  net::HandlerId handler_id_;
+  std::vector<MachineState> machines_;
+  std::vector<MachineId> trunk_owner_;
+  std::string aggregated_;
+  int num_slaves_;
+};
+
+}  // namespace trinity::compute
+
+#endif  // TRINITY_COMPUTE_BSP_H_

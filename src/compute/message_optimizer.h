@@ -1,0 +1,93 @@
+#ifndef TRINITY_COMPUTE_MESSAGE_OPTIMIZER_H_
+#define TRINITY_COMPUTE_MESSAGE_OPTIMIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace trinity::compute {
+
+/// Message delivery policies for the restrictive vertex-centric model
+/// (paper §5.4). From the local machine's bipartite view (local vertices on
+/// one side, the remote vertices that message them on the other):
+enum class DeliveryPolicy {
+  /// Buffer every remote message for the whole iteration ("one naive
+  /// approach": huge memory; every message delivered once).
+  kBufferAll,
+  /// No buffering: fetch a vertex's messages when it is scheduled, discard
+  /// after use ("another naive approach": minimal memory; a remote sender
+  /// shared by k local vertices is delivered k times).
+  kOnDemand,
+  /// Buffer only messages from hub vertices (high-degree remote senders)
+  /// for the whole iteration; everything else on demand.
+  kHubBuffered,
+  /// Hubs buffered + local vertices partitioned (bipartite partition, Fig
+  /// 9b); non-hub messages are delivered once per partition that needs
+  /// them, ordered by per-machine action scripts.
+  kHubPlusPartition,
+};
+
+/// Outcome of analyzing one machine's message plan for one iteration of the
+/// restrictive model (every local vertex needs one message from each of its
+/// in-neighbors).
+struct MessagePlanReport {
+  std::uint64_t local_vertices = 0;
+  std::uint64_t logical_messages = 0;    ///< Messages vertices consume.
+  std::uint64_t delivered_messages = 0;  ///< Wire deliveries under policy.
+  std::uint64_t peak_buffer_bytes = 0;   ///< High-water buffered bytes.
+  std::uint64_t hub_count = 0;           ///< Remote senders classified hub.
+  double hub_coverage = 0.0;  ///< Fraction of needs served by hub buffer.
+};
+
+/// Memory-residency estimate from the paper's Type A/B analysis (§5.4,
+/// Fig 10): S = V(16+k+l+m) + 8E when everything is resident versus
+/// S' = pS + (1-p) V (16+m) when only the scheduled partition keeps full
+/// cell structure.
+struct ResidencyReport {
+  double full_bytes = 0;      ///< S.
+  double offline_bytes = 0;   ///< S'.
+  double saved_bytes = 0;     ///< S - S'.
+};
+
+/// Analyzer for Trinity's message-passing optimization. Works on the real
+/// distributed graph: for a given machine it derives the bipartite view and
+/// computes delivery counts and buffer high-water marks under each policy —
+/// the quantities the §5.4 ablation benchmark sweeps.
+class MessageOptimizer {
+ public:
+  struct Options {
+    DeliveryPolicy policy = DeliveryPolicy::kHubPlusPartition;
+    /// Remote senders in the top `hub_fraction` by local fan-out are hubs.
+    double hub_fraction = 0.01;
+    /// Number of bipartite partitions of the local vertex set.
+    int num_partitions = 8;
+    /// Message payload size (bytes) used for buffer accounting.
+    std::size_t message_bytes = 8;
+    /// Partition local vertices with the multilevel partitioner over the
+    /// shared-sender graph (two receivers connect when a remote sender
+    /// feeds both), instead of naive contiguous ranges. Groups co-fed
+    /// receivers together, so senders hit fewer partitions — the paper's
+    /// "bipartite partition" done properly (Fig 9b).
+    bool use_multilevel_partition = false;
+  };
+
+  /// Analyzes machine `m`'s plan for one restrictive-model iteration.
+  static Status Analyze(graph::Graph* graph, MachineId machine,
+                        const Options& options, MessagePlanReport* report);
+
+  /// Paper formula evaluation with measured V, E and the given per-vertex
+  /// attribute/local/message sizes (defaults k=l=m=8 as in §5.4).
+  static ResidencyReport Residency(std::uint64_t num_vertices,
+                                   std::uint64_t num_edges,
+                                   double attr_bytes = 8,
+                                   double local_bytes = 8,
+                                   double message_bytes = 8,
+                                   double scheduled_fraction = 0.1);
+};
+
+}  // namespace trinity::compute
+
+#endif  // TRINITY_COMPUTE_MESSAGE_OPTIMIZER_H_

@@ -1,0 +1,136 @@
+#include "compute/traversal.h"
+
+#include <limits>
+
+#include "common/serializer.h"
+
+namespace trinity::compute {
+
+TraversalEngine::TraversalEngine(graph::Graph* graph, Options options)
+    : graph_(graph), options_(std::move(options)) {
+  cloud::MemoryCloud* cloud = graph_->cloud();
+  num_slaves_ = cloud->num_slaves();
+  trunk_owner_.resize(cloud->table().num_slots());
+  for (int t = 0; t < cloud->table().num_slots(); ++t) {
+    trunk_owner_[t] = cloud->table().machine_of_trunk(t);
+  }
+}
+
+TraversalEngine::TraversalEngine(graph::Graph* graph)
+    : TraversalEngine(graph, Options()) {}
+
+MachineId TraversalEngine::OwnerOf(CellId vertex) const {
+  return trunk_owner_[graph_->cloud()->TrunkOf(vertex)];
+}
+
+Status TraversalEngine::KHopExplore(CellId start, int max_depth,
+                                    const Visitor& visit, QueryStats* stats) {
+  *stats = QueryStats();
+  net::Fabric& fabric = graph_->cloud()->fabric();
+  struct FrontierEntry {
+    CellId vertex;
+    std::uint32_t depth;
+  };
+  std::vector<std::vector<FrontierEntry>> frontier(num_slaves_);
+  std::vector<std::vector<FrontierEntry>> incoming(num_slaves_);
+  std::vector<std::unordered_set<CellId>> visited(num_slaves_);
+
+  // Frontier-forwarding handler: a machine receives the vertices it owns
+  // that a remote machine just discovered.
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    fabric.RegisterAsyncHandler(
+        m, cloud::kTraversalExpandHandler,
+        [m, &incoming](MachineId, Slice payload) {
+          BinaryReader reader(payload);
+          CellId vertex = 0;
+          std::uint32_t depth = 0;
+          if (reader.GetU64(&vertex) && reader.GetU32(&depth)) {
+            incoming[m].push_back({vertex, depth});
+          }
+        });
+  }
+
+  const MachineId start_owner = OwnerOf(start);
+  if (start_owner < 0 || start_owner >= num_slaves_) {
+    return Status::NotFound("start vertex unroutable");
+  }
+  frontier[start_owner].push_back({start, 0});
+
+  Status failure;
+  for (;;) {
+    bool any = false;
+    for (const auto& f : frontier) {
+      if (!f.empty()) {
+        any = true;
+        break;
+      }
+    }
+    if (!any) break;
+    fabric.ResetMeters();
+    for (MachineId m = 0; m < num_slaves_; ++m) {
+      net::Fabric::MeterScope meter(fabric, m);
+      for (const FrontierEntry& entry : frontier[m]) {
+        if (!visited[m].insert(entry.vertex).second) continue;
+        ++stats->visited;
+        bool expand = false;
+        Status vs = graph_->VisitLocalNode(
+            m, entry.vertex,
+            [&](Slice data, const CellId*, std::size_t, const CellId* out,
+                std::size_t out_count) {
+              expand = visit(entry.vertex, static_cast<int>(entry.depth),
+                             data);
+              if (!expand ||
+                  entry.depth >= static_cast<std::uint32_t>(max_depth)) {
+                return;
+              }
+              const std::uint32_t next_depth = entry.depth + 1;
+              for (std::size_t i = 0; i < out_count; ++i) {
+                const CellId neighbor = out[i];
+                const MachineId owner = OwnerOf(neighbor);
+                if (owner == m) {
+                  if (visited[m].count(neighbor) == 0) {
+                    incoming[m].push_back({neighbor, next_depth});
+                  }
+                } else {
+                  BinaryWriter writer;
+                  writer.PutU64(neighbor);
+                  writer.PutU32(next_depth);
+                  fabric.SendAsync(m, owner, cloud::kTraversalExpandHandler,
+                                   Slice(writer.buffer()));
+                }
+              }
+            });
+        if (!vs.ok() && !vs.IsNotFound()) failure = vs;
+      }
+      frontier[m].clear();
+    }
+    if (!failure.ok()) return failure;
+    fabric.FlushAll();  // One communication round.
+    for (MachineId m = 0; m < num_slaves_; ++m) {
+      frontier[m] = std::move(incoming[m]);
+      incoming[m].clear();
+    }
+    const net::NetworkStats net = fabric.stats();
+    stats->messages += net.messages;
+    stats->transfers += net.transfers;
+    stats->modeled_millis +=
+        options_.cost_model.PhaseSeconds(fabric) * 1000.0;
+    ++stats->rounds;
+  }
+  return Status::OK();
+}
+
+Status TraversalEngine::Bfs(
+    CellId start, std::unordered_map<CellId, std::uint32_t>* distances,
+    QueryStats* stats) {
+  distances->clear();
+  return KHopExplore(
+      start, std::numeric_limits<int>::max() - 1,
+      [distances](CellId vertex, int depth, Slice) {
+        distances->emplace(vertex, static_cast<std::uint32_t>(depth));
+        return true;
+      },
+      stats);
+}
+
+}  // namespace trinity::compute

@@ -1,0 +1,76 @@
+#ifndef TRINITY_COMPUTE_TRAVERSAL_H_
+#define TRINITY_COMPUTE_TRAVERSAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/graph.h"
+#include "net/cost_model.h"
+
+namespace trinity::compute {
+
+/// Traversal-based online query engine (paper §5.1): the substrate for
+/// people search and other k-hop exploration queries. "The algorithm simply
+/// sends asynchronous requests recursively to remote machines, and the
+/// performance is achieved by efficient memory access and optimization of
+/// network communication."
+///
+/// The engine runs a level-synchronous distributed expansion: each machine
+/// expands the frontier vertices it owns against its local trunks
+/// (zero-copy), and forwards newly discovered remote vertices as packed
+/// one-sided messages. Query latency is modeled per round — exactly the
+/// round-trip structure a real deployment would see — and summed into
+/// QueryStats::modeled_millis, the number Fig 12(a) plots.
+class TraversalEngine {
+ public:
+  struct Options {
+    net::CostModel cost_model;
+  };
+
+  struct QueryStats {
+    double modeled_millis = 0;
+    std::uint64_t visited = 0;
+    int rounds = 0;
+    std::uint64_t messages = 0;
+    std::uint64_t transfers = 0;
+  };
+
+  /// Visitor invoked once per visited vertex, on the machine that owns it.
+  /// `data` is the node payload (e.g. the person's name). Returning false
+  /// prunes expansion below this vertex (its neighbors are not enqueued).
+  using Visitor = std::function<bool(CellId vertex, int depth, Slice data)>;
+
+  TraversalEngine(graph::Graph* graph, Options options);
+  explicit TraversalEngine(graph::Graph* graph);
+
+  TraversalEngine(const TraversalEngine&) = delete;
+  TraversalEngine& operator=(const TraversalEngine&) = delete;
+
+  /// Explores the out-neighborhood of `start` up to `max_depth` hops,
+  /// invoking `visit` for every distinct vertex reached (including the
+  /// start at depth 0). Each vertex is visited exactly once.
+  Status KHopExplore(CellId start, int max_depth, const Visitor& visit,
+                     QueryStats* stats);
+
+  /// Distributed BFS from `start` over the whole graph; returns the hop
+  /// distance per reached vertex. This is the Fig 12(c)/Fig 13 kernel.
+  Status Bfs(CellId start,
+             std::unordered_map<CellId, std::uint32_t>* distances,
+             QueryStats* stats);
+
+ private:
+  MachineId OwnerOf(CellId vertex) const;
+
+  graph::Graph* graph_;
+  Options options_;
+  std::vector<MachineId> trunk_owner_;
+  int num_slaves_;
+};
+
+}  // namespace trinity::compute
+
+#endif  // TRINITY_COMPUTE_TRAVERSAL_H_

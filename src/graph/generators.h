@@ -1,0 +1,79 @@
+#ifndef TRINITY_GRAPH_GENERATORS_H_
+#define TRINITY_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "graph/graph.h"
+
+namespace trinity::graph {
+
+/// Synthetic graph generators standing in for the paper's workloads: R-MAT
+/// web graphs (Fig 12b/c/d, Fig 13), power-law Facebook-like social graphs
+/// (§5.1, Fig 12a), and the real graphs of Fig 14a (Wordnet, US patents)
+/// replaced by synthetic graphs with matching shape. All generators are
+/// deterministic under a seed.
+class Generators {
+ public:
+  struct EdgeList {
+    std::uint64_t num_nodes = 0;
+    std::vector<std::pair<CellId, CellId>> edges;
+  };
+
+  /// R-MAT recursive-matrix generator [Chakrabarti et al., SDM'04] with the
+  /// usual (a,b,c,d) = (0.57, 0.19, 0.19, 0.05) skew. Produces
+  /// num_nodes * avg_degree directed edges over ids [0, num_nodes).
+  static EdgeList Rmat(std::uint64_t num_nodes, double avg_degree,
+                       std::uint64_t seed);
+
+  /// Scale-free graph by degree sampling P(k) ~ c k^-gamma (paper §5.4 uses
+  /// c=1.16, gamma=2.16): out-degrees are power-law samples, targets chosen
+  /// preferentially toward low ids (hubs).
+  static EdgeList PowerLaw(std::uint64_t num_nodes, double avg_degree,
+                           double gamma, std::uint64_t seed);
+
+  /// Erdos-Renyi-style uniform random directed graph.
+  static EdgeList Uniform(std::uint64_t num_nodes, double avg_degree,
+                          std::uint64_t seed);
+
+  /// Community-structured graph: dense hub-biased communities arranged in a
+  /// ring, linked by a few mid-degree bridge vertices. High betweenness and
+  /// high degree deliberately do NOT coincide here (the structure the
+  /// Fig 8(b) landmark comparison needs).
+  static EdgeList Community(std::uint64_t num_communities,
+                            std::uint64_t nodes_per_community,
+                            double intra_degree,
+                            double inter_links_per_community,
+                            std::uint64_t seed);
+
+  /// Wordnet-like lexical graph: strong local clustering (ring lattice) plus
+  /// random long-range semantic links.
+  static EdgeList WordnetLike(std::uint64_t num_nodes, std::uint64_t seed);
+
+  /// US-patent-like citation DAG: node i cites earlier nodes with
+  /// recency-biased preference.
+  static EdgeList PatentLike(std::uint64_t num_nodes, double avg_degree,
+                             std::uint64_t seed);
+
+  /// A first name for node `id`: drawn from a fixed pool ("David" included —
+  /// §5.1's people-search query looks for him). Deterministic per (id,seed).
+  static std::string NameFor(CellId id, std::uint64_t seed);
+
+  /// Materializes an edge list into the graph via bulk loading: builds each
+  /// node's full adjacency in memory, then writes one cell per node. Loading
+  /// is issued round-robin from every slave so build-time metering spreads.
+  /// `with_names` stores NameFor(id) as node data (people search).
+  static Status Load(Graph* graph, const EdgeList& edges, bool with_names,
+                     std::uint64_t seed = 0);
+
+  /// Convenience: generate + load an R-MAT graph.
+  static Status LoadRmat(Graph* graph, std::uint64_t num_nodes,
+                         double avg_degree, std::uint64_t seed);
+};
+
+}  // namespace trinity::graph
+
+#endif  // TRINITY_GRAPH_GENERATORS_H_

@@ -1,0 +1,294 @@
+#include "graph/partition.h"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "common/random.h"
+
+namespace trinity::graph {
+
+Csr Csr::FromEdges(const Generators::EdgeList& edges) {
+  Csr csr;
+  csr.num_nodes = edges.num_nodes;
+  std::vector<std::uint64_t> degree(edges.num_nodes, 0);
+  for (const auto& [a, b] : edges.edges) {
+    if (a == b) continue;
+    ++degree[a];
+    ++degree[b];
+  }
+  csr.offsets.resize(edges.num_nodes + 1, 0);
+  for (std::uint64_t v = 0; v < edges.num_nodes; ++v) {
+    csr.offsets[v + 1] = csr.offsets[v] + degree[v];
+  }
+  csr.neighbors.resize(csr.offsets.back());
+  std::vector<std::uint64_t> cursor(csr.offsets.begin(),
+                                    csr.offsets.end() - 1);
+  for (const auto& [a, b] : edges.edges) {
+    if (a == b) continue;
+    csr.neighbors[cursor[a]++] = static_cast<std::uint32_t>(b);
+    csr.neighbors[cursor[b]++] = static_cast<std::uint32_t>(a);
+  }
+  return csr;
+}
+
+std::uint64_t MultilevelPartitioner::EdgeCut(
+    const Csr& graph, const std::vector<std::int32_t>& assignment) {
+  std::uint64_t cut = 0;
+  for (std::uint64_t v = 0; v < graph.num_nodes; ++v) {
+    for (std::size_t i = 0; i < graph.Degree(v); ++i) {
+      const std::uint32_t u = graph.Neighbors(v)[i];
+      if (assignment[v] != assignment[u]) ++cut;
+    }
+  }
+  return cut / 2;  // Symmetric CSR counts each edge twice.
+}
+
+double MultilevelPartitioner::Balance(
+    std::uint64_t num_nodes, int num_parts,
+    const std::vector<std::int32_t>& assignment) {
+  std::vector<std::uint64_t> sizes(num_parts, 0);
+  for (std::int32_t p : assignment) ++sizes[p];
+  const double ideal =
+      static_cast<double>(num_nodes) / static_cast<double>(num_parts);
+  const std::uint64_t largest = *std::max_element(sizes.begin(), sizes.end());
+  return static_cast<double>(largest) / ideal;
+}
+
+MultilevelPartitioner::CoarseGraph MultilevelPartitioner::Coarsen(
+    const CoarseGraph& fine, std::uint64_t seed) const {
+  const std::uint64_t n = fine.csr.num_nodes;
+  Random rng(seed);
+  // Heavy-edge matching: visit nodes in random order; match each unmatched
+  // node to its unmatched neighbor with the heaviest connecting edge.
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  for (std::uint64_t i = n; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.Uniform(i)]);
+  }
+  constexpr std::uint32_t kUnmatched = ~0u;
+  std::vector<std::uint32_t> match(n, kUnmatched);
+  for (std::uint32_t v : order) {
+    if (match[v] != kUnmatched) continue;
+    std::uint32_t best = kUnmatched;
+    std::uint64_t best_weight = 0;
+    for (std::size_t i = fine.csr.offsets[v]; i < fine.csr.offsets[v + 1];
+         ++i) {
+      const std::uint32_t u = fine.csr.neighbors[i];
+      if (u == v || match[u] != kUnmatched) continue;
+      const std::uint64_t w = fine.edge_weight[i];
+      if (best == kUnmatched || w > best_weight) {
+        best = u;
+        best_weight = w;
+      }
+    }
+    if (best != kUnmatched) {
+      match[v] = best;
+      match[best] = v;
+    } else {
+      match[v] = v;  // Stays single this level.
+    }
+  }
+  // Assign coarse ids (matched pair -> one coarse node).
+  CoarseGraph coarse;
+  coarse.fine_to_coarse.assign(n, 0);
+  std::uint32_t next = 0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (match[v] >= v) {  // v is the representative of (v, match[v]).
+      coarse.fine_to_coarse[v] = next;
+      if (match[v] != v) coarse.fine_to_coarse[match[v]] = next;
+      ++next;
+    }
+  }
+  const std::uint32_t cn = next;
+  coarse.node_weight.assign(cn, 0);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    coarse.node_weight[coarse.fine_to_coarse[v]] += fine.node_weight[v];
+  }
+  // Aggregate edges between coarse nodes.
+  std::vector<std::map<std::uint32_t, std::uint64_t>> adj(cn);
+  for (std::uint32_t v = 0; v < n; ++v) {
+    const std::uint32_t cv = coarse.fine_to_coarse[v];
+    for (std::size_t i = fine.csr.offsets[v]; i < fine.csr.offsets[v + 1];
+         ++i) {
+      const std::uint32_t cu = coarse.fine_to_coarse[fine.csr.neighbors[i]];
+      if (cu == cv) continue;  // Internalized edge disappears.
+      adj[cv][cu] += fine.edge_weight[i];
+    }
+  }
+  coarse.csr.num_nodes = cn;
+  coarse.csr.offsets.resize(cn + 1, 0);
+  for (std::uint32_t v = 0; v < cn; ++v) {
+    coarse.csr.offsets[v + 1] = coarse.csr.offsets[v] + adj[v].size();
+  }
+  coarse.csr.neighbors.resize(coarse.csr.offsets.back());
+  coarse.edge_weight.resize(coarse.csr.offsets.back());
+  for (std::uint32_t v = 0; v < cn; ++v) {
+    std::size_t i = coarse.csr.offsets[v];
+    for (const auto& [u, w] : adj[v]) {
+      coarse.csr.neighbors[i] = u;
+      coarse.edge_weight[i] = w;
+      ++i;
+    }
+  }
+  return coarse;
+}
+
+std::vector<std::int32_t> MultilevelPartitioner::InitialPartition(
+    const CoarseGraph& graph, std::uint64_t seed) const {
+  // Greedy graph growing: grow each part by BFS from a random unassigned
+  // seed until it reaches its weight budget.
+  const std::uint64_t n = graph.csr.num_nodes;
+  const std::uint64_t total_weight =
+      std::accumulate(graph.node_weight.begin(), graph.node_weight.end(),
+                      std::uint64_t{0});
+  const double budget = static_cast<double>(total_weight) /
+                        static_cast<double>(options_.num_parts);
+  std::vector<std::int32_t> assignment(n, -1);
+  Random rng(seed);
+  std::vector<std::uint32_t> frontier;
+  for (int part = 0; part < options_.num_parts; ++part) {
+    double weight = 0;
+    frontier.clear();
+    // Find an unassigned seed.
+    for (std::uint64_t tries = 0; tries < n; ++tries) {
+      const std::uint32_t candidate =
+          static_cast<std::uint32_t>(rng.Uniform(n));
+      if (assignment[candidate] < 0) {
+        frontier.push_back(candidate);
+        break;
+      }
+    }
+    while (!frontier.empty() &&
+           (weight < budget || part == options_.num_parts - 1)) {
+      const std::uint32_t v = frontier.back();
+      frontier.pop_back();
+      if (assignment[v] >= 0) continue;
+      assignment[v] = part;
+      weight += static_cast<double>(graph.node_weight[v]);
+      for (std::size_t i = graph.csr.offsets[v];
+           i < graph.csr.offsets[v + 1]; ++i) {
+        const std::uint32_t u = graph.csr.neighbors[i];
+        if (assignment[u] < 0) frontier.push_back(u);
+      }
+    }
+  }
+  // Any node the growth never reached goes to the lightest part.
+  std::vector<double> weights(options_.num_parts, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (assignment[v] >= 0) {
+      weights[assignment[v]] += static_cast<double>(graph.node_weight[v]);
+    }
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    if (assignment[v] < 0) {
+      const int lightest = static_cast<int>(
+          std::min_element(weights.begin(), weights.end()) - weights.begin());
+      assignment[v] = lightest;
+      weights[lightest] += static_cast<double>(graph.node_weight[v]);
+    }
+  }
+  return assignment;
+}
+
+void MultilevelPartitioner::Refine(const CoarseGraph& graph,
+                                   std::vector<std::int32_t>* assignment)
+    const {
+  // Boundary FM-style refinement: move a node to the neighboring part with
+  // the largest positive gain, respecting the balance constraint.
+  const std::uint64_t n = graph.csr.num_nodes;
+  const std::uint64_t total_weight =
+      std::accumulate(graph.node_weight.begin(), graph.node_weight.end(),
+                      std::uint64_t{0});
+  const double limit = (1.0 + options_.epsilon) *
+                       static_cast<double>(total_weight) /
+                       static_cast<double>(options_.num_parts);
+  std::vector<double> part_weight(options_.num_parts, 0);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    part_weight[(*assignment)[v]] += static_cast<double>(graph.node_weight[v]);
+  }
+  for (int pass = 0; pass < options_.refine_passes; ++pass) {
+    bool moved = false;
+    std::vector<std::int64_t> gain(options_.num_parts);
+    for (std::uint64_t v = 0; v < n; ++v) {
+      const std::int32_t from = (*assignment)[v];
+      std::fill(gain.begin(), gain.end(), 0);
+      bool boundary = false;
+      for (std::size_t i = graph.csr.offsets[v];
+           i < graph.csr.offsets[v + 1]; ++i) {
+        const std::int32_t p = (*assignment)[graph.csr.neighbors[i]];
+        gain[p] += static_cast<std::int64_t>(graph.edge_weight[i]);
+        if (p != from) boundary = true;
+      }
+      if (!boundary) continue;
+      std::int32_t best = from;
+      std::int64_t best_gain = gain[from];
+      for (std::int32_t p = 0; p < options_.num_parts; ++p) {
+        if (p == from) continue;
+        if (part_weight[p] + static_cast<double>(graph.node_weight[v]) >
+            limit) {
+          continue;
+        }
+        if (gain[p] > best_gain) {
+          best = p;
+          best_gain = gain[p];
+        }
+      }
+      if (best != from) {
+        (*assignment)[v] = best;
+        part_weight[from] -= static_cast<double>(graph.node_weight[v]);
+        part_weight[best] += static_cast<double>(graph.node_weight[v]);
+        moved = true;
+      }
+    }
+    if (!moved) break;
+  }
+}
+
+Status MultilevelPartitioner::Partition(const Csr& graph,
+                                        Result* result) const {
+  if (options_.num_parts < 1) {
+    return Status::InvalidArgument("num_parts must be >= 1");
+  }
+  if (graph.num_nodes == 0) {
+    result->assignment.clear();
+    result->edge_cut = 0;
+    result->balance = 0;
+    result->levels = 0;
+    return Status::OK();
+  }
+  // Level 0 wraps the input with unit weights.
+  std::vector<CoarseGraph> levels(1);
+  levels[0].csr = graph;
+  levels[0].node_weight.assign(graph.num_nodes, 1);
+  levels[0].edge_weight.assign(graph.neighbors.size(), 1);
+  // Coarsening phase.
+  while (levels.back().csr.num_nodes > options_.coarsen_target) {
+    CoarseGraph next =
+        Coarsen(levels.back(), options_.seed + levels.size());
+    if (next.csr.num_nodes >= levels.back().csr.num_nodes) break;  // Stuck.
+    levels.push_back(std::move(next));
+  }
+  // Initial partition on the coarsest graph, then project + refine upward.
+  std::vector<std::int32_t> assignment =
+      InitialPartition(levels.back(), options_.seed);
+  Refine(levels.back(), &assignment);
+  for (std::size_t level = levels.size() - 1; level > 0; --level) {
+    const CoarseGraph& coarse = levels[level];
+    const CoarseGraph& fine = levels[level - 1];
+    std::vector<std::int32_t> projected(fine.csr.num_nodes);
+    for (std::uint64_t v = 0; v < fine.csr.num_nodes; ++v) {
+      projected[v] = assignment[coarse.fine_to_coarse[v]];
+    }
+    assignment = std::move(projected);
+    Refine(fine, &assignment);
+  }
+  result->assignment = std::move(assignment);
+  result->edge_cut = EdgeCut(graph, result->assignment);
+  result->balance =
+      Balance(graph.num_nodes, options_.num_parts, result->assignment);
+  result->levels = static_cast<int>(levels.size());
+  return Status::OK();
+}
+
+}  // namespace trinity::graph

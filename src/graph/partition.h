@@ -1,0 +1,90 @@
+#ifndef TRINITY_GRAPH_PARTITION_H_
+#define TRINITY_GRAPH_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/generators.h"
+
+namespace trinity::graph {
+
+/// Compressed sparse row view of an undirected graph used by the
+/// partitioner and several analytics kernels.
+struct Csr {
+  std::uint64_t num_nodes = 0;
+  std::vector<std::uint64_t> offsets;  ///< num_nodes + 1 entries.
+  std::vector<std::uint32_t> neighbors;
+
+  std::size_t Degree(std::uint64_t v) const {
+    return offsets[v + 1] - offsets[v];
+  }
+  const std::uint32_t* Neighbors(std::uint64_t v) const {
+    return neighbors.data() + offsets[v];
+  }
+
+  /// Builds a symmetrized CSR from a directed edge list (self-loops
+  /// dropped, duplicates kept — matching typical multilevel inputs).
+  static Csr FromEdges(const Generators::EdgeList& edges);
+};
+
+/// Multilevel k-way graph partitioner (paper §5.3: "Trinity can partition
+/// billion-node graphs within a few hours using a multi-level partitioning
+/// algorithm [6]; the quality ... is comparable to ... METIS").
+///
+/// Classic three-phase structure:
+///   1. coarsen — heavy-edge matching collapses matched pairs until the
+///      graph is small;
+///   2. initial partition — greedy graph-growing on the coarsest graph;
+///   3. uncoarsen + refine — project back up, with a boundary
+///      Kernighan-Lin/FM-style gain pass at every level.
+class MultilevelPartitioner {
+ public:
+  struct Options {
+    int num_parts = 8;
+    /// Stop coarsening when the graph has at most this many nodes.
+    std::uint64_t coarsen_target = 256;
+    /// Max imbalance: largest part <= (1 + epsilon) * (n / k).
+    double epsilon = 0.1;
+    /// Refinement passes per level.
+    int refine_passes = 2;
+    std::uint64_t seed = 42;
+  };
+
+  struct Result {
+    std::vector<std::int32_t> assignment;  ///< Part per node.
+    std::uint64_t edge_cut = 0;
+    double balance = 0.0;  ///< max part size / ideal part size.
+    int levels = 0;        ///< Coarsening levels used.
+  };
+
+  explicit MultilevelPartitioner(Options options) : options_(options) {}
+
+  Status Partition(const Csr& graph, Result* result) const;
+
+  /// Edge cut of an assignment (each cut edge counted once).
+  static std::uint64_t EdgeCut(const Csr& graph,
+                               const std::vector<std::int32_t>& assignment);
+  static double Balance(std::uint64_t num_nodes, int num_parts,
+                        const std::vector<std::int32_t>& assignment);
+
+ private:
+  struct CoarseGraph {
+    Csr csr;
+    std::vector<std::uint64_t> node_weight;
+    std::vector<std::uint64_t> edge_weight;  ///< Parallel to csr.neighbors.
+    std::vector<std::uint32_t> fine_to_coarse;
+  };
+
+  CoarseGraph Coarsen(const CoarseGraph& fine, std::uint64_t seed) const;
+  std::vector<std::int32_t> InitialPartition(const CoarseGraph& graph,
+                                             std::uint64_t seed) const;
+  void Refine(const CoarseGraph& graph,
+              std::vector<std::int32_t>* assignment) const;
+
+  Options options_;
+};
+
+}  // namespace trinity::graph
+
+#endif  // TRINITY_GRAPH_PARTITION_H_

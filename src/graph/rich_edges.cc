@@ -1,0 +1,146 @@
+#include "graph/rich_edges.h"
+
+#include <cstring>
+
+#include "common/serializer.h"
+
+namespace trinity::graph {
+
+namespace {
+
+constexpr std::uint8_t kStructEdgeTag = 1;
+constexpr std::uint8_t kHyperEdgeTag = 2;
+
+}  // namespace
+
+std::string RichEdges::EncodeStructEdge(CellId from, CellId to, Slice data) {
+  BinaryWriter writer;
+  writer.PutU8(kStructEdgeTag);
+  writer.PutU64(from);
+  writer.PutU64(to);
+  writer.PutBytes(data);
+  return writer.Release();
+}
+
+std::string RichEdges::EncodeHyperEdge(const std::vector<CellId>& members,
+                                       Slice data) {
+  // Members sit at the *end* so AddMemberToHyperEdge is a trunk append.
+  BinaryWriter writer;
+  writer.PutU8(kHyperEdgeTag);
+  writer.PutBytes(data);
+  for (CellId m : members) writer.PutU64(m);
+  return writer.Release();
+}
+
+Status RichEdges::AddStructEdge(CellId edge_id, CellId from, CellId to,
+                                Slice data) {
+  if (!graph_->HasNode(from) || !graph_->HasNode(to)) {
+    return Status::NotFound("edge endpoint missing");
+  }
+  Status s = graph_->cloud()->AddCell(edge_id,
+                                      Slice(EncodeStructEdge(from, to, data)));
+  if (!s.ok()) return s;
+  s = graph_->AppendRawOutEntry(from, edge_id);
+  if (!s.ok()) return s;
+  if (graph_->options().directed && graph_->options().track_inlinks) {
+    return graph_->InsertRawInEntry(to, edge_id);
+  }
+  if (!graph_->options().directed) {
+    return graph_->AppendRawOutEntry(to, edge_id);
+  }
+  return Status::OK();
+}
+
+Status RichEdges::GetStructEdge(CellId edge_id, StructEdge* out) {
+  std::string blob;
+  Status s = graph_->cloud()->GetCell(edge_id, &blob);
+  if (!s.ok()) return s;
+  BinaryReader reader{Slice(blob)};
+  std::uint8_t tag = 0;
+  Slice data;
+  if (!reader.GetU8(&tag) || tag != kStructEdgeTag ||
+      !reader.GetU64(&out->from) || !reader.GetU64(&out->to) ||
+      !reader.GetBytes(&data) || !reader.AtEnd()) {
+    return Status::Corruption("not a struct-edge cell");
+  }
+  out->id = edge_id;
+  out->data = data.ToString();
+  return Status::OK();
+}
+
+Status RichEdges::SetStructEdgeData(CellId edge_id, Slice data) {
+  StructEdge edge;
+  Status s = GetStructEdge(edge_id, &edge);
+  if (!s.ok()) return s;
+  return graph_->cloud()->PutCell(
+      edge_id, Slice(EncodeStructEdge(edge.from, edge.to, data)));
+}
+
+Status RichEdges::GetStructOutEdges(CellId node,
+                                    std::vector<StructEdge>* out) {
+  out->clear();
+  std::vector<CellId> edge_ids;
+  Status s = graph_->GetOutlinks(node, &edge_ids);
+  if (!s.ok()) return s;
+  for (CellId edge_id : edge_ids) {
+    StructEdge edge;
+    s = GetStructEdge(edge_id, &edge);
+    if (!s.ok()) return s;
+    out->push_back(std::move(edge));
+  }
+  return Status::OK();
+}
+
+Status RichEdges::AddHyperEdge(CellId edge_id,
+                               const std::vector<CellId>& members,
+                               Slice data) {
+  if (members.empty()) return Status::InvalidArgument("empty hyperedge");
+  for (CellId m : members) {
+    if (!graph_->HasNode(m)) return Status::NotFound("hyperedge member missing");
+  }
+  Status s = graph_->cloud()->AddCell(edge_id,
+                                      Slice(EncodeHyperEdge(members, data)));
+  if (!s.ok()) return s;
+  for (CellId m : members) {
+    s = graph_->AppendRawOutEntry(m, edge_id);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status RichEdges::GetHyperEdge(CellId edge_id, HyperEdge* out) {
+  std::string blob;
+  Status s = graph_->cloud()->GetCell(edge_id, &blob);
+  if (!s.ok()) return s;
+  BinaryReader reader{Slice(blob)};
+  std::uint8_t tag = 0;
+  Slice data;
+  if (!reader.GetU8(&tag) || tag != kHyperEdgeTag || !reader.GetBytes(&data)) {
+    return Status::Corruption("not a hyperedge cell");
+  }
+  if (reader.remaining() % 8 != 0) {
+    return Status::Corruption("malformed hyperedge member list");
+  }
+  out->id = edge_id;
+  out->data = data.ToString();
+  out->members.resize(reader.remaining() / 8);
+  for (CellId& m : out->members) {
+    if (!reader.GetU64(&m)) return Status::Corruption("hyperedge member");
+  }
+  return Status::OK();
+}
+
+Status RichEdges::AddMemberToHyperEdge(CellId edge_id, CellId node) {
+  if (!graph_->HasNode(node)) return Status::NotFound("member missing");
+  // Validate the edge cell before blindly appending.
+  HyperEdge edge;
+  Status s = GetHyperEdge(edge_id, &edge);
+  if (!s.ok()) return s;
+  char raw[8];
+  std::memcpy(raw, &node, 8);
+  s = graph_->cloud()->AppendToCell(edge_id, Slice(raw, 8));
+  if (!s.ok()) return s;
+  return graph_->AppendRawOutEntry(node, edge_id);
+}
+
+}  // namespace trinity::graph

@@ -1,0 +1,80 @@
+#ifndef TRINITY_GRAPH_RICH_EDGES_H_
+#define TRINITY_GRAPH_RICH_EDGES_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace trinity::graph {
+
+/// Rich edge modeling (paper §4.1): besides SimpleEdge (a bare neighbor
+/// cellid inside the node cell), Trinity supports **StructEdge** — "when
+/// edges are associated with rich information, we may represent edges using
+/// cells, and store the rich information associated with the edges in the
+/// edge cells. Correspondingly, a node will store a set of edge cellids" —
+/// and **HyperEdge** — "we can also model hypergraphs in this way, as we can
+/// easily store a set of node cellids in an edge cell."
+///
+/// Edge cells live in the same memory cloud as node cells; callers keep
+/// edge-cell ids in a distinct id range from node ids (the TSL layer's
+/// ReferencedCell attribute is the schema-level expression of the same
+/// convention).
+
+/// A materialized struct edge.
+struct StructEdge {
+  CellId id = kInvalidCell;
+  CellId from = kInvalidCell;
+  CellId to = kInvalidCell;
+  std::string data;
+};
+
+/// A materialized hyperedge: one edge joining any number of nodes.
+struct HyperEdge {
+  CellId id = kInvalidCell;
+  std::vector<CellId> members;
+  std::string data;
+};
+
+class RichEdges {
+ public:
+  explicit RichEdges(Graph* graph) : graph_(graph) {}
+
+  RichEdges(const RichEdges&) = delete;
+  RichEdges& operator=(const RichEdges&) = delete;
+
+  /// Creates an edge cell for (from -> to) carrying `data`, and appends the
+  /// *edge id* to from's out-list (and to's in-list when tracked). Both
+  /// endpoints must exist; the edge id must be fresh.
+  Status AddStructEdge(CellId edge_id, CellId from, CellId to, Slice data);
+
+  Status GetStructEdge(CellId edge_id, StructEdge* out);
+
+  /// Replaces the payload of an existing struct edge.
+  Status SetStructEdgeData(CellId edge_id, Slice data);
+
+  /// Resolves a node's out-list of edge ids into (edge, target) pairs.
+  Status GetStructOutEdges(CellId node, std::vector<StructEdge>* out);
+
+  /// Creates a hyperedge cell over `members` and appends the edge id to
+  /// every member's out-list.
+  Status AddHyperEdge(CellId edge_id, const std::vector<CellId>& members,
+                      Slice data);
+
+  Status GetHyperEdge(CellId edge_id, HyperEdge* out);
+
+  /// Adds one more node to an existing hyperedge (append path on both the
+  /// edge cell and the node cell).
+  Status AddMemberToHyperEdge(CellId edge_id, CellId node);
+
+ private:
+  static std::string EncodeStructEdge(CellId from, CellId to, Slice data);
+  static std::string EncodeHyperEdge(const std::vector<CellId>& members,
+                                     Slice data);
+
+  Graph* graph_;
+};
+
+}  // namespace trinity::graph
+
+#endif  // TRINITY_GRAPH_RICH_EDGES_H_

@@ -1,0 +1,33 @@
+#include "net/cost_model.h"
+
+#include <algorithm>
+
+namespace trinity::net {
+
+double CostModel::ComputeSeconds(const Fabric& fabric) const {
+  return fabric.MaxCpuMicros() / params_.cores_per_machine / 1e6;
+}
+
+double CostModel::CommSeconds(const Fabric& fabric) const {
+  const PerMachineTraffic traffic = fabric.traffic();
+  double max_bytes = 0.0;
+  double max_transfers = 0.0;
+  for (int m = 0; m < fabric.num_machines(); ++m) {
+    const double bytes = static_cast<double>(traffic.bytes_in[m]) +
+                         static_cast<double>(traffic.bytes_out[m]);
+    const double transfers = static_cast<double>(traffic.transfers_in[m]) +
+                             static_cast<double>(traffic.transfers_out[m]);
+    max_bytes = std::max(max_bytes, bytes);
+    max_transfers = std::max(max_transfers, transfers);
+  }
+  const double serialization_us = max_bytes / params_.bandwidth_bytes_per_us;
+  const double latency_us = max_transfers * params_.transfer_latency_us /
+                            params_.transfer_overlap;
+  return (serialization_us + latency_us) / 1e6;
+}
+
+double CostModel::PhaseSeconds(const Fabric& fabric) const {
+  return ComputeSeconds(fabric) + CommSeconds(fabric);
+}
+
+}  // namespace trinity::net

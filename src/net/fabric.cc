@@ -1,0 +1,254 @@
+#include "net/fabric.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace trinity::net {
+
+Fabric::Fabric(int num_machines) : Fabric(num_machines, Params()) {}
+
+Fabric::Fabric(int num_machines, Params params)
+    : num_machines_(num_machines), params_(params) {
+  TRINITY_CHECK(num_machines >= 1, "fabric needs at least one machine");
+  async_handlers_.resize(num_machines_);
+  sync_handlers_.resize(num_machines_);
+  pair_buffers_.resize(static_cast<std::size_t>(num_machines_) *
+                       num_machines_);
+  machine_up_.assign(num_machines_, true);
+  cpu_micros_.assign(num_machines_, 0.0);
+  traffic_.bytes_in.assign(num_machines_, 0);
+  traffic_.bytes_out.assign(num_machines_, 0);
+  traffic_.transfers_in.assign(num_machines_, 0);
+  traffic_.transfers_out.assign(num_machines_, 0);
+}
+
+void Fabric::RegisterAsyncHandler(MachineId machine, HandlerId id,
+                                  AsyncHandler fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  async_handlers_[machine][id] = std::move(fn);
+}
+
+void Fabric::RegisterSyncHandler(MachineId machine, HandlerId id,
+                                 SyncHandler fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sync_handlers_[machine][id] = std::move(fn);
+}
+
+Status Fabric::SendAsync(MachineId src, MachineId dst, HandlerId id,
+                         Slice payload) {
+  if (dst < 0 || dst >= num_machines_) {
+    return Status::InvalidArgument("bad destination machine");
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.messages;
+    if (!machine_up_[dst]) {
+      ++stats_.dropped;
+      return Status::Unavailable("destination machine is down");
+    }
+    if (src == dst) {
+      ++stats_.local_messages;
+    }
+  }
+  if (src == dst) {
+    // Local delivery never touches the wire.
+    Deliver(src, dst, id, payload);
+    return Status::OK();
+  }
+  if (!params_.pack_messages) {
+    // Ablation mode: every message is its own physical transfer.
+    AccountTransfer(src, dst, payload.size() + params_.frame_overhead_bytes,
+                    1);
+    Deliver(src, dst, id, payload);
+    return Status::OK();
+  }
+  bool flush_now = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PairBuffer& buf = pair_buffers_[PairIndex(src, dst)];
+    buf.messages.push_back(PackedMessage{id, payload.ToString()});
+    buf.bytes += payload.size() + params_.frame_overhead_bytes;
+    flush_now = buf.bytes >= params_.pack_threshold_bytes;
+  }
+  if (flush_now) {
+    std::unique_lock<std::mutex> lock(mu_);
+    FlushPairLocked(src, dst);
+  }
+  return Status::OK();
+}
+
+Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
+                    std::string* response) {
+  if (dst < 0 || dst >= num_machines_) {
+    return Status::InvalidArgument("bad destination machine");
+  }
+  SyncHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.sync_calls;
+    if (!machine_up_[dst]) {
+      ++stats_.dropped;
+      return Status::Unavailable("destination machine is down");
+    }
+    auto it = sync_handlers_[dst].find(id);
+    if (it == sync_handlers_[dst].end()) {
+      return Status::NotFound("no sync handler registered");
+    }
+    handler = it->second;
+  }
+  if (src != dst) {
+    // Request + response are two physical transfers.
+    AccountTransfer(src, dst, payload.size() + params_.frame_overhead_bytes,
+                    1);
+  } else {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.local_messages;
+  }
+  Status s;
+  {
+    MeterScope meter(*this, dst);
+    s = handler(src, payload, response);
+  }
+  if (src != dst && response != nullptr) {
+    AccountTransfer(dst, src, response->size() + params_.frame_overhead_bytes,
+                    1);
+  }
+  return s;
+}
+
+void Fabric::Flush(MachineId src) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (MachineId dst = 0; dst < num_machines_; ++dst) {
+    FlushPairLocked(src, dst);
+  }
+}
+
+void Fabric::FlushAll() {
+  // Delivering packed messages can enqueue new ones (recursive algorithms),
+  // so iterate until the whole fabric drains.
+  for (;;) {
+    bool any = false;
+    for (MachineId src = 0; src < num_machines_; ++src) {
+      for (MachineId dst = 0; dst < num_machines_; ++dst) {
+        std::unique_lock<std::mutex> lock(mu_);
+        if (!pair_buffers_[PairIndex(src, dst)].messages.empty()) {
+          any = true;
+          FlushPairLocked(src, dst);
+        }
+      }
+    }
+    if (!any) return;
+  }
+}
+
+void Fabric::FlushPairLocked(MachineId src, MachineId dst) {
+  // Precondition: mu_ held by the caller's unique_lock. We move the buffer
+  // out, release the lock, and deliver — handlers may legally re-enter
+  // SendAsync on this pair.
+  PairBuffer& buf = pair_buffers_[PairIndex(src, dst)];
+  if (buf.messages.empty()) return;
+  std::vector<PackedMessage> batch = std::move(buf.messages);
+  std::size_t bytes = buf.bytes;
+  buf.messages.clear();
+  buf.bytes = 0;
+  const bool alive = machine_up_[dst];
+  if (!alive) {
+    stats_.dropped += batch.size();
+    return;
+  }
+  mu_.unlock();
+  AccountTransfer(src, dst, bytes, batch.size());
+  for (const auto& msg : batch) {
+    Deliver(src, dst, msg.handler, Slice(msg.payload));
+  }
+  mu_.lock();
+}
+
+void Fabric::Deliver(MachineId src, MachineId dst, HandlerId id,
+                     Slice payload) {
+  AsyncHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!machine_up_[dst]) {
+      ++stats_.dropped;
+      return;
+    }
+    auto it = async_handlers_[dst].find(id);
+    if (it == async_handlers_[dst].end()) {
+      TRINITY_WARN("no async handler %u on machine %d", id, dst);
+      return;
+    }
+    handler = it->second;
+  }
+  MeterScope meter(*this, dst);
+  handler(src, payload);
+}
+
+void Fabric::AccountTransfer(MachineId src, MachineId dst, std::size_t bytes,
+                             std::size_t message_count) {
+  std::lock_guard<std::mutex> lock(mu_);
+  (void)message_count;
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  traffic_.bytes_out[src] += bytes;
+  traffic_.bytes_in[dst] += bytes;
+  ++traffic_.transfers_out[src];
+  ++traffic_.transfers_in[dst];
+}
+
+void Fabric::SetMachineDown(MachineId machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  machine_up_[machine] = false;
+  // Messages already queued toward a dead machine will be dropped at flush.
+}
+
+void Fabric::SetMachineUp(MachineId machine) {
+  std::lock_guard<std::mutex> lock(mu_);
+  machine_up_[machine] = true;
+}
+
+bool Fabric::IsMachineUp(MachineId machine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (machine < 0 || machine >= num_machines_) return false;
+  return machine_up_[machine];
+}
+
+void Fabric::AddCpuMicros(MachineId machine, double micros) {
+  std::lock_guard<std::mutex> lock(mu_);
+  cpu_micros_[machine] += micros;
+}
+
+double Fabric::cpu_micros(MachineId machine) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cpu_micros_[machine];
+}
+
+double Fabric::MaxCpuMicros() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  double max = 0.0;
+  for (double v : cpu_micros_) max = std::max(max, v);
+  return max;
+}
+
+NetworkStats Fabric::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+PerMachineTraffic Fabric::traffic() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return traffic_;
+}
+
+void Fabric::ResetMeters() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_ = NetworkStats();
+  cpu_micros_.assign(num_machines_, 0.0);
+  traffic_.bytes_in.assign(num_machines_, 0);
+  traffic_.bytes_out.assign(num_machines_, 0);
+  traffic_.transfers_in.assign(num_machines_, 0);
+  traffic_.transfers_out.assign(num_machines_, 0);
+}
+
+}  // namespace trinity::net

@@ -1,0 +1,159 @@
+#ifndef TRINITY_NET_FABRIC_H_
+#define TRINITY_NET_FABRIC_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/histogram.h"
+#include "common/slice.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "net/network_stats.h"
+
+namespace trinity::net {
+
+/// Identifies a registered message handler on a machine; TSL protocol
+/// declarations compile down to one of these.
+using HandlerId = std::uint32_t;
+
+/// The simulated cluster interconnect: Trinity's message passing framework
+/// ("an efficient, one-sided, machine-to-machine message passing
+/// infrastructure", §2).
+///
+/// All machines live in one process; a "send" is a function call into the
+/// destination machine's registered handler. What makes the simulation
+/// faithful is the accounting: every logical message, every physical transfer
+/// after packing, every byte and every CPU microsecond spent inside a
+/// machine's handlers is metered per machine, and the CostModel converts the
+/// meters into the time an m-machine cluster would have taken. The *relative*
+/// results (scaling curves, packing wins, baseline gaps) carry over even
+/// though the process runs on one box.
+///
+/// Two delivery styles mirror the paper:
+///  * SendAsync — one-sided fire-and-forget. Small messages to the same
+///    destination are queued per (src,dst) pair and packed into a single
+///    transfer when the buffer reaches `pack_threshold_bytes` or on Flush.
+///  * Call — one-sided request-response (synchronous protocols in TSL).
+class Fabric {
+ public:
+  struct Params {
+    /// Pack buffer per (src,dst) pair; a flush emits one physical transfer.
+    std::size_t pack_threshold_bytes = 64 * 1024;
+    /// Disable packing entirely (ablation baseline: one transfer per msg).
+    bool pack_messages = true;
+    /// Per-message framing overhead counted on the wire.
+    std::size_t frame_overhead_bytes = 16;
+  };
+
+  /// Fire-and-forget handler: (source machine, payload).
+  using AsyncHandler = std::function<void(MachineId, Slice)>;
+  /// Request-response handler: fills *response.
+  using SyncHandler =
+      std::function<Status(MachineId, Slice, std::string* response)>;
+
+  explicit Fabric(int num_machines);
+  Fabric(int num_machines, Params params);
+
+  Fabric(const Fabric&) = delete;
+  Fabric& operator=(const Fabric&) = delete;
+
+  int num_machines() const { return num_machines_; }
+
+  /// Registers the handler for (machine, handler_id). Re-registration
+  /// replaces the previous handler (used when a machine restarts).
+  void RegisterAsyncHandler(MachineId machine, HandlerId id, AsyncHandler fn);
+  void RegisterSyncHandler(MachineId machine, HandlerId id, SyncHandler fn);
+
+  /// One-sided asynchronous message. May be buffered; delivery is guaranteed
+  /// by the time Flush(src) / FlushAll() returns. Messages to dead machines
+  /// are dropped and counted.
+  Status SendAsync(MachineId src, MachineId dst, HandlerId id, Slice payload);
+
+  /// One-sided synchronous request-response. Returns Unavailable when the
+  /// destination machine is down — callers use this to detect failures
+  /// (paper §6.2: "machine A ... can detect the failure of machine B").
+  Status Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
+              std::string* response);
+
+  /// Delivers every buffered async message from `src` (all destinations).
+  void Flush(MachineId src);
+  /// Delivers every buffered async message in the fabric. BSP engines call
+  /// this at the superstep barrier.
+  void FlushAll();
+
+  /// Simulated machine failure / restart.
+  void SetMachineDown(MachineId machine);
+  void SetMachineUp(MachineId machine);
+  bool IsMachineUp(MachineId machine) const;
+
+  /// Adds measured CPU time to a machine's meter. Handler execution is
+  /// metered automatically; compute engines additionally meter their local
+  /// per-partition work through this.
+  void AddCpuMicros(MachineId machine, double micros);
+  double cpu_micros(MachineId machine) const;
+  /// Max CPU meter across machines — the modeled critical path.
+  double MaxCpuMicros() const;
+
+  NetworkStats stats() const;
+  PerMachineTraffic traffic() const;
+
+  /// Clears the traffic + CPU meters (not the handlers). Engines call this
+  /// at phase boundaries so the cost model sees one phase at a time.
+  void ResetMeters();
+
+  /// RAII CPU meter: measures the enclosed scope and charges it to machine.
+  class MeterScope {
+   public:
+    MeterScope(Fabric& fabric, MachineId machine)
+        : fabric_(fabric), machine_(machine) {}
+    ~MeterScope() { fabric_.AddCpuMicros(machine_, watch_.ElapsedMicros()); }
+    MeterScope(const MeterScope&) = delete;
+    MeterScope& operator=(const MeterScope&) = delete;
+
+   private:
+    Fabric& fabric_;
+    MachineId machine_;
+    Stopwatch watch_;
+  };
+
+ private:
+  struct PackedMessage {
+    HandlerId handler;
+    std::string payload;
+  };
+
+  struct PairBuffer {
+    std::vector<PackedMessage> messages;
+    std::size_t bytes = 0;
+  };
+
+  int PairIndex(MachineId src, MachineId dst) const {
+    return src * num_machines_ + dst;
+  }
+
+  /// Delivers one pair buffer as a single physical transfer.
+  void FlushPairLocked(MachineId src, MachineId dst);
+  void Deliver(MachineId src, MachineId dst, HandlerId id, Slice payload);
+  void AccountTransfer(MachineId src, MachineId dst, std::size_t bytes,
+                       std::size_t message_count);
+
+  const int num_machines_;
+  const Params params_;
+
+  mutable std::mutex mu_;
+  std::vector<std::unordered_map<HandlerId, AsyncHandler>> async_handlers_;
+  std::vector<std::unordered_map<HandlerId, SyncHandler>> sync_handlers_;
+  std::vector<PairBuffer> pair_buffers_;
+  std::vector<bool> machine_up_;
+  std::vector<double> cpu_micros_;
+  NetworkStats stats_;
+  PerMachineTraffic traffic_;
+};
+
+}  // namespace trinity::net
+
+#endif  // TRINITY_NET_FABRIC_H_

@@ -1,0 +1,36 @@
+#ifndef TRINITY_NET_NETWORK_STATS_H_
+#define TRINITY_NET_NETWORK_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace trinity::net {
+
+/// Aggregate traffic counters for the simulated interconnect.
+///
+/// `messages` counts logical one-sided messages; `transfers` counts physical
+/// wire transfers after the batcher packed small messages together (paper
+/// §4.2: "the system ... automatically pack[s] small messages between two
+/// machines into a single transfer"). The gap between the two is exactly the
+/// packing win the ablation benchmark measures.
+struct NetworkStats {
+  std::uint64_t messages = 0;      ///< Logical messages sent.
+  std::uint64_t transfers = 0;     ///< Physical transfers on the wire.
+  std::uint64_t bytes = 0;         ///< Payload + framing bytes moved.
+  std::uint64_t sync_calls = 0;    ///< Request-response round trips.
+  std::uint64_t local_messages = 0;  ///< Same-machine deliveries (free).
+  std::uint64_t dropped = 0;       ///< Messages to dead machines.
+};
+
+/// Per-machine traffic view used by the cost model: a machine's modeled
+/// communication time depends on the bytes and transfers crossing *its* NIC.
+struct PerMachineTraffic {
+  std::vector<std::uint64_t> bytes_in;
+  std::vector<std::uint64_t> bytes_out;
+  std::vector<std::uint64_t> transfers_in;
+  std::vector<std::uint64_t> transfers_out;
+};
+
+}  // namespace trinity::net
+
+#endif  // TRINITY_NET_NETWORK_STATS_H_

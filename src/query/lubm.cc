@@ -1,0 +1,71 @@
+#include "query/lubm.h"
+
+#include <vector>
+
+#include "common/random.h"
+
+namespace trinity::query {
+
+Status LubmGenerator::Generate(RdfStore* store, const Options& options,
+                               Dataset* dataset) {
+  *dataset = Dataset();
+  Random rng(options.seed);
+  CellId next_id = 0;
+  auto new_entity = [&](EntityType type, Status* status) {
+    const CellId id = next_id++;
+    Status s = store->AddEntity(id, type);
+    if (!s.ok()) *status = s;
+    ++dataset->entities;
+    return id;
+  };
+  auto add_triple = [&](CellId s, Predicate p, CellId o, Status* status) {
+    Status st = store->AddTriple(s, p, o);
+    if (!st.ok()) *status = st;
+    ++dataset->triples;
+  };
+
+  Status failure;
+  dataset->first_university = next_id;
+  std::vector<CellId> universities;
+  for (int u = 0; u < options.universities; ++u) {
+    universities.push_back(new_entity(EntityType::kUniversity, &failure));
+  }
+  dataset->num_universities = universities.size();
+
+  std::vector<CellId> all_courses;
+  for (CellId university : universities) {
+    for (int d = 0; d < options.departments_per_university; ++d) {
+      const CellId department = new_entity(EntityType::kDepartment, &failure);
+      add_triple(department, Predicate::kSubOrganizationOf, university,
+                 &failure);
+      std::vector<CellId> professors;
+      std::vector<CellId> courses;
+      for (int p = 0; p < options.professors_per_department; ++p) {
+        const CellId professor = new_entity(EntityType::kProfessor, &failure);
+        add_triple(professor, Predicate::kWorksFor, department, &failure);
+        professors.push_back(professor);
+        for (int c = 0; c < options.courses_per_professor; ++c) {
+          const CellId course = new_entity(EntityType::kCourse, &failure);
+          add_triple(professor, Predicate::kTeacherOf, course, &failure);
+          courses.push_back(course);
+          all_courses.push_back(course);
+        }
+      }
+      for (int s = 0; s < options.students_per_department; ++s) {
+        const CellId student = new_entity(EntityType::kStudent, &failure);
+        add_triple(student, Predicate::kMemberOf, department, &failure);
+        add_triple(student, Predicate::kAdvisor,
+                   professors[rng.Uniform(professors.size())], &failure);
+        for (int c = 0; c < options.courses_per_student; ++c) {
+          add_triple(student, Predicate::kTakesCourse,
+                     courses[rng.Uniform(courses.size())], &failure);
+        }
+      }
+    }
+  }
+  dataset->num_courses = all_courses.size();
+  dataset->first_course = all_courses.empty() ? 0 : all_courses.front();
+  return failure;
+}
+
+}  // namespace trinity::query

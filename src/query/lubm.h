@@ -1,0 +1,45 @@
+#ifndef TRINITY_QUERY_LUBM_H_
+#define TRINITY_QUERY_LUBM_H_
+
+#include <cstdint>
+
+#include "common/status.h"
+#include "query/rdf_store.h"
+
+namespace trinity::query {
+
+/// LUBM-shaped synthetic data generator (Lehigh University Benchmark,
+/// paper ref [20]): universities containing departments, which employ
+/// professors, who teach courses and advise students; students are members
+/// of departments and take courses. Triples-per-entity ratios follow LUBM's
+/// published shape at a configurable scale.
+class LubmGenerator {
+ public:
+  struct Options {
+    int universities = 2;
+    int departments_per_university = 8;
+    int professors_per_department = 6;
+    int courses_per_professor = 2;
+    int students_per_department = 40;
+    int courses_per_student = 3;
+    std::uint64_t seed = 2024;
+  };
+
+  struct Dataset {
+    std::uint64_t entities = 0;
+    std::uint64_t triples = 0;
+    /// Id ranges for the query driver.
+    CellId first_university = 0;
+    CellId first_course = 0;
+    std::uint64_t num_universities = 0;
+    std::uint64_t num_courses = 0;
+  };
+
+  /// Populates `store` and describes the dataset.
+  static Status Generate(RdfStore* store, const Options& options,
+                         Dataset* dataset);
+};
+
+}  // namespace trinity::query
+
+#endif  // TRINITY_QUERY_LUBM_H_

@@ -1,0 +1,267 @@
+#include "query/rdf_store.h"
+
+#include <cstring>
+#include <unordered_set>
+
+#include "common/serializer.h"
+#include "storage/memory_trunk.h"
+
+namespace trinity::query {
+
+std::string RdfStore::EncodeEntity(EntityType type) {
+  BinaryWriter writer;
+  writer.PutU32(static_cast<std::uint32_t>(type));
+  writer.PutU32(0);  // Triple count.
+  return writer.Release();
+}
+
+Status RdfStore::AddEntity(CellId id, EntityType type) {
+  return cloud_->AddCell(id, Slice(EncodeEntity(type)));
+}
+
+Status RdfStore::AddTriple(CellId subject, Predicate predicate,
+                           CellId object) {
+  // Triples append at the blob's end; the count lives in the header, which
+  // we derive from the cell size instead of rewriting (12 bytes per entry).
+  char raw[12];
+  const std::uint32_t p = static_cast<std::uint32_t>(predicate);
+  std::memcpy(raw, &p, 4);
+  std::memcpy(raw + 4, &object, 8);
+  return cloud_->AppendToCell(subject, Slice(raw, 12));
+}
+
+namespace {
+
+bool ParseEntity(Slice blob, EntityType* type, std::size_t* triples) {
+  if (blob.size() < 8 || (blob.size() - 8) % 12 != 0) return false;
+  std::uint32_t raw_type = 0;
+  std::memcpy(&raw_type, blob.data(), 4);
+  *type = static_cast<EntityType>(raw_type);
+  *triples = (blob.size() - 8) / 12;
+  return true;
+}
+
+void ReadTriple(Slice blob, std::size_t index, Predicate* predicate,
+                CellId* object) {
+  std::uint32_t p = 0;
+  std::memcpy(&p, blob.data() + 8 + index * 12, 4);
+  std::memcpy(object, blob.data() + 8 + index * 12 + 4, 8);
+  *predicate = static_cast<Predicate>(p);
+}
+
+}  // namespace
+
+Status RdfStore::GetType(CellId id, EntityType* out) {
+  std::string blob;
+  Status s = cloud_->GetCell(id, &blob);
+  if (!s.ok()) return s;
+  std::size_t triples = 0;
+  if (!ParseEntity(Slice(blob), out, &triples)) {
+    return Status::Corruption("malformed entity cell");
+  }
+  return Status::OK();
+}
+
+Status RdfStore::GetObjects(CellId subject, Predicate predicate,
+                            std::vector<CellId>* out) {
+  return GetObjectsFrom(cloud_->client_id(), subject, predicate, out);
+}
+
+Status RdfStore::GetObjectsFrom(MachineId src, CellId subject,
+                                Predicate predicate,
+                                std::vector<CellId>* out) {
+  out->clear();
+  std::string blob;
+  Status s = cloud_->GetCellFrom(src, subject, &blob);
+  if (!s.ok()) return s;
+  EntityType type;
+  std::size_t triples = 0;
+  if (!ParseEntity(Slice(blob), &type, &triples)) {
+    return Status::Corruption("malformed entity cell");
+  }
+  for (std::size_t i = 0; i < triples; ++i) {
+    Predicate p;
+    CellId object;
+    ReadTriple(Slice(blob), i, &p, &object);
+    if (p == predicate) out->push_back(object);
+  }
+  return Status::OK();
+}
+
+Status RdfStore::ScanLocal(MachineId machine, const EntityVisitor& visit) {
+  storage::MemoryStorage* store = cloud_->storage(machine);
+  if (store == nullptr) return Status::NotFound("not a slave");
+  for (TrunkId t : store->trunk_ids()) {
+    storage::MemoryTrunk* trunk = store->trunk(t);
+    if (trunk == nullptr) continue;
+    for (CellId id : trunk->CellIds()) {
+      storage::MemoryTrunk::ConstAccessor accessor;
+      Status s = trunk->Access(id, &accessor);
+      if (!s.ok()) continue;
+      const Slice blob = accessor.data();
+      EntityType type;
+      std::size_t triples = 0;
+      if (!ParseEntity(blob, &type, &triples)) continue;
+      visit(id, type,
+            [blob, triples](const std::function<void(Predicate, CellId)>& fn) {
+              for (std::size_t i = 0; i < triples; ++i) {
+                Predicate p;
+                CellId object;
+                ReadTriple(blob, i, &p, &object);
+                fn(p, object);
+              }
+            });
+    }
+  }
+  return Status::OK();
+}
+
+Status SparqlQueries::RunParallelScan(
+    const std::function<Status(MachineId)>& body, QueryStats* stats) {
+  net::Fabric& fabric = store_->cloud()->fabric();
+  fabric.ResetMeters();
+  for (MachineId m = 0; m < store_->cloud()->num_slaves(); ++m) {
+    net::Fabric::MeterScope meter(fabric, m);
+    Status s = body(m);
+    if (!s.ok()) return s;
+  }
+  fabric.FlushAll();
+  stats->modeled_millis += cost_model_.PhaseSeconds(fabric) * 1000.0;
+  stats->remote_lookups += fabric.stats().sync_calls;
+  return Status::OK();
+}
+
+Status SparqlQueries::StudentsOfCourse(CellId course, QueryStats* stats) {
+  *stats = QueryStats();
+  return RunParallelScan(
+      [&](MachineId m) {
+        return store_->ScanLocal(m, [&](CellId, EntityType type,
+                                        const auto& for_each_triple) {
+          if (type != EntityType::kStudent) return;
+          for_each_triple([&](Predicate p, CellId object) {
+            if (p == Predicate::kTakesCourse && object == course) {
+              ++stats->results;
+            }
+          });
+        });
+      },
+      stats);
+}
+
+Status SparqlQueries::ProfessorsOfUniversity(CellId university,
+                                             QueryStats* stats) {
+  *stats = QueryStats();
+  // Scan professors; follow worksFor -> department -> subOrganizationOf.
+  return RunParallelScan(
+      [&](MachineId m) {
+        Status failure;
+        Status s = store_->ScanLocal(m, [&](CellId, EntityType type,
+                                            const auto& for_each_triple) {
+          if (type != EntityType::kProfessor) return;
+          for_each_triple([&](Predicate p, CellId department) {
+            if (p != Predicate::kWorksFor) return;
+            std::vector<CellId> universities;
+            Status ls = store_->GetObjectsFrom(
+                m, department, Predicate::kSubOrganizationOf, &universities);
+            if (!ls.ok()) {
+              failure = ls;
+              return;
+            }
+            for (CellId u : universities) {
+              if (u == university) ++stats->results;
+            }
+          });
+        });
+        if (!s.ok()) return s;
+        return failure;
+      },
+      stats);
+}
+
+Status SparqlQueries::StudentsAdvisedByTheirTeacher(QueryStats* stats) {
+  *stats = QueryStats();
+  // Triangle: student -advisor-> professor -teacherOf-> course
+  //           student -takesCourse-> course.
+  return RunParallelScan(
+      [&](MachineId m) {
+        Status failure;
+        Status s = store_->ScanLocal(m, [&](CellId, EntityType type,
+                                            const auto& for_each_triple) {
+          if (type != EntityType::kStudent) return;
+          std::unordered_set<CellId> courses;
+          std::vector<CellId> advisors;
+          for_each_triple([&](Predicate p, CellId object) {
+            if (p == Predicate::kTakesCourse) courses.insert(object);
+            if (p == Predicate::kAdvisor) advisors.push_back(object);
+          });
+          for (CellId advisor : advisors) {
+            std::vector<CellId> taught;
+            Status ls = store_->GetObjectsFrom(m, advisor,
+                                               Predicate::kTeacherOf, &taught);
+            if (!ls.ok()) {
+              failure = ls;
+              return;
+            }
+            for (CellId course : taught) {
+              if (courses.count(course) != 0) {
+                ++stats->results;
+                break;
+              }
+            }
+          }
+        });
+        if (!s.ok()) return s;
+        return failure;
+      },
+      stats);
+}
+
+Status SparqlQueries::ProfessorsAffiliatedWith(CellId university,
+                                               QueryStats* stats) {
+  *stats = QueryStats();
+  // Path: professor -worksFor-> department -subOrganizationOf-> university,
+  // plus students of those professors via -advisor->. Counts professors.
+  return RunParallelScan(
+      [&](MachineId m) {
+        Status failure;
+        Status s = store_->ScanLocal(m, [&](CellId, EntityType type,
+                                            const auto& for_each_triple) {
+          if (type != EntityType::kDepartment) return;
+          bool affiliated = false;
+          for_each_triple([&](Predicate p, CellId object) {
+            if (p == Predicate::kSubOrganizationOf && object == university) {
+              affiliated = true;
+            }
+          });
+          if (!affiliated) return;
+          // Departments don't index their professors; this direction is
+          // resolved by the per-machine professor scan in Q2. Here we count
+          // via reverse scan of local professors referencing us — done in
+          // the same pass for simplicity.
+        });
+        if (!s.ok()) return s;
+        // Second local pass: professors working for affiliated departments.
+        s = store_->ScanLocal(m, [&](CellId, EntityType type,
+                                     const auto& for_each_triple) {
+          if (type != EntityType::kProfessor) return;
+          for_each_triple([&](Predicate p, CellId department) {
+            if (p != Predicate::kWorksFor) return;
+            std::vector<CellId> universities;
+            Status ls = store_->GetObjectsFrom(
+                m, department, Predicate::kSubOrganizationOf, &universities);
+            if (!ls.ok()) {
+              failure = ls;
+              return;
+            }
+            for (CellId u : universities) {
+              if (u == university) ++stats->results;
+            }
+          });
+        });
+        if (!s.ok()) return s;
+        return failure;
+      },
+      stats);
+}
+
+}  // namespace trinity::query

@@ -1,0 +1,337 @@
+#include "query/tql.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace trinity::query {
+
+namespace {
+
+/// Minimal token stream for TQL statements: keywords/identifiers, unsigned
+/// integers, quoted strings, and the '..' range operator.
+class TokenStream {
+ public:
+  explicit TokenStream(const std::string& input) : input_(input) {}
+
+  /// Consumes the next token into *out; kinds: 'w' word (upper-cased),
+  /// 'n' number, 's' string, 'r' range "..", 'e' end.
+  char Next(std::string* out) {
+    SkipSpace();
+    out->clear();
+    if (pos_ >= input_.size()) return 'e';
+    const char c = input_[pos_];
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      while (pos_ < input_.size() &&
+             std::isdigit(static_cast<unsigned char>(input_[pos_]))) {
+        out->push_back(input_[pos_++]);
+      }
+      return 'n';
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      while (pos_ < input_.size() &&
+             (std::isalnum(static_cast<unsigned char>(input_[pos_])) ||
+              input_[pos_] == '_')) {
+        out->push_back(static_cast<char>(
+            std::toupper(static_cast<unsigned char>(input_[pos_++]))));
+      }
+      return 'w';
+    }
+    if (c == '\'') {
+      ++pos_;
+      while (pos_ < input_.size() && input_[pos_] != '\'') {
+        out->push_back(input_[pos_++]);
+      }
+      if (pos_ >= input_.size()) return '!';  // Unterminated.
+      ++pos_;
+      return 's';
+    }
+    if (c == '.' && pos_ + 1 < input_.size() && input_[pos_ + 1] == '.') {
+      pos_ += 2;
+      *out = "..";
+      return 'r';
+    }
+    if (c == '=') {
+      ++pos_;
+      *out = "=";
+      return 'w';
+    }
+    return '!';
+  }
+
+  std::size_t position() const { return pos_; }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+  const std::string& input_;
+  std::size_t pos_ = 0;
+};
+
+Status SyntaxError(const TokenStream& stream, const std::string& message) {
+  return Status::InvalidArgument("TQL: " + message + " (near position " +
+                                 std::to_string(stream.position()) + ")");
+}
+
+}  // namespace
+
+struct Tql::ParsedQuery {
+  enum class Kind { kExplore, kCount, kNeighbors, kNode, kPath };
+  Kind kind = Kind::kExplore;
+  CellId from = kInvalidCell;
+  CellId to = kInvalidCell;
+  int min_hops = 1;
+  int max_hops = 1;
+  bool has_name_filter = false;
+  std::string name_filter;
+  std::uint64_t limit = 0;  ///< 0 = unlimited.
+  bool inbound = false;     ///< NEIGHBORS ... IN.
+};
+
+Status Tql::Execute(const std::string& statement, Result* result) {
+  *result = Result();
+  TokenStream stream(statement);
+  std::string token;
+  char kind = stream.Next(&token);
+  if (kind != 'w') return SyntaxError(stream, "expected a statement keyword");
+
+  ParsedQuery query;
+  auto expect_number = [&](const char* what, std::uint64_t* out) -> Status {
+    std::string t;
+    if (stream.Next(&t) != 'n') {
+      return SyntaxError(stream, std::string("expected ") + what);
+    }
+    *out = std::stoull(t);
+    return Status::OK();
+  };
+  auto expect_word = [&](const char* word) -> Status {
+    std::string t;
+    if (stream.Next(&t) != 'w' || t != word) {
+      return SyntaxError(stream, std::string("expected ") + word);
+    }
+    return Status::OK();
+  };
+
+  if (token == "EXPLORE" || token == "COUNT") {
+    query.kind = token == "EXPLORE" ? ParsedQuery::Kind::kExplore
+                                    : ParsedQuery::Kind::kCount;
+    Status s = expect_word("FROM");
+    if (!s.ok()) return s;
+    std::uint64_t id = 0;
+    s = expect_number("source id", &id);
+    if (!s.ok()) return s;
+    query.from = id;
+    s = expect_word("HOPS");
+    if (!s.ok()) return s;
+    std::uint64_t min_hops = 0, max_hops = 0;
+    s = expect_number("min hops", &min_hops);
+    if (!s.ok()) return s;
+    std::string t;
+    if (stream.Next(&t) != 'r') {
+      return SyntaxError(stream, "expected '..' in hop range");
+    }
+    s = expect_number("max hops", &max_hops);
+    if (!s.ok()) return s;
+    if (min_hops > max_hops) {
+      return SyntaxError(stream, "hop range is inverted");
+    }
+    query.min_hops = static_cast<int>(min_hops);
+    query.max_hops = static_cast<int>(max_hops);
+    // Optional clauses in any order.
+    for (;;) {
+      const char k = stream.Next(&t);
+      if (k == 'e') break;
+      if (k != 'w') return SyntaxError(stream, "unexpected token");
+      if (t == "WHERE") {
+        s = expect_word("NAME");
+        if (!s.ok()) return s;
+        s = expect_word("=");
+        if (!s.ok()) return s;
+        if (stream.Next(&query.name_filter) != 's') {
+          return SyntaxError(stream, "expected a quoted name");
+        }
+        query.has_name_filter = true;
+      } else if (t == "LIMIT") {
+        s = expect_number("limit", &query.limit);
+        if (!s.ok()) return s;
+      } else {
+        return SyntaxError(stream, "unknown clause '" + t + "'");
+      }
+    }
+    return RunExplore(query, query.kind == ParsedQuery::Kind::kCount,
+                      result);
+  }
+  if (token == "NEIGHBORS") {
+    query.kind = ParsedQuery::Kind::kNeighbors;
+    Status s = expect_word("OF");
+    if (!s.ok()) return s;
+    std::uint64_t id = 0;
+    s = expect_number("node id", &id);
+    if (!s.ok()) return s;
+    query.from = id;
+    std::string t;
+    const char k = stream.Next(&t);
+    if (k == 'w' && t == "IN") {
+      query.inbound = true;
+    } else if (k == 'w' && t == "OUT") {
+      query.inbound = false;
+    } else if (k != 'e') {
+      return SyntaxError(stream, "expected OUT, IN or end of statement");
+    }
+    return RunNeighbors(query, result);
+  }
+  if (token == "NODE") {
+    query.kind = ParsedQuery::Kind::kNode;
+    std::uint64_t id = 0;
+    Status s = expect_number("node id", &id);
+    if (!s.ok()) return s;
+    query.from = id;
+    return RunNode(query, result);
+  }
+  if (token == "PATH") {
+    query.kind = ParsedQuery::Kind::kPath;
+    Status s = expect_word("FROM");
+    if (!s.ok()) return s;
+    std::uint64_t id = 0;
+    s = expect_number("source id", &id);
+    if (!s.ok()) return s;
+    query.from = id;
+    s = expect_word("TO");
+    if (!s.ok()) return s;
+    s = expect_number("target id", &id);
+    if (!s.ok()) return s;
+    query.to = id;
+    query.max_hops = 16;
+    std::string t;
+    const char k = stream.Next(&t);
+    if (k == 'w' && t == "MAXHOPS") {
+      std::uint64_t max_hops = 0;
+      s = expect_number("max hops", &max_hops);
+      if (!s.ok()) return s;
+      query.max_hops = static_cast<int>(max_hops);
+    } else if (k != 'e') {
+      return SyntaxError(stream, "expected MAXHOPS or end of statement");
+    }
+    return RunPath(query, result);
+  }
+  return SyntaxError(stream, "unknown statement '" + token + "'");
+}
+
+Status Tql::RunExplore(const ParsedQuery& query, bool count_only,
+                       Result* result) {
+  compute::TraversalEngine engine(graph_);
+  compute::TraversalEngine::QueryStats stats;
+  std::uint64_t matched = 0;
+  if (!count_only) result->columns = {"node", "hops", "name"};
+  const Status s = engine.KHopExplore(
+      query.from, query.max_hops,
+      [&](CellId v, int depth, Slice data) {
+        if (depth < query.min_hops) return true;
+        if (query.has_name_filter &&
+            data.ToView() != query.name_filter) {
+          return true;
+        }
+        if (query.limit != 0 && matched >= query.limit) return false;
+        ++matched;
+        if (!count_only) {
+          result->rows.push_back({std::to_string(v), std::to_string(depth),
+                                  data.ToString()});
+        }
+        return true;
+      },
+      &stats);
+  if (!s.ok()) return s;
+  if (count_only) {
+    result->columns = {"count"};
+    result->rows.push_back({std::to_string(matched)});
+  }
+  result->modeled_millis = stats.modeled_millis;
+  result->visited = stats.visited;
+  return Status::OK();
+}
+
+Status Tql::RunNeighbors(const ParsedQuery& query, Result* result) {
+  std::vector<CellId> links;
+  Status s = query.inbound ? graph_->GetInlinks(query.from, &links)
+                           : graph_->GetOutlinks(query.from, &links);
+  if (!s.ok()) return s;
+  result->columns = {"neighbor"};
+  for (CellId v : links) {
+    result->rows.push_back({std::to_string(v)});
+  }
+  return Status::OK();
+}
+
+Status Tql::RunNode(const ParsedQuery& query, Result* result) {
+  std::string data;
+  Status s = graph_->GetNodeData(query.from, &data);
+  if (!s.ok()) return s;
+  std::vector<CellId> out;
+  s = graph_->GetOutlinks(query.from, &out);
+  if (!s.ok()) return s;
+  result->columns = {"node", "name", "out_degree", "machine"};
+  result->rows.push_back(
+      {std::to_string(query.from), data, std::to_string(out.size()),
+       std::to_string(graph_->MachineOfNode(query.from))});
+  return Status::OK();
+}
+
+Status Tql::RunPath(const ParsedQuery& query, Result* result) {
+  compute::TraversalEngine engine(graph_);
+  compute::TraversalEngine::QueryStats stats;
+  std::int64_t distance = -1;
+  const Status s = engine.KHopExplore(
+      query.from, query.max_hops,
+      [&](CellId v, int depth, Slice) {
+        if (v == query.to && distance < 0) {
+          distance = depth;
+          return false;
+        }
+        return distance < 0;  // Stop expanding once found.
+      },
+      &stats);
+  if (!s.ok()) return s;
+  result->columns = {"from", "to", "distance"};
+  result->rows.push_back({std::to_string(query.from),
+                          std::to_string(query.to),
+                          distance < 0 ? "unreachable"
+                                       : std::to_string(distance)});
+  result->modeled_millis = stats.modeled_millis;
+  result->visited = stats.visited;
+  return Status::OK();
+}
+
+std::string Tql::Format(const Result& result) {
+  std::vector<std::size_t> widths;
+  widths.reserve(result.columns.size());
+  for (const std::string& c : result.columns) widths.push_back(c.size());
+  for (const auto& row : result.rows) {
+    for (std::size_t i = 0; i < row.size() && i < widths.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+  std::string out;
+  auto append_row = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      out += row[i];
+      out.append(widths[i] - row[i].size() + 2, ' ');
+    }
+    out += '\n';
+  };
+  append_row(result.columns);
+  for (const auto& row : result.rows) append_row(row);
+  char footer[96];
+  std::snprintf(footer, sizeof(footer),
+                "(%zu rows, %llu visited, %.3f ms modeled)\n",
+                result.rows.size(),
+                static_cast<unsigned long long>(result.visited),
+                result.modeled_millis);
+  out += footer;
+  return out;
+}
+
+}  // namespace trinity::query

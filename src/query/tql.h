@@ -1,0 +1,73 @@
+#ifndef TRINITY_QUERY_TQL_H_
+#define TRINITY_QUERY_TQL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "compute/traversal.h"
+#include "graph/graph.h"
+
+namespace trinity::query {
+
+/// TQL — Trinity Query Language (lite).
+///
+/// The paper (§4.2) notes that "we implemented a sophisticated graph query
+/// language (TQL) within this framework" as an example of TSL-enabled
+/// system extension. This module provides a compact, self-contained
+/// reproduction of that layer: a textual query language whose statements
+/// compile onto the traversal engine and the graph API.
+///
+/// Grammar (case-insensitive keywords):
+///
+///   query     := explore | count | neighbors | node | path
+///   explore   := EXPLORE FROM <id> HOPS <min>..<max>
+///                  [WHERE NAME = '<str>'] [LIMIT <n>]
+///   count     := COUNT FROM <id> HOPS <min>..<max> [WHERE NAME = '<str>']
+///   neighbors := NEIGHBORS OF <id> [OUT | IN]
+///   node      := NODE <id>
+///   path      := PATH FROM <id> TO <id> [MAXHOPS <n>]
+///
+/// Examples:
+///
+///   EXPLORE FROM 4242 HOPS 1..3 WHERE NAME = 'David' LIMIT 10
+///   COUNT FROM 0 HOPS 1..2
+///   NEIGHBORS OF 17 OUT
+///   PATH FROM 3 TO 99 MAXHOPS 6
+class Tql {
+ public:
+  struct Result {
+    std::vector<std::string> columns;
+    std::vector<std::vector<std::string>> rows;
+    /// Online-query cost of the statement (zero for point lookups).
+    double modeled_millis = 0;
+    std::uint64_t visited = 0;
+  };
+
+  explicit Tql(graph::Graph* graph) : graph_(graph) {}
+
+  Tql(const Tql&) = delete;
+  Tql& operator=(const Tql&) = delete;
+
+  /// Parses and executes one statement. Syntax errors come back as
+  /// InvalidArgument with a position hint.
+  Status Execute(const std::string& statement, Result* result);
+
+  /// Renders a result as an aligned text table (for shells and examples).
+  static std::string Format(const Result& result);
+
+ private:
+  struct ParsedQuery;
+
+  Status RunExplore(const ParsedQuery& query, bool count_only,
+                    Result* result);
+  Status RunNeighbors(const ParsedQuery& query, Result* result);
+  Status RunNode(const ParsedQuery& query, Result* result);
+  Status RunPath(const ParsedQuery& query, Result* result);
+
+  graph::Graph* graph_;
+};
+
+}  // namespace trinity::query
+
+#endif  // TRINITY_QUERY_TQL_H_

@@ -1,0 +1,94 @@
+#ifndef TRINITY_STORAGE_MEMORY_STORAGE_H_
+#define TRINITY_STORAGE_MEMORY_STORAGE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/memory_trunk.h"
+#include "tfs/tfs.h"
+
+namespace trinity::storage {
+
+/// The memory storage module of one Trinity slave: the set of memory trunks
+/// the addressing table currently assigns to this machine (§3: "each machine
+/// hosts multiple memory trunks" for trunk-level parallelism and smaller
+/// per-trunk hash tables).
+///
+/// Also owns the machine's defragmentation daemon — a background thread that
+/// periodically sweeps trunks whose dead-byte ratio exceeds a threshold
+/// (§6.1) — and the trunk persistence path to TFS used for fault tolerance.
+class MemoryStorage {
+ public:
+  struct Options {
+    MemoryTrunk::Options trunk;
+    /// Defrag a trunk when dead+slack bytes exceed this fraction of used.
+    double defrag_threshold = 0.3;
+  };
+
+  explicit MemoryStorage(Options options) : options_(std::move(options)) {}
+  ~MemoryStorage() { StopDefragDaemon(); }
+
+  MemoryStorage(const MemoryStorage&) = delete;
+  MemoryStorage& operator=(const MemoryStorage&) = delete;
+
+  /// Creates an (empty) trunk owned by this machine. Fails with
+  /// AlreadyExists when the trunk is already hosted here.
+  Status AttachTrunk(TrunkId trunk_id);
+
+  /// Installs an already-built trunk (used during failure recovery when
+  /// trunks are reloaded from TFS onto surviving machines).
+  Status AttachTrunk(TrunkId trunk_id, std::unique_ptr<MemoryTrunk> trunk);
+
+  /// Drops a trunk (after it migrated to another machine).
+  Status DetachTrunk(TrunkId trunk_id);
+
+  /// Trunk lookup; returns nullptr if the trunk is not hosted here.
+  MemoryTrunk* trunk(TrunkId trunk_id) const;
+
+  std::vector<TrunkId> trunk_ids() const;
+
+  /// Sum of committed bytes across trunks plus index overhead — the memory
+  /// footprint number reported in the Fig 13 comparison.
+  std::uint64_t MemoryFootprintBytes() const;
+
+  std::uint64_t TotalCellCount() const;
+
+  /// Persists every hosted trunk to TFS under `prefix`/trunk_<id>.
+  Status SaveToTfs(tfs::Tfs* tfs, const std::string& prefix) const;
+
+  /// Loads one trunk image from TFS and returns it (does not attach).
+  static Status LoadTrunkFromTfs(tfs::Tfs* tfs, const std::string& prefix,
+                                 TrunkId trunk_id,
+                                 const MemoryTrunk::Options& options,
+                                 std::unique_ptr<MemoryTrunk>* out);
+
+  /// Starts the background defragmentation daemon.
+  void StartDefragDaemon(std::chrono::milliseconds interval);
+  void StopDefragDaemon();
+
+  /// One synchronous sweep over all trunks; returns bytes reclaimed.
+  std::uint64_t DefragSweep();
+
+ private:
+  const Options options_;
+  mutable std::mutex mu_;
+  std::map<TrunkId, std::unique_ptr<MemoryTrunk>> trunks_;
+
+  std::thread defrag_thread_;
+  std::mutex daemon_mu_;
+  std::condition_variable daemon_cv_;
+  bool daemon_stop_ = false;
+  bool daemon_running_ = false;
+};
+
+}  // namespace trinity::storage
+
+#endif  // TRINITY_STORAGE_MEMORY_STORAGE_H_

@@ -1,0 +1,443 @@
+#include "storage/memory_trunk.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstring>
+
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/serializer.h"
+
+namespace trinity::storage {
+
+MemoryTrunk::MemoryTrunk(const Options& options) : options_(options) {}
+
+Status MemoryTrunk::Create(const Options& options,
+                           std::unique_ptr<MemoryTrunk>* out) {
+  if (options.capacity < (1u << 12)) {
+    return Status::InvalidArgument("trunk capacity too small");
+  }
+  std::unique_ptr<MemoryTrunk> trunk(new MemoryTrunk(options));
+  Status s = trunk->Init();
+  if (!s.ok()) return s;
+  *out = std::move(trunk);
+  return Status::OK();
+}
+
+Status MemoryTrunk::Init() {
+  page_size_ = static_cast<std::uint64_t>(sysconf(_SC_PAGESIZE));
+  capacity_ = (options_.capacity + page_size_ - 1) / page_size_ * page_size_;
+  // Reserve the address range without committing physical memory — the
+  // paper's "reserve a 2GB virtual memory address space" step.
+  void* mem = ::mmap(nullptr, capacity_, PROT_NONE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  if (mem == MAP_FAILED) {
+    return Status::OutOfMemory("cannot reserve trunk address space");
+  }
+  base_ = static_cast<char*>(mem);
+  committed_pages_.assign(capacity_ / page_size_, false);
+  locks_ = std::make_unique<SpinLock[]>(kLockStripes);
+  return Status::OK();
+}
+
+MemoryTrunk::~MemoryTrunk() {
+  if (base_ != nullptr) ::munmap(base_, capacity_);
+}
+
+SpinLock& MemoryTrunk::LockFor(CellId id) const {
+  return locks_[InTrunkHash(id) % kLockStripes];
+}
+
+Status MemoryTrunk::EnsureCommitted(std::uint64_t phys_begin,
+                                    std::uint64_t length) {
+  if (length == 0) return Status::OK();
+  const std::uint64_t first = phys_begin / page_size_;
+  const std::uint64_t last = (phys_begin + length - 1) / page_size_;
+  for (std::uint64_t page = first; page <= last; ++page) {
+    if (committed_pages_[page]) continue;
+    if (::mprotect(base_ + page * page_size_, page_size_,
+                   PROT_READ | PROT_WRITE) != 0) {
+      return Status::OutOfMemory("mprotect commit failed");
+    }
+    committed_pages_[page] = true;
+    ++committed_page_count_;
+  }
+  return Status::OK();
+}
+
+void MemoryTrunk::DecommitDeadPagesLocked() {
+  // Compute the physical pages overlapped by the live logical window
+  // [tail_, head_) and release everything else back to the OS.
+  const std::uint64_t used = head_ - tail_;
+  std::vector<bool> live(committed_pages_.size(), false);
+  if (used >= capacity_) {
+    live.assign(live.size(), true);
+  } else if (used > 0) {
+    const std::uint64_t lt = tail_ % capacity_;
+    const std::uint64_t lh = head_ % capacity_;
+    auto mark = [&](std::uint64_t begin, std::uint64_t end) {
+      if (begin >= end) return;
+      const std::uint64_t first = begin / page_size_;
+      const std::uint64_t last = (end - 1) / page_size_;
+      for (std::uint64_t p = first; p <= last; ++p) live[p] = true;
+    };
+    if (lt < lh) {
+      mark(lt, lh);
+    } else {
+      mark(lt, capacity_);
+      mark(0, lh);
+    }
+  }
+  for (std::uint64_t page = 0; page < committed_pages_.size(); ++page) {
+    if (committed_pages_[page] && !live[page]) {
+      char* addr = base_ + page * page_size_;
+      ::madvise(addr, page_size_, MADV_DONTNEED);
+      ::mprotect(addr, page_size_, PROT_NONE);
+      committed_pages_[page] = false;
+      --committed_page_count_;
+    }
+  }
+}
+
+Status MemoryTrunk::AllocateLocked(std::uint64_t span,
+                                   std::uint64_t* logical) {
+  if (span > capacity_) return Status::InvalidArgument("cell too large");
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const std::uint64_t phys = head_ % capacity_;
+    const std::uint64_t rem = capacity_ - phys;
+    const std::uint64_t pad = rem < span ? rem : 0;
+    if (head_ - tail_ + pad + span > capacity_) {
+      if (attempt == 0 && stats_.dead_bytes > 0 && !in_defrag_) {
+        DefragmentLocked();
+        continue;
+      }
+      return Status::OutOfMemory("trunk full");
+    }
+    if (pad > 0) {
+      if (rem >= kHeaderSize) {
+        Status s = EnsureCommitted(phys, kHeaderSize);
+        if (!s.ok()) return s;
+        EntryHeader* hdr = HeaderAt(head_);
+        hdr->id = kPadCell;
+        hdr->size = 0;
+        hdr->capacity = static_cast<std::uint32_t>(rem - kHeaderSize);
+      }
+      // rem < kHeaderSize leaves an implicit pad the scanner skips.
+      head_ += pad;
+      stats_.dead_bytes += pad;
+    }
+    Status s = EnsureCommitted(head_ % capacity_, span);
+    if (!s.ok()) return s;
+    *logical = head_;
+    head_ += span;
+    return Status::OK();
+  }
+  return Status::OutOfMemory("trunk full");
+}
+
+Status MemoryTrunk::AppendEntryLocked(CellId id, Slice payload,
+                                      std::uint64_t capacity,
+                                      std::uint64_t* logical) {
+  if (capacity < payload.size()) capacity = payload.size();
+  const std::uint64_t span = EntrySpan(capacity);
+  Status s = AllocateLocked(span, logical);
+  if (!s.ok()) return s;
+  EntryHeader* hdr = HeaderAt(*logical);
+  hdr->id = id;
+  hdr->size = static_cast<std::uint32_t>(payload.size());
+  hdr->capacity = static_cast<std::uint32_t>(capacity);
+  std::memcpy(PhysPtr(*logical) + kHeaderSize, payload.data(),
+              payload.size());
+  return Status::OK();
+}
+
+Status MemoryTrunk::AddCell(CellId id, Slice payload) {
+  if (id >= kDeadCell) return Status::InvalidArgument("reserved cell id");
+  std::lock_guard<std::mutex> lock(mu_);
+  if (index_.Find(id) != TrunkIndex::kNoOffset) {
+    return Status::AlreadyExists("cell exists");
+  }
+  std::uint64_t logical = 0;
+  Status s = AppendEntryLocked(id, payload, payload.size(), &logical);
+  if (!s.ok()) return s;
+  index_.Upsert(id, logical);
+  ++stats_.live_cells;
+  stats_.live_bytes += payload.size();
+  return Status::OK();
+}
+
+Status MemoryTrunk::PutCell(CellId id, Slice payload) {
+  if (id >= kDeadCell) return Status::InvalidArgument("reserved cell id");
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) {
+    std::uint64_t logical = 0;
+    Status s = AppendEntryLocked(id, payload, payload.size(), &logical);
+    if (!s.ok()) return s;
+    index_.Upsert(id, logical);
+    ++stats_.live_cells;
+    stats_.live_bytes += payload.size();
+    return Status::OK();
+  }
+  EntryHeader* hdr = HeaderAt(offset);
+  SpinLockGuard cell_lock(LockFor(id));
+  if (payload.size() <= hdr->capacity) {
+    // In-place overwrite; shrink or grow within the existing allocation.
+    stats_.live_bytes += payload.size();
+    stats_.live_bytes -= hdr->size;
+    stats_.reserved_slack += hdr->size;
+    stats_.reserved_slack -= payload.size();
+    std::memcpy(PhysPtr(offset) + kHeaderSize, payload.data(),
+                payload.size());
+    hdr->size = static_cast<std::uint32_t>(payload.size());
+    return Status::OK();
+  }
+  // Relocate: append the new image first; only then kill the old entry.
+  // The allocation may trigger an auto-defrag pass that *moves* the old
+  // entry, so its location must be re-resolved through the index afterwards.
+  std::uint64_t logical = 0;
+  Status s = AppendEntryLocked(id, payload, payload.size(), &logical);
+  if (!s.ok()) return s;  // Old entry untouched and still indexed.
+  const std::uint64_t old_offset = index_.Find(id);
+  EntryHeader* old_hdr = HeaderAt(old_offset);
+  const std::uint64_t old_size = old_hdr->size;
+  const std::uint64_t old_slack = old_hdr->capacity - old_hdr->size;
+  old_hdr->id = kDeadCell;
+  stats_.dead_bytes += EntrySpan(old_hdr->capacity);
+  index_.Upsert(id, logical);
+  stats_.live_bytes += payload.size();
+  stats_.live_bytes -= old_size;
+  stats_.reserved_slack -= old_slack;
+  return Status::OK();
+}
+
+Status MemoryTrunk::GetCell(CellId id, std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  const EntryHeader* hdr = HeaderAt(offset);
+  out->assign(PhysPtr(offset) + kHeaderSize, hdr->size);
+  return Status::OK();
+}
+
+bool MemoryTrunk::Contains(CellId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.Find(id) != TrunkIndex::kNoOffset;
+}
+
+Status MemoryTrunk::GetCellSize(CellId id, std::uint64_t* size) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  *size = HeaderAt(offset)->size;
+  return Status::OK();
+}
+
+Status MemoryTrunk::RemoveCell(CellId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  EntryHeader* hdr = HeaderAt(offset);
+  SpinLockGuard cell_lock(LockFor(id));
+  index_.Erase(id);
+  --stats_.live_cells;
+  stats_.live_bytes -= hdr->size;
+  stats_.reserved_slack -= hdr->capacity - hdr->size;
+  stats_.dead_bytes += EntrySpan(hdr->capacity);
+  hdr->id = kDeadCell;
+  return Status::OK();
+}
+
+Status MemoryTrunk::AppendToCell(CellId id, Slice suffix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  EntryHeader* hdr = HeaderAt(offset);
+  SpinLockGuard cell_lock(LockFor(id));
+  const std::uint64_t new_size = hdr->size + suffix.size();
+  if (new_size <= hdr->capacity) {
+    // The short-lived reservation absorbs the growth; no relocation.
+    std::memcpy(PhysPtr(offset) + kHeaderSize + hdr->size, suffix.data(),
+                suffix.size());
+    stats_.reserved_slack -= suffix.size();
+    stats_.live_bytes += suffix.size();
+    hdr->size = static_cast<std::uint32_t>(new_size);
+    ++stats_.expansions_in_place;
+    return Status::OK();
+  }
+  // Relocate with a fresh short-lived reservation (§6.1: "if the current
+  // key-value pair needs to expand by 16 bytes, we allocate 32 instead").
+  const std::uint64_t reserve =
+      new_size * static_cast<std::uint64_t>(options_.reservation_pct) / 100;
+  const std::uint64_t new_capacity = new_size + reserve;
+  std::string image;
+  image.reserve(new_size);
+  image.assign(PhysPtr(offset) + kHeaderSize, hdr->size);
+  image.append(suffix.data(), suffix.size());
+  // Append-first, as in PutCell: auto-defrag during allocation may move the
+  // old entry, so re-resolve it via the index before killing it.
+  std::uint64_t logical = 0;
+  Status s = AppendEntryLocked(id, Slice(image), new_capacity, &logical);
+  if (!s.ok()) return s;
+  const std::uint64_t old_offset = index_.Find(id);
+  EntryHeader* old_hdr = HeaderAt(old_offset);
+  const std::uint64_t old_size = old_hdr->size;
+  const std::uint64_t old_slack = old_hdr->capacity - old_hdr->size;
+  old_hdr->id = kDeadCell;
+  stats_.dead_bytes += EntrySpan(old_hdr->capacity);
+  index_.Upsert(id, logical);
+  stats_.live_bytes += new_size - old_size;
+  stats_.reserved_slack -= old_slack;
+  stats_.reserved_slack += new_capacity - new_size;
+  ++stats_.expansions_relocated;
+  return Status::OK();
+}
+
+Status MemoryTrunk::WriteAt(CellId id, std::uint64_t offset, Slice bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t entry = index_.Find(id);
+  if (entry == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  EntryHeader* hdr = HeaderAt(entry);
+  if (offset + bytes.size() > hdr->size) {
+    return Status::InvalidArgument("write past end of cell");
+  }
+  SpinLockGuard cell_lock(LockFor(id));
+  std::memcpy(PhysPtr(entry) + kHeaderSize + offset, bytes.data(),
+              bytes.size());
+  return Status::OK();
+}
+
+Status MemoryTrunk::Access(CellId id, ConstAccessor* accessor) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  const EntryHeader* hdr = HeaderAt(offset);
+  SpinLock& cell_lock = LockFor(id);
+  cell_lock.Lock();  // Pins the cell: defrag TryLock will skip it.
+  accessor->Release();
+  accessor->lock_ = &cell_lock;
+  accessor->data_ = Slice(PhysPtr(offset) + kHeaderSize, hdr->size);
+  return Status::OK();
+}
+
+std::uint64_t MemoryTrunk::Defragment() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return DefragmentLocked();
+}
+
+std::uint64_t MemoryTrunk::DefragmentLocked() {
+  ++stats_.defrag_passes;
+  in_defrag_ = true;
+  std::uint64_t reclaimed = 0;
+  std::string image;
+  const std::uint64_t pass_end = head_;
+  while (tail_ < pass_end && tail_ < head_) {
+    if (stats_.dead_bytes == 0 && stats_.reserved_slack == 0) break;
+    const std::uint64_t phys = tail_ % capacity_;
+    const std::uint64_t rem = capacity_ - phys;
+    if (rem < kHeaderSize) {
+      tail_ += rem;
+      stats_.dead_bytes -= rem;
+      reclaimed += rem;
+      continue;
+    }
+    EntryHeader* hdr = HeaderAt(tail_);
+    const std::uint64_t span = EntrySpan(hdr->capacity);
+    if (hdr->id == kPadCell || hdr->id == kDeadCell) {
+      tail_ += span;
+      stats_.dead_bytes -= span;
+      reclaimed += span;
+      continue;
+    }
+    // Live entry: move it to the head (trimming any unused reservation,
+    // which is what makes reservations "short-lived").
+    const CellId id = hdr->id;
+    const std::uint32_t size = hdr->size;
+    const std::uint64_t slack = hdr->capacity - size;
+    // Precheck that re-appending (including any ring padding the move may
+    // require) fits once this entry's own span is freed; otherwise stop the
+    // pass rather than risk overwriting the bytes being moved.
+    {
+      const std::uint64_t need = EntrySpan(size);
+      const std::uint64_t head_phys = head_ % capacity_;
+      const std::uint64_t rem = capacity_ - head_phys;
+      const std::uint64_t pad = rem < need ? rem : 0;
+      if (head_ - (tail_ + span) + pad + need > capacity_) break;
+    }
+    SpinLock& cell_lock = LockFor(id);
+    if (!cell_lock.TryLock()) break;  // Pinned by an accessor; stop here.
+    image.assign(PhysPtr(tail_) + kHeaderSize, size);
+    hdr->id = kDeadCell;
+    tail_ += span;
+    std::uint64_t logical = 0;
+    Status s = AppendEntryLocked(id, Slice(image), size, &logical);
+    TRINITY_CHECK(s.ok(), "defrag re-append failed after space precheck");
+    index_.Upsert(id, logical);
+    stats_.reserved_slack -= slack;
+    reclaimed += slack;
+    ++stats_.cells_moved;
+    cell_lock.Unlock();
+  }
+  in_defrag_ = false;
+  DecommitDeadPagesLocked();
+  return reclaimed;
+}
+
+MemoryTrunk::Stats MemoryTrunk::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.used_bytes = head_ - tail_;
+  s.committed_bytes = committed_page_count_ * page_size_;
+  s.capacity = capacity_;
+  return s;
+}
+
+std::uint64_t MemoryTrunk::cell_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return index_.size();
+}
+
+std::vector<CellId> MemoryTrunk::CellIds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CellId> ids;
+  ids.reserve(index_.size());
+  index_.ForEach([&](CellId id, std::uint64_t) { ids.push_back(id); });
+  return ids;
+}
+
+Status MemoryTrunk::Serialize(std::string* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  BinaryWriter writer;
+  writer.PutU64(index_.size());
+  index_.ForEach([&](CellId id, std::uint64_t offset) {
+    const EntryHeader* hdr = HeaderAt(offset);
+    writer.PutU64(id);
+    writer.PutBytes(Slice(PhysPtr(offset) + kHeaderSize, hdr->size));
+  });
+  *out = writer.Release();
+  return Status::OK();
+}
+
+Status MemoryTrunk::Deserialize(Slice data, const Options& options,
+                                std::unique_ptr<MemoryTrunk>* out) {
+  std::unique_ptr<MemoryTrunk> trunk;
+  Status s = Create(options, &trunk);
+  if (!s.ok()) return s;
+  BinaryReader reader(data);
+  std::uint64_t count = 0;
+  if (!reader.GetU64(&count)) return Status::Corruption("trunk image header");
+  for (std::uint64_t i = 0; i < count; ++i) {
+    CellId id = 0;
+    Slice payload;
+    if (!reader.GetU64(&id) || !reader.GetBytes(&payload)) {
+      return Status::Corruption("trunk image entry");
+    }
+    s = trunk->AddCell(id, payload);
+    if (!s.ok()) return s;
+  }
+  *out = std::move(trunk);
+  return Status::OK();
+}
+
+}  // namespace trinity::storage

@@ -1,0 +1,218 @@
+#ifndef TRINITY_STORAGE_MEMORY_TRUNK_H_
+#define TRINITY_STORAGE_MEMORY_TRUNK_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/slice.h"
+#include "common/spinlock.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "storage/trunk_index.h"
+
+namespace trinity::storage {
+
+/// A memory trunk: one shard of the memory cloud's storage, implementing the
+/// paper's circular memory management (§6.1).
+///
+/// The trunk reserves a fixed virtual address range up front (mmap with
+/// PROT_NONE) and commits pages on demand as the append head advances —
+/// mirroring the paper's reserve/commit scheme on Windows. Key-value pairs
+/// are appended log-style at `append head`; the live region is
+/// [committed tail, append head) in logical (monotonically increasing)
+/// offsets, mapped onto the physical range modulo the trunk capacity, so the
+/// heads perform an "endless circular movement" through the reservation.
+///
+/// Deleting or relocating a pair leaves a dead entry; Defragment() is the
+/// compaction pass that re-appends live pairs at the head, releases the freed
+/// pages at the tail back to the OS, and trims unused *short-lived
+/// reservations* — the extra capacity granted on expansion so that growing
+/// cells (e.g. adjacency lists under edge inserts) do not relocate on every
+/// append. A reservation lives only until the next defragmentation pass,
+/// exactly as in the paper.
+///
+/// Concurrency: a trunk-level mutex serializes metadata operations; each cell
+/// additionally has a (striped) spin lock that both readers and the
+/// defragmenter acquire, which is what pins a cell's physical location while
+/// it is being accessed (§3).
+class MemoryTrunk {
+ public:
+  struct Options {
+    /// Reserved virtual size in bytes (the paper reserves 2 GB; scale down
+    /// for tests). Rounded up to a page multiple.
+    std::uint64_t capacity = 64ull << 20;
+    /// Extra capacity granted on relocation-for-expansion, as a percentage
+    /// of the new size (the short-lived reservation).
+    int reservation_pct = 50;
+    /// Defragment automatically inside an allocation when the dead-byte
+    /// ratio exceeds this fraction and space is tight.
+    double auto_defrag_dead_ratio = 0.25;
+  };
+
+  struct Stats {
+    std::uint64_t live_cells = 0;
+    std::uint64_t live_bytes = 0;        ///< Payload bytes in live cells.
+    std::uint64_t reserved_slack = 0;    ///< Reservation bytes not yet used.
+    std::uint64_t dead_bytes = 0;        ///< Bytes held by dead entries.
+    std::uint64_t used_bytes = 0;        ///< head - tail.
+    std::uint64_t committed_bytes = 0;   ///< Pages currently committed.
+    std::uint64_t capacity = 0;
+    std::uint64_t defrag_passes = 0;
+    std::uint64_t cells_moved = 0;
+    std::uint64_t expansions_in_place = 0;
+    std::uint64_t expansions_relocated = 0;
+  };
+
+  /// Creates a trunk. Fails with OutOfMemory if the reservation cannot be
+  /// made.
+  static Status Create(const Options& options,
+                       std::unique_ptr<MemoryTrunk>* out);
+
+  ~MemoryTrunk();
+  MemoryTrunk(const MemoryTrunk&) = delete;
+  MemoryTrunk& operator=(const MemoryTrunk&) = delete;
+
+  /// Adds a new cell. Fails with AlreadyExists if the id is present.
+  Status AddCell(CellId id, Slice payload);
+
+  /// Adds or replaces a cell. In-place when the existing entry has room.
+  Status PutCell(CellId id, Slice payload);
+
+  /// Copies the cell payload into *out.
+  Status GetCell(CellId id, std::string* out) const;
+
+  bool Contains(CellId id) const;
+  Status GetCellSize(CellId id, std::uint64_t* size) const;
+
+  /// Removes a cell; its bytes are reclaimed by the next defrag pass.
+  Status RemoveCell(CellId id);
+
+  /// Appends bytes to an existing cell (the hot path for growing adjacency
+  /// lists). Uses the reservation if available; relocates with a fresh
+  /// reservation otherwise.
+  Status AppendToCell(CellId id, Slice suffix);
+
+  /// Overwrites `bytes` at `offset` within the cell payload (in-place field
+  /// update used by cell accessors). offset+len must lie inside the payload.
+  Status WriteAt(CellId id, std::uint64_t offset, Slice bytes);
+
+  /// Zero-copy read access. The accessor holds the cell's spin lock, pinning
+  /// the cell against defragmentation until destroyed. Do not call other
+  /// trunk methods for the same cell while holding an accessor on the same
+  /// thread.
+  class ConstAccessor {
+   public:
+    ConstAccessor() = default;
+    ~ConstAccessor() { Release(); }
+    ConstAccessor(ConstAccessor&& other) noexcept { *this = std::move(other); }
+    ConstAccessor& operator=(ConstAccessor&& other) noexcept {
+      Release();
+      lock_ = other.lock_;
+      data_ = other.data_;
+      other.lock_ = nullptr;
+      other.data_ = Slice();
+      return *this;
+    }
+    ConstAccessor(const ConstAccessor&) = delete;
+    ConstAccessor& operator=(const ConstAccessor&) = delete;
+
+    Slice data() const { return data_; }
+    bool valid() const { return lock_ != nullptr; }
+
+   private:
+    friend class MemoryTrunk;
+    void Release() {
+      if (lock_ != nullptr) {
+        lock_->Unlock();
+        lock_ = nullptr;
+      }
+    }
+    SpinLock* lock_ = nullptr;
+    Slice data_;
+  };
+
+  Status Access(CellId id, ConstAccessor* accessor) const;
+
+  /// One full compaction pass. Returns the number of bytes reclaimed.
+  std::uint64_t Defragment();
+
+  Stats stats() const;
+
+  /// Number of live cells.
+  std::uint64_t cell_count() const;
+
+  /// Collects the ids of all live cells (order unspecified). Used by compute
+  /// engines to enumerate the vertices hosted on a machine.
+  std::vector<CellId> CellIds() const;
+
+  /// Serializes all live cells (id + payload) for persistence to TFS.
+  Status Serialize(std::string* out) const;
+
+  /// Rebuilds a trunk from a Serialize() blob.
+  static Status Deserialize(Slice data, const Options& options,
+                            std::unique_ptr<MemoryTrunk>* out);
+
+ private:
+  // On-media entry layout: header followed by `capacity` payload bytes,
+  // padded to 8-byte alignment. `id` is kDeadCell for reclaimable entries
+  // and kPadCell for end-of-ring padding.
+  struct EntryHeader {
+    CellId id;
+    std::uint32_t size;
+    std::uint32_t capacity;
+  };
+  static_assert(sizeof(EntryHeader) == 16, "entry header must be 16 bytes");
+
+  static constexpr CellId kPadCell = ~static_cast<CellId>(0);
+  static constexpr CellId kDeadCell = ~static_cast<CellId>(0) - 1;
+  static constexpr std::uint64_t kHeaderSize = sizeof(EntryHeader);
+  static constexpr int kLockStripes = 256;
+
+  explicit MemoryTrunk(const Options& options);
+  Status Init();
+
+  static std::uint64_t RoundUp8(std::uint64_t n) { return (n + 7) & ~7ull; }
+  std::uint64_t EntrySpan(std::uint64_t capacity) const {
+    return kHeaderSize + RoundUp8(capacity);
+  }
+
+  char* PhysPtr(std::uint64_t logical) const {
+    return base_ + (logical % capacity_);
+  }
+  EntryHeader* HeaderAt(std::uint64_t logical) const {
+    return reinterpret_cast<EntryHeader*>(PhysPtr(logical));
+  }
+  SpinLock& LockFor(CellId id) const;
+
+  /// Reserves `span` contiguous physical bytes at the head, inserting ring
+  /// padding and triggering auto-defrag as needed. On success *logical is
+  /// the entry's logical offset. Caller holds mu_.
+  Status AllocateLocked(std::uint64_t span, std::uint64_t* logical);
+  Status EnsureCommitted(std::uint64_t phys_begin, std::uint64_t length);
+  void DecommitDeadPagesLocked();
+  Status AppendEntryLocked(CellId id, Slice payload, std::uint64_t capacity,
+                           std::uint64_t* logical);
+  std::uint64_t DefragmentLocked();
+
+  const Options options_;
+  std::uint64_t capacity_ = 0;  ///< Page-rounded reserved bytes.
+  std::uint64_t page_size_ = 0;
+  char* base_ = nullptr;
+
+  mutable std::mutex mu_;
+  TrunkIndex index_;
+  std::uint64_t head_ = 0;  ///< Logical append head.
+  std::uint64_t tail_ = 0;  ///< Logical committed tail.
+  std::vector<bool> committed_pages_;
+  std::uint64_t committed_page_count_ = 0;
+  bool in_defrag_ = false;  ///< Guards against recursive auto-defrag.
+  mutable Stats stats_;
+  mutable std::unique_ptr<SpinLock[]> locks_;
+};
+
+}  // namespace trinity::storage
+
+#endif  // TRINITY_STORAGE_MEMORY_TRUNK_H_

@@ -1,0 +1,96 @@
+#include "storage/trunk_index.h"
+
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace trinity::storage {
+
+namespace {
+std::size_t NextPow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+}  // namespace
+
+TrunkIndex::TrunkIndex(std::size_t initial_capacity) {
+  slots_.resize(NextPow2(initial_capacity < 8 ? 8 : initial_capacity));
+}
+
+std::size_t TrunkIndex::Probe(CellId id) const {
+  return static_cast<std::size_t>(InTrunkHash(id)) & (slots_.size() - 1);
+}
+
+std::uint64_t TrunkIndex::Find(CellId id) const {
+  std::size_t i = Probe(id);
+  for (std::size_t n = 0; n < slots_.size(); ++n) {
+    const Slot& slot = slots_[i];
+    if (slot.state == Slot::State::kEmpty) return kNoOffset;
+    if (slot.state == Slot::State::kFull && slot.id == id) return slot.offset;
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  return kNoOffset;
+}
+
+bool TrunkIndex::Upsert(CellId id, std::uint64_t offset) {
+  if ((size_ + tombstones_ + 1) * 10 >= slots_.size() * 7) Grow();
+  std::size_t i = Probe(id);
+  std::size_t first_tombstone = slots_.size();
+  for (;;) {
+    Slot& slot = slots_[i];
+    if (slot.state == Slot::State::kFull && slot.id == id) {
+      slot.offset = offset;
+      return false;
+    }
+    if (slot.state == Slot::State::kTombstone &&
+        first_tombstone == slots_.size()) {
+      first_tombstone = i;
+    }
+    if (slot.state == Slot::State::kEmpty) {
+      std::size_t target = first_tombstone != slots_.size() ? first_tombstone : i;
+      Slot& dest = slots_[target];
+      if (dest.state == Slot::State::kTombstone) --tombstones_;
+      dest.id = id;
+      dest.offset = offset;
+      dest.state = Slot::State::kFull;
+      ++size_;
+      return true;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+}
+
+bool TrunkIndex::Erase(CellId id) {
+  std::size_t i = Probe(id);
+  for (std::size_t n = 0; n < slots_.size(); ++n) {
+    Slot& slot = slots_[i];
+    if (slot.state == Slot::State::kEmpty) return false;
+    if (slot.state == Slot::State::kFull && slot.id == id) {
+      slot.state = Slot::State::kTombstone;
+      --size_;
+      ++tombstones_;
+      return true;
+    }
+    i = (i + 1) & (slots_.size() - 1);
+  }
+  return false;
+}
+
+void TrunkIndex::ForEach(
+    const std::function<void(CellId, std::uint64_t)>& fn) const {
+  for (const Slot& slot : slots_) {
+    if (slot.state == Slot::State::kFull) fn(slot.id, slot.offset);
+  }
+}
+
+void TrunkIndex::Grow() {
+  std::vector<Slot> old = std::move(slots_);
+  slots_.assign(old.size() * 2, Slot());
+  size_ = 0;
+  tombstones_ = 0;
+  for (const Slot& slot : old) {
+    if (slot.state == Slot::State::kFull) Upsert(slot.id, slot.offset);
+  }
+}
+
+}  // namespace trinity::storage

@@ -1,0 +1,66 @@
+#ifndef TRINITY_STORAGE_TRUNK_INDEX_H_
+#define TRINITY_STORAGE_TRUNK_INDEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity::storage {
+
+/// Per-trunk hash table mapping a cell id to the logical offset of its entry
+/// inside the trunk (paper §3: "Each memory trunk is associated with a hash
+/// table. We hash the 64-bit key again to find the offset and size of the
+/// key-value pair"). Open addressing with linear probing; grows at 70% load.
+///
+/// Not internally synchronized — the owning MemoryTrunk serializes access.
+class TrunkIndex {
+ public:
+  static constexpr std::uint64_t kNoOffset = ~static_cast<std::uint64_t>(0);
+
+  explicit TrunkIndex(std::size_t initial_capacity = 64);
+
+  TrunkIndex(const TrunkIndex&) = delete;
+  TrunkIndex& operator=(const TrunkIndex&) = delete;
+  TrunkIndex(TrunkIndex&&) = default;
+  TrunkIndex& operator=(TrunkIndex&&) = default;
+
+  /// Returns the offset for `id`, or kNoOffset if absent.
+  std::uint64_t Find(CellId id) const;
+
+  /// Inserts or updates the mapping. Returns true if a new key was added.
+  bool Upsert(CellId id, std::uint64_t offset);
+
+  /// Removes the mapping. Returns true if the key was present.
+  bool Erase(CellId id);
+
+  std::size_t size() const { return size_; }
+  std::size_t bucket_count() const { return slots_.size(); }
+
+  /// Invokes fn(id, offset) for every live entry. Mutation during iteration
+  /// is not allowed.
+  void ForEach(const std::function<void(CellId, std::uint64_t)>& fn) const;
+
+  /// Approximate heap bytes used by the table (for memory accounting).
+  std::size_t MemoryBytes() const { return slots_.size() * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    CellId id = 0;
+    std::uint64_t offset = kNoOffset;
+    enum class State : std::uint8_t { kEmpty, kFull, kTombstone };
+    State state = State::kEmpty;
+  };
+
+  std::size_t Probe(CellId id) const;
+  void Grow();
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t tombstones_ = 0;
+};
+
+}  // namespace trinity::storage
+
+#endif  // TRINITY_STORAGE_TRUNK_INDEX_H_

@@ -1,0 +1,62 @@
+#include "tsl/ast.h"
+
+#include "common/logging.h"
+
+namespace trinity::tsl {
+
+const char* TypeKindName(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kByte:
+      return "byte";
+    case TypeKind::kBool:
+      return "bool";
+    case TypeKind::kInt32:
+      return "int";
+    case TypeKind::kInt64:
+      return "long";
+    case TypeKind::kFloat:
+      return "float";
+    case TypeKind::kDouble:
+      return "double";
+    case TypeKind::kString:
+      return "string";
+    case TypeKind::kList:
+      return "List";
+    case TypeKind::kStruct:
+      return "struct";
+  }
+  return "?";
+}
+
+bool IsFixedSize(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kByte:
+    case TypeKind::kBool:
+    case TypeKind::kInt32:
+    case TypeKind::kInt64:
+    case TypeKind::kFloat:
+    case TypeKind::kDouble:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::size_t FixedSizeOf(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kByte:
+    case TypeKind::kBool:
+      return 1;
+    case TypeKind::kInt32:
+    case TypeKind::kFloat:
+      return 4;
+    case TypeKind::kInt64:
+    case TypeKind::kDouble:
+      return 8;
+    default:
+      TRINITY_CHECK(false, "not a fixed-size kind");
+      return 0;
+  }
+}
+
+}  // namespace trinity::tsl

@@ -1,0 +1,76 @@
+#ifndef TRINITY_TSL_AST_H_
+#define TRINITY_TSL_AST_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace trinity::tsl {
+
+/// Scalar/field type kinds supported by TSL (paper §4.2: primitive data
+/// types, data container types, and user-defined structs).
+enum class TypeKind {
+  kByte,
+  kBool,
+  kInt32,
+  kInt64,
+  kFloat,
+  kDouble,
+  kString,
+  kList,    ///< List<element>; element described by `element_kind` / name.
+  kStruct,  ///< User-defined struct, by name.
+};
+
+/// A (possibly nested) type reference as written in the script.
+struct TypeRef {
+  TypeKind kind = TypeKind::kInt32;
+  /// For kList: the element type.
+  TypeKind element_kind = TypeKind::kInt32;
+  /// For kStruct (or kList of structs): referenced struct name.
+  std::string struct_name;
+};
+
+/// `[Key: Value, ...]` attribute list. TSL uses attributes to annotate cell
+/// types ([CellType: NodeCell]) and edge fields
+/// ([EdgeType: SimpleEdge, ReferencedCell: Actor]).
+using AttributeMap = std::map<std::string, std::string>;
+
+struct FieldDecl {
+  std::string name;
+  TypeRef type;
+  AttributeMap attributes;
+};
+
+struct StructDecl {
+  std::string name;
+  bool is_cell = false;  ///< Declared with `cell struct`.
+  AttributeMap attributes;
+  std::vector<FieldDecl> fields;
+};
+
+/// `protocol Name { Type: Syn|Asyn; Request: T|void; Response: T|void; }`
+struct ProtocolDecl {
+  std::string name;
+  bool synchronous = true;
+  std::string request_type;   ///< Empty means void.
+  std::string response_type;  ///< Empty means void.
+};
+
+/// A fully parsed TSL script.
+struct Script {
+  std::vector<StructDecl> structs;
+  std::vector<ProtocolDecl> protocols;
+};
+
+/// Human-readable name of a type kind (diagnostics and codegen).
+const char* TypeKindName(TypeKind kind);
+
+/// True for types whose encoding has a fixed byte width.
+bool IsFixedSize(TypeKind kind);
+
+/// Encoded width of a fixed-size kind, in bytes.
+std::size_t FixedSizeOf(TypeKind kind);
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_AST_H_

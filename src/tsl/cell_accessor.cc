@@ -1,0 +1,443 @@
+#include "tsl/cell_accessor.h"
+
+#include <cstring>
+
+namespace trinity::tsl {
+
+namespace {
+
+/// Advances *pos past one value of the given field type. Returns false on
+/// bounds violation.
+bool SkipValue(const Schema::FieldMeta& field, Slice data, std::size_t* pos);
+
+bool SkipStruct(const Schema* schema, Slice data, std::size_t* pos) {
+  if (schema->fixed_size()) {
+    if (*pos + schema->fixed_width() > data.size()) return false;
+    *pos += schema->fixed_width();
+    return true;
+  }
+  for (int i = 0; i < schema->num_fields(); ++i) {
+    if (!SkipValue(schema->field(i), data, pos)) return false;
+  }
+  return true;
+}
+
+bool ReadU32At(Slice data, std::size_t pos, std::uint32_t* out) {
+  if (pos + 4 > data.size()) return false;
+  std::memcpy(out, data.data() + pos, 4);
+  return true;
+}
+
+bool SkipValue(const Schema::FieldMeta& field, Slice data, std::size_t* pos) {
+  const TypeRef& type = field.decl.type;
+  if (field.fixed) {
+    if (*pos + field.width > data.size()) return false;
+    *pos += field.width;
+    return true;
+  }
+  switch (type.kind) {
+    case TypeKind::kString: {
+      std::uint32_t len = 0;
+      if (!ReadU32At(data, *pos, &len)) return false;
+      if (*pos + 4 + len > data.size()) return false;
+      *pos += 4 + len;
+      return true;
+    }
+    case TypeKind::kList: {
+      std::uint32_t count = 0;
+      if (!ReadU32At(data, *pos, &count)) return false;
+      *pos += 4;
+      if (type.element_kind == TypeKind::kStruct) {
+        if (field.nested->fixed_size()) {
+          const std::size_t bytes =
+              static_cast<std::size_t>(count) * field.nested->fixed_width();
+          if (*pos + bytes > data.size()) return false;
+          *pos += bytes;
+          return true;
+        }
+        for (std::uint32_t i = 0; i < count; ++i) {
+          if (!SkipStruct(field.nested, data, pos)) return false;
+        }
+        return true;
+      }
+      const std::size_t bytes =
+          static_cast<std::size_t>(count) * FixedSizeOf(type.element_kind);
+      if (*pos + bytes > data.size()) return false;
+      *pos += bytes;
+      return true;
+    }
+    case TypeKind::kStruct:
+      return SkipStruct(field.nested, data, pos);
+    default:
+      return false;
+  }
+}
+
+}  // namespace
+
+Status ValidateBlob(const Schema* schema, Slice blob) {
+  std::size_t pos = 0;
+  for (int i = 0; i < schema->num_fields(); ++i) {
+    if (!SkipValue(schema->field(i), blob, &pos)) {
+      return Status::Corruption("blob does not match schema '" +
+                                schema->name() + "' at field '" +
+                                schema->field(i).decl.name + "'");
+    }
+  }
+  if (pos != blob.size()) {
+    return Status::Corruption("trailing bytes after schema '" +
+                              schema->name() + "'");
+  }
+  return Status::OK();
+}
+
+CellAccessor CellAccessor::NewDefault(const Schema* schema) {
+  return CellAccessor(schema, schema->BuildDefault());
+}
+
+Status CellAccessor::FromBlob(const Schema* schema, Slice blob,
+                              CellAccessor* out) {
+  Status s = ValidateBlob(schema, blob);
+  if (!s.ok()) return s;
+  *out = CellAccessor(schema, blob.ToString());
+  return Status::OK();
+}
+
+Status CellAccessor::FieldRange(int field, std::size_t* begin,
+                                std::size_t* end) const {
+  if (schema_ == nullptr) return Status::InvalidArgument("empty accessor");
+  if (field < 0 || field >= schema_->num_fields()) {
+    return Status::InvalidArgument("no such field");
+  }
+  const Slice data(buffer_);
+  std::size_t pos = 0;
+  for (int i = 0; i < field; ++i) {
+    if (!SkipValue(schema_->field(i), data, &pos)) {
+      return Status::Corruption("cell blob shorter than schema");
+    }
+  }
+  *begin = pos;
+  if (!SkipValue(schema_->field(field), data, &pos)) {
+    return Status::Corruption("cell blob shorter than schema");
+  }
+  *end = pos;
+  return Status::OK();
+}
+
+Status CellAccessor::CheckKind(int field, TypeKind kind) const {
+  if (schema_ == nullptr) return Status::InvalidArgument("empty accessor");
+  if (field < 0 || field >= schema_->num_fields()) {
+    return Status::InvalidArgument("no such field");
+  }
+  if (schema_->field(field).decl.type.kind != kind) {
+    return Status::InvalidArgument("field type mismatch");
+  }
+  return Status::OK();
+}
+
+Status CellAccessor::CheckListElem(int field, TypeKind elem) const {
+  Status s = CheckKind(field, TypeKind::kList);
+  if (!s.ok()) return s;
+  if (schema_->field(field).decl.type.element_kind != elem) {
+    return Status::InvalidArgument("list element type mismatch");
+  }
+  return Status::OK();
+}
+
+Status CellAccessor::FixedRead(int field, TypeKind kind, void* out,
+                               std::size_t width) const {
+  Status s = CheckKind(field, kind);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::memcpy(out, buffer_.data() + begin, width);
+  return Status::OK();
+}
+
+Status CellAccessor::FixedWrite(int field, TypeKind kind, const void* value,
+                                std::size_t width) {
+  Status s = CheckKind(field, kind);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::memcpy(buffer_.data() + begin, value, width);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status CellAccessor::GetByte(int field, std::uint8_t* out) const {
+  return FixedRead(field, TypeKind::kByte, out, 1);
+}
+Status CellAccessor::GetBool(int field, bool* out) const {
+  std::uint8_t raw = 0;
+  Status s = FixedRead(field, TypeKind::kBool, &raw, 1);
+  if (s.ok()) *out = raw != 0;
+  return s;
+}
+Status CellAccessor::GetInt32(int field, std::int32_t* out) const {
+  return FixedRead(field, TypeKind::kInt32, out, 4);
+}
+Status CellAccessor::GetInt64(int field, std::int64_t* out) const {
+  return FixedRead(field, TypeKind::kInt64, out, 8);
+}
+Status CellAccessor::GetFloat(int field, float* out) const {
+  return FixedRead(field, TypeKind::kFloat, out, 4);
+}
+Status CellAccessor::GetDouble(int field, double* out) const {
+  return FixedRead(field, TypeKind::kDouble, out, 8);
+}
+
+Status CellAccessor::SetByte(int field, std::uint8_t value) {
+  return FixedWrite(field, TypeKind::kByte, &value, 1);
+}
+Status CellAccessor::SetBool(int field, bool value) {
+  const std::uint8_t raw = value ? 1 : 0;
+  return FixedWrite(field, TypeKind::kBool, &raw, 1);
+}
+Status CellAccessor::SetInt32(int field, std::int32_t value) {
+  return FixedWrite(field, TypeKind::kInt32, &value, 4);
+}
+Status CellAccessor::SetInt64(int field, std::int64_t value) {
+  return FixedWrite(field, TypeKind::kInt64, &value, 8);
+}
+Status CellAccessor::SetFloat(int field, float value) {
+  return FixedWrite(field, TypeKind::kFloat, &value, 4);
+}
+Status CellAccessor::SetDouble(int field, double value) {
+  return FixedWrite(field, TypeKind::kDouble, &value, 8);
+}
+
+Status CellAccessor::GetString(int field, std::string* out) const {
+  Status s = CheckKind(field, TypeKind::kString);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  out->assign(buffer_.data() + begin + 4, end - begin - 4);
+  return Status::OK();
+}
+
+Status CellAccessor::SetString(int field, Slice value) {
+  Status s = CheckKind(field, TypeKind::kString);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::string encoded;
+  const std::uint32_t len = static_cast<std::uint32_t>(value.size());
+  encoded.append(reinterpret_cast<const char*>(&len), 4);
+  encoded.append(value.data(), value.size());
+  buffer_.replace(begin, end - begin, encoded);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status CellAccessor::ListSize(int field, std::size_t* out) const {
+  Status s = CheckKind(field, TypeKind::kList);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + begin, 4);
+  *out = count;
+  return Status::OK();
+}
+
+Status CellAccessor::ListElemRange(int field, std::size_t index,
+                                   std::size_t elem_width,
+                                   std::size_t* begin) const {
+  std::size_t field_begin = 0, field_end = 0;
+  Status s = FieldRange(field, &field_begin, &field_end);
+  if (!s.ok()) return s;
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + field_begin, 4);
+  if (index >= count) return Status::InvalidArgument("list index out of range");
+  *begin = field_begin + 4 + index * elem_width;
+  return Status::OK();
+}
+
+Status CellAccessor::AppendListRaw(int field, TypeKind elem,
+                                   const void* value, std::size_t width) {
+  Status s = CheckListElem(field, elem);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + begin, 4);
+  ++count;
+  std::memcpy(buffer_.data() + begin, &count, 4);
+  buffer_.insert(end, reinterpret_cast<const char*>(value), width);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status CellAccessor::GetListInt64(int field, std::size_t index,
+                                  std::int64_t* out) const {
+  Status s = CheckListElem(field, TypeKind::kInt64);
+  if (!s.ok()) return s;
+  std::size_t begin = 0;
+  s = ListElemRange(field, index, 8, &begin);
+  if (!s.ok()) return s;
+  std::memcpy(out, buffer_.data() + begin, 8);
+  return Status::OK();
+}
+
+Status CellAccessor::SetListInt64(int field, std::size_t index,
+                                  std::int64_t value) {
+  Status s = CheckListElem(field, TypeKind::kInt64);
+  if (!s.ok()) return s;
+  std::size_t begin = 0;
+  s = ListElemRange(field, index, 8, &begin);
+  if (!s.ok()) return s;
+  std::memcpy(buffer_.data() + begin, &value, 8);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status CellAccessor::AppendListInt64(int field, std::int64_t value) {
+  return AppendListRaw(field, TypeKind::kInt64, &value, 8);
+}
+
+Status CellAccessor::GetListInt32(int field, std::size_t index,
+                                  std::int32_t* out) const {
+  Status s = CheckListElem(field, TypeKind::kInt32);
+  if (!s.ok()) return s;
+  std::size_t begin = 0;
+  s = ListElemRange(field, index, 4, &begin);
+  if (!s.ok()) return s;
+  std::memcpy(out, buffer_.data() + begin, 4);
+  return Status::OK();
+}
+
+Status CellAccessor::AppendListInt32(int field, std::int32_t value) {
+  return AppendListRaw(field, TypeKind::kInt32, &value, 4);
+}
+
+Status CellAccessor::GetListDouble(int field, std::size_t index,
+                                   double* out) const {
+  Status s = CheckListElem(field, TypeKind::kDouble);
+  if (!s.ok()) return s;
+  std::size_t begin = 0;
+  s = ListElemRange(field, index, 8, &begin);
+  if (!s.ok()) return s;
+  std::memcpy(out, buffer_.data() + begin, 8);
+  return Status::OK();
+}
+
+Status CellAccessor::AppendListDouble(int field, double value) {
+  return AppendListRaw(field, TypeKind::kDouble, &value, 8);
+}
+
+Status CellAccessor::RemoveListElement(int field, std::size_t index) {
+  Status s = CheckKind(field, TypeKind::kList);
+  if (!s.ok()) return s;
+  const TypeRef& type = schema_->field(field).decl.type;
+  if (type.element_kind == TypeKind::kStruct &&
+      !schema_->field(field).nested->fixed_size()) {
+    return Status::NotSupported("remove from variable-element list");
+  }
+  const std::size_t width =
+      type.element_kind == TypeKind::kStruct
+          ? schema_->field(field).nested->fixed_width()
+          : FixedSizeOf(type.element_kind);
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + begin, 4);
+  if (index >= count) return Status::InvalidArgument("list index out of range");
+  --count;
+  std::memcpy(buffer_.data() + begin, &count, 4);
+  buffer_.erase(begin + 4 + index * width, width);
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status CellAccessor::GetListStruct(int field, std::size_t index,
+                                   CellAccessor* out) const {
+  Status s = CheckListElem(field, TypeKind::kStruct);
+  if (!s.ok()) return s;
+  const Schema* element = schema_->field(field).nested;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + begin, 4);
+  if (index >= count) return Status::InvalidArgument("list index out of range");
+  const Slice data(buffer_);
+  std::size_t pos = begin + 4;
+  if (element->fixed_size()) {
+    pos += index * element->fixed_width();
+    return FromBlob(element,
+                    Slice(buffer_.data() + pos, element->fixed_width()), out);
+  }
+  for (std::size_t i = 0; i < index; ++i) {
+    if (!SkipStruct(element, data, &pos)) {
+      return Status::Corruption("malformed struct list");
+    }
+  }
+  std::size_t element_end = pos;
+  if (!SkipStruct(element, data, &element_end)) {
+    return Status::Corruption("malformed struct list");
+  }
+  return FromBlob(element, Slice(buffer_.data() + pos, element_end - pos),
+                  out);
+}
+
+Status CellAccessor::AppendListStruct(int field, const CellAccessor& value) {
+  Status s = CheckListElem(field, TypeKind::kStruct);
+  if (!s.ok()) return s;
+  if (value.schema() != schema_->field(field).nested) {
+    return Status::InvalidArgument("list element schema mismatch");
+  }
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  std::uint32_t count = 0;
+  std::memcpy(&count, buffer_.data() + begin, 4);
+  ++count;
+  std::memcpy(buffer_.data() + begin, &count, 4);
+  buffer_.insert(end, value.blob());
+  dirty_ = true;
+  return Status::OK();
+}
+
+Status CellAccessor::ListRaw(int field, Slice* out) const {
+  Status s = CheckKind(field, TypeKind::kList);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  *out = Slice(buffer_.data() + begin + 4, end - begin - 4);
+  return Status::OK();
+}
+
+Status CellAccessor::GetStruct(int field, CellAccessor* out) const {
+  Status s = CheckKind(field, TypeKind::kStruct);
+  if (!s.ok()) return s;
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  return FromBlob(schema_->field(field).nested,
+                  Slice(buffer_.data() + begin, end - begin), out);
+}
+
+Status CellAccessor::SetStruct(int field, const CellAccessor& value) {
+  Status s = CheckKind(field, TypeKind::kStruct);
+  if (!s.ok()) return s;
+  if (value.schema() != schema_->field(field).nested) {
+    return Status::InvalidArgument("struct schema mismatch");
+  }
+  std::size_t begin = 0, end = 0;
+  s = FieldRange(field, &begin, &end);
+  if (!s.ok()) return s;
+  buffer_.replace(begin, end - begin, value.blob());
+  dirty_ = true;
+  return Status::OK();
+}
+
+}  // namespace trinity::tsl

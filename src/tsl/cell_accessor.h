@@ -1,0 +1,122 @@
+#ifndef TRINITY_TSL_CELL_ACCESSOR_H_
+#define TRINITY_TSL_CELL_ACCESSOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+#include "tsl/schema.h"
+
+namespace trinity::tsl {
+
+/// Validates that `blob` is a well-formed encoding of `schema` (every length
+/// prefix in bounds, nothing left over). Corrupted cells surface here rather
+/// than as wild reads.
+Status ValidateBlob(const Schema* schema, Slice blob);
+
+/// The cell accessor mechanism (paper §4.3, Fig 6): object-oriented access
+/// to a cell stored as a blob. "A cell accessor is not a data container, but
+/// a data mapper: it maps the fields declared in the data structure to the
+/// correct memory locations in the blob."
+///
+/// CellAccessor owns a mutable byte buffer (typically loaded from the memory
+/// cloud and stored back on commit — see UseCellAccessor in
+/// tsl/cell_io.h). Fixed-size field updates are in-place writes; updates to
+/// variable-length fields (strings, lists) splice the buffer. Reads never
+/// copy field bytes beyond the returned value itself.
+///
+/// Field lookup by index is the fast path; FieldIndex() resolves names once.
+class CellAccessor {
+ public:
+  /// An accessor over the schema's default image.
+  static CellAccessor NewDefault(const Schema* schema);
+
+  /// Wraps an existing blob (validated). The blob is copied into the
+  /// accessor's owned buffer.
+  static Status FromBlob(const Schema* schema, Slice blob,
+                         CellAccessor* out);
+
+  CellAccessor() = default;
+
+  const Schema* schema() const { return schema_; }
+  const std::string& blob() const { return buffer_; }
+  std::string ReleaseBlob() { return std::move(buffer_); }
+  bool dirty() const { return dirty_; }
+  void ClearDirty() { dirty_ = false; }
+
+  int FieldIndex(const std::string& name) const {
+    return schema_->FieldIndex(name);
+  }
+
+  // --- Scalar access ------------------------------------------------------
+  Status GetByte(int field, std::uint8_t* out) const;
+  Status GetBool(int field, bool* out) const;
+  Status GetInt32(int field, std::int32_t* out) const;
+  Status GetInt64(int field, std::int64_t* out) const;
+  Status GetFloat(int field, float* out) const;
+  Status GetDouble(int field, double* out) const;
+  Status GetString(int field, std::string* out) const;
+
+  Status SetByte(int field, std::uint8_t value);
+  Status SetBool(int field, bool value);
+  Status SetInt32(int field, std::int32_t value);
+  Status SetInt64(int field, std::int64_t value);
+  Status SetFloat(int field, float value);
+  Status SetDouble(int field, double value);
+  Status SetString(int field, Slice value);
+
+  // --- List access --------------------------------------------------------
+  Status ListSize(int field, std::size_t* out) const;
+  Status GetListInt64(int field, std::size_t index, std::int64_t* out) const;
+  Status SetListInt64(int field, std::size_t index, std::int64_t value);
+  Status AppendListInt64(int field, std::int64_t value);
+  Status GetListInt32(int field, std::size_t index, std::int32_t* out) const;
+  Status AppendListInt32(int field, std::int32_t value);
+  Status GetListDouble(int field, std::size_t index, double* out) const;
+  Status AppendListDouble(int field, double value);
+  /// Removes one element from a fixed-element list.
+  Status RemoveListElement(int field, std::size_t index);
+
+  /// List<struct> access: copies element `index` out as a detached accessor
+  /// over the element schema.
+  Status GetListStruct(int field, std::size_t index, CellAccessor* out) const;
+  /// Appends a struct element (its schema must match the list's element).
+  Status AppendListStruct(int field, const CellAccessor& value);
+
+  /// Zero-copy view of a whole fixed-element list (e.g. a List<long>
+  /// adjacency field) as raw bytes; reinterpret on the caller side.
+  Status ListRaw(int field, Slice* out) const;
+
+  // --- Nested structs -----------------------------------------------------
+  /// Copies a nested struct field out as its own accessor (detached: writing
+  /// to it does not affect this cell).
+  Status GetStruct(int field, CellAccessor* out) const;
+  /// Overwrites a nested struct field from another accessor's blob.
+  Status SetStruct(int field, const CellAccessor& value);
+
+ private:
+  CellAccessor(const Schema* schema, std::string buffer)
+      : schema_(schema), buffer_(std::move(buffer)) {}
+
+  /// Byte range [begin, end) of field `field` inside the buffer.
+  Status FieldRange(int field, std::size_t* begin, std::size_t* end) const;
+  Status CheckKind(int field, TypeKind kind) const;
+  Status CheckListElem(int field, TypeKind elem) const;
+  Status FixedRead(int field, TypeKind kind, void* out,
+                   std::size_t width) const;
+  Status FixedWrite(int field, TypeKind kind, const void* value,
+                    std::size_t width);
+  Status ListElemRange(int field, std::size_t index, std::size_t elem_width,
+                       std::size_t* begin) const;
+  Status AppendListRaw(int field, TypeKind elem, const void* value,
+                       std::size_t width);
+
+  const Schema* schema_ = nullptr;
+  std::string buffer_;
+  bool dirty_ = false;
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_CELL_ACCESSOR_H_

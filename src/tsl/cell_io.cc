@@ -1,0 +1,40 @@
+#include "tsl/cell_io.h"
+
+namespace trinity::tsl {
+
+Status NewCell(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+               const Schema* schema) {
+  return cloud->AddCellFrom(src, id, Slice(schema->BuildDefault()));
+}
+
+Status LoadCell(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+                const Schema* schema, CellAccessor* out) {
+  std::string blob;
+  Status s = cloud->GetCellFrom(src, id, &blob);
+  if (!s.ok()) return s;
+  return CellAccessor::FromBlob(schema, Slice(blob), out);
+}
+
+Status SaveCell(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+                CellAccessor* accessor) {
+  Status s = cloud->PutCellFrom(src, id, Slice(accessor->blob()));
+  if (s.ok()) accessor->ClearDirty();
+  return s;
+}
+
+Status ScopedCell::Use(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+                       const Schema* schema, ScopedCell* out) {
+  Status s = LoadCell(cloud, src, id, schema, &out->accessor_);
+  if (!s.ok()) return s;
+  out->cloud_ = cloud;
+  out->src_ = src;
+  out->id_ = id;
+  return Status::OK();
+}
+
+Status ScopedCell::Commit() {
+  if (cloud_ == nullptr || !accessor_.dirty()) return Status::OK();
+  return SaveCell(cloud_, src_, id_, &accessor_);
+}
+
+}  // namespace trinity::tsl

@@ -1,0 +1,58 @@
+#ifndef TRINITY_TSL_CELL_IO_H_
+#define TRINITY_TSL_CELL_IO_H_
+
+#include <string>
+
+#include "cloud/memory_cloud.h"
+#include "tsl/cell_accessor.h"
+
+namespace trinity::tsl {
+
+/// Creates a cell with the schema's default image in the memory cloud.
+Status NewCell(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+               const Schema* schema);
+
+/// Loads a cell into an accessor (validating it against the schema).
+Status LoadCell(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+                const Schema* schema, CellAccessor* out);
+
+/// Stores an accessor's blob back into the cloud and clears its dirty flag.
+Status SaveCell(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+                CellAccessor* accessor);
+
+/// RAII counterpart of the generated `using (var cell =
+/// UseMyCellAccessor(cellId))` pattern (paper Fig 6): loads the cell on
+/// Use(), exposes the accessor, and writes the blob back on destruction if
+/// any setter ran. In the real system the accessor maps fields directly onto
+/// trunk memory; in this simulation the load/commit pair stands in for that
+/// mapping while preserving the programming model.
+class ScopedCell {
+ public:
+  static Status Use(cloud::MemoryCloud* cloud, MachineId src, CellId id,
+                    const Schema* schema, ScopedCell* out);
+
+  ScopedCell() = default;
+  ~ScopedCell() { Commit(); }
+
+  ScopedCell(ScopedCell&&) = default;
+  ScopedCell& operator=(ScopedCell&&) = default;
+  ScopedCell(const ScopedCell&) = delete;
+  ScopedCell& operator=(const ScopedCell&) = delete;
+
+  CellAccessor& accessor() { return accessor_; }
+  const CellAccessor& accessor() const { return accessor_; }
+
+  /// Writes back now (idempotent; no-op when clean). The destructor calls
+  /// this and ignores the status — call explicitly when you must observe it.
+  Status Commit();
+
+ private:
+  cloud::MemoryCloud* cloud_ = nullptr;
+  MachineId src_ = kInvalidMachine;
+  CellId id_ = kInvalidCell;
+  CellAccessor accessor_;
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_CELL_IO_H_

@@ -1,0 +1,35 @@
+#ifndef TRINITY_TSL_CODEGEN_H_
+#define TRINITY_TSL_CODEGEN_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "tsl/schema.h"
+
+namespace trinity::tsl {
+
+/// The code-generation half of the TSL compiler (paper §4.2: "the TSL
+/// compiler generates highly efficient and powerful source code for data
+/// manipulation and communication").
+///
+/// Emits a self-contained C++ header with one typed wrapper class per cell
+/// struct (strongly-typed getters/setters over CellAccessor, e.g.
+/// `UseMovieAccessor`) and one stub per protocol (a `CallEcho` helper plus a
+/// `RegisterEchoHandler` hook). The output is ordinary source a user checks
+/// into their application — see examples/quickstart.cc for the hand-written
+/// equivalent of what this generates.
+class Codegen {
+ public:
+  /// Generates the header text for every struct and protocol in `registry`.
+  /// `guard` is used for the include guard macro.
+  static std::string GenerateHeader(const SchemaRegistry& registry,
+                                    const std::string& guard);
+
+ private:
+  static void EmitStruct(const Schema& schema, std::string* out);
+  static void EmitProtocol(const ProtocolDecl& protocol, std::string* out);
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_CODEGEN_H_

@@ -1,0 +1,203 @@
+#include "tsl/data_import.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "tsl/cell_accessor.h"
+#include "tsl/cell_io.h"
+
+namespace trinity::tsl {
+
+namespace {
+
+/// Splits one CSV line (no quoted-comma support; RDBMS exports of graph
+/// attribute tables are simple).
+std::vector<std::string> SplitCsvLine(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string current;
+  for (char c : line) {
+    if (c == ',') {
+      fields.push_back(std::move(current));
+      current.clear();
+    } else if (c != '\r') {
+      current.push_back(c);
+    }
+  }
+  fields.push_back(std::move(current));
+  return fields;
+}
+
+}  // namespace
+
+Status DataImporter::ApplyColumn(CellAccessor* accessor, int field,
+                                 const std::string& value) {
+  const Schema::FieldMeta& meta = accessor->schema()->field(field);
+  switch (meta.decl.type.kind) {
+    case TypeKind::kString:
+      return accessor->SetString(field, Slice(value));
+    case TypeKind::kInt32:
+      return accessor->SetInt32(field,
+                                static_cast<std::int32_t>(std::stol(value)));
+    case TypeKind::kInt64:
+      return accessor->SetInt64(field, std::stoll(value));
+    case TypeKind::kDouble:
+      return accessor->SetDouble(field, std::stod(value));
+    case TypeKind::kFloat:
+      return accessor->SetFloat(field, std::stof(value));
+    case TypeKind::kBool:
+      return accessor->SetBool(field, value == "1" || value == "true");
+    case TypeKind::kByte:
+      return accessor->SetByte(
+          field, static_cast<std::uint8_t>(std::stoul(value)));
+    default:
+      return Status::InvalidArgument("column maps to non-scalar field");
+  }
+}
+
+Status DataImporter::ImportTable(const TableBinding& binding,
+                                 const std::string& csv,
+                                 ImportStats* stats) {
+  *stats = ImportStats();
+  const Schema* schema = registry_->struct_schema(binding.struct_name);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("unknown struct '" + binding.struct_name +
+                                   "'");
+  }
+  std::istringstream input(csv);
+  std::string line;
+  if (!std::getline(input, line)) {
+    return Status::InvalidArgument("empty CSV");
+  }
+  const std::vector<std::string> header = SplitCsvLine(line);
+  // Resolve column positions.
+  int key_index = -1;
+  std::vector<std::pair<int, int>> column_field;  // (column idx, field idx).
+  for (std::size_t c = 0; c < header.size(); ++c) {
+    if (header[c] == binding.key_column) key_index = static_cast<int>(c);
+    auto it = binding.column_to_field.find(header[c]);
+    if (it == binding.column_to_field.end()) continue;
+    const int field = schema->FieldIndex(it->second);
+    if (field < 0) {
+      return Status::InvalidArgument("binding maps to unknown field '" +
+                                     it->second + "'");
+    }
+    column_field.emplace_back(static_cast<int>(c), field);
+  }
+  if (key_index < 0) {
+    return Status::InvalidArgument("key column '" + binding.key_column +
+                                   "' not in CSV header");
+  }
+
+  const MachineId src = cloud_->client_id();
+  while (std::getline(input, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> row = SplitCsvLine(line);
+    if (row.size() != header.size()) {
+      return Status::InvalidArgument("ragged CSV row");
+    }
+    ++stats->rows;
+    const CellId id = std::stoull(row[key_index]);
+    CellAccessor accessor;
+    Status s = LoadCell(cloud_, src, id, schema, &accessor);
+    if (s.IsNotFound()) {
+      accessor = CellAccessor::NewDefault(schema);
+      ++stats->cells_created;
+    } else if (!s.ok()) {
+      return s;
+    } else {
+      ++stats->cells_updated;
+    }
+    for (const auto& [column, field] : column_field) {
+      s = ApplyColumn(&accessor, field, row[column]);
+      if (!s.ok()) return s;
+    }
+    s = cloud_->PutCellFrom(src, id, Slice(accessor.blob()));
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
+}
+
+Status DataImporter::ExportTable(const TableBinding& binding,
+                                 const std::vector<CellId>& ids,
+                                 std::string* csv) {
+  const Schema* schema = registry_->struct_schema(binding.struct_name);
+  if (schema == nullptr) {
+    return Status::InvalidArgument("unknown struct '" + binding.struct_name +
+                                   "'");
+  }
+  std::string out = binding.key_column;
+  std::vector<std::pair<std::string, int>> columns;
+  for (const auto& [column, field_name] : binding.column_to_field) {
+    const int field = schema->FieldIndex(field_name);
+    if (field < 0) {
+      return Status::InvalidArgument("binding maps to unknown field '" +
+                                     field_name + "'");
+    }
+    columns.emplace_back(column, field);
+    out += "," + column;
+  }
+  out += "\n";
+  const MachineId src = cloud_->client_id();
+  for (CellId id : ids) {
+    CellAccessor accessor;
+    Status s = LoadCell(cloud_, src, id, schema, &accessor);
+    if (!s.ok()) return s;
+    out += std::to_string(id);
+    for (const auto& [column, field] : columns) {
+      (void)column;
+      out += ",";
+      const Schema::FieldMeta& meta = schema->field(field);
+      switch (meta.decl.type.kind) {
+        case TypeKind::kString: {
+          std::string v;
+          (void)accessor.GetString(field, &v);
+          out += v;
+          break;
+        }
+        case TypeKind::kInt32: {
+          std::int32_t v = 0;
+          (void)accessor.GetInt32(field, &v);
+          out += std::to_string(v);
+          break;
+        }
+        case TypeKind::kInt64: {
+          std::int64_t v = 0;
+          (void)accessor.GetInt64(field, &v);
+          out += std::to_string(v);
+          break;
+        }
+        case TypeKind::kDouble: {
+          double v = 0;
+          (void)accessor.GetDouble(field, &v);
+          out += std::to_string(v);
+          break;
+        }
+        case TypeKind::kFloat: {
+          float v = 0;
+          (void)accessor.GetFloat(field, &v);
+          out += std::to_string(v);
+          break;
+        }
+        case TypeKind::kBool: {
+          bool v = false;
+          (void)accessor.GetBool(field, &v);
+          out += v ? "true" : "false";
+          break;
+        }
+        case TypeKind::kByte: {
+          std::uint8_t v = 0;
+          (void)accessor.GetByte(field, &v);
+          out += std::to_string(v);
+          break;
+        }
+        default:
+          return Status::InvalidArgument("column maps to non-scalar field");
+      }
+    }
+    out += "\n";
+  }
+  *csv = std::move(out);
+  return Status::OK();
+}
+
+}  // namespace trinity::tsl

@@ -1,0 +1,68 @@
+#ifndef TRINITY_TSL_DATA_IMPORT_H_
+#define TRINITY_TSL_DATA_IMPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "cloud/memory_cloud.h"
+#include "tsl/schema.h"
+
+namespace trinity::tsl {
+
+/// Data integration between the memory cloud and external relational data
+/// (paper §4.2): "TSL facilitates data integration. It defines an interface
+/// between graphs and external data (e.g., data in an RDBMS). Through TSL,
+/// we can specify how nodes in a graph are associated with records in a
+/// relational table ... and automatic data conversion between memory cloud
+/// and external data sources."
+///
+/// A TableBinding names the cell struct, the key column that becomes the
+/// cell id, and the column → field mapping. ImportTable converts rows into
+/// cells; ExportTable converts cells back into rows. Rows are modeled as
+/// CSV text (header + comma-separated lines) — the format any RDBMS dump or
+/// ODBC bridge produces.
+class DataImporter {
+ public:
+  struct TableBinding {
+    std::string struct_name;  ///< Target cell struct.
+    std::string key_column;   ///< Column whose integer value is the CellId.
+    /// column name -> field name. Unmapped columns are ignored. Mapped
+    /// fields must be scalar (string or numeric).
+    std::map<std::string, std::string> column_to_field;
+  };
+
+  struct ImportStats {
+    std::uint64_t rows = 0;
+    std::uint64_t cells_created = 0;
+    std::uint64_t cells_updated = 0;
+  };
+
+  DataImporter(cloud::MemoryCloud* cloud, const SchemaRegistry* registry)
+      : cloud_(cloud), registry_(registry) {}
+
+  DataImporter(const DataImporter&) = delete;
+  DataImporter& operator=(const DataImporter&) = delete;
+
+  /// Parses the CSV (first line = header) and upserts one cell per row.
+  /// Existing cells keep their unmapped fields (e.g. adjacency lists built
+  /// by the graph layer survive re-imports of attribute tables).
+  Status ImportTable(const TableBinding& binding, const std::string& csv,
+                     ImportStats* stats);
+
+  /// Renders the given cells back to CSV in the binding's column order
+  /// (key column first).
+  Status ExportTable(const TableBinding& binding,
+                     const std::vector<CellId>& ids, std::string* csv);
+
+ private:
+  Status ApplyColumn(class CellAccessor* accessor, int field,
+                     const std::string& value);
+
+  cloud::MemoryCloud* cloud_;
+  const SchemaRegistry* registry_;
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_DATA_IMPORT_H_

@@ -1,0 +1,91 @@
+#include "tsl/lexer.h"
+
+#include <cctype>
+
+namespace trinity::tsl {
+
+Status Lexer::Tokenize(const std::string& input, std::vector<Token>* out) {
+  out->clear();
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = input.size();
+  while (i < n) {
+    const char c = input[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '/') {
+      while (i < n && input[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && input[i + 1] == '*') {
+      i += 2;
+      while (i + 1 < n && !(input[i] == '*' && input[i + 1] == '/')) {
+        if (input[i] == '\n') ++line;
+        ++i;
+      }
+      if (i + 1 >= n) {
+        return Status::InvalidArgument("unterminated block comment at line " +
+                                       std::to_string(line));
+      }
+      i += 2;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      out->push_back(
+          Token{TokenKind::kIdentifier, input.substr(start, i - start), line});
+      continue;
+    }
+    TokenKind kind;
+    switch (c) {
+      case '{':
+        kind = TokenKind::kLBrace;
+        break;
+      case '}':
+        kind = TokenKind::kRBrace;
+        break;
+      case '[':
+        kind = TokenKind::kLBracket;
+        break;
+      case ']':
+        kind = TokenKind::kRBracket;
+        break;
+      case '<':
+        kind = TokenKind::kLAngle;
+        break;
+      case '>':
+        kind = TokenKind::kRAngle;
+        break;
+      case ':':
+        kind = TokenKind::kColon;
+        break;
+      case ';':
+        kind = TokenKind::kSemicolon;
+        break;
+      case ',':
+        kind = TokenKind::kComma;
+        break;
+      default:
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at line " +
+                                       std::to_string(line));
+    }
+    out->push_back(Token{kind, std::string(1, c), line});
+    ++i;
+  }
+  out->push_back(Token{TokenKind::kEnd, "", line});
+  return Status::OK();
+}
+
+}  // namespace trinity::tsl

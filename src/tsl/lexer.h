@@ -1,0 +1,42 @@
+#ifndef TRINITY_TSL_LEXER_H_
+#define TRINITY_TSL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace trinity::tsl {
+
+enum class TokenKind {
+  kIdentifier,
+  kLBrace,     // {
+  kRBrace,     // }
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLAngle,     // <
+  kRAngle,     // >
+  kColon,      // :
+  kSemicolon,  // ;
+  kComma,      // ,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;
+  int line = 0;
+};
+
+/// Tokenizes a TSL script. Supports `//` line comments and `/* */` block
+/// comments (C# convention, which TSL follows).
+class Lexer {
+ public:
+  /// Tokenizes the whole input. On error, returns InvalidArgument with the
+  /// offending line number in the message.
+  static Status Tokenize(const std::string& input, std::vector<Token>* out);
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_LEXER_H_

@@ -1,0 +1,218 @@
+#include "tsl/parser.h"
+
+namespace trinity::tsl {
+
+namespace {
+
+bool PrimitiveKindFromName(const std::string& name, TypeKind* kind) {
+  if (name == "byte") {
+    *kind = TypeKind::kByte;
+  } else if (name == "bool") {
+    *kind = TypeKind::kBool;
+  } else if (name == "int") {
+    *kind = TypeKind::kInt32;
+  } else if (name == "long" || name == "CellId") {
+    *kind = TypeKind::kInt64;
+  } else if (name == "float") {
+    *kind = TypeKind::kFloat;
+  } else if (name == "double") {
+    *kind = TypeKind::kDouble;
+  } else if (name == "string") {
+    *kind = TypeKind::kString;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Status Parser::Parse(const std::string& input, Script* out) {
+  std::vector<Token> tokens;
+  Status s = Lexer::Tokenize(input, &tokens);
+  if (!s.ok()) return s;
+  Parser parser(std::move(tokens), out);
+  return parser.Run();
+}
+
+bool Parser::Accept(TokenKind kind) {
+  if (Peek().kind == kind) {
+    ++pos_;
+    return true;
+  }
+  return false;
+}
+
+Status Parser::Expect(TokenKind kind, const char* what, Token* token) {
+  if (Peek().kind != kind) {
+    return ErrorHere(std::string("expected ") + what);
+  }
+  if (token != nullptr) *token = Peek();
+  ++pos_;
+  return Status::OK();
+}
+
+Status Parser::ErrorHere(const std::string& message) const {
+  return Status::InvalidArgument(message + " at line " +
+                                 std::to_string(Peek().line) + " near '" +
+                                 Peek().text + "'");
+}
+
+Status Parser::Run() {
+  while (Peek().kind != TokenKind::kEnd) {
+    AttributeMap attributes;
+    if (Peek().kind == TokenKind::kLBracket) {
+      Status s = ParseAttributes(&attributes);
+      if (!s.ok()) return s;
+    }
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return ErrorHere("expected declaration");
+    }
+    const std::string keyword = Peek().text;
+    if (keyword == "cell") {
+      Next();
+      if (Peek().kind != TokenKind::kIdentifier || Peek().text != "struct") {
+        return ErrorHere("expected 'struct' after 'cell'");
+      }
+      Next();
+      Status s = ParseStruct(/*is_cell=*/true, std::move(attributes));
+      if (!s.ok()) return s;
+    } else if (keyword == "struct") {
+      Next();
+      Status s = ParseStruct(/*is_cell=*/false, std::move(attributes));
+      if (!s.ok()) return s;
+    } else if (keyword == "protocol") {
+      if (!attributes.empty()) {
+        return ErrorHere("protocols cannot carry attributes");
+      }
+      Next();
+      Status s = ParseProtocol();
+      if (!s.ok()) return s;
+    } else {
+      return ErrorHere("expected 'cell', 'struct' or 'protocol'");
+    }
+  }
+  return Status::OK();
+}
+
+Status Parser::ParseAttributes(AttributeMap* attributes) {
+  Status s = Expect(TokenKind::kLBracket, "'['");
+  if (!s.ok()) return s;
+  for (;;) {
+    Token key;
+    s = Expect(TokenKind::kIdentifier, "attribute name", &key);
+    if (!s.ok()) return s;
+    s = Expect(TokenKind::kColon, "':'");
+    if (!s.ok()) return s;
+    Token value;
+    s = Expect(TokenKind::kIdentifier, "attribute value", &value);
+    if (!s.ok()) return s;
+    (*attributes)[key.text] = value.text;
+    if (Accept(TokenKind::kComma)) continue;
+    return Expect(TokenKind::kRBracket, "']'");
+  }
+}
+
+Status Parser::ParseType(TypeRef* type) {
+  Token name;
+  Status s = Expect(TokenKind::kIdentifier, "type name", &name);
+  if (!s.ok()) return s;
+  if (name.text == "List") {
+    type->kind = TypeKind::kList;
+    s = Expect(TokenKind::kLAngle, "'<'");
+    if (!s.ok()) return s;
+    Token element;
+    s = Expect(TokenKind::kIdentifier, "list element type", &element);
+    if (!s.ok()) return s;
+    TypeKind element_kind;
+    if (PrimitiveKindFromName(element.text, &element_kind)) {
+      if (element_kind == TypeKind::kString) {
+        return ErrorHere("List<string> is not supported");
+      }
+      type->element_kind = element_kind;
+    } else {
+      type->element_kind = TypeKind::kStruct;
+      type->struct_name = element.text;
+    }
+    return Expect(TokenKind::kRAngle, "'>'");
+  }
+  TypeKind kind;
+  if (PrimitiveKindFromName(name.text, &kind)) {
+    type->kind = kind;
+    return Status::OK();
+  }
+  type->kind = TypeKind::kStruct;
+  type->struct_name = name.text;
+  return Status::OK();
+}
+
+Status Parser::ParseStruct(bool is_cell, AttributeMap attributes) {
+  StructDecl decl;
+  decl.is_cell = is_cell;
+  decl.attributes = std::move(attributes);
+  Token name;
+  Status s = Expect(TokenKind::kIdentifier, "struct name", &name);
+  if (!s.ok()) return s;
+  decl.name = name.text;
+  s = Expect(TokenKind::kLBrace, "'{'");
+  if (!s.ok()) return s;
+  while (!Accept(TokenKind::kRBrace)) {
+    FieldDecl field;
+    if (Peek().kind == TokenKind::kLBracket) {
+      s = ParseAttributes(&field.attributes);
+      if (!s.ok()) return s;
+    }
+    s = ParseType(&field.type);
+    if (!s.ok()) return s;
+    Token field_name;
+    s = Expect(TokenKind::kIdentifier, "field name", &field_name);
+    if (!s.ok()) return s;
+    field.name = field_name.text;
+    s = Expect(TokenKind::kSemicolon, "';'");
+    if (!s.ok()) return s;
+    decl.fields.push_back(std::move(field));
+  }
+  out_->structs.push_back(std::move(decl));
+  return Status::OK();
+}
+
+Status Parser::ParseProtocol() {
+  ProtocolDecl decl;
+  Token name;
+  Status s = Expect(TokenKind::kIdentifier, "protocol name", &name);
+  if (!s.ok()) return s;
+  decl.name = name.text;
+  s = Expect(TokenKind::kLBrace, "'{'");
+  if (!s.ok()) return s;
+  while (!Accept(TokenKind::kRBrace)) {
+    Token key;
+    s = Expect(TokenKind::kIdentifier, "protocol property", &key);
+    if (!s.ok()) return s;
+    s = Expect(TokenKind::kColon, "':'");
+    if (!s.ok()) return s;
+    Token value;
+    s = Expect(TokenKind::kIdentifier, "property value", &value);
+    if (!s.ok()) return s;
+    s = Expect(TokenKind::kSemicolon, "';'");
+    if (!s.ok()) return s;
+    if (key.text == "Type") {
+      if (value.text == "Syn") {
+        decl.synchronous = true;
+      } else if (value.text == "Asyn") {
+        decl.synchronous = false;
+      } else {
+        return ErrorHere("protocol Type must be Syn or Asyn");
+      }
+    } else if (key.text == "Request") {
+      decl.request_type = value.text == "void" ? "" : value.text;
+    } else if (key.text == "Response") {
+      decl.response_type = value.text == "void" ? "" : value.text;
+    } else {
+      return ErrorHere("unknown protocol property '" + key.text + "'");
+    }
+  }
+  out_->protocols.push_back(std::move(decl));
+  return Status::OK();
+}
+
+}  // namespace trinity::tsl

@@ -1,0 +1,53 @@
+#ifndef TRINITY_TSL_PARSER_H_
+#define TRINITY_TSL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsl/ast.h"
+#include "tsl/lexer.h"
+
+namespace trinity::tsl {
+
+/// Recursive-descent parser for TSL scripts (paper §4.2). Accepts cell
+/// structs, plain structs and protocol declarations:
+///
+///   [CellType: NodeCell]
+///   cell struct Movie {
+///     string Name;
+///     [EdgeType: SimpleEdge, ReferencedCell: Actor]
+///     List<long> Actors;
+///   }
+///
+///   struct MyMessage { string Text; }
+///   protocol Echo { Type: Syn; Request: MyMessage; Response: MyMessage; }
+class Parser {
+ public:
+  /// Parses a whole script. Error statuses carry a line number.
+  static Status Parse(const std::string& input, Script* out);
+
+ private:
+  Parser(std::vector<Token> tokens, Script* out)
+      : tokens_(std::move(tokens)), out_(out) {}
+
+  Status Run();
+  Status ParseAttributes(AttributeMap* attributes);
+  Status ParseStruct(bool is_cell, AttributeMap attributes);
+  Status ParseProtocol();
+  Status ParseType(TypeRef* type);
+
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Next() { return tokens_[pos_++]; }
+  bool Accept(TokenKind kind);
+  Status Expect(TokenKind kind, const char* what, Token* token = nullptr);
+  Status ErrorHere(const std::string& message) const;
+
+  std::vector<Token> tokens_;
+  std::size_t pos_ = 0;
+  Script* out_;
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_PARSER_H_

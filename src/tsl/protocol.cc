@@ -1,0 +1,143 @@
+#include "tsl/protocol.h"
+
+#include <algorithm>
+
+namespace trinity::tsl {
+
+ProtocolRuntime::ProtocolRuntime(const SchemaRegistry* registry,
+                                 cloud::MemoryCloud* cloud)
+    : registry_(registry), cloud_(cloud) {
+  // Assign handler ids by sorted protocol name so every machine (and every
+  // runtime instance over the same registry) agrees without negotiation.
+  std::vector<const ProtocolDecl*> protocols = registry_->protocols();
+  std::sort(protocols.begin(), protocols.end(),
+            [](const ProtocolDecl* a, const ProtocolDecl* b) {
+              return a->name < b->name;
+            });
+  net::HandlerId next = cloud::kUserHandlerBase;
+  for (const ProtocolDecl* protocol : protocols) {
+    handler_ids_[protocol->name] = next++;
+  }
+}
+
+Status ProtocolRuntime::HandlerIdFor(const std::string& protocol,
+                                     net::HandlerId* id) const {
+  auto it = handler_ids_.find(protocol);
+  if (it == handler_ids_.end()) {
+    return Status::NotFound("no protocol '" + protocol + "'");
+  }
+  *id = it->second;
+  return Status::OK();
+}
+
+Status ProtocolRuntime::RegisterSynHandler(MachineId machine,
+                                           const std::string& protocol,
+                                           SynHandler handler) {
+  const ProtocolDecl* decl = registry_->protocol(protocol);
+  if (decl == nullptr) return Status::NotFound("no protocol '" + protocol + "'");
+  if (!decl->synchronous) {
+    return Status::InvalidArgument("protocol '" + protocol + "' is Asyn");
+  }
+  net::HandlerId id = 0;
+  Status s = HandlerIdFor(protocol, &id);
+  if (!s.ok()) return s;
+  const Schema* request_schema =
+      decl->request_type.empty() ? nullptr
+                                 : registry_->struct_schema(decl->request_type);
+  const Schema* response_schema =
+      decl->response_type.empty()
+          ? nullptr
+          : registry_->struct_schema(decl->response_type);
+  cloud_->fabric().RegisterSyncHandler(
+      machine, id,
+      [handler = std::move(handler), request_schema, response_schema](
+          MachineId src, Slice payload, std::string* response) {
+        CellAccessor request;
+        if (request_schema != nullptr) {
+          Status vs = CellAccessor::FromBlob(request_schema, payload, &request);
+          if (!vs.ok()) return vs;
+        }
+        CellAccessor response_accessor;
+        if (response_schema != nullptr) {
+          response_accessor = CellAccessor::NewDefault(response_schema);
+        }
+        Status hs = handler(src, request,
+                            response_schema != nullptr ? &response_accessor
+                                                       : nullptr);
+        if (!hs.ok()) return hs;
+        if (response_schema != nullptr && response != nullptr) {
+          *response = response_accessor.ReleaseBlob();
+        }
+        return Status::OK();
+      });
+  return Status::OK();
+}
+
+Status ProtocolRuntime::RegisterAsynHandler(MachineId machine,
+                                            const std::string& protocol,
+                                            AsynHandler handler) {
+  const ProtocolDecl* decl = registry_->protocol(protocol);
+  if (decl == nullptr) return Status::NotFound("no protocol '" + protocol + "'");
+  if (decl->synchronous) {
+    return Status::InvalidArgument("protocol '" + protocol + "' is Syn");
+  }
+  net::HandlerId id = 0;
+  Status s = HandlerIdFor(protocol, &id);
+  if (!s.ok()) return s;
+  const Schema* request_schema =
+      decl->request_type.empty() ? nullptr
+                                 : registry_->struct_schema(decl->request_type);
+  cloud_->fabric().RegisterAsyncHandler(
+      machine, id,
+      [handler = std::move(handler), request_schema](MachineId src,
+                                                     Slice payload) {
+        CellAccessor request;
+        if (request_schema != nullptr &&
+            !CellAccessor::FromBlob(request_schema, payload, &request).ok()) {
+          return;  // Malformed message; drop (one-sided semantics).
+        }
+        handler(src, request);
+      });
+  return Status::OK();
+}
+
+Status ProtocolRuntime::Call(MachineId src, MachineId dst,
+                             const std::string& protocol,
+                             const CellAccessor& request,
+                             CellAccessor* response) {
+  const ProtocolDecl* decl = registry_->protocol(protocol);
+  if (decl == nullptr) return Status::NotFound("no protocol '" + protocol + "'");
+  if (!decl->synchronous) {
+    return Status::InvalidArgument("use Send for Asyn protocols");
+  }
+  net::HandlerId id = 0;
+  Status s = HandlerIdFor(protocol, &id);
+  if (!s.ok()) return s;
+  std::string raw_response;
+  s = cloud_->fabric().Call(src, dst, id, Slice(request.blob()),
+                            &raw_response);
+  if (!s.ok()) return s;
+  if (!decl->response_type.empty() && response != nullptr) {
+    const Schema* response_schema =
+        registry_->struct_schema(decl->response_type);
+    return CellAccessor::FromBlob(response_schema, Slice(raw_response),
+                                  response);
+  }
+  return Status::OK();
+}
+
+Status ProtocolRuntime::Send(MachineId src, MachineId dst,
+                             const std::string& protocol,
+                             const CellAccessor& request) {
+  const ProtocolDecl* decl = registry_->protocol(protocol);
+  if (decl == nullptr) return Status::NotFound("no protocol '" + protocol + "'");
+  if (decl->synchronous) {
+    return Status::InvalidArgument("use Call for Syn protocols");
+  }
+  net::HandlerId id = 0;
+  Status s = HandlerIdFor(protocol, &id);
+  if (!s.ok()) return s;
+  return cloud_->fabric().SendAsync(src, dst, id, Slice(request.blob()));
+}
+
+}  // namespace trinity::tsl

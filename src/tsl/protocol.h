@@ -1,0 +1,72 @@
+#ifndef TRINITY_TSL_PROTOCOL_H_
+#define TRINITY_TSL_PROTOCOL_H_
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "cloud/memory_cloud.h"
+#include "tsl/cell_accessor.h"
+#include "tsl/schema.h"
+
+namespace trinity::tsl {
+
+/// Runtime for protocols declared in TSL (paper §4.2, Fig 5). A `protocol`
+/// declaration compiles into:
+///   * a stable fabric handler id (assigned deterministically from the
+///     registry so every machine agrees),
+///   * an empty handler slot the user fills with the algorithm logic —
+///     "the user only needs to implement the algorithm logic for the handler
+///     as if implementing a local method",
+///   * a Call / Send entry point — "calling a protocol defined in the TSL is
+///     also like calling a local method. Trinity takes care of message
+///     dispatching, packing, etc."
+///
+/// Syn protocols are request-response over Fabric::Call; Asyn protocols ride
+/// the one-sided SendAsync path, where the fabric transparently packs small
+/// messages into shared physical transfers.
+class ProtocolRuntime {
+ public:
+  /// Handler for a Syn protocol: fill *response (pre-initialized to the
+  /// response schema's default image when the protocol declares one).
+  using SynHandler = std::function<Status(MachineId src,
+                                          const CellAccessor& request,
+                                          CellAccessor* response)>;
+  /// Handler for an Asyn protocol.
+  using AsynHandler =
+      std::function<void(MachineId src, const CellAccessor& request)>;
+
+  /// The registry and cloud must outlive the runtime.
+  ProtocolRuntime(const SchemaRegistry* registry, cloud::MemoryCloud* cloud);
+
+  ProtocolRuntime(const ProtocolRuntime&) = delete;
+  ProtocolRuntime& operator=(const ProtocolRuntime&) = delete;
+
+  /// Installs the handler for `protocol` on `machine`.
+  Status RegisterSynHandler(MachineId machine, const std::string& protocol,
+                            SynHandler handler);
+  Status RegisterAsynHandler(MachineId machine, const std::string& protocol,
+                             AsynHandler handler);
+
+  /// Synchronous request-response call. `response` may be null when the
+  /// protocol declares no response type.
+  Status Call(MachineId src, MachineId dst, const std::string& protocol,
+              const CellAccessor& request, CellAccessor* response);
+
+  /// One-sided asynchronous send (packed automatically by the fabric).
+  Status Send(MachineId src, MachineId dst, const std::string& protocol,
+              const CellAccessor& request);
+
+  /// Fabric handler id assigned to a protocol (deterministic; >=
+  /// cloud::kUserHandlerBase).
+  Status HandlerIdFor(const std::string& protocol, net::HandlerId* id) const;
+
+ private:
+  const SchemaRegistry* registry_;
+  cloud::MemoryCloud* cloud_;
+  std::map<std::string, net::HandlerId> handler_ids_;
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_PROTOCOL_H_

@@ -1,0 +1,198 @@
+#include "tsl/schema.h"
+
+#include <algorithm>
+
+#include "common/serializer.h"
+#include "tsl/parser.h"
+
+namespace trinity::tsl {
+
+int Schema::FieldIndex(const std::string& field_name) const {
+  auto it = field_index_.find(field_name);
+  return it == field_index_.end() ? -1 : it->second;
+}
+
+std::string Schema::BuildDefault() const {
+  BinaryWriter writer;
+  for (const FieldMeta& field : fields_) {
+    switch (field.decl.type.kind) {
+      case TypeKind::kByte:
+      case TypeKind::kBool:
+        writer.PutU8(0);
+        break;
+      case TypeKind::kInt32:
+        writer.PutI32(0);
+        break;
+      case TypeKind::kFloat: {
+        writer.PutU32(0);
+        break;
+      }
+      case TypeKind::kInt64:
+        writer.PutI64(0);
+        break;
+      case TypeKind::kDouble:
+        writer.PutDouble(0.0);
+        break;
+      case TypeKind::kString:
+      case TypeKind::kList:
+        writer.PutU32(0);  // Empty string / zero elements.
+        break;
+      case TypeKind::kStruct: {
+        const std::string nested = field.nested->BuildDefault();
+        writer.PutRaw(nested.data(), nested.size());
+        break;
+      }
+    }
+  }
+  return writer.Release();
+}
+
+Status SchemaRegistry::Compile(const std::string& script_text,
+                               SchemaRegistry* registry) {
+  Script script;
+  Status s = Parser::Parse(script_text, &script);
+  if (!s.ok()) return s;
+  return registry->Build(script);
+}
+
+Status SchemaRegistry::Build(const Script& script) {
+  structs_.clear();
+  protocols_.clear();
+  for (const StructDecl& decl : script.structs) {
+    if (structs_.count(decl.name) != 0) {
+      return Status::InvalidArgument("duplicate struct '" + decl.name + "'");
+    }
+    auto schema = std::make_unique<Schema>();
+    schema->name_ = decl.name;
+    schema->is_cell_ = decl.is_cell;
+    schema->attributes_ = decl.attributes;
+    for (const FieldDecl& field : decl.fields) {
+      if (schema->field_index_.count(field.name) != 0) {
+        return Status::InvalidArgument("duplicate field '" + field.name +
+                                       "' in struct '" + decl.name + "'");
+      }
+      Schema::FieldMeta meta;
+      meta.decl = field;
+      schema->field_index_[field.name] =
+          static_cast<int>(schema->fields_.size());
+      schema->fields_.push_back(std::move(meta));
+    }
+    structs_.emplace(decl.name, std::move(schema));
+  }
+  // Resolve nested references and compute widths (cycle-safe).
+  for (auto& [name, schema] : structs_) {
+    (void)name;
+    std::vector<std::string> stack;
+    Status s = ResolveStruct(schema.get(), &stack);
+    if (!s.ok()) return s;
+  }
+  // Validate edge attributes: ReferencedCell must name a cell struct.
+  for (const auto& [name, schema] : structs_) {
+    (void)name;
+    for (int i = 0; i < schema->num_fields(); ++i) {
+      const auto& attrs = schema->field(i).decl.attributes;
+      auto it = attrs.find("ReferencedCell");
+      if (it == attrs.end()) continue;
+      const Schema* target = struct_schema(it->second);
+      if (target == nullptr || !target->is_cell()) {
+        return Status::InvalidArgument("ReferencedCell '" + it->second +
+                                       "' is not a cell struct");
+      }
+    }
+  }
+  for (const ProtocolDecl& decl : script.protocols) {
+    if (protocols_.count(decl.name) != 0) {
+      return Status::InvalidArgument("duplicate protocol '" + decl.name +
+                                     "'");
+    }
+    for (const std::string* type :
+         {&decl.request_type, &decl.response_type}) {
+      if (!type->empty() && structs_.count(*type) == 0) {
+        return Status::InvalidArgument("protocol '" + decl.name +
+                                       "' references unknown type '" + *type +
+                                       "'");
+      }
+    }
+    protocols_.emplace(decl.name, decl);
+  }
+  return Status::OK();
+}
+
+Status SchemaRegistry::ResolveStruct(Schema* schema,
+                                     std::vector<std::string>* stack) {
+  if (std::find(stack->begin(), stack->end(), schema->name_) !=
+      stack->end()) {
+    return Status::InvalidArgument("recursive struct nesting involving '" +
+                                   schema->name_ + "'");
+  }
+  stack->push_back(schema->name_);
+  bool all_fixed = true;
+  std::size_t total = 0;
+  for (Schema::FieldMeta& field : schema->fields_) {
+    const TypeRef& type = field.decl.type;
+    if (type.kind == TypeKind::kStruct ||
+        (type.kind == TypeKind::kList &&
+         type.element_kind == TypeKind::kStruct)) {
+      auto it = structs_.find(type.struct_name);
+      if (it == structs_.end()) {
+        return Status::InvalidArgument("unknown struct '" + type.struct_name +
+                                       "' referenced by field '" +
+                                       field.decl.name + "'");
+      }
+      Status s = ResolveStruct(it->second.get(), stack);
+      if (!s.ok()) return s;
+      field.nested = it->second.get();
+    }
+    switch (type.kind) {
+      case TypeKind::kString:
+      case TypeKind::kList:
+        field.fixed = false;
+        all_fixed = false;
+        break;
+      case TypeKind::kStruct:
+        field.fixed = field.nested->fixed_size();
+        field.width = field.nested->fixed_width();
+        all_fixed = all_fixed && field.fixed;
+        break;
+      default:
+        field.fixed = true;
+        field.width = FixedSizeOf(type.kind);
+        break;
+    }
+    if (field.fixed) total += field.width;
+  }
+  schema->fixed_size_ = all_fixed;
+  schema->fixed_width_ = all_fixed ? total : 0;
+  stack->pop_back();
+  return Status::OK();
+}
+
+const Schema* SchemaRegistry::struct_schema(const std::string& name) const {
+  auto it = structs_.find(name);
+  return it == structs_.end() ? nullptr : it->second.get();
+}
+
+const ProtocolDecl* SchemaRegistry::protocol(const std::string& name) const {
+  auto it = protocols_.find(name);
+  return it == protocols_.end() ? nullptr : &it->second;
+}
+
+std::vector<const Schema*> SchemaRegistry::cell_schemas() const {
+  std::vector<const Schema*> result;
+  for (const auto& [name, schema] : structs_) {
+    (void)name;
+    if (schema->is_cell()) result.push_back(schema.get());
+  }
+  return result;
+}
+
+std::vector<const ProtocolDecl*> SchemaRegistry::protocols() const {
+  std::vector<const ProtocolDecl*> result;
+  for (const auto& [name, decl] : protocols_) {
+    (void)name;
+    result.push_back(&decl);
+  }
+  return result;
+}
+
+}  // namespace trinity::tsl

@@ -1,0 +1,98 @@
+#ifndef TRINITY_TSL_SCHEMA_H_
+#define TRINITY_TSL_SCHEMA_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "tsl/ast.h"
+
+namespace trinity::tsl {
+
+class SchemaRegistry;
+
+/// Compiled layout metadata for one TSL struct. The blob encoding is the
+/// declaration order of the fields:
+///   * fixed-size primitives — raw little-endian bytes;
+///   * string               — u32 length + bytes;
+///   * List<T>              — u32 element count + encoded elements;
+///   * nested struct        — its fields, recursively.
+/// A struct whose fields are all fixed-size has a fixed total width, which
+/// accessors exploit to skip it in O(1).
+class Schema {
+ public:
+  struct FieldMeta {
+    FieldDecl decl;
+    const Schema* nested = nullptr;  ///< For struct / List<struct> fields.
+    bool fixed = false;              ///< Whole field has fixed width.
+    std::size_t width = 0;           ///< Valid when fixed.
+  };
+
+  const std::string& name() const { return name_; }
+  bool is_cell() const { return is_cell_; }
+  const AttributeMap& attributes() const { return attributes_; }
+
+  int num_fields() const { return static_cast<int>(fields_.size()); }
+  const FieldMeta& field(int index) const { return fields_[index]; }
+
+  /// Index of the named field, or -1.
+  int FieldIndex(const std::string& field_name) const;
+
+  /// True when every field is fixed-size.
+  bool fixed_size() const { return fixed_size_; }
+  /// Total encoded width when fixed_size().
+  std::size_t fixed_width() const { return fixed_width_; }
+
+  /// Builds the default blob image: zeros for primitives, empty strings and
+  /// lists, defaults recursively for nested structs.
+  std::string BuildDefault() const;
+
+ private:
+  friend class SchemaRegistry;
+
+  std::string name_;
+  bool is_cell_ = false;
+  AttributeMap attributes_;
+  std::vector<FieldMeta> fields_;
+  std::map<std::string, int> field_index_;
+  bool fixed_size_ = false;
+  std::size_t fixed_width_ = 0;
+};
+
+/// Registry of all structs and protocols compiled from one TSL script —
+/// what the paper's TSL compiler produces, minus the generated C# (our
+/// Codegen emits the equivalent C++ separately).
+class SchemaRegistry {
+ public:
+  SchemaRegistry() = default;
+  SchemaRegistry(const SchemaRegistry&) = delete;
+  SchemaRegistry& operator=(const SchemaRegistry&) = delete;
+  SchemaRegistry(SchemaRegistry&&) = default;
+  SchemaRegistry& operator=(SchemaRegistry&&) = default;
+
+  /// Parses and validates a TSL script: duplicate declarations, unknown type
+  /// references, ReferencedCell targets, recursive struct nesting, and
+  /// protocol request/response types are all checked here.
+  static Status Compile(const std::string& script_text,
+                        SchemaRegistry* registry);
+
+  const Schema* struct_schema(const std::string& name) const;
+  const ProtocolDecl* protocol(const std::string& name) const;
+
+  std::vector<const Schema*> cell_schemas() const;
+  std::vector<const ProtocolDecl*> protocols() const;
+
+ private:
+  Status Build(const Script& script);
+  /// Resolves nested references and computes fixed widths; detects cycles.
+  Status ResolveStruct(Schema* schema, std::vector<std::string>* stack);
+
+  std::map<std::string, std::unique_ptr<Schema>> structs_;
+  std::map<std::string, ProtocolDecl> protocols_;
+};
+
+}  // namespace trinity::tsl
+
+#endif  // TRINITY_TSL_SCHEMA_H_

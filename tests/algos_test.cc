@@ -1,0 +1,467 @@
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <map>
+#include <queue>
+
+#include "common/random.h"
+
+#include "algos/bfs.h"
+#include "algos/graph_stats.h"
+#include "algos/landmark.h"
+#include "algos/pagerank.h"
+#include "algos/people_search.h"
+#include "algos/sssp.h"
+#include "algos/subgraph_match.h"
+#include "algos/wcc.h"
+#include "graph/generators.h"
+
+namespace trinity::algos {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  std::unique_ptr<graph::Graph> graph;
+};
+
+Fixture NewGraph(int slaves = 4) {
+  Fixture f;
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 8 << 20;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &f.cloud).ok());
+  f.graph = std::make_unique<graph::Graph>(f.cloud.get());
+  return f;
+}
+
+TEST(PageRankTest, RanksSumToOne) {
+  Fixture f = NewGraph();
+  ASSERT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 6.0, 4).ok());
+  PageRankOptions options;
+  options.iterations = 8;
+  PageRankResult result;
+  ASSERT_TRUE(RunPageRank(f.graph.get(), options, &result).ok());
+  ASSERT_EQ(result.ranks.size(), 256u);
+  double sum = 0;
+  for (const auto& [v, rank] : result.ranks) {
+    EXPECT_GE(rank, 0.0);
+    sum += rank;
+  }
+  // Dangling-vertex rank leaks, so the sum is <= 1 but substantial.
+  EXPECT_GT(sum, 0.4);
+  EXPECT_LE(sum, 1.0 + 1e-6);
+  EXPECT_GT(result.seconds_per_iteration, 0.0);
+}
+
+TEST(PageRankTest, CycleIsUniform) {
+  Fixture f = NewGraph();
+  const std::uint64_t n = 10;
+  for (CellId v = 0; v < n; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 0; v < n; ++v) {
+    ASSERT_TRUE(f.graph->AddEdge(v, (v + 1) % n).ok());
+  }
+  PageRankOptions options;
+  options.iterations = 30;
+  PageRankResult result;
+  ASSERT_TRUE(RunPageRank(f.graph.get(), options, &result).ok());
+  for (const auto& [v, rank] : result.ranks) {
+    EXPECT_NEAR(rank, 1.0 / n, 1e-6) << "vertex " << v;
+  }
+}
+
+TEST(PageRankTest, StarCenterDominates) {
+  Fixture f = NewGraph();
+  const std::uint64_t n = 20;
+  for (CellId v = 0; v < n; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 1; v < n; ++v) {
+    ASSERT_TRUE(f.graph->AddEdge(v, 0).ok());  // Everyone points at 0.
+  }
+  PageRankOptions options;
+  options.iterations = 10;
+  PageRankResult result;
+  ASSERT_TRUE(RunPageRank(f.graph.get(), options, &result).ok());
+  for (CellId v = 1; v < n; ++v) {
+    EXPECT_GT(result.ranks[0], result.ranks[v] * 5);
+  }
+}
+
+TEST(BfsTest, DistancesOnChain) {
+  Fixture f = NewGraph();
+  for (CellId v = 0; v < 6; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 0; v + 1 < 6; ++v) {
+    ASSERT_TRUE(f.graph->AddEdge(v, v + 1).ok());
+  }
+  BfsResult result;
+  ASSERT_TRUE(
+      RunBfs(f.graph.get(), 0, compute::TraversalEngine::Options{}, &result)
+          .ok());
+  EXPECT_EQ(result.reached, 6u);
+  for (CellId v = 0; v < 6; ++v) {
+    EXPECT_EQ(result.distances[v], v);
+  }
+}
+
+TEST(SsspTest, MatchesDijkstraReference) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Uniform(200, 5.0, 31);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  SsspOptions options;
+  options.weight_range = 8;
+  SsspResult result;
+  ASSERT_TRUE(RunSssp(f.graph.get(), 0, options, &result).ok());
+
+  // Dijkstra reference with identical derived weights.
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<std::vector<CellId>> adjacency(edges.num_nodes);
+  for (const auto& [s, d] : edges.edges) adjacency[s].push_back(d);
+  std::vector<double> dist(edges.num_nodes, kInf);
+  using Entry = std::pair<double, CellId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  dist[0] = 0;
+  heap.push({0, 0});
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (d > dist[v]) continue;
+    for (CellId u : adjacency[v]) {
+      const double next = d + SsspEdgeWeight(v, u, options.weight_range);
+      if (next < dist[u]) {
+        dist[u] = next;
+        heap.push({next, u});
+      }
+    }
+  }
+  for (CellId v = 0; v < edges.num_nodes; ++v) {
+    if (dist[v] == kInf) {
+      EXPECT_EQ(result.distances.count(v), 0u);
+    } else {
+      ASSERT_TRUE(result.distances.count(v)) << "vertex " << v;
+      EXPECT_NEAR(result.distances[v], dist[v], 1e-9);
+    }
+  }
+  EXPECT_GT(result.stats.updates, 0u);
+}
+
+TEST(WccTest, FindsComponents) {
+  Fixture f = NewGraph();
+  // Two components: {0,1,2} chained, {10,11} chained, {20} isolated.
+  for (CellId v : {0, 1, 2, 10, 11, 20}) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  ASSERT_TRUE(f.graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(f.graph->AddEdge(2, 1).ok());  // Direction doesn't matter.
+  ASSERT_TRUE(f.graph->AddEdge(10, 11).ok());
+  WccResult result;
+  ASSERT_TRUE(RunWcc(f.graph.get(), WccOptions{}, &result).ok());
+  EXPECT_EQ(result.num_components, 3u);
+  EXPECT_EQ(result.component[0], 0u);
+  EXPECT_EQ(result.component[1], 0u);
+  EXPECT_EQ(result.component[2], 0u);
+  EXPECT_EQ(result.component[10], 10u);
+  EXPECT_EQ(result.component[11], 10u);
+  EXPECT_EQ(result.component[20], 20u);
+}
+
+TEST(PeopleSearchTest, FindsDavidWithinHops) {
+  Fixture f = NewGraph();
+  // user(0) - 1 - 2(David) ; user - 3(David) ; far David at 4 hops.
+  ASSERT_TRUE(f.graph->AddNode(0, Slice("Alice")).ok());
+  ASSERT_TRUE(f.graph->AddNode(1, Slice("Bob")).ok());
+  ASSERT_TRUE(f.graph->AddNode(2, Slice("David")).ok());
+  ASSERT_TRUE(f.graph->AddNode(3, Slice("David")).ok());
+  ASSERT_TRUE(f.graph->AddNode(4, Slice("Carol")).ok());
+  ASSERT_TRUE(f.graph->AddNode(5, Slice("Erin")).ok());
+  ASSERT_TRUE(f.graph->AddNode(6, Slice("David")).ok());
+  ASSERT_TRUE(f.graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(f.graph->AddEdge(1, 2).ok());
+  ASSERT_TRUE(f.graph->AddEdge(0, 3).ok());
+  ASSERT_TRUE(f.graph->AddEdge(0, 4).ok());
+  ASSERT_TRUE(f.graph->AddEdge(4, 5).ok());
+  ASSERT_TRUE(f.graph->AddEdge(5, 6).ok());  // David at depth 3.
+  PeopleSearchOptions options;
+  options.max_hops = 3;
+  PeopleSearchResult result;
+  ASSERT_TRUE(
+      RunPeopleSearch(f.graph.get(), 0, "David", options, &result).ok());
+  ASSERT_EQ(result.matches.size(), 3u);
+  std::map<CellId, int> by_id;
+  for (const auto& match : result.matches) by_id[match.person] = match.hops;
+  EXPECT_EQ(by_id[3], 1);
+  EXPECT_EQ(by_id[2], 2);
+  EXPECT_EQ(by_id[6], 3);
+  // With 2 hops, the depth-3 David is out of range.
+  options.max_hops = 2;
+  ASSERT_TRUE(
+      RunPeopleSearch(f.graph.get(), 0, "David", options, &result).ok());
+  EXPECT_EQ(result.matches.size(), 2u);
+}
+
+TEST(PeopleSearchTest, SelfIsNotAMatch) {
+  Fixture f = NewGraph();
+  ASSERT_TRUE(f.graph->AddNode(0, Slice("David")).ok());
+  ASSERT_TRUE(f.graph->AddNode(1, Slice("David")).ok());
+  ASSERT_TRUE(f.graph->AddEdge(0, 1).ok());
+  PeopleSearchOptions options;
+  PeopleSearchResult result;
+  ASSERT_TRUE(
+      RunPeopleSearch(f.graph.get(), 0, "David", options, &result).ok());
+  ASSERT_EQ(result.matches.size(), 1u);  // Depth 0 excluded.
+  EXPECT_EQ(result.matches[0].person, 1u);
+}
+
+TEST(PeopleSearchTest, WorksOnGeneratedSocialGraph) {
+  Fixture f = NewGraph(8);
+  const auto edges = graph::Generators::PowerLaw(3000, 10.0, 2.16, 9);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, true, 9).ok());
+  PeopleSearchOptions options;
+  options.max_hops = 3;
+  PeopleSearchResult result;
+  ASSERT_TRUE(
+      RunPeopleSearch(f.graph.get(), 1, "David", options, &result).ok());
+  // With a 32-name pool, a 3-hop ball almost surely holds a David.
+  EXPECT_GT(result.matches.size(), 0u);
+  for (const auto& match : result.matches) {
+    EXPECT_EQ(match.name, "David");
+    EXPECT_GE(match.hops, 1);
+    EXPECT_LE(match.hops, 3);
+  }
+  EXPECT_GT(result.stats.modeled_millis, 0.0);
+}
+
+TEST(SubgraphMatchTest, TrianglePatternOnKnownGraph) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Uniform(300, 8.0, 15);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  SubgraphMatcher::Options options;
+  options.num_labels = 4;  // Coarse labels so matches exist.
+  SubgraphMatcher matcher(f.graph.get(), options);
+  // Generated queries are embedded by construction.
+  SubgraphMatcher::Pattern pattern;
+  ASSERT_TRUE(matcher.GenerateDfsQuery(4, 123, &pattern).ok());
+  SubgraphMatcher::Result result;
+  ASSERT_TRUE(matcher.Match(pattern, &result).ok());
+  EXPECT_GT(result.embeddings, 0u);
+  EXPECT_GT(result.modeled_millis, 0.0);
+}
+
+TEST(SubgraphMatchTest, RandomQueryHasEmbedding) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Uniform(300, 8.0, 16);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  SubgraphMatcher::Options options;
+  options.num_labels = 4;
+  SubgraphMatcher matcher(f.graph.get(), options);
+  SubgraphMatcher::Pattern pattern;
+  ASSERT_TRUE(matcher.GenerateRandomQuery(5, 77, &pattern).ok());
+  ASSERT_EQ(pattern.nodes.size(), 5u);
+  for (std::size_t i = 1; i < pattern.nodes.size(); ++i) {
+    EXPECT_FALSE(pattern.nodes[i].edges_to_earlier.empty());
+  }
+  SubgraphMatcher::Result result;
+  ASSERT_TRUE(matcher.Match(pattern, &result).ok());
+  EXPECT_GT(result.embeddings, 0u);
+}
+
+TEST(SubgraphMatchTest, ImpossiblePatternFindsNothing) {
+  Fixture f = NewGraph();
+  // Only a single directed chain: no triangles exist.
+  for (CellId v = 0; v < 10; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 0; v + 1 < 10; ++v) {
+    ASSERT_TRUE(f.graph->AddEdge(v, v + 1).ok());
+  }
+  SubgraphMatcher::Options options;
+  options.num_labels = 1;  // Labels always match; structure must decide.
+  SubgraphMatcher matcher(f.graph.get(), options);
+  SubgraphMatcher::Pattern triangle;
+  triangle.nodes.resize(3);
+  triangle.nodes[0].label = 0;
+  triangle.nodes[1].label = 0;
+  triangle.nodes[1].edges_to_earlier = {0};
+  triangle.nodes[2].label = 0;
+  triangle.nodes[2].edges_to_earlier = {0, 1};
+  SubgraphMatcher::Result result;
+  ASSERT_TRUE(matcher.Match(triangle, &result).ok());
+  EXPECT_EQ(result.embeddings, 0u);
+}
+
+TEST(SubgraphMatchTest, ResultCapTruncates) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Uniform(200, 10.0, 17);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  SubgraphMatcher::Options options;
+  options.num_labels = 1;
+  options.max_results = 5;
+  SubgraphMatcher matcher(f.graph.get(), options);
+  SubgraphMatcher::Pattern pattern;
+  pattern.nodes.resize(2);
+  pattern.nodes[1].edges_to_earlier = {0};
+  SubgraphMatcher::Result result;
+  ASSERT_TRUE(matcher.Match(pattern, &result).ok());
+  EXPECT_EQ(result.embeddings, 5u);
+  EXPECT_TRUE(result.truncated);
+}
+
+TEST(SubgraphMatchTest, OptimizedOrderExploresFewerPartials) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::PowerLaw(2000, 10.0, 2.16, 29);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  SubgraphMatcher::Options options;
+  options.num_labels = 8;
+  options.max_results = 1ull << 40;  // Exhaustive: compare total work.
+  options.max_partials = 500000;
+  options.round_budget = 1ull << 40;
+  SubgraphMatcher matcher(f.graph.get(), options);
+  SubgraphMatcher::Pattern pattern;
+  ASSERT_TRUE(matcher.GenerateDfsQuery(5, 888, &pattern).ok());
+  SubgraphMatcher::Pattern optimized;
+  ASSERT_TRUE(matcher.OptimizeMatchOrder(pattern, &optimized).ok());
+  ASSERT_EQ(optimized.nodes.size(), pattern.nodes.size());
+  for (std::size_t i = 1; i < optimized.nodes.size(); ++i) {
+    ASSERT_FALSE(optimized.nodes[i].edges_to_earlier.empty());
+  }
+  SubgraphMatcher::Result baseline, improved;
+  ASSERT_TRUE(matcher.Match(pattern, &baseline).ok());
+  ASSERT_TRUE(matcher.Match(optimized, &improved).ok());
+  // Exhaustive searches agree on the embedding count (order changes which
+  // permutation is enumerated first, not what exists).
+  if (!baseline.truncated && !improved.truncated) {
+    EXPECT_EQ(improved.embeddings, baseline.embeddings);
+  }
+  // The selective order should not explore more partials.
+  EXPECT_LE(improved.partials_expanded, baseline.partials_expanded);
+}
+
+TEST(SubgraphMatchTest, LabelFrequenciesCoverGraph) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Uniform(500, 4.0, 61);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  SubgraphMatcher::Options options;
+  options.num_labels = 8;
+  SubgraphMatcher matcher(f.graph.get(), options);
+  const auto& freq = matcher.LabelFrequencies();
+  ASSERT_EQ(freq.size(), 8u);
+  std::uint64_t total = 0;
+  for (std::uint64_t c : freq) total += c;
+  EXPECT_EQ(total, 500u);
+}
+
+TEST(GraphStatsTest, HistogramAndMoments) {
+  Fixture f = NewGraph();
+  // Star: center has out-degree 9, the rest 0.
+  for (CellId v = 0; v < 10; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 1; v < 10; ++v) {
+    ASSERT_TRUE(f.graph->AddEdge(0, v).ok());
+  }
+  GraphStats stats;
+  ASSERT_TRUE(
+      ComputeGraphStats(f.graph.get(), 0, net::CostModel{}, &stats).ok());
+  EXPECT_EQ(stats.num_nodes, 10u);
+  EXPECT_EQ(stats.num_edges, 9u);
+  EXPECT_EQ(stats.max_out_degree, 9u);
+  EXPECT_NEAR(stats.avg_out_degree, 0.9, 1e-9);
+  EXPECT_EQ(stats.degree_histogram[0], 9u);
+  EXPECT_EQ(stats.degree_histogram[9], 1u);
+}
+
+TEST(GraphStatsTest, RecoversPowerLawExponent) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::PowerLaw(20000, 13.0, 2.16, 3);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  GraphStats stats;
+  ASSERT_TRUE(
+      ComputeGraphStats(f.graph.get(), 20, net::CostModel{}, &stats).ok());
+  // The generator samples out-degrees from a gamma=2.16 Pareto tail; the
+  // Hill estimator should land in the neighborhood.
+  EXPECT_GT(stats.power_law_gamma, 1.7);
+  EXPECT_LT(stats.power_law_gamma, 2.7);
+  EXPECT_NEAR(stats.avg_out_degree, 13.0, 4.0);
+  EXPECT_GT(stats.modeled_millis, 0.0);
+}
+
+TEST(LandmarkTest, BetweennessFindsBridge) {
+  // Two cliques joined by a single bridge vertex: the bridge has by far
+  // the highest betweenness.
+  graph::Generators::EdgeList edges;
+  edges.num_nodes = 11;
+  auto clique = [&](CellId base) {
+    for (CellId a = base; a < base + 5; ++a) {
+      for (CellId b = a + 1; b < base + 5; ++b) {
+        edges.edges.emplace_back(a, b);
+      }
+    }
+  };
+  clique(0);
+  clique(5);
+  const CellId bridge = 10;
+  edges.edges.emplace_back(0, bridge);
+  edges.edges.emplace_back(bridge, 5);
+  const graph::Csr csr = graph::Csr::FromEdges(edges);
+  const auto centrality = ApproxBetweenness(csr, 11, 3);
+  for (CellId v = 0; v < 10; ++v) {
+    EXPECT_GE(centrality[bridge], centrality[v]);
+  }
+}
+
+TEST(LandmarkTest, OracleAccuracyAndStrategyOrdering) {
+  Fixture f = NewGraph(4);
+  const auto edges = graph::Generators::PowerLaw(1200, 8.0, 2.16, 19);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+
+  auto evaluate = [&](LandmarkStrategy strategy) {
+    DistanceOracle::Options options;
+    options.strategy = strategy;
+    options.num_landmarks = 16;
+    options.betweenness_samples = 24;
+    DistanceOracle oracle;
+    EXPECT_TRUE(DistanceOracle::Build(f.graph.get(), options, &oracle).ok());
+    EXPECT_LE(oracle.landmarks().size(), 16u);
+    EXPECT_GT(oracle.landmarks().size(), 0u);
+    return oracle.Evaluate(60, 5).accuracy_pct;
+  };
+  const double degree = evaluate(LandmarkStrategy::kLargestDegree);
+  const double local = evaluate(LandmarkStrategy::kLocalBetweenness);
+  const double global = evaluate(LandmarkStrategy::kGlobalBetweenness);
+  // All strategies produce upper-bound estimates.
+  for (double acc : {degree, local, global}) {
+    EXPECT_GT(acc, 20.0);
+    EXPECT_LE(acc, 100.0 + 1e-9);
+  }
+  // Fig 8(b) ordering, with slack for sampling noise: betweenness-based
+  // selection beats plain degree.
+  EXPECT_GT(global + 8.0, degree);
+  EXPECT_GT(local + 10.0, degree);
+}
+
+TEST(LandmarkTest, EstimateIsUpperBound) {
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Uniform(400, 6.0, 23);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  DistanceOracle::Options options;
+  options.num_landmarks = 8;
+  DistanceOracle oracle;
+  ASSERT_TRUE(DistanceOracle::Build(f.graph.get(), options, &oracle).ok());
+  Random rng(9);
+  for (int i = 0; i < 30; ++i) {
+    const CellId s = rng.Uniform(400);
+    const CellId t = rng.Uniform(400);
+    const std::uint32_t exact = oracle.Exact(s, t);
+    const std::uint32_t estimate = oracle.Estimate(s, t);
+    if (exact != ~0u && estimate != ~0u) {
+      EXPECT_GE(estimate, exact);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace trinity::algos

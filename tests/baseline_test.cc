@@ -1,0 +1,219 @@
+#include <gtest/gtest.h>
+
+#include <queue>
+
+#include "algos/bfs.h"
+#include "algos/pagerank.h"
+#include "baseline/diskstream_engine.h"
+#include "baseline/ghost_engine.h"
+#include "baseline/heap_engine.h"
+#include "graph/generators.h"
+
+namespace trinity::baseline {
+namespace {
+
+TEST(GhostEngineTest, BfsReachesSameSetAsReference) {
+  const auto edges = graph::Generators::Rmat(512, 6.0, 41);
+  GhostEngine::Options options;
+  options.num_machines = 4;
+  GhostEngine engine(options);
+  GhostEngine::LoadStats load;
+  ASSERT_TRUE(engine.LoadGraph(edges, &load).ok());
+  GhostEngine::BfsStats stats;
+  ASSERT_TRUE(engine.RunBfs(0, &stats).ok());
+
+  // Reference BFS.
+  std::vector<std::vector<CellId>> adjacency(edges.num_nodes);
+  for (const auto& [s, d] : edges.edges) adjacency[s].push_back(d);
+  std::vector<bool> seen(edges.num_nodes, false);
+  std::queue<CellId> q;
+  q.push(0);
+  seen[0] = true;
+  std::uint64_t reachable = 0;
+  while (!q.empty()) {
+    const CellId v = q.front();
+    q.pop();
+    ++reachable;
+    for (CellId u : adjacency[v]) {
+      if (!seen[u]) {
+        seen[u] = true;
+        q.push(u);
+      }
+    }
+  }
+  EXPECT_EQ(stats.reached, reachable);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+TEST(GhostEngineTest, GhostCellsGrowWithMachines) {
+  const auto edges = graph::Generators::Rmat(1024, 8.0, 43);
+  GhostEngine::LoadStats with4, with16;
+  {
+    GhostEngine::Options options;
+    options.num_machines = 4;
+    GhostEngine engine(options);
+    ASSERT_TRUE(engine.LoadGraph(edges, &with4).ok());
+  }
+  {
+    GhostEngine::Options options;
+    options.num_machines = 16;
+    GhostEngine engine(options);
+    ASSERT_TRUE(engine.LoadGraph(edges, &with16).ok());
+  }
+  // More machines -> worse hash partition locality -> more ghosts (§8).
+  EXPECT_GT(with16.ghost_cells, with4.ghost_cells);
+  EXPECT_GT(with16.memory_bytes, 0u);
+}
+
+TEST(GhostEngineTest, MemoryExceedsTrinityForSameGraph) {
+  // Fig 13(c) vs (d): PBGL's ghost-cell footprint dwarfs Trinity's blobs.
+  const auto edges = graph::Generators::Rmat(2048, 16.0, 47);
+  GhostEngine::Options options;
+  options.num_machines = 8;
+  GhostEngine engine(options);
+  GhostEngine::LoadStats load;
+  ASSERT_TRUE(engine.LoadGraph(edges, &load).ok());
+
+  cloud::MemoryCloud::Options copts;
+  copts.num_slaves = 8;
+  copts.p_bits = 4;
+  copts.storage.trunk.capacity = 8 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(copts, &cloud).ok());
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph graph(cloud.get(), gopts);
+  ASSERT_TRUE(graph::Generators::Load(&graph, edges, false, 0).ok());
+  EXPECT_GT(load.memory_bytes, cloud->MemoryFootprintBytes());
+}
+
+TEST(GhostEngineTest, SlowerThanTrinityBfs) {
+  const auto edges = graph::Generators::Rmat(1024, 8.0, 53);
+  GhostEngine::Options options;
+  options.num_machines = 8;
+  GhostEngine engine(options);
+  GhostEngine::LoadStats load;
+  ASSERT_TRUE(engine.LoadGraph(edges, &load).ok());
+  GhostEngine::BfsStats ghost_stats;
+  ASSERT_TRUE(engine.RunBfs(0, &ghost_stats).ok());
+
+  cloud::MemoryCloud::Options copts;
+  copts.num_slaves = 8;
+  copts.p_bits = 4;
+  copts.storage.trunk.capacity = 8 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(copts, &cloud).ok());
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph graph(cloud.get(), gopts);
+  ASSERT_TRUE(graph::Generators::Load(&graph, edges, false, 0).ok());
+  algos::BfsResult trinity_result;
+  ASSERT_TRUE(algos::RunBfs(&graph, 0, compute::TraversalEngine::Options{},
+                            &trinity_result)
+                  .ok());
+  EXPECT_EQ(trinity_result.reached, ghost_stats.reached);
+  // Fig 13(a) vs (b): unpacked fine-grained ghost updates cost far more.
+  EXPECT_GT(ghost_stats.modeled_seconds, trinity_result.modeled_seconds);
+}
+
+TEST(HeapEngineTest, PageRankMatchesTrinity) {
+  const auto edges = graph::Generators::Rmat(256, 6.0, 59);
+  HeapEngine::Options options;
+  options.num_machines = 4;
+  options.iterations = 8;
+  HeapEngine engine(options);
+  ASSERT_TRUE(engine.LoadGraph(edges).ok());
+  HeapEngine::RunStats stats;
+  ASSERT_TRUE(engine.RunPageRank(&stats).ok());
+  EXPECT_EQ(stats.supersteps, 9);
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.seconds_per_iteration, 0.0);
+  EXPECT_GT(stats.memory_bytes,
+            edges.num_nodes * 8 + edges.edges.size() * 8);
+}
+
+TEST(HeapEngineTest, SlowerPerIterationThanTrinity) {
+  const auto edges = graph::Generators::Rmat(512, 8.0, 61);
+  HeapEngine::Options options;
+  options.num_machines = 8;
+  options.iterations = 4;
+  HeapEngine engine(options);
+  ASSERT_TRUE(engine.LoadGraph(edges).ok());
+  HeapEngine::RunStats heap_stats;
+  ASSERT_TRUE(engine.RunPageRank(&heap_stats).ok());
+
+  cloud::MemoryCloud::Options copts;
+  copts.num_slaves = 8;
+  copts.p_bits = 4;
+  copts.storage.trunk.capacity = 8 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(copts, &cloud).ok());
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph graph(cloud.get(), gopts);
+  ASSERT_TRUE(graph::Generators::Load(&graph, edges, false, 0).ok());
+  algos::PageRankOptions popts;
+  popts.iterations = 4;
+  algos::PageRankResult trinity_result;
+  ASSERT_TRUE(algos::RunPageRank(&graph, popts, &trinity_result).ok());
+  // Fig 12(d) vs 12(b): runtime-object engine is much slower per iteration.
+  EXPECT_GT(heap_stats.seconds_per_iteration,
+            trinity_result.seconds_per_iteration);
+}
+
+TEST(DiskStreamEngineTest, AsyncPageRankMatchesBspPageRank) {
+  const auto edges = graph::Generators::Rmat(512, 6.0, 71);
+  DiskStreamEngine::Options options;
+  options.num_shards = 4;
+  options.scratch_dir = ::testing::TempDir() + "/diskstream_match";
+  DiskStreamEngine engine(options);
+  ASSERT_TRUE(engine.LoadGraph(edges).ok());
+  DiskStreamEngine::RunStats stats;
+  // Asynchronous sweeps converge at least as fast as synchronous ones.
+  ASSERT_TRUE(engine.RunPageRank(30, 0.85, &stats).ok());
+
+  cloud::MemoryCloud::Options copts;
+  copts.num_slaves = 4;
+  copts.p_bits = 4;
+  copts.storage.trunk.capacity = 8 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(copts, &cloud).ok());
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph graph(cloud.get(), gopts);
+  ASSERT_TRUE(graph::Generators::Load(&graph, edges, false, 0).ok());
+  algos::PageRankOptions popts;
+  popts.iterations = 40;
+  algos::PageRankResult bsp_result;
+  ASSERT_TRUE(algos::RunPageRank(&graph, popts, &bsp_result).ok());
+  for (CellId v = 0; v < edges.num_nodes; ++v) {
+    EXPECT_NEAR(engine.values()[v], bsp_result.ranks[v], 1e-4)
+        << "vertex " << v;
+  }
+}
+
+TEST(DiskStreamEngineTest, SequentialIoIsAccounted) {
+  const auto edges = graph::Generators::Rmat(1024, 8.0, 73);
+  DiskStreamEngine::Options options;
+  options.num_shards = 8;
+  options.scratch_dir = ::testing::TempDir() + "/diskstream_io";
+  DiskStreamEngine engine(options);
+  ASSERT_TRUE(engine.LoadGraph(edges).ok());
+  DiskStreamEngine::RunStats stats;
+  ASSERT_TRUE(engine.RunPageRank(2, 0.85, &stats).ok());
+  // Every edge (8 bytes) is streamed once per iteration.
+  EXPECT_EQ(stats.shard_bytes, edges.edges.size() * 8);
+  EXPECT_EQ(stats.total_bytes_read, 2 * stats.shard_bytes);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+}
+
+TEST(DiskStreamEngineTest, RejectsEmptyGraph) {
+  DiskStreamEngine::Options options;
+  options.scratch_dir = ::testing::TempDir() + "/diskstream_empty";
+  DiskStreamEngine engine(options);
+  graph::Generators::EdgeList empty;
+  EXPECT_TRUE(engine.LoadGraph(empty).IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace trinity::baseline

@@ -1,0 +1,462 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <queue>
+#include <set>
+
+#include "compute/async_engine.h"
+#include "compute/bsp.h"
+#include "compute/message_optimizer.h"
+#include "compute/traversal.h"
+#include "graph/generators.h"
+
+namespace trinity::compute {
+namespace {
+
+struct Fixture {
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  std::unique_ptr<graph::Graph> graph;
+};
+
+Fixture NewGraph(int slaves = 4, bool track_inlinks = true) {
+  Fixture f;
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 4 << 20;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &f.cloud).ok());
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = track_inlinks;
+  f.graph = std::make_unique<graph::Graph>(f.cloud.get(), gopts);
+  return f;
+}
+
+// Builds the 5-node test graph  0 -> 1 -> 2 -> 3 -> 4 with a chord 0 -> 3.
+void BuildChain(graph::Graph* graph) {
+  for (CellId v = 0; v < 5; ++v) {
+    ASSERT_TRUE(graph->AddNode(v, Slice()).ok());
+  }
+  ASSERT_TRUE(graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(graph->AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph->AddEdge(2, 3).ok());
+  ASSERT_TRUE(graph->AddEdge(3, 4).ok());
+  ASSERT_TRUE(graph->AddEdge(0, 3).ok());
+}
+
+TEST(BspEngineTest, PropagatesTokensAlongEdges) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  BspEngine engine(f.graph.get(), BspEngine::Options{});
+  BspEngine::RunStats stats;
+  // Each vertex stores the count of messages it ever received; vertex 0
+  // sends one token to each out-neighbor in superstep 0.
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](BspEngine::VertexContext& ctx) {
+                        if (ctx.superstep() == 0) {
+                          ctx.value() = "0";
+                          if (ctx.vertex() == 0) {
+                            ctx.SendToAllOut(Slice("t"));
+                          }
+                        } else {
+                          int count = std::stoi(ctx.value());
+                          count += static_cast<int>(ctx.messages().size());
+                          ctx.value() = std::to_string(count);
+                        }
+                        ctx.VoteToHalt();
+                      },
+                      &stats)
+                  .ok());
+  std::string value;
+  ASSERT_TRUE(engine.GetValue(1, &value).ok());
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(engine.GetValue(3, &value).ok());
+  EXPECT_EQ(value, "1");
+  ASSERT_TRUE(engine.GetValue(4, &value).ok());
+  EXPECT_EQ(value, "0");  // Two hops away: no token (everyone halted).
+  EXPECT_GE(stats.supersteps, 2);
+}
+
+TEST(BspEngineTest, HaltedVerticesReawakenOnMessage) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  BspEngine engine(f.graph.get(), BspEngine::Options{});
+  BspEngine::RunStats stats;
+  // Forward a token down the chain: each vertex relays once, then halts.
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](BspEngine::VertexContext& ctx) {
+                        if (ctx.superstep() == 0) {
+                          if (ctx.vertex() == 0) ctx.SendToAllOut(Slice("t"));
+                        } else if (!ctx.messages().empty()) {
+                          ctx.value() = "reached";
+                          ctx.SendToAllOut(Slice("t"));
+                        }
+                        ctx.VoteToHalt();
+                      },
+                      &stats)
+                  .ok());
+  std::string value;
+  ASSERT_TRUE(engine.GetValue(4, &value).ok());
+  EXPECT_EQ(value, "reached");  // Token traveled the whole chain.
+}
+
+TEST(BspEngineTest, CombinerFoldsMessages) {
+  Fixture f = NewGraph();
+  for (CellId v = 0; v < 4; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  // 1, 2, 3 all point at 0.
+  for (CellId v = 1; v < 4; ++v) {
+    ASSERT_TRUE(f.graph->AddEdge(v, 0).ok());
+  }
+  BspEngine::Options options;
+  options.combiner = [](std::string* acc, Slice msg) {
+    std::int64_t a = 0, b = 0;
+    std::memcpy(&a, acc->data(), 8);
+    std::memcpy(&b, msg.data(), 8);
+    a += b;
+    std::memcpy(acc->data(), &a, 8);
+  };
+  BspEngine engine(f.graph.get(), options);
+  BspEngine::RunStats stats;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](BspEngine::VertexContext& ctx) {
+                        if (ctx.superstep() == 0) {
+                          const std::int64_t one = 1;
+                          ctx.SendToAllOut(
+                              Slice(reinterpret_cast<const char*>(&one), 8));
+                        } else if (!ctx.messages().empty()) {
+                          // Combined into exactly one message.
+                          EXPECT_EQ(ctx.messages().size(), 1u);
+                          ctx.value() = ctx.messages().front();
+                        }
+                        ctx.VoteToHalt();
+                      },
+                      &stats)
+                  .ok());
+  std::string value;
+  ASSERT_TRUE(engine.GetValue(0, &value).ok());
+  std::int64_t total = 0;
+  std::memcpy(&total, value.data(), 8);
+  EXPECT_EQ(total, 3);
+}
+
+TEST(BspEngineTest, StatsAreMeaningful) {
+  Fixture f = NewGraph();
+  ASSERT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 4.0, 3).ok());
+  BspEngine engine(f.graph.get(), BspEngine::Options{});
+  BspEngine::RunStats stats;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](BspEngine::VertexContext& ctx) {
+                        if (ctx.superstep() == 0) {
+                          ctx.SendToAllOut(Slice("m"));
+                        }
+                        ctx.VoteToHalt();
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_GT(stats.messages, 0u);
+  EXPECT_GT(stats.bytes, 0u);
+  EXPECT_GT(stats.modeled_seconds, 0.0);
+  EXPECT_EQ(stats.superstep_seconds.size(),
+            static_cast<std::size_t>(stats.supersteps));
+}
+
+TEST(BspEngineTest, CheckpointAndRestore) {
+  const std::string root = ::testing::TempDir() + "/bsp_ckpt";
+  std::filesystem::remove_all(root);
+  tfs::Tfs::Options tfs_options;
+  tfs_options.root = root;
+  std::unique_ptr<tfs::Tfs> tfs;
+  ASSERT_TRUE(tfs::Tfs::Open(tfs_options, &tfs).ok());
+
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  // A counter program that runs exactly 6 supersteps.
+  auto program = [](BspEngine::VertexContext& ctx) {
+    const int count = ctx.value().empty() ? 0 : std::stoi(ctx.value());
+    ctx.value() = std::to_string(count + 1);
+    if (ctx.superstep() >= 5) {
+      ctx.VoteToHalt();
+    } else if (ctx.vertex() == 0) {
+      ctx.SendToAllOut(Slice("go"));  // Keep targets awake.
+    }
+  };
+  BspEngine::Options options;
+  options.checkpoint_interval = 2;
+  options.tfs = tfs.get();
+  BspEngine engine(f.graph.get(), options);
+  BspEngine::RunStats stats;
+  ASSERT_TRUE(engine.Run(program, &stats).ok());
+  EXPECT_GT(stats.checkpoints_written, 0);
+  std::string final_value;
+  ASSERT_TRUE(engine.GetValue(0, &final_value).ok());
+
+  // A second engine on the same TFS restores from the checkpoint and
+  // continues rather than starting at superstep 0.
+  BspEngine resumed(f.graph.get(), options);
+  BspEngine::RunStats resumed_stats;
+  ASSERT_TRUE(resumed.Run(program, &resumed_stats).ok());
+  EXPECT_TRUE(resumed_stats.restored_from_checkpoint);
+  EXPECT_LT(resumed_stats.supersteps, stats.supersteps);
+}
+
+TEST(TraversalTest, KHopVisitsExactlyOnce) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  TraversalEngine engine(f.graph.get());
+  TraversalEngine::QueryStats stats;
+  std::map<CellId, int> depth;
+  ASSERT_TRUE(engine
+                  .KHopExplore(0, 2,
+                               [&](CellId v, int d, Slice) {
+                                 EXPECT_EQ(depth.count(v), 0u);
+                                 depth[v] = d;
+                                 return true;
+                               },
+                               &stats)
+                  .ok());
+  // 0 at depth 0; {1,3} at 1; {2,4} at 2.
+  EXPECT_EQ(depth[0], 0);
+  EXPECT_EQ(depth[1], 1);
+  EXPECT_EQ(depth[3], 1);
+  EXPECT_EQ(depth[2], 2);
+  EXPECT_EQ(depth[4], 2);
+  EXPECT_EQ(stats.visited, 5u);
+}
+
+TEST(TraversalTest, DepthLimitEnforced) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  TraversalEngine engine(f.graph.get());
+  TraversalEngine::QueryStats stats;
+  int max_depth_seen = 0;
+  ASSERT_TRUE(engine
+                  .KHopExplore(0, 1,
+                               [&](CellId, int d, Slice) {
+                                 max_depth_seen = std::max(max_depth_seen, d);
+                                 return true;
+                               },
+                               &stats)
+                  .ok());
+  EXPECT_EQ(max_depth_seen, 1);
+  EXPECT_EQ(stats.visited, 3u);  // 0, 1, 3.
+}
+
+TEST(TraversalTest, VisitorCanPrune) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  TraversalEngine engine(f.graph.get());
+  TraversalEngine::QueryStats stats;
+  std::set<CellId> visited;
+  ASSERT_TRUE(engine
+                  .KHopExplore(0, 4,
+                               [&](CellId v, int, Slice) {
+                                 visited.insert(v);
+                                 return v != 3;  // Prune below vertex 3.
+                               },
+                               &stats)
+                  .ok());
+  EXPECT_TRUE(visited.count(3));
+  // 4 is reachable only through 3 (0->3->4 or chain): 2->3 pruned too, so 4
+  // must be absent.
+  EXPECT_FALSE(visited.count(4));
+}
+
+TEST(TraversalTest, BfsMatchesReference) {
+  Fixture f = NewGraph(4);
+  const auto edges = graph::Generators::Rmat(512, 6.0, 77);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  TraversalEngine engine(f.graph.get());
+  TraversalEngine::QueryStats stats;
+  std::unordered_map<CellId, std::uint32_t> distances;
+  ASSERT_TRUE(engine.Bfs(0, &distances, &stats).ok());
+
+  // Reference in-memory BFS over the same edges.
+  std::vector<std::vector<CellId>> adjacency(edges.num_nodes);
+  for (const auto& [s, d] : edges.edges) adjacency[s].push_back(d);
+  std::vector<std::int64_t> ref(edges.num_nodes, -1);
+  std::queue<CellId> q;
+  q.push(0);
+  ref[0] = 0;
+  while (!q.empty()) {
+    const CellId v = q.front();
+    q.pop();
+    for (CellId u : adjacency[v]) {
+      if (ref[u] < 0) {
+        ref[u] = ref[v] + 1;
+        q.push(u);
+      }
+    }
+  }
+  std::size_t reachable = 0;
+  for (CellId v = 0; v < edges.num_nodes; ++v) {
+    if (ref[v] >= 0) {
+      ++reachable;
+      ASSERT_TRUE(distances.count(v)) << "missing vertex " << v;
+      EXPECT_EQ(distances[v], static_cast<std::uint32_t>(ref[v]));
+    } else {
+      EXPECT_FALSE(distances.count(v));
+    }
+  }
+  EXPECT_EQ(distances.size(), reachable);
+  EXPECT_GT(stats.rounds, 0);
+  EXPECT_GT(stats.modeled_millis, 0.0);
+}
+
+TEST(AsyncEngineTest, RunsToTerminationViaSafra) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  AsyncEngine engine(f.graph.get(), AsyncEngine::Options{});
+  ASSERT_TRUE(engine.Seed(0, Slice("seed")).ok());
+  std::uint64_t handled = 0;
+  AsyncEngine::RunStats stats;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [&](AsyncEngine::Context& ctx, Slice) {
+                        ++handled;
+                        if (ctx.value().empty()) {
+                          ctx.value() = "visited";
+                          for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+                            ctx.Send(ctx.out()[i], Slice("fwd"));
+                          }
+                        }
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_GT(stats.updates, 0u);
+  EXPECT_EQ(stats.updates, handled);
+  EXPECT_GT(stats.safra_probes, 0);
+  std::string value;
+  ASSERT_TRUE(engine.GetValue(4, &value).ok());
+  EXPECT_EQ(value, "visited");
+}
+
+TEST(AsyncEngineTest, SnapshotsWrittenPeriodically) {
+  const std::string root = ::testing::TempDir() + "/async_snap";
+  std::filesystem::remove_all(root);
+  tfs::Tfs::Options tfs_options;
+  tfs_options.root = root;
+  std::unique_ptr<tfs::Tfs> tfs;
+  ASSERT_TRUE(tfs::Tfs::Open(tfs_options, &tfs).ok());
+
+  Fixture f = NewGraph();
+  const auto edges = graph::Generators::Rmat(128, 4.0, 5);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  AsyncEngine::Options options;
+  options.snapshot_interval = 50;
+  options.tfs = tfs.get();
+  AsyncEngine engine(f.graph.get(), options);
+  ASSERT_TRUE(engine.Seed(0, Slice("x")).ok());
+  AsyncEngine::RunStats stats;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](AsyncEngine::Context& ctx, Slice) {
+                        if (!ctx.value().empty()) return;
+                        ctx.value() = "v";
+                        for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+                          ctx.Send(ctx.out()[i], Slice("m"));
+                        }
+                      },
+                      &stats)
+                  .ok());
+  if (stats.updates >= 50) {
+    EXPECT_GT(stats.snapshots, 0);
+    EXPECT_FALSE(tfs->List("async_snap/").empty());
+  }
+}
+
+TEST(AsyncEngineTest, UpdateLimitAborts) {
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  AsyncEngine::Options options;
+  options.max_updates = 3;
+  AsyncEngine engine(f.graph.get(), options);
+  ASSERT_TRUE(engine.Seed(0, Slice("ping")).ok());
+  AsyncEngine::RunStats stats;
+  // Ping-pong forever between 0 -> 1 -> ... without convergence check.
+  const Status s = engine.Run(
+      [](AsyncEngine::Context& ctx, Slice) {
+        for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+          ctx.Send(ctx.out()[i], Slice("ping"));
+        }
+      },
+      &stats);
+  EXPECT_TRUE(s.IsAborted());
+}
+
+TEST(MessageOptimizerTest, PolicyOrderings) {
+  Fixture f = NewGraph(4);
+  const auto edges = graph::Generators::PowerLaw(2000, 8.0, 2.16, 1);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+
+  MessageOptimizer::Options base;
+  base.hub_fraction = 0.05;
+  base.num_partitions = 8;
+
+  MessagePlanReport buffer_all, on_demand, hub, hub_part;
+  base.policy = DeliveryPolicy::kBufferAll;
+  ASSERT_TRUE(
+      MessageOptimizer::Analyze(f.graph.get(), 0, base, &buffer_all).ok());
+  base.policy = DeliveryPolicy::kOnDemand;
+  ASSERT_TRUE(
+      MessageOptimizer::Analyze(f.graph.get(), 0, base, &on_demand).ok());
+  base.policy = DeliveryPolicy::kHubBuffered;
+  ASSERT_TRUE(MessageOptimizer::Analyze(f.graph.get(), 0, base, &hub).ok());
+  base.policy = DeliveryPolicy::kHubPlusPartition;
+  ASSERT_TRUE(
+      MessageOptimizer::Analyze(f.graph.get(), 0, base, &hub_part).ok());
+
+  // All policies serve the same logical demand.
+  EXPECT_EQ(buffer_all.logical_messages, on_demand.logical_messages);
+  // Deliveries: buffer-all <= hub+partition <= hub-only <= on-demand.
+  EXPECT_LE(buffer_all.delivered_messages, hub_part.delivered_messages);
+  EXPECT_LE(hub_part.delivered_messages, hub.delivered_messages);
+  EXPECT_LE(hub.delivered_messages, on_demand.delivered_messages);
+  // Buffering: on-demand <= hub <= hub+partition <= buffer-all.
+  EXPECT_LE(on_demand.peak_buffer_bytes, hub.peak_buffer_bytes);
+  EXPECT_LE(hub_part.peak_buffer_bytes, buffer_all.peak_buffer_bytes);
+  // Hubs cover a disproportionate share of needs on a power-law graph
+  // (§5.4: a few percent of hubs cover most messages).
+  EXPECT_GT(hub.hub_coverage, 0.1);
+}
+
+TEST(MessageOptimizerTest, MultilevelPartitionBeatsContiguous) {
+  Fixture f = NewGraph(4);
+  const auto edges = graph::Generators::PowerLaw(3000, 8.0, 2.16, 2);
+  ASSERT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+  MessageOptimizer::Options options;
+  options.policy = DeliveryPolicy::kHubPlusPartition;
+  options.hub_fraction = 0.01;
+  options.num_partitions = 8;
+  MessagePlanReport contiguous, multilevel;
+  ASSERT_TRUE(
+      MessageOptimizer::Analyze(f.graph.get(), 0, options, &contiguous).ok());
+  options.use_multilevel_partition = true;
+  ASSERT_TRUE(
+      MessageOptimizer::Analyze(f.graph.get(), 0, options, &multilevel).ok());
+  EXPECT_EQ(multilevel.logical_messages, contiguous.logical_messages);
+  // Grouping co-fed receivers lets each sender hit fewer partitions.
+  EXPECT_LT(multilevel.delivered_messages, contiguous.delivered_messages);
+}
+
+TEST(MessageOptimizerTest, ResidencyFormulaMatchesPaperExample) {
+  // §5.4: k = l = m = 8, p = 0.1, Facebook-scale graph (0.8e9 vertices,
+  // ~104e9 undirected-ish edge slots): "78 GB memory space can be saved".
+  const auto report = MessageOptimizer::Residency(
+      800'000'000ull, 10'400'000'000ull, 8, 8, 8, 0.1);
+  EXPECT_GT(report.saved_bytes, 60e9);
+  EXPECT_LT(report.saved_bytes, 100e9);
+  EXPECT_LT(report.offline_bytes, report.full_bytes);
+  // Formula identity: S - S' = (1-p)(k+l)V + (1-p) 8E.
+  const double v = 800e6, e = 10.4e9, p = 0.1;
+  EXPECT_NEAR(report.saved_bytes, (1 - p) * 16 * v + (1 - p) * 8 * e, 1e6);
+}
+
+}  // namespace
+}  // namespace trinity::compute

@@ -1,0 +1,218 @@
+#include "net/fabric.h"
+
+#include <gtest/gtest.h>
+
+#include "net/cost_model.h"
+
+namespace trinity::net {
+namespace {
+
+// Prevents the optimizer from discarding busy-work loops in timing tests.
+volatile double benchmarkish_sink = 0;
+
+TEST(FabricTest, AsyncDeliveryAfterFlush) {
+  Fabric::Params params;
+  params.pack_threshold_bytes = 1 << 20;  // Never auto-flush.
+  Fabric fabric(2, params);
+  std::vector<std::string> received;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId src, Slice payload) {
+    EXPECT_EQ(src, 0);
+    received.push_back(payload.ToString());
+  });
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("msg1")).ok());
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("msg2")).ok());
+  EXPECT_TRUE(received.empty());  // Buffered, not yet delivered.
+  fabric.FlushAll();
+  ASSERT_EQ(received.size(), 2u);
+  EXPECT_EQ(received[0], "msg1");
+  EXPECT_EQ(received[1], "msg2");
+}
+
+TEST(FabricTest, PackingReducesTransfers) {
+  Fabric fabric(2);  // Default 64 KiB pack threshold.
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("tiny")).ok());
+  }
+  fabric.FlushAll();
+  EXPECT_EQ(count, 1000);
+  const NetworkStats stats = fabric.stats();
+  EXPECT_EQ(stats.messages, 1000u);
+  // 1000 x 20 wire bytes ~ 20 KB: everything fits one transfer.
+  EXPECT_LE(stats.transfers, 2u);
+}
+
+TEST(FabricTest, UnpackedModeIsOneTransferPerMessage) {
+  Fabric::Params params;
+  params.pack_messages = false;
+  Fabric fabric(2, params);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("tiny")).ok());
+  }
+  EXPECT_EQ(count, 100);  // Immediate delivery.
+  EXPECT_EQ(fabric.stats().transfers, 100u);
+}
+
+TEST(FabricTest, ThresholdTriggersAutoFlush) {
+  Fabric::Params params;
+  params.pack_threshold_bytes = 256;
+  Fabric fabric(2, params);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  const std::string big(300, 'b');
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice(big)).ok());
+  EXPECT_EQ(count, 1);  // Exceeded threshold -> flushed immediately.
+}
+
+TEST(FabricTest, LocalMessagesAreFree) {
+  Fabric fabric(2);
+  int count = 0;
+  fabric.RegisterAsyncHandler(0, 7, [&](MachineId, Slice) { ++count; });
+  ASSERT_TRUE(fabric.SendAsync(0, 0, 7, Slice("local")).ok());
+  EXPECT_EQ(count, 1);
+  const NetworkStats stats = fabric.stats();
+  EXPECT_EQ(stats.local_messages, 1u);
+  EXPECT_EQ(stats.transfers, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(FabricTest, SyncCallRoundTrip) {
+  Fabric fabric(2);
+  fabric.RegisterSyncHandler(
+      1, 9, [](MachineId, Slice payload, std::string* response) {
+        *response = "echo:" + payload.ToString();
+        return Status::OK();
+      });
+  std::string response;
+  ASSERT_TRUE(fabric.Call(0, 1, 9, Slice("ping"), &response).ok());
+  EXPECT_EQ(response, "echo:ping");
+  EXPECT_EQ(fabric.stats().sync_calls, 1u);
+  EXPECT_EQ(fabric.stats().transfers, 2u);  // Request + response.
+}
+
+TEST(FabricTest, SyncCallPropagatesHandlerStatus) {
+  Fabric fabric(2);
+  fabric.RegisterSyncHandler(1, 9, [](MachineId, Slice, std::string*) {
+    return Status::NotFound("nothing here");
+  });
+  std::string response;
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).IsNotFound());
+}
+
+TEST(FabricTest, MissingHandlerIsNotFound) {
+  Fabric fabric(2);
+  std::string response;
+  EXPECT_TRUE(fabric.Call(0, 1, 99, Slice(), &response).IsNotFound());
+}
+
+TEST(FabricTest, DownMachineDropsAndReports) {
+  Fabric fabric(2);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  fabric.SetMachineDown(1);
+  EXPECT_FALSE(fabric.IsMachineUp(1));
+  EXPECT_TRUE(fabric.SendAsync(0, 1, 7, Slice("lost")).IsUnavailable());
+  std::string response;
+  EXPECT_TRUE(fabric.Call(0, 1, 7, Slice(), &response).IsUnavailable());
+  fabric.FlushAll();
+  EXPECT_EQ(count, 0);
+  EXPECT_GT(fabric.stats().dropped, 0u);
+  fabric.SetMachineUp(1);
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("back")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(FabricTest, HandlersCanSendRecursively) {
+  Fabric fabric(3);
+  std::vector<int> hops;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice payload) {
+    hops.push_back(1);
+    fabric.SendAsync(1, 2, 7, payload);
+  });
+  fabric.RegisterAsyncHandler(2, 7,
+                              [&](MachineId, Slice) { hops.push_back(2); });
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("relay")).ok());
+  fabric.FlushAll();  // Must drain recursively enqueued messages too.
+  ASSERT_EQ(hops.size(), 2u);
+  EXPECT_EQ(hops[0], 1);
+  EXPECT_EQ(hops[1], 2);
+}
+
+TEST(FabricTest, MetersAccumulateAndReset) {
+  Fabric fabric(2);
+  fabric.AddCpuMicros(0, 150.0);
+  fabric.AddCpuMicros(1, 50.0);
+  EXPECT_DOUBLE_EQ(fabric.cpu_micros(0), 150.0);
+  EXPECT_DOUBLE_EQ(fabric.MaxCpuMicros(), 150.0);
+  fabric.ResetMeters();
+  EXPECT_DOUBLE_EQ(fabric.MaxCpuMicros(), 0.0);
+  EXPECT_EQ(fabric.stats().messages, 0u);
+}
+
+TEST(FabricTest, HandlerExecutionIsMetered) {
+  Fabric fabric(2);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {
+    double sink = 0;
+    for (int i = 0; i < 200000; ++i) sink += i;
+    benchmarkish_sink = sink;
+  });
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("work")).ok());
+  fabric.FlushAll();
+  EXPECT_GT(fabric.cpu_micros(1), 0.0);
+  EXPECT_DOUBLE_EQ(fabric.cpu_micros(0), 0.0);
+}
+
+TEST(FabricTest, TrafficAttribution) {
+  Fabric::Params params;
+  params.pack_threshold_bytes = 1;  // Flush every message.
+  Fabric fabric(3, params);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+  fabric.RegisterAsyncHandler(2, 7, [](MachineId, Slice) {});
+  fabric.SendAsync(0, 1, 7, Slice("x"));
+  fabric.SendAsync(0, 2, 7, Slice("y"));
+  fabric.FlushAll();
+  const PerMachineTraffic traffic = fabric.traffic();
+  EXPECT_EQ(traffic.transfers_out[0], 2u);
+  EXPECT_EQ(traffic.transfers_in[1], 1u);
+  EXPECT_EQ(traffic.transfers_in[2], 1u);
+  EXPECT_GT(traffic.bytes_out[0], 0u);
+}
+
+TEST(CostModelTest, ComputeTermScalesWithCriticalPath) {
+  Fabric fabric(4);
+  CostModel::Params params;
+  params.cores_per_machine = 2.0;
+  CostModel model(params);
+  fabric.AddCpuMicros(0, 2e6);  // 2 seconds of single-core work.
+  EXPECT_NEAR(model.ComputeSeconds(fabric), 1.0, 1e-9);
+  fabric.AddCpuMicros(1, 1e6);  // Below the max: no change.
+  EXPECT_NEAR(model.ComputeSeconds(fabric), 1.0, 1e-9);
+}
+
+TEST(CostModelTest, CommTermScalesWithBytes) {
+  Fabric::Params fparams;
+  fparams.pack_threshold_bytes = 1;
+  Fabric fabric(2, fparams);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+  CostModel model;
+  const double before = model.CommSeconds(fabric);
+  fabric.SendAsync(0, 1, 7, Slice(std::string(100000, 'b')));
+  fabric.FlushAll();
+  EXPECT_GT(model.CommSeconds(fabric), before);
+}
+
+TEST(CostModelTest, PhaseIsComputePlusComm) {
+  Fabric fabric(2);
+  CostModel model;
+  fabric.AddCpuMicros(0, 1e6);
+  EXPECT_NEAR(model.PhaseSeconds(fabric),
+              model.ComputeSeconds(fabric) + model.CommSeconds(fabric),
+              1e-12);
+}
+
+}  // namespace
+}  // namespace trinity::net

@@ -1,0 +1,311 @@
+// Randomized property tests against reference models, parameterized over
+// seeds: the cell accessor vs a plain struct, the memory cloud under
+// continuous crash/recovery churn vs a std::map, and the fabric's delivery
+// guarantees under random flushing.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+
+#include "cloud/memory_cloud.h"
+#include "common/random.h"
+#include "net/fabric.h"
+#include "tfs/tfs.h"
+#include "tsl/cell_accessor.h"
+
+namespace trinity {
+namespace {
+
+// ------------------------------------------------------ Accessor vs model
+
+constexpr const char* kFuzzSchema = R"(
+  cell struct Fuzzed {
+    long A;
+    string S;
+    List<long> L;
+    double D;
+    string T;
+  }
+)";
+
+struct ReferenceCell {
+  std::int64_t a = 0;
+  std::string s;
+  std::vector<std::int64_t> l;
+  double d = 0;
+  std::string t;
+};
+
+class AccessorFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(AccessorFuzzTest, MatchesReferenceModel) {
+  tsl::SchemaRegistry registry;
+  ASSERT_TRUE(tsl::SchemaRegistry::Compile(kFuzzSchema, &registry).ok());
+  const tsl::Schema* schema = registry.struct_schema("Fuzzed");
+  tsl::CellAccessor cell = tsl::CellAccessor::NewDefault(schema);
+  ReferenceCell ref;
+  Random rng(GetParam());
+  auto random_string = [&] {
+    return std::string(rng.Uniform(40), static_cast<char>('a' + rng.Uniform(26)));
+  };
+  for (int op = 0; op < 5000; ++op) {
+    switch (rng.Uniform(10)) {
+      case 0: {
+        const std::int64_t v = static_cast<std::int64_t>(rng.Next());
+        ASSERT_TRUE(cell.SetInt64(0, v).ok());
+        ref.a = v;
+        break;
+      }
+      case 1: {
+        const std::string v = random_string();
+        ASSERT_TRUE(cell.SetString(1, Slice(v)).ok());
+        ref.s = v;
+        break;
+      }
+      case 2: {
+        const std::int64_t v = static_cast<std::int64_t>(rng.Next());
+        ASSERT_TRUE(cell.AppendListInt64(2, v).ok());
+        ref.l.push_back(v);
+        break;
+      }
+      case 3: {
+        if (ref.l.empty()) break;
+        const std::size_t i = rng.Uniform(ref.l.size());
+        const std::int64_t v = static_cast<std::int64_t>(rng.Next());
+        ASSERT_TRUE(cell.SetListInt64(2, i, v).ok());
+        ref.l[i] = v;
+        break;
+      }
+      case 4: {
+        if (ref.l.empty()) break;
+        const std::size_t i = rng.Uniform(ref.l.size());
+        ASSERT_TRUE(cell.RemoveListElement(2, i).ok());
+        ref.l.erase(ref.l.begin() + static_cast<std::ptrdiff_t>(i));
+        break;
+      }
+      case 5: {
+        const double v = rng.NextDouble();
+        ASSERT_TRUE(cell.SetDouble(3, v).ok());
+        ref.d = v;
+        break;
+      }
+      case 6: {
+        const std::string v = random_string();
+        ASSERT_TRUE(cell.SetString(4, Slice(v)).ok());
+        ref.t = v;
+        break;
+      }
+      default: {
+        // Verify one randomly chosen facet.
+        switch (rng.Uniform(5)) {
+          case 0: {
+            std::int64_t v = 0;
+            ASSERT_TRUE(cell.GetInt64(0, &v).ok());
+            ASSERT_EQ(v, ref.a);
+            break;
+          }
+          case 1: {
+            std::string v;
+            ASSERT_TRUE(cell.GetString(1, &v).ok());
+            ASSERT_EQ(v, ref.s);
+            break;
+          }
+          case 2: {
+            std::size_t n = 0;
+            ASSERT_TRUE(cell.ListSize(2, &n).ok());
+            ASSERT_EQ(n, ref.l.size());
+            if (n > 0) {
+              const std::size_t i = rng.Uniform(n);
+              std::int64_t v = 0;
+              ASSERT_TRUE(cell.GetListInt64(2, i, &v).ok());
+              ASSERT_EQ(v, ref.l[i]);
+            }
+            break;
+          }
+          case 3: {
+            double v = 0;
+            ASSERT_TRUE(cell.GetDouble(3, &v).ok());
+            ASSERT_EQ(v, ref.d);
+            break;
+          }
+          case 4: {
+            std::string v;
+            ASSERT_TRUE(cell.GetString(4, &v).ok());
+            ASSERT_EQ(v, ref.t);
+            break;
+          }
+        }
+      }
+    }
+    // The blob must stay schema-valid after every mutation.
+    if (op % 500 == 0) {
+      ASSERT_TRUE(tsl::ValidateBlob(schema, Slice(cell.blob())).ok());
+    }
+  }
+  ASSERT_TRUE(tsl::ValidateBlob(schema, Slice(cell.blob())).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AccessorFuzzTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+// -------------------------------------------- Cloud under recovery churn
+
+class CloudChurnFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(CloudChurnFuzzTest, NoOpIsLostAcrossCrashes) {
+  const std::string root =
+      ::testing::TempDir() + "/churn_" + std::to_string(GetParam());
+  std::filesystem::remove_all(root);
+  tfs::Tfs::Options tfs_options;
+  tfs_options.root = root;
+  std::unique_ptr<tfs::Tfs> tfs;
+  ASSERT_TRUE(tfs::Tfs::Open(tfs_options, &tfs).ok());
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 4;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 1 << 20;
+  options.tfs = tfs.get();
+  options.buffered_logging = true;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+
+  Random rng(GetParam());
+  std::map<CellId, std::string> reference;
+  ASSERT_TRUE(cloud->SaveSnapshot().ok());
+  int crashes = 0;
+  for (int op = 0; op < 1500; ++op) {
+    const CellId id = rng.Uniform(128);
+    switch (rng.Uniform(6)) {
+      case 0: {
+        const std::string payload(rng.Uniform(60), 'a' + id % 26);
+        if (cloud->AddCell(id, Slice(payload)).ok()) {
+          ASSERT_EQ(reference.count(id), 0u);
+          reference[id] = payload;
+        } else {
+          ASSERT_EQ(reference.count(id), 1u);
+        }
+        break;
+      }
+      case 1: {
+        const std::string payload(rng.Uniform(60), 'A' + id % 26);
+        ASSERT_TRUE(cloud->PutCell(id, Slice(payload)).ok());
+        reference[id] = payload;
+        break;
+      }
+      case 2: {
+        const Status s = cloud->RemoveCell(id);
+        ASSERT_EQ(s.ok(), reference.erase(id) > 0);
+        break;
+      }
+      case 3: {
+        const std::string suffix(1 + rng.Uniform(20), 'z');
+        const Status s = cloud->AppendToCell(id, Slice(suffix));
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          ASSERT_TRUE(s.IsNotFound());
+        } else {
+          ASSERT_TRUE(s.ok());
+          it->second += suffix;
+        }
+        break;
+      }
+      case 4: {
+        std::string out;
+        const Status s = cloud->GetCell(id, &out);
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          ASSERT_TRUE(s.IsNotFound());
+        } else {
+          ASSERT_TRUE(s.ok());
+          ASSERT_EQ(out, it->second) << "cell " << id << " after " << crashes
+                                     << " crashes";
+        }
+        break;
+      }
+      case 5: {
+        if (op % 97 != 0) break;
+        // Periodic disaster: snapshot sometimes, then crash one machine
+        // and recover (post-snapshot ops must come back via the logs).
+        if (rng.Bernoulli(0.5)) {
+          ASSERT_TRUE(cloud->SaveSnapshot().ok());
+        }
+        const MachineId victim =
+            static_cast<MachineId>(rng.Uniform(4));
+        ASSERT_TRUE(cloud->FailMachine(victim).ok());
+        ASSERT_TRUE(cloud->RecoverMachine(victim).ok());
+        ASSERT_TRUE(cloud->RestartMachine(victim).ok());
+        ++crashes;
+        break;
+      }
+    }
+  }
+  ASSERT_GT(crashes, 0);
+  // Full final audit.
+  for (const auto& [id, expected] : reference) {
+    std::string out;
+    ASSERT_TRUE(cloud->GetCell(id, &out).ok()) << "cell " << id;
+    ASSERT_EQ(out, expected) << "cell " << id;
+  }
+  for (CellId id = 0; id < 128; ++id) {
+    if (reference.count(id) == 0) {
+      ASSERT_FALSE(cloud->Contains(id)) << "ghost cell " << id;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CloudChurnFuzzTest,
+                         ::testing::Values(7, 17, 27));
+
+// ------------------------------------------------- Fabric delivery fuzz
+
+class FabricFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FabricFuzzTest, EveryMessageDeliveredOncePerPairInOrder) {
+  const int kMachines = 5;
+  net::Fabric fabric(kMachines);
+  // received[src][dst] = sequence numbers in arrival order.
+  std::vector<std::vector<std::vector<std::uint64_t>>> received(
+      kMachines, std::vector<std::vector<std::uint64_t>>(kMachines));
+  for (MachineId m = 0; m < kMachines; ++m) {
+    fabric.RegisterAsyncHandler(
+        m, 7, [m, &received](MachineId src, Slice payload) {
+          std::uint64_t seq = 0;
+          std::memcpy(&seq, payload.data(), 8);
+          received[src][m].push_back(seq);
+        });
+  }
+  Random rng(GetParam());
+  std::vector<std::vector<std::uint64_t>> sent(
+      kMachines, std::vector<std::uint64_t>(kMachines, 0));
+  std::uint64_t next_seq = 1;
+  for (int op = 0; op < 20000; ++op) {
+    const MachineId src = static_cast<MachineId>(rng.Uniform(kMachines));
+    const MachineId dst = static_cast<MachineId>(rng.Uniform(kMachines));
+    if (rng.Uniform(50) == 0) {
+      fabric.Flush(src);
+      continue;
+    }
+    const std::uint64_t seq = next_seq++;
+    char raw[8];
+    std::memcpy(raw, &seq, 8);
+    ASSERT_TRUE(fabric.SendAsync(src, dst, 7, Slice(raw, 8)).ok());
+    ++sent[src][dst];
+  }
+  fabric.FlushAll();
+  for (int src = 0; src < kMachines; ++src) {
+    for (int dst = 0; dst < kMachines; ++dst) {
+      ASSERT_EQ(received[src][dst].size(), sent[src][dst])
+          << src << "->" << dst;
+      // Per-pair FIFO: sequence numbers must arrive in increasing order.
+      for (std::size_t i = 1; i < received[src][dst].size(); ++i) {
+        ASSERT_LT(received[src][dst][i - 1], received[src][dst][i]);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FabricFuzzTest, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace trinity

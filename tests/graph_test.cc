@@ -1,0 +1,268 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generators.h"
+
+namespace trinity::graph {
+namespace {
+
+std::unique_ptr<cloud::MemoryCloud> NewCloud(int slaves = 4) {
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 4 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+  return cloud;
+}
+
+TEST(GraphTest, NodeRoundTrip) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  ASSERT_TRUE(graph.AddNode(1, Slice("Alice")).ok());
+  EXPECT_TRUE(graph.HasNode(1));
+  EXPECT_FALSE(graph.HasNode(2));
+  std::string data;
+  ASSERT_TRUE(graph.GetNodeData(1, &data).ok());
+  EXPECT_EQ(data, "Alice");
+}
+
+TEST(GraphTest, DirectedEdgesWithInlinks) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  for (CellId id = 1; id <= 3; ++id) {
+    ASSERT_TRUE(graph.AddNode(id, Slice()).ok());
+  }
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 3).ok());
+  ASSERT_TRUE(graph.AddEdge(2, 3).ok());
+  std::vector<CellId> out;
+  ASSERT_TRUE(graph.GetOutlinks(1, &out).ok());
+  EXPECT_EQ(out, (std::vector<CellId>{2, 3}));
+  std::vector<CellId> in;
+  ASSERT_TRUE(graph.GetInlinks(3, &in).ok());
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(in, (std::vector<CellId>{1, 2}));
+  std::size_t degree = 0;
+  ASSERT_TRUE(graph.OutDegreeFrom(cloud->client_id(), 1, &degree).ok());
+  EXPECT_EQ(degree, 2u);
+}
+
+TEST(GraphTest, UndirectedEdges) {
+  auto cloud = NewCloud();
+  Graph::Options options;
+  options.directed = false;
+  Graph graph(cloud.get(), options);
+  ASSERT_TRUE(graph.AddNode(1, Slice()).ok());
+  ASSERT_TRUE(graph.AddNode(2, Slice()).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  std::vector<CellId> links;
+  ASSERT_TRUE(graph.GetOutlinks(1, &links).ok());
+  EXPECT_EQ(links, (std::vector<CellId>{2}));
+  ASSERT_TRUE(graph.GetOutlinks(2, &links).ok());
+  EXPECT_EQ(links, (std::vector<CellId>{1}));
+  ASSERT_TRUE(graph.GetInlinks(1, &links).ok());
+  EXPECT_EQ(links, (std::vector<CellId>{2}));
+}
+
+TEST(GraphTest, InlinksOptional) {
+  auto cloud = NewCloud();
+  Graph::Options options;
+  options.track_inlinks = false;
+  Graph graph(cloud.get(), options);
+  ASSERT_TRUE(graph.AddNode(1, Slice()).ok());
+  ASSERT_TRUE(graph.AddNode(2, Slice()).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  std::vector<CellId> links;
+  EXPECT_TRUE(graph.GetInlinks(2, &links).IsNotSupported());
+  ASSERT_TRUE(graph.GetOutlinks(1, &links).ok());
+  EXPECT_EQ(links.size(), 1u);
+}
+
+TEST(GraphTest, EncodeDecodeRoundTrip) {
+  NodeImage node;
+  node.id = 9;
+  node.data = "payload";
+  node.out = {1, 2, 3};
+  node.in = {4, 5};
+  const std::string blob = Graph::EncodeNode(node);
+  NodeImage decoded;
+  ASSERT_TRUE(Graph::DecodeNode(9, Slice(blob), &decoded).ok());
+  EXPECT_EQ(decoded.id, 9u);
+  EXPECT_EQ(decoded.data, "payload");
+  EXPECT_EQ(decoded.out, node.out);
+  EXPECT_EQ(decoded.in, node.in);
+}
+
+TEST(GraphTest, DecodeRejectsMalformed) {
+  NodeImage decoded;
+  EXPECT_TRUE(Graph::DecodeNode(1, Slice("xy"), &decoded).IsCorruption());
+  EXPECT_TRUE(
+      Graph::DecodeNode(1, Slice("0123456789abc"), &decoded).IsCorruption());
+}
+
+TEST(GraphTest, SetNodeDataPreservesAdjacency) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  ASSERT_TRUE(graph.AddNode(1, Slice("old")).ok());
+  ASSERT_TRUE(graph.AddNode(2, Slice()).ok());
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  ASSERT_TRUE(graph.SetNodeData(1, Slice("new and different length")).ok());
+  std::string data;
+  ASSERT_TRUE(graph.GetNodeData(1, &data).ok());
+  EXPECT_EQ(data, "new and different length");
+  std::vector<CellId> out;
+  ASSERT_TRUE(graph.GetOutlinks(1, &out).ok());
+  EXPECT_EQ(out, (std::vector<CellId>{2}));
+}
+
+TEST(GraphTest, VisitLocalNodeZeroCopy) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  ASSERT_TRUE(graph.AddNode(1, Slice("abc")).ok());  // 3-byte data:
+  ASSERT_TRUE(graph.AddNode(2, Slice()).ok());       // misaligned id array.
+  ASSERT_TRUE(graph.AddEdge(1, 2).ok());
+  const MachineId owner = graph.MachineOfNode(1);
+  bool visited = false;
+  ASSERT_TRUE(graph
+                  .VisitLocalNode(owner, 1,
+                                  [&](Slice data, const CellId*, std::size_t,
+                                      const CellId* out, std::size_t n) {
+                                    visited = true;
+                                    EXPECT_EQ(data.ToString(), "abc");
+                                    ASSERT_EQ(n, 1u);
+                                    EXPECT_EQ(out[0], 2u);
+                                  })
+                  .ok());
+  EXPECT_TRUE(visited);
+  // Visiting from the wrong machine reports NotFound.
+  const MachineId wrong = (owner + 1) % cloud->num_slaves();
+  EXPECT_TRUE(graph.VisitLocalNode(wrong, 1, [](Slice, const CellId*,
+                                                std::size_t, const CellId*,
+                                                std::size_t) {})
+                  .IsNotFound());
+}
+
+TEST(GraphTest, LocalNodesPartitionWholeGraph) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  for (CellId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(graph.AddNode(id, Slice()).ok());
+  }
+  std::set<CellId> seen;
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    for (CellId id : graph.LocalNodes(m)) {
+      EXPECT_TRUE(seen.insert(id).second) << "node " << id << " seen twice";
+    }
+  }
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(graph.CountNodes(), 100u);
+}
+
+TEST(GeneratorsTest, RmatShape) {
+  const auto edges = Generators::Rmat(1024, 8.0, 42);
+  EXPECT_EQ(edges.num_nodes, 1024u);
+  EXPECT_EQ(edges.edges.size(), 8192u);
+  for (const auto& [src, dst] : edges.edges) {
+    ASSERT_LT(src, 1024u);
+    ASSERT_LT(dst, 1024u);
+  }
+  // R-MAT skew: some vertices get far more than the average degree.
+  std::vector<int> degree(1024, 0);
+  for (const auto& [src, dst] : edges.edges) {
+    (void)dst;
+    ++degree[src];
+  }
+  EXPECT_GT(*std::max_element(degree.begin(), degree.end()), 40);
+}
+
+TEST(GeneratorsTest, RmatDeterministic) {
+  const auto a = Generators::Rmat(256, 4.0, 7);
+  const auto b = Generators::Rmat(256, 4.0, 7);
+  const auto c = Generators::Rmat(256, 4.0, 8);
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_NE(a.edges, c.edges);
+}
+
+TEST(GeneratorsTest, PowerLawAverageDegree) {
+  const auto edges = Generators::PowerLaw(2000, 13.0, 2.16, 11);
+  const double avg =
+      static_cast<double>(edges.edges.size()) / edges.num_nodes;
+  EXPECT_GT(avg, 8.0);
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(GeneratorsTest, PatentLikeIsAcyclicByConstruction) {
+  const auto edges = Generators::PatentLike(500, 4.0, 3);
+  for (const auto& [src, dst] : edges.edges) {
+    ASSERT_LT(dst, src) << "citation must point backwards in time";
+  }
+}
+
+TEST(GeneratorsTest, WordnetLikeIsConnectedRing) {
+  const auto edges = Generators::WordnetLike(100, 5);
+  // Ring lattice guarantees >= 2 out-edges per node.
+  std::vector<int> degree(100, 0);
+  for (const auto& [src, dst] : edges.edges) {
+    (void)dst;
+    ++degree[src];
+  }
+  for (int d : degree) EXPECT_GE(d, 2);
+}
+
+TEST(GeneratorsTest, NamePoolIncludesDavid) {
+  bool found = false;
+  for (CellId id = 0; id < 200 && !found; ++id) {
+    found = Generators::NameFor(id, 1) == "David";
+  }
+  EXPECT_TRUE(found);
+  EXPECT_EQ(Generators::NameFor(5, 1), Generators::NameFor(5, 1));
+}
+
+TEST(GeneratorsTest, LoadMaterializesGraph) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  const auto edges = Generators::Rmat(512, 4.0, 9);
+  ASSERT_TRUE(Generators::Load(&graph, edges, /*with_names=*/true, 1).ok());
+  EXPECT_EQ(graph.CountNodes(), 512u);
+  // Out-degrees must sum to the edge count.
+  std::uint64_t total_out = 0;
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    for (CellId v : graph.LocalNodes(m)) {
+      graph.VisitLocalNode(m, v,
+                           [&](Slice data, const CellId*, std::size_t,
+                               const CellId*, std::size_t out_count) {
+                             total_out += out_count;
+                             EXPECT_FALSE(data.empty());  // Has a name.
+                           });
+    }
+  }
+  EXPECT_EQ(total_out, edges.edges.size());
+}
+
+TEST(GeneratorsTest, LoadTracksInlinksConsistently) {
+  auto cloud = NewCloud();
+  Graph graph(cloud.get());
+  const auto edges = Generators::Uniform(256, 4.0, 13);
+  ASSERT_TRUE(Generators::Load(&graph, edges, false, 0).ok());
+  std::uint64_t total_in = 0, total_out = 0;
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    for (CellId v : graph.LocalNodes(m)) {
+      graph.VisitLocalNode(m, v,
+                           [&](Slice, const CellId*, std::size_t in_count,
+                               const CellId*, std::size_t out_count) {
+                             total_in += in_count;
+                             total_out += out_count;
+                           });
+    }
+  }
+  EXPECT_EQ(total_in, total_out);
+  EXPECT_EQ(total_out, edges.edges.size());
+}
+
+}  // namespace
+}  // namespace trinity::graph

@@ -1,0 +1,312 @@
+// Second wave of feature tests: data integration (§4.2), the external
+// attribute store, BSP global aggregators, and convergence-driven PageRank.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "algos/pagerank.h"
+#include "cloud/external_store.h"
+#include "graph/generators.h"
+#include "tsl/cell_io.h"
+#include "tsl/data_import.h"
+
+namespace trinity {
+namespace {
+
+std::unique_ptr<cloud::MemoryCloud> NewCloud(int slaves = 4) {
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 4 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+  return cloud;
+}
+
+// --------------------------------------------------------- Data integration
+
+constexpr const char* kPersonScript = R"(
+  [CellType: NodeCell]
+  cell struct Person {
+    string Name;
+    int Age;
+    double Score;
+    List<long> Friends;
+  }
+)";
+
+class DataImportTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(tsl::SchemaRegistry::Compile(kPersonScript, &registry_).ok());
+    cloud_ = NewCloud();
+    importer_ =
+        std::make_unique<tsl::DataImporter>(cloud_.get(), &registry_);
+    binding_.struct_name = "Person";
+    binding_.key_column = "id";
+    binding_.column_to_field = {
+        {"name", "Name"}, {"age", "Age"}, {"score", "Score"}};
+  }
+  tsl::SchemaRegistry registry_;
+  std::unique_ptr<cloud::MemoryCloud> cloud_;
+  std::unique_ptr<tsl::DataImporter> importer_;
+  tsl::DataImporter::TableBinding binding_;
+};
+
+TEST_F(DataImportTest, ImportCreatesCells) {
+  const std::string csv =
+      "id,name,age,score\n"
+      "1,Alice,30,2.5\n"
+      "2,Bob,41,1.25\n";
+  tsl::DataImporter::ImportStats stats;
+  ASSERT_TRUE(importer_->ImportTable(binding_, csv, &stats).ok());
+  EXPECT_EQ(stats.rows, 2u);
+  EXPECT_EQ(stats.cells_created, 2u);
+  tsl::CellAccessor cell;
+  ASSERT_TRUE(tsl::LoadCell(cloud_.get(), cloud_->client_id(), 1,
+                            registry_.struct_schema("Person"), &cell)
+                  .ok());
+  std::string name;
+  std::int32_t age = 0;
+  double score = 0;
+  ASSERT_TRUE(cell.GetString(0, &name).ok());
+  ASSERT_TRUE(cell.GetInt32(1, &age).ok());
+  ASSERT_TRUE(cell.GetDouble(2, &score).ok());
+  EXPECT_EQ(name, "Alice");
+  EXPECT_EQ(age, 30);
+  EXPECT_EQ(score, 2.5);
+}
+
+TEST_F(DataImportTest, ReimportPreservesUnmappedFields) {
+  // Create a person and give them friends (graph-side state), then import
+  // an attribute table over the same cell — the friends must survive.
+  const tsl::Schema* person = registry_.struct_schema("Person");
+  ASSERT_TRUE(tsl::NewCell(cloud_.get(), cloud_->client_id(), 7, person).ok());
+  {
+    tsl::ScopedCell cell;
+    ASSERT_TRUE(tsl::ScopedCell::Use(cloud_.get(), cloud_->client_id(), 7,
+                                     person, &cell)
+                    .ok());
+    ASSERT_TRUE(cell.accessor().AppendListInt64(3, 100).ok());
+    ASSERT_TRUE(cell.accessor().AppendListInt64(3, 200).ok());
+  }
+  tsl::DataImporter::ImportStats stats;
+  ASSERT_TRUE(importer_
+                  ->ImportTable(binding_,
+                                "id,name,age,score\n7,Carol,28,9.0\n",
+                                &stats)
+                  .ok());
+  EXPECT_EQ(stats.cells_updated, 1u);
+  tsl::CellAccessor cell;
+  ASSERT_TRUE(tsl::LoadCell(cloud_.get(), cloud_->client_id(), 7, person,
+                            &cell)
+                  .ok());
+  std::string name;
+  ASSERT_TRUE(cell.GetString(0, &name).ok());
+  EXPECT_EQ(name, "Carol");
+  std::size_t friends = 0;
+  ASSERT_TRUE(cell.ListSize(3, &friends).ok());
+  EXPECT_EQ(friends, 2u);  // Graph state intact.
+}
+
+TEST_F(DataImportTest, ExportRoundTrips) {
+  const std::string csv =
+      "id,name,age,score\n"
+      "1,Alice,30,2.5\n"
+      "2,Bob,41,1.25\n";
+  tsl::DataImporter::ImportStats stats;
+  ASSERT_TRUE(importer_->ImportTable(binding_, csv, &stats).ok());
+  std::string exported;
+  ASSERT_TRUE(importer_->ExportTable(binding_, {1, 2}, &exported).ok());
+  EXPECT_NE(exported.find("Alice"), std::string::npos);
+  EXPECT_NE(exported.find("41"), std::string::npos);
+  // Re-import the export: no-ops semantically.
+  ASSERT_TRUE(importer_->ImportTable(binding_, exported, &stats).ok());
+  EXPECT_EQ(stats.cells_updated, 2u);
+}
+
+TEST_F(DataImportTest, ErrorsAreDiagnosed) {
+  tsl::DataImporter::ImportStats stats;
+  EXPECT_TRUE(importer_->ImportTable(binding_, "", &stats)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(importer_
+                  ->ImportTable(binding_, "name,age\nAlice,30\n", &stats)
+                  .IsInvalidArgument());  // No key column.
+  EXPECT_TRUE(importer_
+                  ->ImportTable(binding_, "id,name\n1,Alice,EXTRA\n", &stats)
+                  .IsInvalidArgument());  // Ragged row.
+  tsl::DataImporter::TableBinding bad = binding_;
+  bad.column_to_field["name"] = "NoSuchField";
+  EXPECT_TRUE(importer_->ImportTable(bad, "id,name\n1,Alice\n", &stats)
+                  .IsInvalidArgument());
+}
+
+// --------------------------------------------------------- External store
+
+TEST(ExternalStoreTest, StoreFetchRoundTrip) {
+  const std::string path = ::testing::TempDir() + "/ext_store/blobs.dat";
+  std::filesystem::remove_all(::testing::TempDir() + "/ext_store");
+  std::unique_ptr<cloud::ExternalStore> store;
+  ASSERT_TRUE(cloud::ExternalStore::Open(path, &store).ok());
+  std::uint64_t h1 = 0, h2 = 0;
+  ASSERT_TRUE(store->Store(Slice("a large image payload"), &h1).ok());
+  ASSERT_TRUE(store->Store(Slice("another rich attribute"), &h2).ok());
+  EXPECT_NE(h1, h2);
+  std::string blob;
+  ASSERT_TRUE(store->Fetch(h1, &blob).ok());
+  EXPECT_EQ(blob, "a large image payload");
+  ASSERT_TRUE(store->Fetch(h2, &blob).ok());
+  EXPECT_EQ(blob, "another rich attribute");
+  EXPECT_EQ(store->blob_count(), 2u);
+}
+
+TEST(ExternalStoreTest, HandlesSurviveReopen) {
+  const std::string path = ::testing::TempDir() + "/ext_reopen/blobs.dat";
+  std::filesystem::remove_all(::testing::TempDir() + "/ext_reopen");
+  std::uint64_t handle = 0;
+  {
+    std::unique_ptr<cloud::ExternalStore> store;
+    ASSERT_TRUE(cloud::ExternalStore::Open(path, &store).ok());
+    ASSERT_TRUE(store->Store(Slice("persistent"), &handle).ok());
+  }
+  std::unique_ptr<cloud::ExternalStore> store;
+  ASSERT_TRUE(cloud::ExternalStore::Open(path, &store).ok());
+  std::string blob;
+  ASSERT_TRUE(store->Fetch(handle, &blob).ok());
+  EXPECT_EQ(blob, "persistent");
+  std::uint64_t next = 0;
+  ASSERT_TRUE(store->Store(Slice("appended after reopen"), &next).ok());
+  EXPECT_GT(next, handle);
+}
+
+TEST(ExternalStoreTest, BadHandleAndCorruption) {
+  const std::string path = ::testing::TempDir() + "/ext_bad/blobs.dat";
+  std::filesystem::remove_all(::testing::TempDir() + "/ext_bad");
+  std::unique_ptr<cloud::ExternalStore> store;
+  ASSERT_TRUE(cloud::ExternalStore::Open(path, &store).ok());
+  std::uint64_t handle = 0;
+  ASSERT_TRUE(store->Store(Slice("victim"), &handle).ok());
+  std::string blob;
+  EXPECT_TRUE(store->Fetch(99999, &blob).IsNotFound());
+  EXPECT_TRUE(store->Fetch(handle + 3, &blob).IsCorruption());
+}
+
+TEST(ExternalStoreTest, CellsCarryHandlesTransparently) {
+  // The paper's split: topology + critical data in the memory cloud, rich
+  // payloads (images) on disk, resolved through a handle in the cell.
+  const std::string path = ::testing::TempDir() + "/ext_cells/blobs.dat";
+  std::filesystem::remove_all(::testing::TempDir() + "/ext_cells");
+  std::unique_ptr<cloud::ExternalStore> store;
+  ASSERT_TRUE(cloud::ExternalStore::Open(path, &store).ok());
+  tsl::SchemaRegistry registry;
+  ASSERT_TRUE(tsl::SchemaRegistry::Compile(
+                  "cell struct Profile { string Name; long PhotoHandle; }",
+                  &registry)
+                  .ok());
+  auto cloud = NewCloud();
+  const tsl::Schema* profile = registry.struct_schema("Profile");
+  ASSERT_TRUE(
+      tsl::NewCell(cloud.get(), cloud->client_id(), 1, profile).ok());
+  const std::string photo(10000, 'J');  // "JPEG" bytes: too big for RAM.
+  std::uint64_t handle = 0;
+  ASSERT_TRUE(store->Store(Slice(photo), &handle).ok());
+  {
+    tsl::ScopedCell cell;
+    ASSERT_TRUE(tsl::ScopedCell::Use(cloud.get(), cloud->client_id(), 1,
+                                     profile, &cell)
+                    .ok());
+    ASSERT_TRUE(cell.accessor().SetString(0, Slice("Ada")).ok());
+    ASSERT_TRUE(
+        cell.accessor().SetInt64(1, static_cast<std::int64_t>(handle)).ok());
+  }
+  // The in-memory cell is tiny; the photo resolves through the handle.
+  std::string blob;
+  ASSERT_TRUE(cloud->GetCell(1, &blob).ok());
+  EXPECT_LT(blob.size(), 100u);
+  tsl::CellAccessor cell;
+  ASSERT_TRUE(
+      tsl::LoadCell(cloud.get(), cloud->client_id(), 1, profile, &cell).ok());
+  std::int64_t stored_handle = 0;
+  ASSERT_TRUE(cell.GetInt64(1, &stored_handle).ok());
+  std::string fetched;
+  ASSERT_TRUE(
+      store->Fetch(static_cast<std::uint64_t>(stored_handle), &fetched).ok());
+  EXPECT_EQ(fetched, photo);
+}
+
+// ----------------------------------------------------------- Aggregators
+
+TEST(AggregatorTest, GlobalSumVisibleNextSuperstep) {
+  auto cloud = NewCloud();
+  graph::Graph graph(cloud.get());
+  for (CellId v = 0; v < 10; ++v) {
+    ASSERT_TRUE(graph.AddNode(v, Slice()).ok());
+  }
+  compute::BspEngine::Options options;
+  options.aggregator = [](std::string* acc, Slice contribution) {
+    std::int64_t a = 0, b = 0;
+    std::memcpy(&a, acc->data(), 8);
+    std::memcpy(&b, contribution.data(), 8);
+    a += b;
+    std::memcpy(acc->data(), &a, 8);
+  };
+  compute::BspEngine engine(&graph, options);
+  compute::BspEngine::RunStats stats;
+  std::int64_t seen_at_step1 = -1;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [&](compute::BspEngine::VertexContext& ctx) {
+                        if (ctx.superstep() == 0) {
+                          EXPECT_TRUE(ctx.aggregated().empty());
+                          const std::int64_t one = 1;
+                          ctx.Aggregate(
+                              Slice(reinterpret_cast<const char*>(&one), 8));
+                          // Stay awake one more superstep.
+                          ctx.Send(ctx.vertex(), Slice("tick"));
+                        } else if (ctx.superstep() == 1) {
+                          std::int64_t total = 0;
+                          std::memcpy(&total, ctx.aggregated().data(), 8);
+                          seen_at_step1 = total;
+                          ctx.VoteToHalt();
+                        } else {
+                          ctx.VoteToHalt();
+                        }
+                      },
+                      &stats)
+                  .ok());
+  EXPECT_EQ(seen_at_step1, 10);  // All ten vertices contributed.
+  // The aggregate is per-superstep: nothing contributed in the final one.
+  EXPECT_TRUE(engine.aggregated().empty());
+}
+
+TEST(AggregatorTest, ConvergentPageRankStopsEarly) {
+  auto cloud = NewCloud();
+  graph::Graph graph(cloud.get());
+  const std::uint64_t n = 40;
+  for (CellId v = 0; v < n; ++v) {
+    ASSERT_TRUE(graph.AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 0; v < n; ++v) {
+    ASSERT_TRUE(graph.AddEdge(v, (v + 1) % n).ok());  // Cycle: converges fast.
+  }
+  algos::PageRankOptions fixed;
+  fixed.iterations = 50;
+  algos::PageRankResult fixed_result;
+  ASSERT_TRUE(algos::RunPageRank(&graph, fixed, &fixed_result).ok());
+
+  algos::PageRankOptions convergent;
+  convergent.iterations = 50;
+  convergent.convergence_epsilon = 1e-8;
+  algos::PageRankResult convergent_result;
+  ASSERT_TRUE(algos::RunPageRank(&graph, convergent, &convergent_result).ok());
+  EXPECT_LT(convergent_result.stats.supersteps,
+            fixed_result.stats.supersteps);
+  for (CellId v = 0; v < n; ++v) {
+    EXPECT_NEAR(convergent_result.ranks[v], fixed_result.ranks[v], 1e-6);
+  }
+}
+
+}  // namespace
+}  // namespace trinity

@@ -1,0 +1,183 @@
+// End-to-end scenarios spanning the full stack: TSL-modelled data in the
+// memory cloud, analytics and online queries over generated graphs, and
+// fault injection in the middle of a workload.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "algos/pagerank.h"
+#include "algos/people_search.h"
+#include "algos/wcc.h"
+#include "graph/generators.h"
+#include "tsl/cell_io.h"
+#include "tsl/protocol.h"
+
+namespace trinity {
+namespace {
+
+TEST(IntegrationTest, SocialNetworkWorkload) {
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 8;
+  options.p_bits = 5;
+  options.storage.trunk.capacity = 8 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+  graph::Graph graph(cloud.get());
+  const auto edges = graph::Generators::PowerLaw(2000, 8.0, 2.16, 99);
+  ASSERT_TRUE(graph::Generators::Load(&graph, edges, true, 99).ok());
+
+  // Online: 2-hop people search.
+  algos::PeopleSearchOptions search_options;
+  search_options.max_hops = 2;
+  algos::PeopleSearchResult search;
+  ASSERT_TRUE(
+      algos::RunPeopleSearch(&graph, 0, "David", search_options, &search)
+          .ok());
+
+  // Offline: PageRank on the same deployment.
+  algos::PageRankOptions pr_options;
+  pr_options.iterations = 5;
+  algos::PageRankResult pagerank;
+  ASSERT_TRUE(algos::RunPageRank(&graph, pr_options, &pagerank).ok());
+  EXPECT_EQ(pagerank.ranks.size(), 2000u);
+
+  // Offline: connected components.
+  algos::WccResult wcc;
+  ASSERT_TRUE(algos::RunWcc(&graph, algos::WccOptions{}, &wcc).ok());
+  EXPECT_GE(wcc.num_components, 1u);
+  EXPECT_EQ(wcc.component.size(), 2000u);
+}
+
+TEST(IntegrationTest, FaultInjectionMidWorkload) {
+  const std::string root = ::testing::TempDir() + "/integration_ft";
+  std::filesystem::remove_all(root);
+  tfs::Tfs::Options tfs_options;
+  tfs_options.root = root;
+  std::unique_ptr<tfs::Tfs> tfs;
+  ASSERT_TRUE(tfs::Tfs::Open(tfs_options, &tfs).ok());
+
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 4;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 4 << 20;
+  options.tfs = tfs.get();
+  options.buffered_logging = true;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+  graph::Graph graph(cloud.get());
+  const auto edges = graph::Generators::Rmat(500, 5.0, 7);
+  ASSERT_TRUE(graph::Generators::Load(&graph, edges, true, 7).ok());
+  ASSERT_TRUE(cloud->SaveSnapshot().ok());
+
+  // Post-snapshot updates that must survive through buffered logging.
+  ASSERT_TRUE(graph.AddNode(9000, Slice("late")).ok());
+  ASSERT_TRUE(graph.AddEdge(9000, 0).ok());
+
+  ASSERT_TRUE(cloud->FailMachine(1).ok());
+  // Workload continues: access-triggered recovery kicks in transparently.
+  std::vector<CellId> out;
+  for (CellId v = 0; v < 500; ++v) {
+    ASSERT_TRUE(graph.GetOutlinks(v, &out).ok()) << "vertex " << v;
+  }
+  ASSERT_TRUE(graph.GetOutlinks(9000, &out).ok());
+  EXPECT_EQ(out, (std::vector<CellId>{0}));
+  std::string data;
+  ASSERT_TRUE(graph.GetNodeData(9000, &data).ok());
+  EXPECT_EQ(data, "late");
+
+  // Analytics after recovery still runs over the full graph.
+  graph::Graph post_graph(cloud.get());
+  algos::PageRankOptions pr_options;
+  pr_options.iterations = 3;
+  algos::PageRankResult pagerank;
+  ASSERT_TRUE(algos::RunPageRank(&post_graph, pr_options, &pagerank).ok());
+  EXPECT_EQ(pagerank.ranks.size(), 501u);
+}
+
+TEST(IntegrationTest, TslModeledMovieGraph) {
+  // The paper's Fig 4 workflow end to end: declare schema in TSL, create
+  // cells, manipulate through accessors, and message through a protocol.
+  constexpr const char* kScript = R"(
+    [CellType: NodeCell]
+    cell struct Movie {
+      string Name;
+      [EdgeType: SimpleEdge, ReferencedCell: Actor]
+      List<long> Actors;
+    }
+    [CellType: NodeCell]
+    cell struct Actor {
+      string Name;
+      [EdgeType: SimpleEdge, ReferencedCell: Movie]
+      List<long> Movies;
+    }
+    struct CountRequest { long MovieId; }
+    struct CountResponse { long Actors; }
+    protocol CountActors {
+      Type: Syn;
+      Request: CountRequest;
+      Response: CountResponse;
+    }
+  )";
+  tsl::SchemaRegistry registry;
+  ASSERT_TRUE(tsl::SchemaRegistry::Compile(kScript, &registry).ok());
+
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = 3;
+  options.p_bits = 3;
+  options.storage.trunk.capacity = 1 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  ASSERT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+
+  const tsl::Schema* movie = registry.struct_schema("Movie");
+  const tsl::Schema* actor = registry.struct_schema("Actor");
+  const MachineId client = cloud->client_id();
+  ASSERT_TRUE(tsl::NewCell(cloud.get(), client, 1, movie).ok());
+  ASSERT_TRUE(tsl::NewCell(cloud.get(), client, 100, actor).ok());
+  ASSERT_TRUE(tsl::NewCell(cloud.get(), client, 101, actor).ok());
+  {
+    tsl::ScopedCell cell;
+    ASSERT_TRUE(
+        tsl::ScopedCell::Use(cloud.get(), client, 1, movie, &cell).ok());
+    ASSERT_TRUE(cell.accessor().SetString(0, Slice("The Matrix")).ok());
+    ASSERT_TRUE(cell.accessor().AppendListInt64(1, 100).ok());
+    ASSERT_TRUE(cell.accessor().AppendListInt64(1, 101).ok());
+  }
+
+  tsl::ProtocolRuntime runtime(&registry, cloud.get());
+  cloud::MemoryCloud* cloud_ptr = cloud.get();
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    ASSERT_TRUE(
+        runtime
+            .RegisterSynHandler(
+                m, "CountActors",
+                [cloud_ptr, movie, m](MachineId,
+                                      const tsl::CellAccessor& request,
+                                      tsl::CellAccessor* response) {
+                  std::int64_t movie_id = 0;
+                  Status s = request.GetInt64(0, &movie_id);
+                  if (!s.ok()) return s;
+                  tsl::CellAccessor cell;
+                  s = tsl::LoadCell(cloud_ptr, m,
+                                    static_cast<CellId>(movie_id), movie,
+                                    &cell);
+                  if (!s.ok()) return s;
+                  std::size_t n = 0;
+                  s = cell.ListSize(1, &n);
+                  if (!s.ok()) return s;
+                  return response->SetInt64(0, static_cast<std::int64_t>(n));
+                })
+            .ok());
+  }
+  tsl::CellAccessor request = tsl::CellAccessor::NewDefault(
+      registry.struct_schema("CountRequest"));
+  ASSERT_TRUE(request.SetInt64(0, 1).ok());
+  tsl::CellAccessor response;
+  ASSERT_TRUE(runtime.Call(client, 0, "CountActors", request, &response).ok());
+  std::int64_t actors = 0;
+  ASSERT_TRUE(response.GetInt64(0, &actors).ok());
+  EXPECT_EQ(actors, 2);
+}
+
+}  // namespace
+}  // namespace trinity

@@ -1,0 +1,437 @@
+#include "storage/memory_trunk.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <map>
+#include <thread>
+
+#include "common/random.h"
+#include "storage/memory_storage.h"
+#include "tfs/tfs.h"
+
+namespace trinity::storage {
+namespace {
+
+MemoryTrunk::Options SmallTrunk() {
+  MemoryTrunk::Options options;
+  options.capacity = 256 * 1024;
+  return options;
+}
+
+std::unique_ptr<MemoryTrunk> NewTrunk(
+    MemoryTrunk::Options options = SmallTrunk()) {
+  std::unique_ptr<MemoryTrunk> trunk;
+  EXPECT_TRUE(MemoryTrunk::Create(options, &trunk).ok());
+  return trunk;
+}
+
+TEST(MemoryTrunkTest, AddGetRoundTrip) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("payload one")).ok());
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out, "payload one");
+  EXPECT_TRUE(trunk->Contains(1));
+  EXPECT_FALSE(trunk->Contains(2));
+}
+
+TEST(MemoryTrunkTest, AddDuplicateFails) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("a")).ok());
+  EXPECT_TRUE(trunk->AddCell(1, Slice("b")).IsAlreadyExists());
+}
+
+TEST(MemoryTrunkTest, ReservedIdsRejected) {
+  auto trunk = NewTrunk();
+  EXPECT_TRUE(trunk->AddCell(~static_cast<CellId>(0), Slice("x"))
+                  .IsInvalidArgument());
+  EXPECT_TRUE(trunk->PutCell(~static_cast<CellId>(0) - 1, Slice("x"))
+                  .IsInvalidArgument());
+}
+
+TEST(MemoryTrunkTest, PutInsertsAndReplaces) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->PutCell(1, Slice("first")).ok());
+  ASSERT_TRUE(trunk->PutCell(1, Slice("x")).ok());  // Shrink in place.
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out, "x");
+  ASSERT_TRUE(trunk->PutCell(1, Slice("much longer payload")).ok());
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out, "much longer payload");
+}
+
+TEST(MemoryTrunkTest, RemoveFreesLogically) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("gone soon")).ok());
+  ASSERT_TRUE(trunk->RemoveCell(1).ok());
+  EXPECT_FALSE(trunk->Contains(1));
+  EXPECT_TRUE(trunk->RemoveCell(1).IsNotFound());
+  EXPECT_GT(trunk->stats().dead_bytes, 0u);
+}
+
+TEST(MemoryTrunkTest, GetCellSize) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(5, Slice("12345")).ok());
+  std::uint64_t size = 0;
+  ASSERT_TRUE(trunk->GetCellSize(5, &size).ok());
+  EXPECT_EQ(size, 5u);
+  EXPECT_TRUE(trunk->GetCellSize(6, &size).IsNotFound());
+}
+
+TEST(MemoryTrunkTest, AppendUsesReservation) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("ab")).ok());
+  // First append relocates (capacity == size initially) and reserves slack.
+  ASSERT_TRUE(trunk->AppendToCell(1, Slice("cd")).ok());
+  const auto stats1 = trunk->stats();
+  EXPECT_EQ(stats1.expansions_relocated, 1u);
+  EXPECT_GT(stats1.reserved_slack, 0u);
+  // Small follow-up append should land inside the reservation.
+  ASSERT_TRUE(trunk->AppendToCell(1, Slice("e")).ok());
+  const auto stats2 = trunk->stats();
+  EXPECT_EQ(stats2.expansions_in_place, 1u);
+  EXPECT_EQ(stats2.expansions_relocated, 1u);
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out, "abcde");
+}
+
+TEST(MemoryTrunkTest, RepeatedAppendsAreMostlyInPlace) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice()).ok());
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(trunk->AppendToCell(1, Slice("12345678")).ok());
+  }
+  const auto stats = trunk->stats();
+  // With 50% reservations, relocations are logarithmic-ish, not linear.
+  EXPECT_LT(stats.expansions_relocated, 30u);
+  EXPECT_GT(stats.expansions_in_place, 150u);
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out.size(), 1600u);
+}
+
+TEST(MemoryTrunkTest, DefragReclaimsDeadBytes) {
+  auto trunk = NewTrunk();
+  for (CellId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(trunk->AddCell(id, Slice(std::string(100, 'x'))).ok());
+  }
+  for (CellId id = 0; id < 100; id += 2) {
+    ASSERT_TRUE(trunk->RemoveCell(id).ok());
+  }
+  const auto before = trunk->stats();
+  EXPECT_GT(before.dead_bytes, 0u);
+  const std::uint64_t reclaimed = trunk->Defragment();
+  EXPECT_GT(reclaimed, 0u);
+  const auto after = trunk->stats();
+  EXPECT_EQ(after.dead_bytes, 0u);
+  EXPECT_LT(after.used_bytes, before.used_bytes);
+  // Surviving cells still readable.
+  for (CellId id = 1; id < 100; id += 2) {
+    std::string out;
+    ASSERT_TRUE(trunk->GetCell(id, &out).ok());
+    EXPECT_EQ(out.size(), 100u);
+  }
+}
+
+TEST(MemoryTrunkTest, DefragTrimsReservations) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("ab")).ok());
+  ASSERT_TRUE(trunk->AppendToCell(1, Slice("cd")).ok());
+  ASSERT_GT(trunk->stats().reserved_slack, 0u);
+  trunk->Defragment();
+  // Short-lived reservation released by the pass (§6.1).
+  EXPECT_EQ(trunk->stats().reserved_slack, 0u);
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out, "abcd");
+}
+
+TEST(MemoryTrunkTest, DefragReleasesCommittedPages) {
+  MemoryTrunk::Options options;
+  options.capacity = 1 << 20;
+  auto trunk = NewTrunk(options);
+  for (CellId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(trunk->AddCell(id, Slice(std::string(4096, 'p'))).ok());
+  }
+  const std::uint64_t committed_full = trunk->stats().committed_bytes;
+  for (CellId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(trunk->RemoveCell(id).ok());
+  }
+  trunk->Defragment();
+  EXPECT_LT(trunk->stats().committed_bytes, committed_full);
+}
+
+TEST(MemoryTrunkTest, CircularWraparound) {
+  // Fill / delete / refill several times the trunk capacity so the heads
+  // wrap around the ring repeatedly.
+  MemoryTrunk::Options options;
+  options.capacity = 64 * 1024;
+  auto trunk = NewTrunk(options);
+  const std::string payload(1000, 'w');
+  CellId next = 0;
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    std::vector<CellId> batch;
+    for (int i = 0; i < 30; ++i) {
+      const CellId id = next++;
+      ASSERT_TRUE(trunk->AddCell(id, Slice(payload)).ok()) << "cycle " << cycle;
+      batch.push_back(id);
+    }
+    for (CellId id : batch) {
+      std::string out;
+      ASSERT_TRUE(trunk->GetCell(id, &out).ok());
+      ASSERT_EQ(out, payload);
+      ASSERT_TRUE(trunk->RemoveCell(id).ok());
+    }
+  }
+  EXPECT_EQ(trunk->cell_count(), 0u);
+}
+
+TEST(MemoryTrunkTest, FullTrunkReportsOutOfMemory) {
+  MemoryTrunk::Options options;
+  options.capacity = 8 * 1024;
+  auto trunk = NewTrunk(options);
+  Status s;
+  CellId id = 0;
+  while ((s = trunk->AddCell(id, Slice(std::string(512, 'f')))).ok()) {
+    ++id;
+    ASSERT_LT(id, 1000u);
+  }
+  EXPECT_TRUE(s.IsOutOfMemory());
+  // Existing data is intact.
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(0, &out).ok());
+  EXPECT_EQ(out.size(), 512u);
+}
+
+TEST(MemoryTrunkTest, OversizedCellRejected) {
+  MemoryTrunk::Options options;
+  options.capacity = 8 * 1024;
+  auto trunk = NewTrunk(options);
+  EXPECT_FALSE(trunk->AddCell(1, Slice(std::string(32 * 1024, 'x'))).ok());
+}
+
+TEST(MemoryTrunkTest, WriteAtUpdatesInPlace) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("hello world")).ok());
+  ASSERT_TRUE(trunk->WriteAt(1, 6, Slice("WORLD")).ok());
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(1, &out).ok());
+  EXPECT_EQ(out, "hello WORLD");
+  EXPECT_TRUE(trunk->WriteAt(1, 8, Slice("TOOLONG")).IsInvalidArgument());
+  EXPECT_TRUE(trunk->WriteAt(9, 0, Slice("x")).IsNotFound());
+}
+
+TEST(MemoryTrunkTest, AccessorPinsAgainstDefrag) {
+  auto trunk = NewTrunk();
+  ASSERT_TRUE(trunk->AddCell(1, Slice("victim")).ok());
+  ASSERT_TRUE(trunk->AddCell(2, Slice("pinned cell")).ok());
+  ASSERT_TRUE(trunk->RemoveCell(1).ok());
+  MemoryTrunk::ConstAccessor accessor;
+  ASSERT_TRUE(trunk->Access(2, &accessor).ok());
+  EXPECT_EQ(accessor.data().ToString(), "pinned cell");
+  const char* pinned_ptr = accessor.data().data();
+  trunk->Defragment();  // Must not move the pinned cell.
+  EXPECT_EQ(accessor.data().data(), pinned_ptr);
+  EXPECT_EQ(accessor.data().ToString(), "pinned cell");
+  accessor = MemoryTrunk::ConstAccessor();  // Unpin.
+  trunk->Defragment();
+  std::string out;
+  ASSERT_TRUE(trunk->GetCell(2, &out).ok());
+  EXPECT_EQ(out, "pinned cell");
+}
+
+TEST(MemoryTrunkTest, SerializeDeserializeRoundTrip) {
+  auto trunk = NewTrunk();
+  for (CellId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(
+        trunk->AddCell(id, Slice("value " + std::to_string(id))).ok());
+  }
+  std::string image;
+  ASSERT_TRUE(trunk->Serialize(&image).ok());
+  std::unique_ptr<MemoryTrunk> restored;
+  ASSERT_TRUE(
+      MemoryTrunk::Deserialize(Slice(image), SmallTrunk(), &restored).ok());
+  EXPECT_EQ(restored->cell_count(), 50u);
+  for (CellId id = 0; id < 50; ++id) {
+    std::string out;
+    ASSERT_TRUE(restored->GetCell(id, &out).ok());
+    EXPECT_EQ(out, "value " + std::to_string(id));
+  }
+}
+
+TEST(MemoryTrunkTest, DeserializeRejectsGarbage) {
+  std::unique_ptr<MemoryTrunk> trunk;
+  EXPECT_TRUE(MemoryTrunk::Deserialize(Slice("nonsense"), SmallTrunk(),
+                                       &trunk)
+                  .IsCorruption());
+}
+
+TEST(MemoryTrunkTest, CellIdsListsLiveCells) {
+  auto trunk = NewTrunk();
+  for (CellId id = 0; id < 10; ++id) {
+    ASSERT_TRUE(trunk->AddCell(id, Slice("x")).ok());
+  }
+  ASSERT_TRUE(trunk->RemoveCell(3).ok());
+  auto ids = trunk->CellIds();
+  std::sort(ids.begin(), ids.end());
+  EXPECT_EQ(ids.size(), 9u);
+  EXPECT_EQ(std::count(ids.begin(), ids.end(), 3), 0);
+}
+
+TEST(MemoryTrunkTest, StatsInvariants) {
+  auto trunk = NewTrunk();
+  for (CellId id = 0; id < 20; ++id) {
+    ASSERT_TRUE(trunk->AddCell(id, Slice(std::string(64, 'a'))).ok());
+  }
+  auto stats = trunk->stats();
+  EXPECT_EQ(stats.live_cells, 20u);
+  EXPECT_EQ(stats.live_bytes, 20u * 64);
+  EXPECT_LE(stats.live_bytes, stats.used_bytes);
+  EXPECT_LE(stats.used_bytes, stats.committed_bytes);
+  EXPECT_LE(stats.committed_bytes, stats.capacity);
+}
+
+// Property test: a random op sequence against a std::map reference model,
+// across several seeds, with periodic defragmentation thrown in.
+class MemoryTrunkFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(MemoryTrunkFuzzTest, MatchesReferenceModel) {
+  Random rng(GetParam());
+  MemoryTrunk::Options options;
+  options.capacity = 512 * 1024;
+  auto trunk = NewTrunk(options);
+  std::map<CellId, std::string> reference;
+  for (int op = 0; op < 4000; ++op) {
+    const CellId id = rng.Uniform(64);
+    switch (rng.Uniform(6)) {
+      case 0: {
+        const std::string payload(rng.Uniform(300), 'a' + id % 26);
+        const Status s = trunk->AddCell(id, Slice(payload));
+        if (reference.count(id) != 0) {
+          EXPECT_TRUE(s.IsAlreadyExists());
+        } else if (s.ok()) {
+          reference[id] = payload;
+        }
+        break;
+      }
+      case 1: {
+        const std::string payload(rng.Uniform(300), 'A' + id % 26);
+        if (trunk->PutCell(id, Slice(payload)).ok()) {
+          reference[id] = payload;
+        }
+        break;
+      }
+      case 2: {
+        const Status s = trunk->RemoveCell(id);
+        EXPECT_EQ(s.ok(), reference.erase(id) > 0);
+        break;
+      }
+      case 3: {
+        const std::string suffix(1 + rng.Uniform(40), 'z');
+        const Status s = trunk->AppendToCell(id, Slice(suffix));
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          EXPECT_TRUE(s.IsNotFound());
+        } else if (s.ok()) {
+          it->second += suffix;
+        }
+        break;
+      }
+      case 4: {
+        std::string out;
+        const Status s = trunk->GetCell(id, &out);
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          EXPECT_TRUE(s.IsNotFound());
+        } else {
+          ASSERT_TRUE(s.ok());
+          EXPECT_EQ(out, it->second);
+        }
+        break;
+      }
+      case 5: {
+        if (op % 37 == 0) trunk->Defragment();
+        break;
+      }
+    }
+  }
+  // Full final sweep.
+  EXPECT_EQ(trunk->cell_count(), reference.size());
+  trunk->Defragment();
+  for (const auto& [id, expected] : reference) {
+    std::string out;
+    ASSERT_TRUE(trunk->GetCell(id, &out).ok());
+    EXPECT_EQ(out, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MemoryTrunkFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+TEST(MemoryStorageTest, AttachDetachTrunks) {
+  MemoryStorage::Options options;
+  options.trunk = SmallTrunk();
+  MemoryStorage storage(options);
+  ASSERT_TRUE(storage.AttachTrunk(0).ok());
+  ASSERT_TRUE(storage.AttachTrunk(1).ok());
+  EXPECT_TRUE(storage.AttachTrunk(0).IsAlreadyExists());
+  EXPECT_NE(storage.trunk(0), nullptr);
+  EXPECT_EQ(storage.trunk(9), nullptr);
+  EXPECT_EQ(storage.trunk_ids().size(), 2u);
+  ASSERT_TRUE(storage.DetachTrunk(0).ok());
+  EXPECT_TRUE(storage.DetachTrunk(0).IsNotFound());
+}
+
+TEST(MemoryStorageTest, SaveAndLoadViaTfs) {
+  const std::string root = ::testing::TempDir() + "/storage_tfs";
+  std::filesystem::remove_all(root);
+  tfs::Tfs::Options tfs_options;
+  tfs_options.root = root;
+  std::unique_ptr<tfs::Tfs> tfs;
+  ASSERT_TRUE(tfs::Tfs::Open(tfs_options, &tfs).ok());
+
+  MemoryStorage::Options options;
+  options.trunk = SmallTrunk();
+  MemoryStorage storage(options);
+  ASSERT_TRUE(storage.AttachTrunk(3).ok());
+  ASSERT_TRUE(storage.trunk(3)->AddCell(7, Slice("persist me")).ok());
+  ASSERT_TRUE(storage.SaveToTfs(tfs.get(), "m0").ok());
+
+  std::unique_ptr<MemoryTrunk> restored;
+  ASSERT_TRUE(MemoryStorage::LoadTrunkFromTfs(tfs.get(), "m0", 3,
+                                              SmallTrunk(), &restored)
+                  .ok());
+  std::string out;
+  ASSERT_TRUE(restored->GetCell(7, &out).ok());
+  EXPECT_EQ(out, "persist me");
+}
+
+TEST(MemoryStorageTest, DefragDaemonSweeps) {
+  MemoryStorage::Options options;
+  options.trunk = SmallTrunk();
+  options.defrag_threshold = 0.01;
+  MemoryStorage storage(options);
+  ASSERT_TRUE(storage.AttachTrunk(0).ok());
+  MemoryTrunk* trunk = storage.trunk(0);
+  for (CellId id = 0; id < 100; ++id) {
+    ASSERT_TRUE(trunk->AddCell(id, Slice(std::string(64, 'd'))).ok());
+  }
+  for (CellId id = 0; id < 100; id += 2) {
+    ASSERT_TRUE(trunk->RemoveCell(id).ok());
+  }
+  storage.StartDefragDaemon(std::chrono::milliseconds(5));
+  // Give the daemon a few periods to run.
+  for (int i = 0; i < 200 && trunk->stats().dead_bytes > 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  storage.StopDefragDaemon();
+  EXPECT_EQ(trunk->stats().dead_bytes, 0u);
+  EXPECT_GT(trunk->stats().defrag_passes, 0u);
+}
+
+}  // namespace
+}  // namespace trinity::storage

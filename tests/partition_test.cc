@@ -1,0 +1,120 @@
+#include "graph/partition.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "graph/generators.h"
+
+namespace trinity::graph {
+namespace {
+
+TEST(CsrTest, FromEdgesSymmetrizes) {
+  Generators::EdgeList edges;
+  edges.num_nodes = 4;
+  edges.edges = {{0, 1}, {1, 2}, {2, 2} /* self-loop dropped */};
+  const Csr csr = Csr::FromEdges(edges);
+  EXPECT_EQ(csr.num_nodes, 4u);
+  EXPECT_EQ(csr.Degree(0), 1u);
+  EXPECT_EQ(csr.Degree(1), 2u);
+  EXPECT_EQ(csr.Degree(2), 1u);
+  EXPECT_EQ(csr.Degree(3), 0u);
+  EXPECT_EQ(csr.Neighbors(0)[0], 1u);
+}
+
+class PartitionerTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PartitionerTest, RingGraphHasSmallCut) {
+  // A ring of n nodes has an optimal k-way cut of exactly k.
+  const int k = GetParam();
+  Generators::EdgeList ring;
+  ring.num_nodes = 1024;
+  for (std::uint64_t v = 0; v < ring.num_nodes; ++v) {
+    ring.edges.emplace_back(v, (v + 1) % ring.num_nodes);
+  }
+  const Csr csr = Csr::FromEdges(ring);
+  MultilevelPartitioner::Options options;
+  options.num_parts = k;
+  MultilevelPartitioner partitioner(options);
+  MultilevelPartitioner::Result result;
+  ASSERT_TRUE(partitioner.Partition(csr, &result).ok());
+  EXPECT_EQ(result.assignment.size(), ring.num_nodes);
+  // Multilevel partitioning should be within a small factor of optimal.
+  EXPECT_LE(result.edge_cut, static_cast<std::uint64_t>(6 * k));
+  EXPECT_LE(result.balance, 1.35);
+  EXPECT_GT(result.levels, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Parts, PartitionerTest, ::testing::Values(2, 4, 8));
+
+TEST(PartitionerTest, BeatsRandomAssignmentOnRmat) {
+  const auto edges = Generators::Rmat(2048, 8.0, 21);
+  const Csr csr = Csr::FromEdges(edges);
+  MultilevelPartitioner::Options options;
+  options.num_parts = 8;
+  MultilevelPartitioner partitioner(options);
+  MultilevelPartitioner::Result result;
+  ASSERT_TRUE(partitioner.Partition(csr, &result).ok());
+
+  // Random baseline.
+  Random rng(5);
+  std::vector<std::int32_t> random_assignment(csr.num_nodes);
+  for (auto& p : random_assignment) {
+    p = static_cast<std::int32_t>(rng.Uniform(8));
+  }
+  const std::uint64_t random_cut =
+      MultilevelPartitioner::EdgeCut(csr, random_assignment);
+  EXPECT_LT(result.edge_cut, random_cut);
+}
+
+TEST(PartitionerTest, RespectsBalanceConstraint) {
+  const auto edges = Generators::PowerLaw(4000, 6.0, 2.16, 17);
+  const Csr csr = Csr::FromEdges(edges);
+  MultilevelPartitioner::Options options;
+  options.num_parts = 4;
+  options.epsilon = 0.1;
+  MultilevelPartitioner partitioner(options);
+  MultilevelPartitioner::Result result;
+  ASSERT_TRUE(partitioner.Partition(csr, &result).ok());
+  // Graph growing + refinement keep parts roughly balanced.
+  EXPECT_LE(result.balance, 1.6);
+  for (std::int32_t p : result.assignment) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, 4);
+  }
+}
+
+TEST(PartitionerTest, DeterministicUnderSeed) {
+  const auto edges = Generators::Rmat(512, 4.0, 33);
+  const Csr csr = Csr::FromEdges(edges);
+  MultilevelPartitioner::Options options;
+  options.num_parts = 4;
+  MultilevelPartitioner partitioner(options);
+  MultilevelPartitioner::Result a, b;
+  ASSERT_TRUE(partitioner.Partition(csr, &a).ok());
+  ASSERT_TRUE(partitioner.Partition(csr, &b).ok());
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_EQ(a.edge_cut, b.edge_cut);
+}
+
+TEST(PartitionerTest, SinglePartIsTrivial) {
+  const auto edges = Generators::Rmat(128, 4.0, 1);
+  const Csr csr = Csr::FromEdges(edges);
+  MultilevelPartitioner::Options options;
+  options.num_parts = 1;
+  MultilevelPartitioner partitioner(options);
+  MultilevelPartitioner::Result result;
+  ASSERT_TRUE(partitioner.Partition(csr, &result).ok());
+  EXPECT_EQ(result.edge_cut, 0u);
+  EXPECT_DOUBLE_EQ(result.balance, 1.0);
+}
+
+TEST(PartitionerTest, EmptyGraph) {
+  Csr csr;
+  MultilevelPartitioner partitioner(MultilevelPartitioner::Options{});
+  MultilevelPartitioner::Result result;
+  ASSERT_TRUE(partitioner.Partition(csr, &result).ok());
+  EXPECT_TRUE(result.assignment.empty());
+}
+
+}  // namespace
+}  // namespace trinity::graph

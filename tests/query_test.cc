@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "query/lubm.h"
+#include "query/rdf_store.h"
+
+namespace trinity::query {
+namespace {
+
+std::unique_ptr<cloud::MemoryCloud> NewCloud(int slaves = 4) {
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 8 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+  return cloud;
+}
+
+TEST(RdfStoreTest, EntityAndTripleRoundTrip) {
+  auto cloud = NewCloud();
+  RdfStore store(cloud.get());
+  ASSERT_TRUE(store.AddEntity(1, EntityType::kProfessor).ok());
+  ASSERT_TRUE(store.AddEntity(2, EntityType::kCourse).ok());
+  ASSERT_TRUE(store.AddEntity(3, EntityType::kCourse).ok());
+  ASSERT_TRUE(store.AddTriple(1, Predicate::kTeacherOf, 2).ok());
+  ASSERT_TRUE(store.AddTriple(1, Predicate::kTeacherOf, 3).ok());
+  EntityType type;
+  ASSERT_TRUE(store.GetType(1, &type).ok());
+  EXPECT_EQ(type, EntityType::kProfessor);
+  std::vector<CellId> courses;
+  ASSERT_TRUE(store.GetObjects(1, Predicate::kTeacherOf, &courses).ok());
+  EXPECT_EQ(courses, (std::vector<CellId>{2, 3}));
+  std::vector<CellId> none;
+  ASSERT_TRUE(store.GetObjects(1, Predicate::kAdvisor, &none).ok());
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(RdfStoreTest, ScanLocalCoversAllEntities) {
+  auto cloud = NewCloud();
+  RdfStore store(cloud.get());
+  for (CellId id = 0; id < 50; ++id) {
+    ASSERT_TRUE(store.AddEntity(id, EntityType::kStudent).ok());
+  }
+  std::size_t seen = 0;
+  for (MachineId m = 0; m < cloud->num_slaves(); ++m) {
+    ASSERT_TRUE(store
+                    .ScanLocal(m,
+                               [&](CellId, EntityType type, const auto&) {
+                                 EXPECT_EQ(type, EntityType::kStudent);
+                                 ++seen;
+                               })
+                    .ok());
+  }
+  EXPECT_EQ(seen, 50u);
+}
+
+class LubmTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    cloud_ = NewCloud(4);
+    store_ = std::make_unique<RdfStore>(cloud_.get());
+    LubmGenerator::Options options;
+    options.universities = 2;
+    options.departments_per_university = 4;
+    options.professors_per_department = 3;
+    options.courses_per_professor = 2;
+    options.students_per_department = 20;
+    options.courses_per_student = 3;
+    ASSERT_TRUE(
+        LubmGenerator::Generate(store_.get(), options, &dataset_).ok());
+  }
+  std::unique_ptr<cloud::MemoryCloud> cloud_;
+  std::unique_ptr<RdfStore> store_;
+  LubmGenerator::Dataset dataset_;
+};
+
+TEST_F(LubmTest, GeneratesExpectedCounts) {
+  // 2 universities, 8 departments, 24 professors, 48 courses, 160 students.
+  EXPECT_EQ(dataset_.entities, 2u + 8 + 24 + 48 + 160);
+  // Triples: 8 subOrg + 24 worksFor + 48 teacherOf + 160*(1 member + 1
+  // advisor + 3 courses).
+  EXPECT_EQ(dataset_.triples, 8u + 24 + 48 + 160 * 5);
+  EXPECT_EQ(cloud_->TotalCellCount(), dataset_.entities);
+}
+
+TEST_F(LubmTest, StudentsOfCourseMatchesReference) {
+  SparqlQueries queries(store_.get(), net::CostModel{});
+  // Reference count by direct scan.
+  std::uint64_t expected = 0;
+  for (MachineId m = 0; m < cloud_->num_slaves(); ++m) {
+    ASSERT_TRUE(store_
+                    ->ScanLocal(m,
+                                [&](CellId, EntityType type,
+                                    const auto& for_each_triple) {
+                                  if (type != EntityType::kStudent) return;
+                                  for_each_triple(
+                                      [&](Predicate p, CellId o) {
+                                        if (p == Predicate::kTakesCourse &&
+                                            o == dataset_.first_course) {
+                                          ++expected;
+                                        }
+                                      });
+                                })
+                    .ok());
+  }
+  SparqlQueries::QueryStats stats;
+  ASSERT_TRUE(queries.StudentsOfCourse(dataset_.first_course, &stats).ok());
+  EXPECT_EQ(stats.results, expected);
+  EXPECT_GT(stats.modeled_millis, 0.0);
+}
+
+TEST_F(LubmTest, ProfessorsOfUniversityCountsPerUniversity) {
+  SparqlQueries queries(store_.get(), net::CostModel{});
+  SparqlQueries::QueryStats stats;
+  ASSERT_TRUE(
+      queries.ProfessorsOfUniversity(dataset_.first_university, &stats).ok());
+  // 4 departments x 3 professors.
+  EXPECT_EQ(stats.results, 12u);
+}
+
+TEST_F(LubmTest, AffiliationPathQuery) {
+  SparqlQueries queries(store_.get(), net::CostModel{});
+  SparqlQueries::QueryStats stats;
+  ASSERT_TRUE(
+      queries.ProfessorsAffiliatedWith(dataset_.first_university, &stats)
+          .ok());
+  EXPECT_EQ(stats.results, 12u);
+}
+
+TEST_F(LubmTest, TriangleQueryFindsAdvisedStudents) {
+  SparqlQueries queries(store_.get(), net::CostModel{});
+  SparqlQueries::QueryStats stats;
+  ASSERT_TRUE(queries.StudentsAdvisedByTheirTeacher(&stats).ok());
+  // Each student takes 3 of 12 department courses (6 by their advisor
+  // in expectation 2/12 each): some students must match, not all.
+  EXPECT_GT(stats.results, 0u);
+  EXPECT_LT(stats.results, 160u);
+}
+
+TEST_F(LubmTest, MoreMachinesReduceModeledLatency) {
+  // Fig 14(b): as machines grow, scan work per machine shrinks. Modeled
+  // time includes *measured* CPU, which jitters under system load, so take
+  // the minimum over several runs of the same query.
+  auto run_with = [&](int slaves) {
+    auto cloud = NewCloud(slaves);
+    RdfStore store(cloud.get());
+    LubmGenerator::Options options;
+    options.universities = 2;
+    options.students_per_department = 40;
+    LubmGenerator::Dataset dataset;
+    EXPECT_TRUE(LubmGenerator::Generate(&store, options, &dataset).ok());
+    SparqlQueries queries(&store, net::CostModel{});
+    double best = std::numeric_limits<double>::infinity();
+    for (int rep = 0; rep < 5; ++rep) {
+      SparqlQueries::QueryStats stats;
+      EXPECT_TRUE(
+          queries.StudentsOfCourse(dataset.first_course, &stats).ok());
+      best = std::min(best, stats.modeled_millis);
+    }
+    return best;
+  };
+  const double with2 = run_with(2);
+  const double with8 = run_with(8);
+  EXPECT_LT(with8, with2);
+}
+
+}  // namespace
+}  // namespace trinity::query

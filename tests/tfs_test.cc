@@ -1,0 +1,186 @@
+#include "tfs/tfs.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+namespace trinity::tfs {
+namespace {
+
+class TfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = ::testing::TempDir() + "/tfs_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(root_);
+    options_.root = root_;
+    options_.num_datanodes = 3;
+    options_.replication = 2;
+    options_.block_size = 64;  // Small blocks to exercise splitting.
+    ASSERT_TRUE(Tfs::Open(options_, &tfs_).ok());
+  }
+
+  std::string root_;
+  Tfs::Options options_;
+  std::unique_ptr<Tfs> tfs_;
+};
+
+TEST_F(TfsTest, WriteReadRoundTrip) {
+  ASSERT_TRUE(tfs_->WriteFile("a/b", Slice("hello tfs")).ok());
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("a/b", &data).ok());
+  EXPECT_EQ(data, "hello tfs");
+}
+
+TEST_F(TfsTest, MultiBlockFile) {
+  std::string big(1000, 'x');
+  for (std::size_t i = 0; i < big.size(); ++i) big[i] = char('a' + i % 26);
+  ASSERT_TRUE(tfs_->WriteFile("big", Slice(big)).ok());
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("big", &data).ok());
+  EXPECT_EQ(data, big);
+  // 1000 bytes at 64-byte blocks = 16 blocks.
+  EXPECT_GE(tfs_->stats().blocks_written, 16u);
+}
+
+TEST_F(TfsTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(tfs_->WriteFile("f", Slice("one")).ok());
+  ASSERT_TRUE(tfs_->WriteFile("f", Slice("two")).ok());
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("f", &data).ok());
+  EXPECT_EQ(data, "two");
+}
+
+TEST_F(TfsTest, ReadMissingFileFails) {
+  std::string data;
+  EXPECT_TRUE(tfs_->ReadFile("nope", &data).IsNotFound());
+}
+
+TEST_F(TfsTest, DeleteRemovesFile) {
+  ASSERT_TRUE(tfs_->WriteFile("f", Slice("x")).ok());
+  ASSERT_TRUE(tfs_->DeleteFile("f").ok());
+  EXPECT_FALSE(tfs_->Exists("f"));
+  EXPECT_TRUE(tfs_->DeleteFile("f").IsNotFound());
+}
+
+TEST_F(TfsTest, CreateExclusiveIsAFence) {
+  ASSERT_TRUE(tfs_->CreateExclusive("leader_flag", Slice("m0")).ok());
+  EXPECT_TRUE(
+      tfs_->CreateExclusive("leader_flag", Slice("m1")).IsAlreadyExists());
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("leader_flag", &data).ok());
+  EXPECT_EQ(data, "m0");  // First writer wins.
+}
+
+TEST_F(TfsTest, ListByPrefix) {
+  ASSERT_TRUE(tfs_->WriteFile("ckpt/1", Slice("a")).ok());
+  ASSERT_TRUE(tfs_->WriteFile("ckpt/2", Slice("b")).ok());
+  ASSERT_TRUE(tfs_->WriteFile("other", Slice("c")).ok());
+  const auto files = tfs_->List("ckpt/");
+  ASSERT_EQ(files.size(), 2u);
+  EXPECT_EQ(files[0], "ckpt/1");
+  EXPECT_EQ(files[1], "ckpt/2");
+}
+
+TEST_F(TfsTest, SurvivesDatanodeFailure) {
+  ASSERT_TRUE(tfs_->WriteFile("critical", Slice("replicated data")).ok());
+  ASSERT_TRUE(tfs_->KillDatanode(0).ok());
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("critical", &data).ok());
+  EXPECT_EQ(data, "replicated data");
+}
+
+TEST_F(TfsTest, FailoverIsCounted) {
+  // Write many files so some blocks have their first replica on dn0.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        tfs_->WriteFile("f" + std::to_string(i), Slice("payload")).ok());
+  }
+  ASSERT_TRUE(tfs_->KillDatanode(0).ok());
+  for (int i = 0; i < 10; ++i) {
+    std::string data;
+    ASSERT_TRUE(tfs_->ReadFile("f" + std::to_string(i), &data).ok());
+  }
+  EXPECT_GT(tfs_->stats().replica_read_failovers, 0u);
+}
+
+TEST_F(TfsTest, AllReplicasDeadIsUnavailable) {
+  Tfs::Options opts = options_;
+  opts.root = root_ + "_solo";
+  opts.num_datanodes = 1;
+  opts.replication = 1;
+  std::unique_ptr<Tfs> solo;
+  ASSERT_TRUE(Tfs::Open(opts, &solo).ok());
+  ASSERT_TRUE(solo->WriteFile("f", Slice("x")).ok());
+  ASSERT_TRUE(solo->KillDatanode(0).ok());
+  std::string data;
+  EXPECT_TRUE(solo->ReadFile("f", &data).IsUnavailable());
+  ASSERT_TRUE(solo->ReviveDatanode(0).ok());
+  EXPECT_TRUE(solo->ReadFile("f", &data).ok());
+}
+
+TEST_F(TfsTest, WritesRequireAliveDatanodes) {
+  for (int dn = 0; dn < options_.num_datanodes; ++dn) {
+    ASSERT_TRUE(tfs_->KillDatanode(dn).ok());
+  }
+  EXPECT_TRUE(tfs_->WriteFile("f", Slice("x")).IsUnavailable());
+}
+
+TEST_F(TfsTest, ManifestSurvivesReopen) {
+  ASSERT_TRUE(tfs_->WriteFile("persistent", Slice("still here")).ok());
+  tfs_.reset();
+  ASSERT_TRUE(Tfs::Open(options_, &tfs_).ok());
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("persistent", &data).ok());
+  EXPECT_EQ(data, "still here");
+}
+
+TEST_F(TfsTest, CorruptReplicaFailsOver) {
+  ASSERT_TRUE(tfs_->WriteFile("f", Slice("good data")).ok());
+  // Tamper with every block replica on datanode 0.
+  for (const auto& entry :
+       std::filesystem::directory_iterator(root_ + "/dn0")) {
+    std::ofstream out(entry.path(), std::ios::binary | std::ios::trunc);
+    out << "corrupted!";
+  }
+  std::string data;
+  ASSERT_TRUE(tfs_->ReadFile("f", &data).ok());
+  EXPECT_EQ(data, "good data");  // Checksum mismatch fell back to replica.
+}
+
+TEST_F(TfsTest, EmptyFileRoundTrip) {
+  ASSERT_TRUE(tfs_->WriteFile("empty", Slice()).ok());
+  std::string data = "not empty";
+  ASSERT_TRUE(tfs_->ReadFile("empty", &data).ok());
+  EXPECT_TRUE(data.empty());
+}
+
+TEST(TfsOptionsTest, RejectsBadOptions) {
+  std::unique_ptr<Tfs> tfs;
+  Tfs::Options opts;
+  opts.root = "";
+  EXPECT_TRUE(Tfs::Open(opts, &tfs).IsInvalidArgument());
+  opts.root = ::testing::TempDir() + "/tfs_bad";
+  opts.num_datanodes = 0;
+  EXPECT_TRUE(Tfs::Open(opts, &tfs).IsInvalidArgument());
+  opts.num_datanodes = 2;
+  opts.block_size = 0;
+  EXPECT_TRUE(Tfs::Open(opts, &tfs).IsInvalidArgument());
+}
+
+TEST(TfsOptionsTest, ReplicationClampedToDatanodes) {
+  std::unique_ptr<Tfs> tfs;
+  Tfs::Options opts;
+  opts.root = ::testing::TempDir() + "/tfs_clamp";
+  std::filesystem::remove_all(opts.root);
+  opts.num_datanodes = 2;
+  opts.replication = 5;
+  ASSERT_TRUE(Tfs::Open(opts, &tfs).ok());
+  ASSERT_TRUE(tfs->WriteFile("f", Slice("x")).ok());
+  std::string data;
+  ASSERT_TRUE(tfs->ReadFile("f", &data).ok());
+}
+
+}  // namespace
+}  // namespace trinity::tfs

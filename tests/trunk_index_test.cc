@@ -1,0 +1,101 @@
+#include "storage/trunk_index.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.h"
+
+namespace trinity::storage {
+namespace {
+
+TEST(TrunkIndexTest, FindMissingReturnsNoOffset) {
+  TrunkIndex index;
+  EXPECT_EQ(index.Find(42), TrunkIndex::kNoOffset);
+}
+
+TEST(TrunkIndexTest, UpsertAndFind) {
+  TrunkIndex index;
+  EXPECT_TRUE(index.Upsert(1, 100));
+  EXPECT_TRUE(index.Upsert(2, 200));
+  EXPECT_FALSE(index.Upsert(1, 111));  // Update, not insert.
+  EXPECT_EQ(index.Find(1), 111u);
+  EXPECT_EQ(index.Find(2), 200u);
+  EXPECT_EQ(index.size(), 2u);
+}
+
+TEST(TrunkIndexTest, EraseAndTombstoneReuse) {
+  TrunkIndex index;
+  index.Upsert(1, 100);
+  EXPECT_TRUE(index.Erase(1));
+  EXPECT_FALSE(index.Erase(1));
+  EXPECT_EQ(index.Find(1), TrunkIndex::kNoOffset);
+  EXPECT_EQ(index.size(), 0u);
+  index.Upsert(1, 101);  // Reuses the tombstone slot.
+  EXPECT_EQ(index.Find(1), 101u);
+}
+
+TEST(TrunkIndexTest, GrowsUnderLoad) {
+  TrunkIndex index(8);
+  const std::size_t initial = index.bucket_count();
+  for (CellId id = 0; id < 1000; ++id) {
+    index.Upsert(id, id * 10);
+  }
+  EXPECT_GT(index.bucket_count(), initial);
+  for (CellId id = 0; id < 1000; ++id) {
+    ASSERT_EQ(index.Find(id), id * 10);
+  }
+}
+
+TEST(TrunkIndexTest, ForEachVisitsAllLive) {
+  TrunkIndex index;
+  for (CellId id = 0; id < 50; ++id) index.Upsert(id, id);
+  for (CellId id = 0; id < 50; id += 2) index.Erase(id);
+  std::size_t count = 0;
+  index.ForEach([&](CellId id, std::uint64_t offset) {
+    EXPECT_EQ(id % 2, 1u);
+    EXPECT_EQ(id, offset);
+    ++count;
+  });
+  EXPECT_EQ(count, 25u);
+}
+
+class TrunkIndexFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrunkIndexFuzzTest, MatchesReferenceModel) {
+  Random rng(GetParam());
+  TrunkIndex index;
+  std::map<CellId, std::uint64_t> reference;
+  for (int op = 0; op < 20000; ++op) {
+    const CellId id = rng.Uniform(500);
+    switch (rng.Uniform(3)) {
+      case 0: {  // Upsert.
+        const std::uint64_t offset = rng.Next() >> 1;
+        const bool inserted = index.Upsert(id, offset);
+        EXPECT_EQ(inserted, reference.count(id) == 0);
+        reference[id] = offset;
+        break;
+      }
+      case 1: {  // Erase.
+        EXPECT_EQ(index.Erase(id), reference.erase(id) > 0);
+        break;
+      }
+      case 2: {  // Find.
+        auto it = reference.find(id);
+        if (it == reference.end()) {
+          EXPECT_EQ(index.Find(id), TrunkIndex::kNoOffset);
+        } else {
+          EXPECT_EQ(index.Find(id), it->second);
+        }
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(index.size(), reference.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrunkIndexFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace trinity::storage

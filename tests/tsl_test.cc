@@ -1,0 +1,439 @@
+#include <gtest/gtest.h>
+
+#include "tsl/cell_accessor.h"
+#include "tsl/cell_io.h"
+#include "tsl/codegen.h"
+#include "tsl/lexer.h"
+#include "tsl/parser.h"
+#include "tsl/protocol.h"
+#include "tsl/schema.h"
+
+namespace trinity::tsl {
+namespace {
+
+// The paper's Fig 4 movie/actor script plus Fig 5's Echo protocol.
+constexpr const char* kMovieScript = R"(
+  // Modeling a movie and actor graph (paper Fig 4).
+  [CellType: NodeCell]
+  cell struct Movie {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Actor]
+    List<long> Actors;
+  }
+  [CellType: NodeCell]
+  cell struct Actor {
+    string Name;
+    [EdgeType: SimpleEdge, ReferencedCell: Movie]
+    List<long> Movies;
+  }
+  struct MyMessage { string Text; }
+  protocol Echo {
+    Type: Syn;
+    Request: MyMessage;
+    Response: MyMessage;
+  }
+)";
+
+TEST(LexerTest, TokenizesPunctuationAndIdentifiers) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(Lexer::Tokenize("cell struct A { int X; }", &tokens).ok());
+  ASSERT_EQ(tokens.size(), 9u);  // Including end token.
+  EXPECT_EQ(tokens[0].text, "cell");
+  EXPECT_EQ(tokens[2].text, "A");
+  EXPECT_EQ(tokens[3].kind, TokenKind::kLBrace);
+  EXPECT_EQ(tokens[6].kind, TokenKind::kSemicolon);
+}
+
+TEST(LexerTest, SkipsComments) {
+  std::vector<Token> tokens;
+  ASSERT_TRUE(
+      Lexer::Tokenize("// line\nstruct /* block */ A {}", &tokens).ok());
+  EXPECT_EQ(tokens[0].text, "struct");
+  EXPECT_EQ(tokens[1].text, "A");
+}
+
+TEST(LexerTest, RejectsStrayCharacters) {
+  std::vector<Token> tokens;
+  EXPECT_TRUE(Lexer::Tokenize("struct A @ {}", &tokens).IsInvalidArgument());
+}
+
+TEST(ParserTest, ParsesMovieScript) {
+  Script script;
+  ASSERT_TRUE(Parser::Parse(kMovieScript, &script).ok());
+  ASSERT_EQ(script.structs.size(), 3u);
+  ASSERT_EQ(script.protocols.size(), 1u);
+  const StructDecl& movie = script.structs[0];
+  EXPECT_EQ(movie.name, "Movie");
+  EXPECT_TRUE(movie.is_cell);
+  EXPECT_EQ(movie.attributes.at("CellType"), "NodeCell");
+  ASSERT_EQ(movie.fields.size(), 2u);
+  EXPECT_EQ(movie.fields[0].name, "Name");
+  EXPECT_EQ(movie.fields[0].type.kind, TypeKind::kString);
+  EXPECT_EQ(movie.fields[1].type.kind, TypeKind::kList);
+  EXPECT_EQ(movie.fields[1].type.element_kind, TypeKind::kInt64);
+  EXPECT_EQ(movie.fields[1].attributes.at("ReferencedCell"), "Actor");
+  const ProtocolDecl& echo = script.protocols[0];
+  EXPECT_TRUE(echo.synchronous);
+  EXPECT_EQ(echo.request_type, "MyMessage");
+  EXPECT_EQ(echo.response_type, "MyMessage");
+}
+
+TEST(ParserTest, ParsesAsynAndVoidProtocols) {
+  Script script;
+  ASSERT_TRUE(Parser::Parse(
+                  "protocol Fire { Type: Asyn; Request: void; Response: "
+                  "void; }",
+                  &script)
+                  .ok());
+  EXPECT_FALSE(script.protocols[0].synchronous);
+  EXPECT_TRUE(script.protocols[0].request_type.empty());
+}
+
+TEST(ParserTest, ReportsErrorsWithLineNumbers) {
+  Script script;
+  const Status s = Parser::Parse("struct A {\n  int\n}", &script);
+  ASSERT_TRUE(s.IsInvalidArgument());
+  EXPECT_NE(s.message().find("line 3"), std::string::npos);
+}
+
+TEST(SchemaTest, CompilesAndComputesLayout) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(SchemaRegistry::Compile(kMovieScript, &registry).ok());
+  const Schema* movie = registry.struct_schema("Movie");
+  ASSERT_NE(movie, nullptr);
+  EXPECT_TRUE(movie->is_cell());
+  EXPECT_FALSE(movie->fixed_size());  // Has a string and a list.
+  EXPECT_EQ(movie->FieldIndex("Name"), 0);
+  EXPECT_EQ(movie->FieldIndex("Actors"), 1);
+  EXPECT_EQ(movie->FieldIndex("Nope"), -1);
+  EXPECT_EQ(registry.cell_schemas().size(), 2u);
+  ASSERT_NE(registry.protocol("Echo"), nullptr);
+}
+
+TEST(SchemaTest, FixedSizeStructs) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(SchemaRegistry::Compile(
+                  "struct Point { double X; double Y; int Id; }", &registry)
+                  .ok());
+  const Schema* point = registry.struct_schema("Point");
+  ASSERT_NE(point, nullptr);
+  EXPECT_TRUE(point->fixed_size());
+  EXPECT_EQ(point->fixed_width(), 20u);
+}
+
+TEST(SchemaTest, RejectsDuplicatesAndUnknownRefs) {
+  SchemaRegistry registry;
+  EXPECT_TRUE(SchemaRegistry::Compile("struct A {} struct A {}", &registry)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(
+      SchemaRegistry::Compile("struct A { Unknown F; }", &registry)
+          .IsInvalidArgument());
+  EXPECT_TRUE(SchemaRegistry::Compile(
+                  "cell struct A { [ReferencedCell: Nope] List<long> L; }",
+                  &registry)
+                  .IsInvalidArgument());
+  // ReferencedCell must be a *cell* struct.
+  EXPECT_TRUE(SchemaRegistry::Compile(
+                  "struct B {} cell struct A { [ReferencedCell: B] "
+                  "List<long> L; }",
+                  &registry)
+                  .IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsRecursiveNesting) {
+  SchemaRegistry registry;
+  EXPECT_TRUE(
+      SchemaRegistry::Compile("struct A { B Inner; } struct B { A Inner; }",
+                              &registry)
+          .IsInvalidArgument());
+}
+
+TEST(SchemaTest, RejectsProtocolWithUnknownType) {
+  SchemaRegistry registry;
+  EXPECT_TRUE(SchemaRegistry::Compile(
+                  "protocol P { Type: Syn; Request: Ghost; Response: void; }",
+                  &registry)
+                  .IsInvalidArgument());
+}
+
+class AccessorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(SchemaRegistry::Compile(kMovieScript, &registry_).ok());
+    movie_ = registry_.struct_schema("Movie");
+  }
+  SchemaRegistry registry_;
+  const Schema* movie_ = nullptr;
+};
+
+TEST_F(AccessorTest, DefaultImageValidates) {
+  CellAccessor cell = CellAccessor::NewDefault(movie_);
+  EXPECT_TRUE(ValidateBlob(movie_, Slice(cell.blob())).ok());
+  std::string name = "preset";
+  ASSERT_TRUE(cell.GetString(0, &name).ok());
+  EXPECT_TRUE(name.empty());
+  std::size_t actors = 99;
+  ASSERT_TRUE(cell.ListSize(1, &actors).ok());
+  EXPECT_EQ(actors, 0u);
+}
+
+TEST_F(AccessorTest, StringAndListManipulation) {
+  CellAccessor cell = CellAccessor::NewDefault(movie_);
+  ASSERT_TRUE(cell.SetString(0, Slice("The Matrix")).ok());
+  ASSERT_TRUE(cell.AppendListInt64(1, 101).ok());
+  ASSERT_TRUE(cell.AppendListInt64(1, 102).ok());
+  ASSERT_TRUE(cell.AppendListInt64(1, 103).ok());
+  // Resizing the string must not corrupt the list that follows it.
+  ASSERT_TRUE(cell.SetString(0, Slice("The Matrix Reloaded — longer")).ok());
+  std::string name;
+  ASSERT_TRUE(cell.GetString(0, &name).ok());
+  EXPECT_EQ(name, "The Matrix Reloaded — longer");
+  std::size_t n = 0;
+  ASSERT_TRUE(cell.ListSize(1, &n).ok());
+  ASSERT_EQ(n, 3u);
+  std::int64_t v = 0;
+  ASSERT_TRUE(cell.GetListInt64(1, 1, &v).ok());
+  EXPECT_EQ(v, 102);
+  ASSERT_TRUE(cell.SetListInt64(1, 1, 222).ok());
+  ASSERT_TRUE(cell.GetListInt64(1, 1, &v).ok());
+  EXPECT_EQ(v, 222);
+  ASSERT_TRUE(cell.RemoveListElement(1, 0).ok());
+  ASSERT_TRUE(cell.ListSize(1, &n).ok());
+  EXPECT_EQ(n, 2u);
+  ASSERT_TRUE(cell.GetListInt64(1, 0, &v).ok());
+  EXPECT_EQ(v, 222);
+  EXPECT_TRUE(ValidateBlob(movie_, Slice(cell.blob())).ok());
+}
+
+TEST_F(AccessorTest, TypeMismatchesRejected) {
+  CellAccessor cell = CellAccessor::NewDefault(movie_);
+  std::int64_t v;
+  EXPECT_TRUE(cell.GetInt64(0, &v).IsInvalidArgument());  // Name is string.
+  EXPECT_TRUE(cell.AppendListInt32(1, 1).IsInvalidArgument());  // long list.
+  EXPECT_TRUE(cell.GetListInt64(1, 5, &v).IsInvalidArgument());  // OOB.
+  std::string s;
+  EXPECT_TRUE(cell.GetString(7, &s).IsInvalidArgument());  // No field 7.
+}
+
+TEST_F(AccessorTest, AllScalarKinds) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(SchemaRegistry::Compile(
+                  "struct S { byte B; bool F; int I; long L; float G; "
+                  "double D; string T; }",
+                  &registry)
+                  .ok());
+  CellAccessor cell = CellAccessor::NewDefault(registry.struct_schema("S"));
+  ASSERT_TRUE(cell.SetByte(0, 200).ok());
+  ASSERT_TRUE(cell.SetBool(1, true).ok());
+  ASSERT_TRUE(cell.SetInt32(2, -5).ok());
+  ASSERT_TRUE(cell.SetInt64(3, 1LL << 40).ok());
+  ASSERT_TRUE(cell.SetFloat(4, 1.5f).ok());
+  ASSERT_TRUE(cell.SetDouble(5, -2.25).ok());
+  ASSERT_TRUE(cell.SetString(6, Slice("tail")).ok());
+  std::uint8_t b;
+  bool f;
+  std::int32_t i;
+  std::int64_t l;
+  float g;
+  double d;
+  std::string t;
+  ASSERT_TRUE(cell.GetByte(0, &b).ok());
+  ASSERT_TRUE(cell.GetBool(1, &f).ok());
+  ASSERT_TRUE(cell.GetInt32(2, &i).ok());
+  ASSERT_TRUE(cell.GetInt64(3, &l).ok());
+  ASSERT_TRUE(cell.GetFloat(4, &g).ok());
+  ASSERT_TRUE(cell.GetDouble(5, &d).ok());
+  ASSERT_TRUE(cell.GetString(6, &t).ok());
+  EXPECT_EQ(b, 200);
+  EXPECT_TRUE(f);
+  EXPECT_EQ(i, -5);
+  EXPECT_EQ(l, 1LL << 40);
+  EXPECT_EQ(g, 1.5f);
+  EXPECT_EQ(d, -2.25);
+  EXPECT_EQ(t, "tail");
+}
+
+TEST_F(AccessorTest, NestedStructAccess) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(SchemaRegistry::Compile(
+                  "struct Inner { int A; string S; } "
+                  "struct Outer { long Pre; Inner Mid; long Post; }",
+                  &registry)
+                  .ok());
+  CellAccessor outer =
+      CellAccessor::NewDefault(registry.struct_schema("Outer"));
+  ASSERT_TRUE(outer.SetInt64(0, 1).ok());
+  ASSERT_TRUE(outer.SetInt64(2, 3).ok());
+  CellAccessor inner =
+      CellAccessor::NewDefault(registry.struct_schema("Inner"));
+  ASSERT_TRUE(inner.SetInt32(0, 42).ok());
+  ASSERT_TRUE(inner.SetString(1, Slice("nested value")).ok());
+  ASSERT_TRUE(outer.SetStruct(1, inner).ok());
+  // Fields around the variable-size nested struct stay correct.
+  std::int64_t v;
+  ASSERT_TRUE(outer.GetInt64(0, &v).ok());
+  EXPECT_EQ(v, 1);
+  ASSERT_TRUE(outer.GetInt64(2, &v).ok());
+  EXPECT_EQ(v, 3);
+  CellAccessor read_back;
+  ASSERT_TRUE(outer.GetStruct(1, &read_back).ok());
+  std::string s;
+  ASSERT_TRUE(read_back.GetString(1, &s).ok());
+  EXPECT_EQ(s, "nested value");
+}
+
+TEST_F(AccessorTest, StructListAccess) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(SchemaRegistry::Compile(
+                  "struct Hit { long Doc; double Score; string Why; } "
+                  "cell struct Results { string Query; List<Hit> Hits; }",
+                  &registry)
+                  .ok());
+  const Schema* results_schema = registry.struct_schema("Results");
+  const Schema* hit_schema = registry.struct_schema("Hit");
+  CellAccessor results = CellAccessor::NewDefault(results_schema);
+  ASSERT_TRUE(results.SetString(0, Slice("graph engines")).ok());
+  for (int i = 0; i < 3; ++i) {
+    CellAccessor hit = CellAccessor::NewDefault(hit_schema);
+    ASSERT_TRUE(hit.SetInt64(0, 100 + i).ok());
+    ASSERT_TRUE(hit.SetDouble(1, 0.5 * i).ok());
+    ASSERT_TRUE(hit.SetString(2, Slice("reason " + std::to_string(i))).ok());
+    ASSERT_TRUE(results.AppendListStruct(1, hit).ok());
+  }
+  std::size_t n = 0;
+  ASSERT_TRUE(results.ListSize(1, &n).ok());
+  ASSERT_EQ(n, 3u);
+  EXPECT_TRUE(ValidateBlob(results_schema, Slice(results.blob())).ok());
+  // Random-access a middle (variable-size) element.
+  CellAccessor hit;
+  ASSERT_TRUE(results.GetListStruct(1, 1, &hit).ok());
+  std::int64_t doc = 0;
+  std::string why;
+  ASSERT_TRUE(hit.GetInt64(0, &doc).ok());
+  ASSERT_TRUE(hit.GetString(2, &why).ok());
+  EXPECT_EQ(doc, 101);
+  EXPECT_EQ(why, "reason 1");
+  EXPECT_TRUE(
+      results.GetListStruct(1, 9, &hit).IsInvalidArgument());  // OOB.
+  // Schema mismatch rejected.
+  CellAccessor wrong = CellAccessor::NewDefault(results_schema);
+  EXPECT_TRUE(results.AppendListStruct(1, wrong).IsInvalidArgument());
+}
+
+TEST_F(AccessorTest, ValidateRejectsCorruptBlobs) {
+  CellAccessor cell = CellAccessor::NewDefault(movie_);
+  ASSERT_TRUE(cell.SetString(0, Slice("x")).ok());
+  std::string blob = cell.blob();
+  blob.resize(blob.size() - 1);  // Truncate the trailing list.
+  EXPECT_TRUE(ValidateBlob(movie_, Slice(blob)).IsCorruption());
+  blob = cell.blob() + "extra";
+  EXPECT_TRUE(ValidateBlob(movie_, Slice(blob)).IsCorruption());
+}
+
+TEST_F(AccessorTest, DirtyFlagTracksWrites) {
+  CellAccessor cell = CellAccessor::NewDefault(movie_);
+  EXPECT_FALSE(cell.dirty());
+  std::string s;
+  ASSERT_TRUE(cell.GetString(0, &s).ok());
+  EXPECT_FALSE(cell.dirty());
+  ASSERT_TRUE(cell.SetString(0, Slice("w")).ok());
+  EXPECT_TRUE(cell.dirty());
+}
+
+class CellIoTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(SchemaRegistry::Compile(kMovieScript, &registry_).ok());
+    cloud::MemoryCloud::Options options;
+    options.num_slaves = 2;
+    options.p_bits = 3;
+    options.storage.trunk.capacity = 128 * 1024;
+    ASSERT_TRUE(cloud::MemoryCloud::Create(options, &cloud_).ok());
+  }
+  SchemaRegistry registry_;
+  std::unique_ptr<cloud::MemoryCloud> cloud_;
+};
+
+TEST_F(CellIoTest, ScopedCellCommitsOnDestruction) {
+  const Schema* movie = registry_.struct_schema("Movie");
+  ASSERT_TRUE(NewCell(cloud_.get(), cloud_->client_id(), 1, movie).ok());
+  {
+    ScopedCell cell;
+    ASSERT_TRUE(ScopedCell::Use(cloud_.get(), cloud_->client_id(), 1, movie,
+                                &cell)
+                    .ok());
+    ASSERT_TRUE(cell.accessor().SetString(0, Slice("Inception")).ok());
+    ASSERT_TRUE(cell.accessor().AppendListInt64(1, 2).ok());
+  }  // Destructor commits.
+  CellAccessor reloaded;
+  ASSERT_TRUE(
+      LoadCell(cloud_.get(), cloud_->client_id(), 1, movie, &reloaded).ok());
+  std::string name;
+  ASSERT_TRUE(reloaded.GetString(0, &name).ok());
+  EXPECT_EQ(name, "Inception");
+}
+
+TEST_F(CellIoTest, LoadValidatesSchema) {
+  ASSERT_TRUE(cloud_->AddCell(5, Slice("not a movie at all....")).ok());
+  CellAccessor cell;
+  EXPECT_TRUE(LoadCell(cloud_.get(), cloud_->client_id(), 5,
+                       registry_.struct_schema("Movie"), &cell)
+                  .IsCorruption());
+}
+
+TEST_F(CellIoTest, EchoProtocolRoundTrip) {
+  ProtocolRuntime runtime(&registry_, cloud_.get());
+  // Server side: implement the handler "as if implementing a local method".
+  ASSERT_TRUE(runtime
+                  .RegisterSynHandler(
+                      1, "Echo",
+                      [](MachineId, const CellAccessor& request,
+                         CellAccessor* response) {
+                        std::string text;
+                        Status s = request.GetString(0, &text);
+                        if (!s.ok()) return s;
+                        return response->SetString(0,
+                                                   Slice("echo: " + text));
+                      })
+                  .ok());
+  SchemaRegistry* reg = &registry_;
+  CellAccessor request =
+      CellAccessor::NewDefault(reg->struct_schema("MyMessage"));
+  ASSERT_TRUE(request.SetString(0, Slice("hello")).ok());
+  CellAccessor response;
+  ASSERT_TRUE(runtime.Call(0, 1, "Echo", request, &response).ok());
+  std::string text;
+  ASSERT_TRUE(response.GetString(0, &text).ok());
+  EXPECT_EQ(text, "echo: hello");
+}
+
+TEST_F(CellIoTest, ProtocolTypeEnforcement) {
+  ProtocolRuntime runtime(&registry_, cloud_.get());
+  CellAccessor request =
+      CellAccessor::NewDefault(registry_.struct_schema("MyMessage"));
+  EXPECT_TRUE(runtime.Send(0, 1, "Echo", request).IsInvalidArgument());
+  EXPECT_TRUE(runtime.Call(0, 1, "Missing", request, nullptr).IsNotFound());
+  EXPECT_TRUE(
+      runtime
+          .RegisterAsynHandler(1, "Echo", [](MachineId, const CellAccessor&) {})
+          .IsInvalidArgument());
+}
+
+TEST(CodegenTest, EmitsAccessorsAndProtocolStubs) {
+  SchemaRegistry registry;
+  ASSERT_TRUE(SchemaRegistry::Compile(kMovieScript, &registry).ok());
+  const std::string header =
+      Codegen::GenerateHeader(registry, "GENERATED_MOVIE_H_");
+  EXPECT_NE(header.find("class MovieAccessor"), std::string::npos);
+  EXPECT_NE(header.find("class ActorAccessor"), std::string::npos);
+  EXPECT_NE(header.find("UseMovieAccessor"), std::string::npos);
+  EXPECT_NE(header.find("std::string Name()"), std::string::npos);
+  EXPECT_NE(header.find("Status AppendActors(std::int64_t v)"),
+            std::string::npos);
+  EXPECT_NE(header.find("CallEcho"), std::string::npos);
+  EXPECT_NE(header.find("RegisterEchoHandler"), std::string::npos);
+  EXPECT_NE(header.find("#ifndef GENERATED_MOVIE_H_"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trinity::tsl
