@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_msgopt.dir/bench_ablation_msgopt.cc.o"
+  "CMakeFiles/bench_ablation_msgopt.dir/bench_ablation_msgopt.cc.o.d"
+  "bench_ablation_msgopt"
+  "bench_ablation_msgopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_msgopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08b_distance_oracle.dir/bench_fig08b_distance_oracle.cc.o"
+  "CMakeFiles/bench_fig08b_distance_oracle.dir/bench_fig08b_distance_oracle.cc.o.d"
+  "bench_fig08b_distance_oracle"
+  "bench_fig08b_distance_oracle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08b_distance_oracle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

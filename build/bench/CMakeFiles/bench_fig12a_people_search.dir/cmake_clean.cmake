@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12a_people_search.dir/bench_fig12a_people_search.cc.o"
+  "CMakeFiles/bench_fig12a_people_search.dir/bench_fig12a_people_search.cc.o.d"
+  "bench_fig12a_people_search"
+  "bench_fig12a_people_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12a_people_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

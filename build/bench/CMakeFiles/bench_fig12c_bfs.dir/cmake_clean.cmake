@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12c_bfs.dir/bench_fig12c_bfs.cc.o"
+  "CMakeFiles/bench_fig12c_bfs.dir/bench_fig12c_bfs.cc.o.d"
+  "bench_fig12c_bfs"
+  "bench_fig12c_bfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12c_bfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

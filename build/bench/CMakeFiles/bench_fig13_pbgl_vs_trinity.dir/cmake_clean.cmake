@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_pbgl_vs_trinity.dir/bench_fig13_pbgl_vs_trinity.cc.o"
+  "CMakeFiles/bench_fig13_pbgl_vs_trinity.dir/bench_fig13_pbgl_vs_trinity.cc.o.d"
+  "bench_fig13_pbgl_vs_trinity"
+  "bench_fig13_pbgl_vs_trinity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_pbgl_vs_trinity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

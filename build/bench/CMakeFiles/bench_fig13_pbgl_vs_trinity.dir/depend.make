@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_pbgl_vs_trinity.
+# This may be replaced when dependencies are built.

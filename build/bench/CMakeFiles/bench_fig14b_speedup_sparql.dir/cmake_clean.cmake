@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14b_speedup_sparql.dir/bench_fig14b_speedup_sparql.cc.o"
+  "CMakeFiles/bench_fig14b_speedup_sparql.dir/bench_fig14b_speedup_sparql.cc.o.d"
+  "bench_fig14b_speedup_sparql"
+  "bench_fig14b_speedup_sparql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14b_speedup_sparql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

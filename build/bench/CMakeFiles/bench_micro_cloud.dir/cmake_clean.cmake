@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_cloud.dir/bench_micro_cloud.cc.o"
+  "CMakeFiles/bench_micro_cloud.dir/bench_micro_cloud.cc.o.d"
+  "bench_micro_cloud"
+  "bench_micro_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_paradigms_pagerank.dir/bench_paradigms_pagerank.cc.o"
+  "CMakeFiles/bench_paradigms_pagerank.dir/bench_paradigms_pagerank.cc.o.d"
+  "bench_paradigms_pagerank"
+  "bench_paradigms_pagerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_paradigms_pagerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

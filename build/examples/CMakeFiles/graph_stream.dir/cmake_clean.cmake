@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/graph_stream.dir/graph_stream.cc.o"
+  "CMakeFiles/graph_stream.dir/graph_stream.cc.o.d"
+  "graph_stream"
+  "graph_stream.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/graph_stream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

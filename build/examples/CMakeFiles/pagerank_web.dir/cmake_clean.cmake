@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pagerank_web.dir/pagerank_web.cc.o"
+  "CMakeFiles/pagerank_web.dir/pagerank_web.cc.o.d"
+  "pagerank_web"
+  "pagerank_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pagerank_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

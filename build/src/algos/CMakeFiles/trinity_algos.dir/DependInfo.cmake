@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algos/bfs.cc" "src/algos/CMakeFiles/trinity_algos.dir/bfs.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/bfs.cc.o.d"
+  "/root/repo/src/algos/graph_stats.cc" "src/algos/CMakeFiles/trinity_algos.dir/graph_stats.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/graph_stats.cc.o.d"
+  "/root/repo/src/algos/landmark.cc" "src/algos/CMakeFiles/trinity_algos.dir/landmark.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/landmark.cc.o.d"
+  "/root/repo/src/algos/pagerank.cc" "src/algos/CMakeFiles/trinity_algos.dir/pagerank.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/pagerank.cc.o.d"
+  "/root/repo/src/algos/people_search.cc" "src/algos/CMakeFiles/trinity_algos.dir/people_search.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/people_search.cc.o.d"
+  "/root/repo/src/algos/sssp.cc" "src/algos/CMakeFiles/trinity_algos.dir/sssp.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/sssp.cc.o.d"
+  "/root/repo/src/algos/subgraph_match.cc" "src/algos/CMakeFiles/trinity_algos.dir/subgraph_match.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/subgraph_match.cc.o.d"
+  "/root/repo/src/algos/wcc.cc" "src/algos/CMakeFiles/trinity_algos.dir/wcc.cc.o" "gcc" "src/algos/CMakeFiles/trinity_algos.dir/wcc.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/compute/CMakeFiles/trinity_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trinity_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/trinity_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/trinity_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trinity_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_algos.dir/bfs.cc.o"
+  "CMakeFiles/trinity_algos.dir/bfs.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/graph_stats.cc.o"
+  "CMakeFiles/trinity_algos.dir/graph_stats.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/landmark.cc.o"
+  "CMakeFiles/trinity_algos.dir/landmark.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/pagerank.cc.o"
+  "CMakeFiles/trinity_algos.dir/pagerank.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/people_search.cc.o"
+  "CMakeFiles/trinity_algos.dir/people_search.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/sssp.cc.o"
+  "CMakeFiles/trinity_algos.dir/sssp.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/subgraph_match.cc.o"
+  "CMakeFiles/trinity_algos.dir/subgraph_match.cc.o.d"
+  "CMakeFiles/trinity_algos.dir/wcc.cc.o"
+  "CMakeFiles/trinity_algos.dir/wcc.cc.o.d"
+  "libtrinity_algos.a"
+  "libtrinity_algos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_algos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

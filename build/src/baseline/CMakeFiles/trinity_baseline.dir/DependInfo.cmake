@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/diskstream_engine.cc" "src/baseline/CMakeFiles/trinity_baseline.dir/diskstream_engine.cc.o" "gcc" "src/baseline/CMakeFiles/trinity_baseline.dir/diskstream_engine.cc.o.d"
+  "/root/repo/src/baseline/ghost_engine.cc" "src/baseline/CMakeFiles/trinity_baseline.dir/ghost_engine.cc.o" "gcc" "src/baseline/CMakeFiles/trinity_baseline.dir/ghost_engine.cc.o.d"
+  "/root/repo/src/baseline/heap_engine.cc" "src/baseline/CMakeFiles/trinity_baseline.dir/heap_engine.cc.o" "gcc" "src/baseline/CMakeFiles/trinity_baseline.dir/heap_engine.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trinity_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trinity_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/trinity_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/trinity_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_baseline.dir/diskstream_engine.cc.o"
+  "CMakeFiles/trinity_baseline.dir/diskstream_engine.cc.o.d"
+  "CMakeFiles/trinity_baseline.dir/ghost_engine.cc.o"
+  "CMakeFiles/trinity_baseline.dir/ghost_engine.cc.o.d"
+  "CMakeFiles/trinity_baseline.dir/heap_engine.cc.o"
+  "CMakeFiles/trinity_baseline.dir/heap_engine.cc.o.d"
+  "libtrinity_baseline.a"
+  "libtrinity_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

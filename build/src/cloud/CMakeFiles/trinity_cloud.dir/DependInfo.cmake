@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cloud/addressing_table.cc" "src/cloud/CMakeFiles/trinity_cloud.dir/addressing_table.cc.o" "gcc" "src/cloud/CMakeFiles/trinity_cloud.dir/addressing_table.cc.o.d"
+  "/root/repo/src/cloud/external_store.cc" "src/cloud/CMakeFiles/trinity_cloud.dir/external_store.cc.o" "gcc" "src/cloud/CMakeFiles/trinity_cloud.dir/external_store.cc.o.d"
+  "/root/repo/src/cloud/memory_cloud.cc" "src/cloud/CMakeFiles/trinity_cloud.dir/memory_cloud.cc.o" "gcc" "src/cloud/CMakeFiles/trinity_cloud.dir/memory_cloud.cc.o.d"
+  "/root/repo/src/cloud/multiop.cc" "src/cloud/CMakeFiles/trinity_cloud.dir/multiop.cc.o" "gcc" "src/cloud/CMakeFiles/trinity_cloud.dir/multiop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/trinity_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trinity_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

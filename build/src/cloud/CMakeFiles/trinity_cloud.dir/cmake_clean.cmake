@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_cloud.dir/addressing_table.cc.o"
+  "CMakeFiles/trinity_cloud.dir/addressing_table.cc.o.d"
+  "CMakeFiles/trinity_cloud.dir/external_store.cc.o"
+  "CMakeFiles/trinity_cloud.dir/external_store.cc.o.d"
+  "CMakeFiles/trinity_cloud.dir/memory_cloud.cc.o"
+  "CMakeFiles/trinity_cloud.dir/memory_cloud.cc.o.d"
+  "CMakeFiles/trinity_cloud.dir/multiop.cc.o"
+  "CMakeFiles/trinity_cloud.dir/multiop.cc.o.d"
+  "libtrinity_cloud.a"
+  "libtrinity_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_common.dir/histogram.cc.o"
+  "CMakeFiles/trinity_common.dir/histogram.cc.o.d"
+  "CMakeFiles/trinity_common.dir/logging.cc.o"
+  "CMakeFiles/trinity_common.dir/logging.cc.o.d"
+  "CMakeFiles/trinity_common.dir/random.cc.o"
+  "CMakeFiles/trinity_common.dir/random.cc.o.d"
+  "CMakeFiles/trinity_common.dir/status.cc.o"
+  "CMakeFiles/trinity_common.dir/status.cc.o.d"
+  "CMakeFiles/trinity_common.dir/threadpool.cc.o"
+  "CMakeFiles/trinity_common.dir/threadpool.cc.o.d"
+  "libtrinity_common.a"
+  "libtrinity_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/compute/async_engine.cc" "src/compute/CMakeFiles/trinity_compute.dir/async_engine.cc.o" "gcc" "src/compute/CMakeFiles/trinity_compute.dir/async_engine.cc.o.d"
+  "/root/repo/src/compute/bsp.cc" "src/compute/CMakeFiles/trinity_compute.dir/bsp.cc.o" "gcc" "src/compute/CMakeFiles/trinity_compute.dir/bsp.cc.o.d"
+  "/root/repo/src/compute/message_optimizer.cc" "src/compute/CMakeFiles/trinity_compute.dir/message_optimizer.cc.o" "gcc" "src/compute/CMakeFiles/trinity_compute.dir/message_optimizer.cc.o.d"
+  "/root/repo/src/compute/traversal.cc" "src/compute/CMakeFiles/trinity_compute.dir/traversal.cc.o" "gcc" "src/compute/CMakeFiles/trinity_compute.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trinity_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trinity_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/trinity_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/trinity_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_compute.dir/async_engine.cc.o"
+  "CMakeFiles/trinity_compute.dir/async_engine.cc.o.d"
+  "CMakeFiles/trinity_compute.dir/bsp.cc.o"
+  "CMakeFiles/trinity_compute.dir/bsp.cc.o.d"
+  "CMakeFiles/trinity_compute.dir/message_optimizer.cc.o"
+  "CMakeFiles/trinity_compute.dir/message_optimizer.cc.o.d"
+  "CMakeFiles/trinity_compute.dir/traversal.cc.o"
+  "CMakeFiles/trinity_compute.dir/traversal.cc.o.d"
+  "libtrinity_compute.a"
+  "libtrinity_compute.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_compute.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_graph.dir/generators.cc.o"
+  "CMakeFiles/trinity_graph.dir/generators.cc.o.d"
+  "CMakeFiles/trinity_graph.dir/graph.cc.o"
+  "CMakeFiles/trinity_graph.dir/graph.cc.o.d"
+  "CMakeFiles/trinity_graph.dir/partition.cc.o"
+  "CMakeFiles/trinity_graph.dir/partition.cc.o.d"
+  "CMakeFiles/trinity_graph.dir/rich_edges.cc.o"
+  "CMakeFiles/trinity_graph.dir/rich_edges.cc.o.d"
+  "libtrinity_graph.a"
+  "libtrinity_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_net.dir/cost_model.cc.o"
+  "CMakeFiles/trinity_net.dir/cost_model.cc.o.d"
+  "CMakeFiles/trinity_net.dir/fabric.cc.o"
+  "CMakeFiles/trinity_net.dir/fabric.cc.o.d"
+  "libtrinity_net.a"
+  "libtrinity_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_query.dir/lubm.cc.o"
+  "CMakeFiles/trinity_query.dir/lubm.cc.o.d"
+  "CMakeFiles/trinity_query.dir/rdf_store.cc.o"
+  "CMakeFiles/trinity_query.dir/rdf_store.cc.o.d"
+  "CMakeFiles/trinity_query.dir/tql.cc.o"
+  "CMakeFiles/trinity_query.dir/tql.cc.o.d"
+  "libtrinity_query.a"
+  "libtrinity_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/memory_storage.cc" "src/storage/CMakeFiles/trinity_storage.dir/memory_storage.cc.o" "gcc" "src/storage/CMakeFiles/trinity_storage.dir/memory_storage.cc.o.d"
+  "/root/repo/src/storage/memory_trunk.cc" "src/storage/CMakeFiles/trinity_storage.dir/memory_trunk.cc.o" "gcc" "src/storage/CMakeFiles/trinity_storage.dir/memory_trunk.cc.o.d"
+  "/root/repo/src/storage/trunk_index.cc" "src/storage/CMakeFiles/trinity_storage.dir/trunk_index.cc.o" "gcc" "src/storage/CMakeFiles/trinity_storage.dir/trunk_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

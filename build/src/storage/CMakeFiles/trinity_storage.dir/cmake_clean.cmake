@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_storage.dir/memory_storage.cc.o"
+  "CMakeFiles/trinity_storage.dir/memory_storage.cc.o.d"
+  "CMakeFiles/trinity_storage.dir/memory_trunk.cc.o"
+  "CMakeFiles/trinity_storage.dir/memory_trunk.cc.o.d"
+  "CMakeFiles/trinity_storage.dir/trunk_index.cc.o"
+  "CMakeFiles/trinity_storage.dir/trunk_index.cc.o.d"
+  "libtrinity_storage.a"
+  "libtrinity_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

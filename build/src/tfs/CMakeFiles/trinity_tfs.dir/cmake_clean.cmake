@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_tfs.dir/tfs.cc.o"
+  "CMakeFiles/trinity_tfs.dir/tfs.cc.o.d"
+  "libtrinity_tfs.a"
+  "libtrinity_tfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_tfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tsl/ast.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/ast.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/ast.cc.o.d"
+  "/root/repo/src/tsl/cell_accessor.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/cell_accessor.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/cell_accessor.cc.o.d"
+  "/root/repo/src/tsl/cell_io.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/cell_io.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/cell_io.cc.o.d"
+  "/root/repo/src/tsl/codegen.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/codegen.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/codegen.cc.o.d"
+  "/root/repo/src/tsl/data_import.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/data_import.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/data_import.cc.o.d"
+  "/root/repo/src/tsl/lexer.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/lexer.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/lexer.cc.o.d"
+  "/root/repo/src/tsl/parser.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/parser.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/parser.cc.o.d"
+  "/root/repo/src/tsl/protocol.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/protocol.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/protocol.cc.o.d"
+  "/root/repo/src/tsl/schema.cc" "src/tsl/CMakeFiles/trinity_tsl.dir/schema.cc.o" "gcc" "src/tsl/CMakeFiles/trinity_tsl.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/trinity_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/trinity_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trinity_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

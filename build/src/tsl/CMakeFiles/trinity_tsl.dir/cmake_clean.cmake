@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trinity_tsl.dir/ast.cc.o"
+  "CMakeFiles/trinity_tsl.dir/ast.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/cell_accessor.cc.o"
+  "CMakeFiles/trinity_tsl.dir/cell_accessor.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/cell_io.cc.o"
+  "CMakeFiles/trinity_tsl.dir/cell_io.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/codegen.cc.o"
+  "CMakeFiles/trinity_tsl.dir/codegen.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/data_import.cc.o"
+  "CMakeFiles/trinity_tsl.dir/data_import.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/lexer.cc.o"
+  "CMakeFiles/trinity_tsl.dir/lexer.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/parser.cc.o"
+  "CMakeFiles/trinity_tsl.dir/parser.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/protocol.cc.o"
+  "CMakeFiles/trinity_tsl.dir/protocol.cc.o.d"
+  "CMakeFiles/trinity_tsl.dir/schema.cc.o"
+  "CMakeFiles/trinity_tsl.dir/schema.cc.o.d"
+  "libtrinity_tsl.a"
+  "libtrinity_tsl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trinity_tsl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for trinity_tsl.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/integration2_test.dir/integration2_test.cc.o"
+  "CMakeFiles/integration2_test.dir/integration2_test.cc.o.d"
+  "integration2_test"
+  "integration2_test.pdb"
+  "integration2_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/integration2_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

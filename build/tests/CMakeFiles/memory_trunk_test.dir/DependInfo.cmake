@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/memory_trunk_test.cc" "tests/CMakeFiles/memory_trunk_test.dir/memory_trunk_test.cc.o" "gcc" "tests/CMakeFiles/memory_trunk_test.dir/memory_trunk_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/trinity_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/tfs/CMakeFiles/trinity_tfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/trinity_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/trinity_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/cloud/CMakeFiles/trinity_cloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/tsl/CMakeFiles/trinity_tsl.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/trinity_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/compute/CMakeFiles/trinity_compute.dir/DependInfo.cmake"
+  "/root/repo/build/src/baseline/CMakeFiles/trinity_baseline.dir/DependInfo.cmake"
+  "/root/repo/build/src/algos/CMakeFiles/trinity_algos.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/trinity_query.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

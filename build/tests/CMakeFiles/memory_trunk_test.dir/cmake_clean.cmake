@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memory_trunk_test.dir/memory_trunk_test.cc.o"
+  "CMakeFiles/memory_trunk_test.dir/memory_trunk_test.cc.o.d"
+  "memory_trunk_test"
+  "memory_trunk_test.pdb"
+  "memory_trunk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memory_trunk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

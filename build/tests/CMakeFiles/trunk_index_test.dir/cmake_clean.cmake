@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trunk_index_test.dir/trunk_index_test.cc.o"
+  "CMakeFiles/trunk_index_test.dir/trunk_index_test.cc.o.d"
+  "trunk_index_test"
+  "trunk_index_test.pdb"
+  "trunk_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trunk_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tsl_test.dir/tsl_test.cc.o"
+  "CMakeFiles/tsl_test.dir/tsl_test.cc.o.d"
+  "tsl_test"
+  "tsl_test.pdb"
+  "tsl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tsl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
