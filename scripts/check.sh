@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Full verification sweep: the tier-1 suite plus the chaos suite, both under
+# AddressSanitizer + UndefinedBehaviorSanitizer. A plain (unsanitized) run is
+# assumed to happen through the default preset; this script is the slower,
+# paranoid gate.
+#
+#   scripts/check.sh            # sanitized build + full ctest
+#   scripts/check.sh --chaos    # sanitized build + chaos label only
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+FILTER=()
+if [[ "${1:-}" == "--chaos" ]]; then
+  FILTER=(-L chaos)
+fi
+
+cmake --preset sanitize
+cmake --build --preset sanitize -j "$(nproc)"
+cd build-sanitize
+ASAN_OPTIONS=detect_leaks=0 ctest --output-on-failure -j "$(nproc)" "${FILTER[@]}"

@@ -251,7 +251,10 @@ Status SubgraphMatcher::SampleConnectedVertices(int size, std::uint64_t seed,
   };
   for (int attempt = 0; attempt < 64; ++attempt) {
     const CellId start = rng.Uniform(n);
-    if (!cloud->Contains(start)) continue;
+    bool start_exists = false;
+    if (!cloud->Contains(start, &start_exists).ok() || !start_exists) {
+      continue;
+    }
     std::vector<CellId> sample{start};
     std::unordered_set<CellId> in_sample{start};
     std::vector<CellId> nbrs;

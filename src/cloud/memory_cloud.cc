@@ -1,6 +1,7 @@
 #include "cloud/memory_cloud.h"
 
 #include <algorithm>
+#include <cstdlib>
 
 #include "common/logging.h"
 #include "common/serializer.h"
@@ -46,6 +47,17 @@ Status MemoryCloud::Create(const Options& options,
 
 Status MemoryCloud::Init() {
   fabric_ = std::make_unique<net::Fabric>(num_endpoints(), options_.fabric);
+  // Injected crashes (FaultInjector::CrashAfter) must mirror FailMachine:
+  // the fabric marks the endpoint down and we drop its volatile state.
+  fabric_->SetCrashListener([this](MachineId m) { OnInjectedCrash(m); });
+  if (options_.tfs != nullptr) {
+    // Resume from the last committed snapshot epoch, if any.
+    std::string epoch;
+    if (options_.tfs->ReadFile(options_.tfs_prefix + "/snapshot_current",
+                               &epoch).ok()) {
+      snapshot_epoch_ = std::strtoull(epoch.c_str(), nullptr, 10);
+    }
+  }
   primary_table_ = AddressingTable(options_.p_bits, options_.num_slaves);
   machines_.resize(num_endpoints());
   alive_.assign(num_endpoints(), true);
@@ -145,6 +157,10 @@ MachineId MemoryCloud::MachineOf(CellId id) const {
 }
 
 storage::MemoryStorage* MemoryCloud::storage(MachineId m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // A crashed machine's memory image may linger until recovery (see
+  // OnInjectedCrash) but must never be readable.
+  if (!alive_[m]) return nullptr;
   return machines_[m].storage.get();
 }
 
@@ -153,7 +169,7 @@ const AddressingTable& MemoryCloud::table() const { return primary_table_; }
 std::uint64_t MemoryCloud::MemoryFootprintBytes() const {
   std::uint64_t total = 0;
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (machines_[m].storage != nullptr) {
+    if (alive_[m] && machines_[m].storage != nullptr) {
       total += machines_[m].storage->MemoryFootprintBytes();
     }
   }
@@ -163,7 +179,7 @@ std::uint64_t MemoryCloud::MemoryFootprintBytes() const {
 std::uint64_t MemoryCloud::TotalCellCount() const {
   std::uint64_t total = 0;
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (machines_[m].storage != nullptr) {
+    if (alive_[m] && machines_[m].storage != nullptr) {
       total += machines_[m].storage->TotalCellCount();
     }
   }
@@ -210,15 +226,19 @@ Status MemoryCloud::ExecuteLocal(MachineId m, CellOp op, CellId id,
   // makes log-after-apply equivalent to RAMCloud's log-before-commit.)
   if (result.ok() && mutating && options_.buffered_logging &&
       options_.tfs != nullptr) {
-    LogToBackup(m, op, id, payload);
+    if (!LogToBackup(m, op, id, payload)) {
+      // The machine crashed while logging and no live backup holds the
+      // record: the local apply above is now a ghost image that recovery
+      // will discard. Acking would lose the write — fail instead, and let
+      // the caller's retry re-apply on the recovered owner.
+      return Status::Unavailable("machine crashed before logging completed");
+    }
   }
   return result;
 }
 
-void MemoryCloud::LogToBackup(MachineId primary, CellOp op, CellId id,
+bool MemoryCloud::LogToBackup(MachineId primary, CellOp op, CellId id,
                               Slice payload) {
-  MachineId backup = BackupOf(primary);
-  if (backup == kInvalidMachine) return;
   std::uint64_t seq;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -229,11 +249,47 @@ void MemoryCloud::LogToBackup(MachineId primary, CellOp op, CellId id,
   writer.PutU8(static_cast<std::uint8_t>(op));
   writer.PutU64(id);
   writer.PutBytes(payload);
-  // Synchronous: the record must reach the backup's memory *before* the
-  // mutation commits locally (RAMCloud buffered logging).
-  std::string unused;
-  fabric_->Call(primary, backup, kLogRecordHandler, Slice(writer.buffer()),
-                &unused);
+  // Synchronous: the record must reach *some* backup's memory before the
+  // mutation commits locally (RAMCloud buffered logging). A backup crashing
+  // mid-call or a transient injected failure must not leave the mutation
+  // unlogged — that is exactly the window where an acknowledged write could
+  // be lost — so keep trying surviving backups. BackupOf re-evaluates
+  // liveness on every attempt, skipping backups that just died.
+  for (int attempt = 0; attempt < 2 * options_.num_slaves; ++attempt) {
+    const MachineId backup = BackupOf(primary);
+    if (backup == kInvalidMachine) break;  // No surviving backup at all.
+    std::string unused;
+    Status s = fabric_->Call(primary, backup, kLogRecordHandler,
+                             Slice(writer.buffer()), &unused);
+    if (s.ok()) {
+      // The backup may have crashed the instant after buffering the record
+      // (its log died with it); an ack from a now-dead backup protects
+      // nothing, so re-log to the next survivor.
+      if (fabric_->IsMachineUp(backup)) return true;
+      continue;
+    }
+    fabric_->AddCpuMicros(primary, options_.retry.backoff_base_micros);
+  }
+  // Retries exhausted (or no backup exists). If the primary is still up the
+  // write stays durable-in-RAM under the best-effort semantics of a cluster
+  // with no reachable backup; but if an injected crash took the primary down
+  // *mid-logging*, the record protects nothing and the ack must not go out.
+  return fabric_->IsMachineUp(primary);
+}
+
+void MemoryCloud::OnInjectedCrash(MachineId m) {
+  if (m < 0 || m >= num_endpoints()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  alive_[m] = false;
+  if (m >= options_.num_slaves) return;  // Proxies/client carry no state.
+  machines_[m].backup_logs.clear();  // The logs it held as backup are gone.
+  reprotect_pending_ = true;
+  // Unlike FailMachine we keep the storage object itself: an injected crash
+  // can fire mid-protocol while a caller (e.g. a vertex program) still holds
+  // zero-copy slices into this machine's trunk memory. The machine is
+  // unreachable — storage() hides dead machines' state and the fabric
+  // rejects their traffic — and the stale image is discarded by
+  // RecoverMachine/RestartMachine.
 }
 
 MachineId MemoryCloud::BackupOf(MachineId m) const {
@@ -247,8 +303,28 @@ MachineId MemoryCloud::BackupOf(MachineId m) const {
 
 Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
                             Slice payload, std::string* response) {
+  const RetryPolicy& retry = options_.retry;
+  if (!fabric_->IsMachineUp(src)) {
+    // A dead machine cannot issue operations — this also keeps the local
+    // fast path below from reading a crashed machine's lingering image.
+    return Status::Unavailable("source machine is down");
+  }
   Status last = Status::Unavailable("unroutable");
-  for (int attempt = 0; attempt < 3; ++attempt) {
+  bool owner_down = false;
+  double backoff = retry.backoff_base_micros;
+  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      // Exponential backoff in simulated time: the stall is charged to the
+      // retrying endpoint's CPU meter so the cost model sees it, and every
+      // run of a given seed waits the exact same amount.
+      fabric_->AddCpuMicros(src, backoff);
+      backoff *= retry.backoff_multiplier;
+      if (!fabric_->IsMachineUp(src)) {
+        // The source crashed between attempts; its ghost image must not
+        // serve the local fast path below.
+        return Status::Unavailable("source machine is down");
+      }
+    }
     MachineId dst;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -263,20 +339,44 @@ Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
       last = fabric_->Call(src, dst, kCellOpHandler, Slice(request),
                            response);
     }
-    if (!last.IsUnavailable()) return last;
-    // Unavailable: either our table replica is stale ("trunk not hosted")
-    // or the owner crashed. Recover / re-sync and retry (§6.2: "machine A
-    // will wait for the addressing table to be updated, and attempt to
-    // access the item again").
-    if (!fabric_->IsMachineUp(dst)) {
-      if (options_.tfs == nullptr) return last;  // No recovery path.
-      Status rs = RecoverMachine(dst);
-      if (!rs.ok()) return rs;
+    // Unavailable: our table replica is stale ("trunk not hosted"), the
+    // owner crashed, or a fault was injected on the wire. TimedOut is the
+    // injected lost-response case — equally retriable. Everything else is a
+    // definitive answer.
+    if (!last.IsUnavailable() && !last.IsTimedOut()) return last;
+    owner_down = !fabric_->IsMachineUp(dst);
+    if (owner_down) {
+      if (options_.tfs != nullptr) {
+        Status rs = RecoverMachine(dst);
+        if (!rs.ok()) return rs;
+      } else {
+        // Pure in-memory mode: no recovery path exists, but the replica can
+        // still be merely stale — MigrateTrunk/RebalanceTrunks move trunks
+        // without any crash. Re-sync from the primary table and retry only
+        // if it names a different (live) owner.
+        std::lock_guard<std::mutex> lock(mu_);
+        if (primary_table_.machine_of_trunk(TrunkOf(id)) == dst) {
+          return Status::Unavailable(
+              "owner unrecoverable: machine " + std::to_string(dst) +
+              " is down and no TFS is configured for recovery");
+        }
+      }
     }
+    // §6.2: "machine A will wait for the addressing table to be updated,
+    // and attempt to access the item again."
     std::lock_guard<std::mutex> lock(mu_);
     machines_[src].table_replica = primary_table_;
   }
-  return last;
+  // Bounded attempts exhausted — name the terminal condition precisely so
+  // callers can tell a dead owner from a table that never converges.
+  if (owner_down) {
+    return Status::Unavailable("owner unrecoverable after " +
+                               std::to_string(retry.max_attempts) +
+                               " attempts: " + last.message());
+  }
+  return Status::Unavailable("addressing table permanently stale after " +
+                             std::to_string(retry.max_attempts) +
+                             " attempts: " + last.message());
 }
 
 Status MemoryCloud::AddCellFrom(MachineId src, CellId id, Slice payload) {
@@ -299,8 +399,15 @@ Status MemoryCloud::AppendToCellFrom(MachineId src, CellId id, Slice suffix) {
   return RouteOp(src, CellOp::kAppend, id, suffix, nullptr);
 }
 
-bool MemoryCloud::Contains(CellId id) {
-  return RouteOp(client_id(), CellOp::kContains, id, Slice(), nullptr).ok();
+Status MemoryCloud::Contains(CellId id, bool* exists) {
+  *exists = false;
+  Status s = RouteOp(client_id(), CellOp::kContains, id, Slice(), nullptr);
+  if (s.ok()) {
+    *exists = true;
+    return Status::OK();
+  }
+  if (s.IsNotFound()) return Status::OK();
+  return s;  // Unavailable etc. — absence was NOT established.
 }
 
 Status MemoryCloud::PersistTableLocked() {
@@ -328,22 +435,64 @@ void MemoryCloud::BroadcastTableLocked() {
   }
 }
 
+std::string MemoryCloud::SnapshotPrefixLocked() const {
+  if (snapshot_epoch_ == 0) return "";  // Nothing committed yet.
+  return options_.tfs_prefix + "/snap_" + std::to_string(snapshot_epoch_);
+}
+
+Status MemoryCloud::SnapshotAllLocked() {
+  // A dead machine whose trunks have not been reassigned yet is represented
+  // only by the *old* epoch plus buffered logs; committing a new epoch now
+  // would truncate both and lose its data. Recovery moves the trunks to
+  // survivors first and then calls back in here.
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (!alive_[m] && !primary_table_.trunks_of(m).empty()) {
+      return Status::Unavailable("machine " + std::to_string(m) +
+                                 " awaits recovery; snapshot deferred");
+    }
+  }
+  // Stage the new epoch next to the committed one; nothing below touches
+  // the previous epoch's files until the pointer flip succeeds.
+  const std::uint64_t epoch = snapshot_epoch_ + 1;
+  const std::string snap_prefix =
+      options_.tfs_prefix + "/snap_" + std::to_string(epoch);
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    if (!alive_[m] || machines_[m].storage == nullptr) continue;
+    Status s = machines_[m].storage->SaveToTfs(options_.tfs, snap_prefix);
+    // A failure here abandons the staging files: the previous snapshot and
+    // every buffered log record stay intact, so no recovery path ever sees
+    // a truncated snapshot.
+    if (!s.ok()) return s;
+  }
+  Status s = PersistTableLocked();
+  if (!s.ok()) return s;
+  // Commit point: an atomic pointer flip, the TFS analog of rename(2).
+  s = options_.tfs->WriteFile(options_.tfs_prefix + "/snapshot_current",
+                              Slice(std::to_string(epoch)));
+  if (!s.ok()) return s;
+  snapshot_epoch_ = epoch;
+  // Only a *committed* snapshot makes the buffered log records redundant.
+  for (auto& machine : machines_) {
+    machine.backup_logs.clear();
+  }
+  reprotect_pending_ = false;  // Every acked write is in this epoch.
+  // Garbage-collect superseded epochs (and abandoned staging attempts).
+  const std::string keep = snap_prefix + "/";
+  for (const std::string& path :
+       options_.tfs->List(options_.tfs_prefix + "/snap_")) {
+    if (path.compare(0, keep.size(), keep) != 0) {
+      options_.tfs->DeleteFile(path);
+    }
+  }
+  return Status::OK();
+}
+
 Status MemoryCloud::SaveSnapshot() {
   if (options_.tfs == nullptr) {
     return Status::InvalidArgument("no TFS configured");
   }
-  for (int m = 0; m < options_.num_slaves; ++m) {
-    if (!alive_[m] || machines_[m].storage == nullptr) continue;
-    Status s = machines_[m].storage->SaveToTfs(options_.tfs,
-                                               options_.tfs_prefix);
-    if (!s.ok()) return s;
-  }
   std::lock_guard<std::mutex> lock(mu_);
-  // Snapshot makes buffered log records redundant; truncate them all.
-  for (auto& machine : machines_) {
-    machine.backup_logs.clear();
-  }
-  return PersistTableLocked();
+  return SnapshotAllLocked();
 }
 
 Status MemoryCloud::FailMachine(MachineId m) {
@@ -355,6 +504,9 @@ Status MemoryCloud::FailMachine(MachineId m) {
   alive_[m] = false;
   machines_[m].storage.reset();     // RAM contents are gone.
   machines_[m].backup_logs.clear();  // So are the logs it held as backup.
+  // The wiped logs may have been the only copies protecting other
+  // primaries' recent writes; the next recovery snapshot re-protects them.
+  reprotect_pending_ = true;
   return Status::OK();
 }
 
@@ -397,8 +549,10 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
   if (alive_[failed]) {
     alive_[failed] = false;
     fabric_->SetMachineDown(failed);
-    machines_[failed].storage.reset();
   }
+  // Covers both the explicit-failure path and an injected crash whose stale
+  // memory image was deliberately kept alive until now (see OnInjectedCrash).
+  machines_[failed].storage.reset();
   if (leader_ == failed || !alive_[leader_]) {
     // Leader is gone; elect a new one (inline, we already hold the state).
     const std::vector<MachineId> alive = AliveSlavesLocked();
@@ -415,17 +569,36 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
   const std::vector<MachineId> targets = AliveSlavesLocked();
   if (targets.empty()) return Status::Unavailable("no recovery targets");
   const std::vector<TrunkId> trunks = primary_table_.trunks_of(failed);
-  if (trunks.empty()) return Status::OK();  // Already recovered.
+  if (trunks.empty()) {
+    // Nothing to reload — but the dead machine still took its backup-log
+    // buffers with it, so the survivors' recent writes may have lost their
+    // only log copies. Cut the re-protection snapshot before declaring the
+    // crash handled (a trunkless machine can die holding logs: it was
+    // restarted empty after an earlier failure, yet served as backup).
+    if (reprotect_pending_) {
+      Status s = SnapshotAllLocked();
+      if (!s.ok() && !s.IsUnavailable()) return s;
+    }
+    return Status::OK();
+  }
 
   // "During recovery, the leader reloads data owned by the failed machine
   // to other alive machines, updates the primary addressing table and
-  // broadcasts it" (§6.2).
+  // broadcasts it" (§6.2). Trunks load from the last *committed* snapshot
+  // epoch; a half-written staging epoch is invisible here.
+  const std::string snap_prefix = SnapshotPrefixLocked();
   std::size_t next = 0;
   for (TrunkId t : trunks) {
     const MachineId target = targets[next++ % targets.size()];
+    if (machines_[target].storage == nullptr) {
+      return Status::Unavailable("recovery target lost its storage");
+    }
     std::unique_ptr<storage::MemoryTrunk> trunk;
-    Status s = storage::MemoryStorage::LoadTrunkFromTfs(
-        options_.tfs, options_.tfs_prefix, t, options_.storage.trunk, &trunk);
+    Status s = snap_prefix.empty()
+                   ? Status::NotFound("no committed snapshot")
+                   : storage::MemoryStorage::LoadTrunkFromTfs(
+                         options_.tfs, snap_prefix, t,
+                         options_.storage.trunk, &trunk);
     if (s.IsNotFound()) {
       // Never snapshotted: recover an empty trunk (plus log replay below).
       s = storage::MemoryTrunk::Create(options_.storage.trunk, &trunk);
@@ -436,58 +609,105 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
     primary_table_.MoveTrunk(t, target);
   }
 
-  // Replay buffered log records held for the failed primary by its backup.
+  // Replay buffered log records held for the failed primary. Records may be
+  // spread over several backups (the backup choice follows liveness) and a
+  // retried log call can deposit the same record twice, so gather them all,
+  // order by sequence number and replay each seq exactly once.
+  std::vector<LogRecord> replay;
   for (int m = 0; m < options_.num_slaves; ++m) {
     if (!alive_[m]) continue;
     auto it = machines_[m].backup_logs.find(failed);
     if (it == machines_[m].backup_logs.end()) continue;
-    for (const LogRecord& record : it->second) {
-      const TrunkId t = TrunkOf(record.id);
-      const MachineId owner = primary_table_.machine_of_trunk(t);
-      storage::MemoryTrunk* trunk = machines_[owner].storage->trunk(t);
-      if (trunk == nullptr) continue;
-      switch (record.op) {
-        case CellOp::kAdd:
-        case CellOp::kPut:
-          trunk->PutCell(record.id, Slice(record.payload));
-          break;
-        case CellOp::kRemove:
-          trunk->RemoveCell(record.id);
-          break;
-        case CellOp::kAppend:
-          trunk->AppendToCell(record.id, Slice(record.payload));
-          break;
-        default:
-          break;
-      }
-    }
+    for (LogRecord& record : it->second) replay.push_back(std::move(record));
     machines_[m].backup_logs.erase(it);
   }
+  std::sort(replay.begin(), replay.end(),
+            [](const LogRecord& a, const LogRecord& b) {
+              return a.seq < b.seq;
+            });
+  std::uint64_t last_seq = 0;
+  for (const LogRecord& record : replay) {
+    if (record.seq == last_seq) continue;  // Duplicate from a retried call.
+    last_seq = record.seq;
+    const TrunkId t = TrunkOf(record.id);
+    const MachineId owner = primary_table_.machine_of_trunk(t);
+    if (machines_[owner].storage == nullptr) continue;
+    storage::MemoryTrunk* trunk = machines_[owner].storage->trunk(t);
+    if (trunk == nullptr) continue;
+    switch (record.op) {
+      case CellOp::kAdd:
+      case CellOp::kPut:
+        trunk->PutCell(record.id, Slice(record.payload));
+        break;
+      case CellOp::kRemove:
+        trunk->RemoveCell(record.id);
+        break;
+      case CellOp::kAppend:
+        trunk->AppendToCell(record.id, Slice(record.payload));
+        break;
+      default:
+        break;
+    }
+  }
 
-  Status s = PersistTableLocked();
-  if (!s.ok()) return s;
+  // Re-protect the survivors: the failed machine may have held the only
+  // backup log copies for other primaries, and those records died with it.
+  // Cutting a fresh snapshot (which also persists the updated table)
+  // restores full durability — the equivalent of RAMCloud re-replicating a
+  // dead backup's log segments. Unavailable means another machine is down
+  // with trunks still unassigned; its recovery will cut the snapshot.
+  Status s = SnapshotAllLocked();
+  if (!s.ok() && !s.IsUnavailable()) return s;
+  if (!s.ok()) {
+    // The table moved trunks even though the snapshot was deferred.
+    Status ps = PersistTableLocked();
+    if (!ps.ok()) return ps;
+  }
   BroadcastTableLocked();
   return Status::OK();
 }
 
 int MemoryCloud::DetectAndRecover() {
   int recovered = 0;
+  // A dead leader cannot probe anyone (the fabric rejects traffic from down
+  // machines), so first recover the leader itself — which elects a live
+  // successor — before sweeping the cluster with heartbeats.
+  MachineId leader;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    leader = leader_;
+  }
+  if (!fabric_->IsMachineUp(leader)) {
+    if (RecoverMachine(leader).ok()) ++recovered;
+  }
   for (int m = 0; m < options_.num_slaves; ++m) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!alive_[m]) {
-        if (!primary_table_.trunks_of(m).empty()) {
-          // Known dead but not yet recovered.
-        } else {
+        // Known dead. Recover if it still owns trunks, or if its death took
+        // backup-log copies that have not been re-protected yet; otherwise
+        // the crash is fully handled.
+        if (primary_table_.trunks_of(m).empty() && !reprotect_pending_) {
           continue;
         }
       }
     }
     // Heartbeat from the leader (§6.2: "Trinity uses heartbeat messages to
-    // proactively detect machine failures").
-    std::string pong;
-    Status s = fabric_->Call(leader_, m, kHeartbeatHandler, Slice(), &pong);
-    if (s.IsUnavailable()) {
+    // proactively detect machine failures"). Retried under the same policy
+    // as routing: a single injected call failure or lost response must not
+    // condemn a healthy machine to a (costly) false recovery.
+    Status s;
+    double backoff = options_.retry.backoff_base_micros;
+    for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
+      if (attempt > 0) {
+        fabric_->AddCpuMicros(leader_, backoff);
+        backoff *= options_.retry.backoff_multiplier;
+      }
+      std::string pong;
+      s = fabric_->Call(leader_, m, kHeartbeatHandler, Slice(), &pong);
+      if (!s.IsUnavailable() && !s.IsTimedOut()) break;
+    }
+    if (s.IsUnavailable() || s.IsTimedOut()) {
       if (RecoverMachine(m).ok()) ++recovered;
     }
   }
@@ -526,15 +746,34 @@ Status MemoryCloud::MigrateTrunk(TrunkId trunk, MachineId to) {
   std::string unused;
   Status s = fabric_->Call(from, to, kTrunkMigrateHandler,
                            Slice(writer.buffer()), &unused);
-  if (!s.ok()) return s;
-  // 3. Drop the source copy and commit the new ownership.
-  s = machines_[from].storage->DetachTrunk(trunk);
-  if (!s.ok()) return s;
-  std::lock_guard<std::mutex> lock(mu_);
-  primary_table_.MoveTrunk(trunk, to);
-  Status ps = PersistTableLocked();
-  if (!ps.ok()) return ps;
-  BroadcastTableLocked();
+  if (!s.ok() || !fabric_->IsMachineUp(to)) {
+    // Roll back: nothing was committed — the source still owns the trunk
+    // and the addressing table is untouched. If the destination managed to
+    // attach the image before the failure surfaced, detach it so exactly
+    // one replica stays authoritative.
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_[to] && machines_[to].storage != nullptr) {
+      machines_[to].storage->DetachTrunk(trunk);  // NotFound is fine.
+    }
+    return s.ok() ? Status::Unavailable(
+                        "destination crashed during trunk migration")
+                  : s;
+  }
+  // 3. Drop the source copy and commit the new ownership. The source may
+  // have crashed after the hand-off (its copy died with it); the commit
+  // still proceeds — the destination now holds the only live replica, which
+  // is exactly the re-drive a leader performs for a half-finished migration.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (alive_[from] && machines_[from].storage != nullptr) {
+      Status ds = machines_[from].storage->DetachTrunk(trunk);
+      if (!ds.ok()) return ds;
+    }
+    primary_table_.MoveTrunk(trunk, to);
+    Status ps = PersistTableLocked();
+    if (!ps.ok()) return ps;
+    BroadcastTableLocked();
+  }
   return Status::OK();
 }
 
@@ -569,6 +808,12 @@ int MemoryCloud::RebalanceTrunks() {
     ++moved;
   }
   return moved;
+}
+
+void MemoryCloud::DesyncReplicaForTest(MachineId m) {
+  std::lock_guard<std::mutex> lock(mu_);
+  machines_[m].table_replica =
+      AddressingTable(options_.p_bits, options_.num_slaves);
 }
 
 Status MemoryCloud::RestartMachine(MachineId m) {

@@ -56,6 +56,16 @@ enum CloudHandlerIds : net::HandlerId {
 /// rebroadcasts the table.
 class MemoryCloud {
  public:
+  /// Governs every retry loop that faces transient Unavailable/TimedOut
+  /// failures (routing, heartbeats). Backoff is *simulated* time: each wait
+  /// is charged to the retrying machine's CPU meter so the cost model sees
+  /// the stall, without the test suite actually sleeping.
+  struct RetryPolicy {
+    int max_attempts = 4;
+    double backoff_base_micros = 200.0;
+    double backoff_multiplier = 2.0;
+  };
+
   struct Options {
     int num_slaves = 4;
     int num_proxies = 0;
@@ -69,6 +79,7 @@ class MemoryCloud {
     /// Log mutations to a remote backup's memory before applying (RAMCloud
     /// buffered logging, §6.2) so recovery loses nothing since the snapshot.
     bool buffered_logging = false;
+    RetryPolicy retry;
   };
 
   static Status Create(const Options& options,
@@ -110,7 +121,10 @@ class MemoryCloud {
   Status AppendToCell(CellId id, Slice suffix) {
     return AppendToCellFrom(client_id(), id, suffix);
   }
-  bool Contains(CellId id);
+  /// Existence check that distinguishes "cell absent" (OK, *exists=false)
+  /// from "owner unavailable" (non-OK status): a down machine must not be
+  /// mistaken for a missing cell.
+  Status Contains(CellId id, bool* exists);
 
   // --- Key-value operations from an arbitrary endpoint. Local accesses on
   // the owning slave bypass the network; remote ones are metered sync calls.
@@ -134,6 +148,12 @@ class MemoryCloud {
   // --- Fault tolerance ----------------------------------------------------
   /// Persists all trunks and the primary addressing table to TFS and
   /// truncates buffered logs. Requires options.tfs.
+  ///
+  /// Crash-safe in the atomic-rename style: trunks are written under a fresh
+  /// epoch directory and the `snapshot_current` pointer file flips only
+  /// after every write succeeded. A failure mid-snapshot leaves the previous
+  /// epoch live and the buffered logs untouched, so recovery never sees a
+  /// truncated snapshot.
   Status SaveSnapshot();
 
   /// Simulates a machine crash: storage dropped, endpoint marked down.
@@ -163,6 +183,11 @@ class MemoryCloud {
   /// the most- to the least-loaded machines (run after a machine rejoins).
   /// Returns the number of trunks moved.
   int RebalanceTrunks();
+
+  /// Test hook: rolls machine m's addressing-table replica back to the seed
+  /// layout, simulating an endpoint that missed every broadcast. RouteOp must
+  /// transparently re-sync it from the primary on the first failed access.
+  void DesyncReplicaForTest(MachineId m);
 
   MachineId leader() const { return leader_; }
   /// Elects the lowest-id alive slave, fencing through a TFS flag file when
@@ -209,7 +234,26 @@ class MemoryCloud {
                  std::string* response);
 
   /// Sends the mutation to the primary's backup before it applies locally.
-  void LogToBackup(MachineId primary, CellOp op, CellId id, Slice payload);
+  /// Retries across surviving backups so a backup crash (or injected call
+  /// failure) cannot leave an acknowledged mutation unlogged. Returns false
+  /// when the record is NOT safely held and the primary itself is down —
+  /// the one case where acking would lose the write (the primary's local
+  /// apply is a ghost image that recovery discards).
+  bool LogToBackup(MachineId primary, CellOp op, CellId id, Slice payload);
+
+  /// Reacts to a fabric-injected crash: same state transition as
+  /// FailMachine, driven by the fault injector's crash schedules.
+  void OnInjectedCrash(MachineId m);
+
+  /// TFS directory of the last *committed* snapshot epoch; empty when no
+  /// snapshot has committed yet.
+  std::string SnapshotPrefixLocked() const;
+
+  /// Writes all alive slaves' trunks + the table under a fresh epoch, flips
+  /// the commit pointer, truncates buffered logs and GCs old epochs. The
+  /// body of SaveSnapshot; also run at the end of recovery to re-protect
+  /// primaries whose backup log copies died with the failed machine.
+  Status SnapshotAllLocked();
 
   Status PersistTableLocked();
   void BroadcastTableLocked();
@@ -225,6 +269,11 @@ class MemoryCloud {
   AddressingTable primary_table_{0, 1};
   MachineId leader_ = 0;
   std::uint64_t leader_epoch_ = 0;
+  std::uint64_t snapshot_epoch_ = 0;  ///< Last committed snapshot epoch.
+  /// True when a machine died holding backup-log buffers whose records have
+  /// not been covered by a committed snapshot yet. Cleared by the next
+  /// successful SnapshotAllLocked (the re-protection point).
+  bool reprotect_pending_ = false;
 };
 
 }  // namespace trinity::cloud

@@ -33,10 +33,38 @@ AsyncEngine::AsyncEngine(graph::Graph* graph, Options options)
           }
         });
   }
+  // Discard updates stranded in the fabric's pair buffers by a previous
+  // engine's aborted run: they drain into the handlers just registered, and
+  // replaying that stale work would skew the Safra deficit counters. This
+  // runs before Seed() so seeded updates are never touched.
+  fabric.FlushAll();
+  for (MachineState& state : machines_) {
+    state.queue.clear();
+    state.deficit = 0;
+    state.black = false;
+  }
 }
 
 MachineId AsyncEngine::OwnerOf(CellId vertex) const {
   return trunk_owner_[graph_->cloud()->TrunkOf(vertex)];
+}
+
+Status AsyncEngine::CheckClusterHealthy() const {
+  const net::Fabric& fabric = graph_->cloud()->fabric();
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    bool owns_trunks = false;
+    for (MachineId owner : trunk_owner_) {
+      if (owner == m) {
+        owns_trunks = true;
+        break;
+      }
+    }
+    if (owns_trunks && !fabric.IsMachineUp(m)) {
+      return Status::Unavailable("machine " + std::to_string(m) +
+                                 " crashed during the async run");
+    }
+  }
+  return Status::OK();
 }
 
 void AsyncEngine::EnqueueLocal(MachineId machine, CellId target,
@@ -94,6 +122,11 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
   std::uint64_t since_snapshot = 0;
   Status failure;
   for (;;) {
+    // A crashed machine's local visits degrade to NotFound (its storage is
+    // gone), which the update loop tolerates for individual vertices — so
+    // detect the crash itself here, once per scheduling sweep.
+    Status healthy = CheckClusterHealthy();
+    if (!healthy.ok()) return healthy;
     bool processed_any = false;
     for (MachineId m = 0; m < num_slaves_; ++m) {
       net::Fabric::MeterScope meter(fabric, m);

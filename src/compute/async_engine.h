@@ -108,6 +108,10 @@ class AsyncEngine {
   };
 
   MachineId OwnerOf(CellId vertex) const;
+  /// Verifies every trunk-owning machine is still up; a crash mid-run
+  /// surfaces as a clean Unavailable at the next scheduling sweep instead
+  /// of updates silently vanishing on a shrunken cluster.
+  Status CheckClusterHealthy() const;
   void SendUpdate(MachineId src, CellId target, Slice message);
   void EnqueueLocal(MachineId machine, CellId target, Slice message);
   /// One pass of Safra's token around the ring. With `require_idle_queues`

@@ -61,6 +61,24 @@ MachineId BspEngine::OwnerOf(CellId vertex) const {
   return trunk_owner_[graph_->cloud()->TrunkOf(vertex)];
 }
 
+Status BspEngine::CheckClusterHealthy() const {
+  const net::Fabric& fabric = graph_->cloud()->fabric();
+  for (MachineId m = 0; m < num_slaves_; ++m) {
+    bool owns_trunks = false;
+    for (MachineId owner : trunk_owner_) {
+      if (owner == m) {
+        owns_trunks = true;
+        break;
+      }
+    }
+    if (owns_trunks && !fabric.IsMachineUp(m)) {
+      return Status::Unavailable("machine " + std::to_string(m) +
+                                 " crashed during the BSP run");
+    }
+  }
+  return Status::OK();
+}
+
 void BspEngine::SendMessage(MachineId src, CellId target, Slice message) {
   const MachineId dst = OwnerOf(target);
   if (dst == src) {
@@ -127,7 +145,15 @@ Status BspEngine::RunSuperstep(const Program& program, int superstep,
             ctx.out_count_ = out_count;
             program(ctx);
           });
-      if (!vs.ok()) return vs;
+      if (!vs.ok()) {
+        // A machine that crashed mid-superstep makes its local reads fail
+        // with NotFound; report the crash, not the symptom.
+        if (!fabric.IsMachineUp(m)) {
+          return Status::Unavailable("machine " + std::to_string(m) +
+                                     " crashed during the BSP run");
+        }
+        return vs;
+      }
       if (ctx.halt_) {
         state.halted.insert(v);
       } else {
@@ -168,6 +194,15 @@ Status BspEngine::RunSuperstep(const Program& program, int superstep,
 Status BspEngine::Run(const Program& program, RunStats* stats) {
   *stats = RunStats();
   net::Fabric& fabric = graph_->cloud()->fabric();
+  // A previous run aborted by a crash leaves packed vertex messages stranded
+  // in the fabric's pair buffers; the first barrier of this run would deliver
+  // them and corrupt superstep sums. Drain them into our (freshly
+  // re-registered) handlers and discard.
+  fabric.FlushAll();
+  for (MachineState& state : machines_) {
+    state.inbox.clear();
+    state.next_inbox.clear();
+  }
   int superstep = 0;
   if (options_.checkpoint_interval > 0 && options_.tfs != nullptr) {
     Status rs = TryRestoreCheckpoint(&superstep);
@@ -175,9 +210,16 @@ Status BspEngine::Run(const Program& program, RunStats* stats) {
   }
   for (; superstep < options_.superstep_limit; ++superstep) {
     fabric.ResetMeters();
+    Status healthy = CheckClusterHealthy();
+    if (!healthy.ok()) return healthy;
     bool all_quiet = false;
     Status s = RunSuperstep(program, superstep, &all_quiet);
     if (!s.ok()) return s;
+    // A machine lost mid-superstep dropped its vertices' work and any
+    // messages in flight to it; surface the failure at the barrier rather
+    // than computing onward with partial state.
+    healthy = CheckClusterHealthy();
+    if (!healthy.ok()) return healthy;
     const double step_seconds = options_.cost_model.PhaseSeconds(fabric);
     stats->superstep_seconds.push_back(step_seconds);
     stats->modeled_seconds += step_seconds;

@@ -152,6 +152,11 @@ class BspEngine {
   /// Owner machine of a vertex (lock-free snapshot of the addressing table
   /// taken at engine construction; BSP runs assume stable membership).
   MachineId OwnerOf(CellId vertex) const;
+  /// Verifies every machine that owns a trunk is still up. A crash mid-run
+  /// surfaces as a clean Unavailable instead of the engine silently
+  /// computing on a shrunken cluster; the caller recovers the cloud and
+  /// re-runs (restoring from the last checkpoint when configured).
+  Status CheckClusterHealthy() const;
   /// Routes a message: local targets are delivered directly; remote targets
   /// ride the fabric's packed one-sided path.
   void SendMessage(MachineId src, CellId target, Slice message);

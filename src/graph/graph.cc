@@ -121,7 +121,10 @@ Status Graph::InsertInlink(MachineId src, CellId node, CellId from) {
   return cloud_->PutCellFrom(src, node, Slice(blob));
 }
 
-bool Graph::HasNode(CellId id) { return cloud_->Contains(id); }
+bool Graph::HasNode(CellId id) {
+  bool exists = false;
+  return cloud_->Contains(id, &exists).ok() && exists;
+}
 
 Status Graph::GetOutlinks(CellId id, std::vector<CellId>* out) {
   return GetOutlinksFrom(cloud_->client_id(), id, out);

@@ -43,6 +43,12 @@ Status Fabric::SendAsync(MachineId src, MachineId dst, HandlerId id,
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.messages;
+    if (src >= 0 && src < num_machines_ && !machine_up_[src]) {
+      // A crashed machine cannot originate traffic; callers still running on
+      // its behalf (e.g. a vertex program mid-superstep) see the failure.
+      ++stats_.dropped;
+      return Status::Unavailable("source machine is down");
+    }
     if (!machine_up_[dst]) {
       ++stats_.dropped;
       return Status::Unavailable("destination machine is down");
@@ -51,30 +57,59 @@ Status Fabric::SendAsync(MachineId src, MachineId dst, HandlerId id,
       ++stats_.local_messages;
     }
   }
+  int copies = 1;
+  if (injector_ != nullptr) {
+    switch (injector_->OnAsyncMessage(src, dst, id)) {
+      case FaultInjector::AsyncAction::kDrop: {
+        // Silent loss: the sender believes the send succeeded — that is the
+        // fault being modeled.
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.dropped;
+        ++stats_.injected_drops;
+      }
+        MaybeTriggerCrashes(src, dst);
+        return Status::OK();
+      case FaultInjector::AsyncAction::kDuplicate: {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.injected_duplicates;
+        copies = 2;
+        break;
+      }
+      case FaultInjector::AsyncAction::kDeliver:
+        break;
+    }
+  }
   if (src == dst) {
     // Local delivery never touches the wire.
-    Deliver(src, dst, id, payload);
+    for (int c = 0; c < copies; ++c) Deliver(src, dst, id, payload);
+    MaybeTriggerCrashes(src, dst);
     return Status::OK();
   }
   if (!params_.pack_messages) {
     // Ablation mode: every message is its own physical transfer.
-    AccountTransfer(src, dst, payload.size() + params_.frame_overhead_bytes,
-                    1);
-    Deliver(src, dst, id, payload);
+    for (int c = 0; c < copies; ++c) {
+      AccountTransfer(src, dst, payload.size() + params_.frame_overhead_bytes,
+                      1);
+      Deliver(src, dst, id, payload);
+    }
+    MaybeTriggerCrashes(src, dst);
     return Status::OK();
   }
   bool flush_now = false;
   {
     std::lock_guard<std::mutex> lock(mu_);
     PairBuffer& buf = pair_buffers_[PairIndex(src, dst)];
-    buf.messages.push_back(PackedMessage{id, payload.ToString()});
-    buf.bytes += payload.size() + params_.frame_overhead_bytes;
+    for (int c = 0; c < copies; ++c) {
+      buf.messages.push_back(PackedMessage{id, payload.ToString()});
+      buf.bytes += payload.size() + params_.frame_overhead_bytes;
+    }
     flush_now = buf.bytes >= params_.pack_threshold_bytes;
   }
   if (flush_now) {
     std::unique_lock<std::mutex> lock(mu_);
-    FlushPairLocked(src, dst);
+    FlushPairLocked(src, dst, /*force=*/false);
   }
+  MaybeTriggerCrashes(src, dst);
   return Status::OK();
 }
 
@@ -83,14 +118,34 @@ Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
   if (dst < 0 || dst >= num_machines_) {
     return Status::InvalidArgument("bad destination machine");
   }
-  SyncHandler handler;
   {
     std::lock_guard<std::mutex> lock(mu_);
     ++stats_.sync_calls;
+    if (src >= 0 && src < num_machines_ && !machine_up_[src]) {
+      ++stats_.dropped;
+      return Status::Unavailable("source machine is down");
+    }
     if (!machine_up_[dst]) {
       ++stats_.dropped;
       return Status::Unavailable("destination machine is down");
     }
+  }
+  if (injector_ != nullptr) {
+    // An injected failure happens "on the wire": the handler never runs,
+    // exactly as if the request (or its response) was lost.
+    Status injected = injector_->OnCall(src, dst, id);
+    if (!injected.ok()) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        ++stats_.injected_call_failures;
+      }
+      MaybeTriggerCrashes(src, dst);
+      return injected;
+    }
+  }
+  SyncHandler handler;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = sync_handlers_[dst].find(id);
     if (it == sync_handlers_[dst].end()) {
       return Status::NotFound("no sync handler registered");
@@ -114,19 +169,21 @@ Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
     AccountTransfer(dst, src, response->size() + params_.frame_overhead_bytes,
                     1);
   }
+  MaybeTriggerCrashes(src, dst);
   return s;
 }
 
 void Fabric::Flush(MachineId src) {
   std::unique_lock<std::mutex> lock(mu_);
   for (MachineId dst = 0; dst < num_machines_; ++dst) {
-    FlushPairLocked(src, dst);
+    FlushPairLocked(src, dst, /*force=*/false);
   }
 }
 
 void Fabric::FlushAll() {
   // Delivering packed messages can enqueue new ones (recursive algorithms),
-  // so iterate until the whole fabric drains.
+  // so iterate until the whole fabric drains. FlushAll overrides injected
+  // flush delays — it is the fabric-wide barrier.
   for (;;) {
     bool any = false;
     for (MachineId src = 0; src < num_machines_; ++src) {
@@ -134,7 +191,7 @@ void Fabric::FlushAll() {
         std::unique_lock<std::mutex> lock(mu_);
         if (!pair_buffers_[PairIndex(src, dst)].messages.empty()) {
           any = true;
-          FlushPairLocked(src, dst);
+          FlushPairLocked(src, dst, /*force=*/true);
         }
       }
     }
@@ -142,12 +199,17 @@ void Fabric::FlushAll() {
   }
 }
 
-void Fabric::FlushPairLocked(MachineId src, MachineId dst) {
+void Fabric::FlushPairLocked(MachineId src, MachineId dst, bool force) {
   // Precondition: mu_ held by the caller's unique_lock. We move the buffer
   // out, release the lock, and deliver — handlers may legally re-enter
   // SendAsync on this pair.
   PairBuffer& buf = pair_buffers_[PairIndex(src, dst)];
   if (buf.messages.empty()) return;
+  if (!force && injector_ != nullptr && injector_->DelayFlush(src, dst)) {
+    // Injected delay: the buffer stays queued until the next FlushAll.
+    ++stats_.delayed_flushes;
+    return;
+  }
   std::vector<PackedMessage> batch = std::move(buf.messages);
   std::size_t bytes = buf.bytes;
   buf.messages.clear();
@@ -195,6 +257,34 @@ void Fabric::AccountTransfer(MachineId src, MachineId dst, std::size_t bytes,
   traffic_.bytes_in[dst] += bytes;
   ++traffic_.transfers_out[src];
   ++traffic_.transfers_in[dst];
+}
+
+void Fabric::SetFaultInjector(FaultInjector* injector) {
+  std::lock_guard<std::mutex> lock(mu_);
+  injector_ = injector;
+}
+
+void Fabric::SetCrashListener(std::function<void(MachineId)> listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_listener_ = std::move(listener);
+}
+
+void Fabric::MaybeTriggerCrashes(MachineId src, MachineId dst) {
+  if (injector_ == nullptr) return;
+  for (MachineId m : injector_->NoteMessage(src, dst)) {
+    bool fired = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (machine_up_[m]) {
+        machine_up_[m] = false;
+        ++stats_.injected_crashes;
+        fired = true;
+      }
+    }
+    // The listener runs outside mu_ so it may call back into the fabric
+    // (e.g. the memory cloud dropping the crashed machine's storage).
+    if (fired && crash_listener_) crash_listener_(m);
+  }
 }
 
 void Fabric::SetMachineDown(MachineId machine) {

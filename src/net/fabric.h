@@ -12,13 +12,10 @@
 #include "common/slice.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "net/fault_injector.h"
 #include "net/network_stats.h"
 
 namespace trinity::net {
-
-/// Identifies a registered message handler on a machine; TSL protocol
-/// declarations compile down to one of these.
-using HandlerId = std::uint32_t;
 
 /// The simulated cluster interconnect: Trinity's message passing framework
 /// ("an efficient, one-sided, machine-to-machine message passing
@@ -90,6 +87,20 @@ class Fabric {
   void SetMachineUp(MachineId machine);
   bool IsMachineUp(MachineId machine) const;
 
+  /// Attaches a fault-injection policy (borrowed; may be null to detach).
+  /// Every subsequent message event consults it: async messages can be
+  /// dropped or duplicated, sync calls can fail without reaching the
+  /// destination, pack-buffer flushes can be held back until FlushAll, and
+  /// scripted crashes take machines down mid-protocol. All injector
+  /// decisions derive from its seed, so runs are replayable.
+  void SetFaultInjector(FaultInjector* injector);
+  FaultInjector* fault_injector() const { return injector_; }
+
+  /// Called (outside the fabric lock) whenever an injected crash schedule
+  /// fires, after the machine has been marked down. The memory cloud hooks
+  /// this to drop the crashed machine's storage, mirroring FailMachine.
+  void SetCrashListener(std::function<void(MachineId)> listener);
+
   /// Adds measured CPU time to a machine's meter. Handler execution is
   /// metered automatically; compute engines additionally meter their local
   /// per-partition work through this.
@@ -135,14 +146,21 @@ class Fabric {
     return src * num_machines_ + dst;
   }
 
-  /// Delivers one pair buffer as a single physical transfer.
-  void FlushPairLocked(MachineId src, MachineId dst);
+  /// Delivers one pair buffer as a single physical transfer. When `force` is
+  /// false the attached injector may hold the buffer back (delayed flush);
+  /// FlushAll forces delivery.
+  void FlushPairLocked(MachineId src, MachineId dst, bool force);
   void Deliver(MachineId src, MachineId dst, HandlerId id, Slice payload);
   void AccountTransfer(MachineId src, MachineId dst, std::size_t bytes,
                        std::size_t message_count);
+  /// Charges one completed message against the injector's crash schedules
+  /// and executes any crash that fires. Must be called without mu_ held.
+  void MaybeTriggerCrashes(MachineId src, MachineId dst);
 
   const int num_machines_;
   const Params params_;
+  FaultInjector* injector_ = nullptr;
+  std::function<void(MachineId)> crash_listener_;
 
   mutable std::mutex mu_;
   std::vector<std::unordered_map<HandlerId, AsyncHandler>> async_handlers_;

@@ -1,0 +1,172 @@
+#include "net/fault_injector.h"
+
+#include <algorithm>
+
+namespace trinity::net {
+
+FaultInjector::FaultInjector(std::uint64_t seed) : seed_(seed), rng_(seed) {}
+
+void FaultInjector::SetDefaultPolicy(const Policy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  default_policy_ = policy;
+  has_default_policy_ = true;
+}
+
+void FaultInjector::SetPairPolicy(MachineId src, MachineId dst,
+                                  const Policy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pair_policies_[{src, dst}] = policy;
+}
+
+void FaultInjector::SetHandlerRangePolicy(HandlerId lo, HandlerId hi,
+                                          const Policy& policy) {
+  std::lock_guard<std::mutex> lock(mu_);
+  range_policies_.push_back(HandlerRangePolicy{lo, hi, policy});
+}
+
+void FaultInjector::ClearPolicies() {
+  std::lock_guard<std::mutex> lock(mu_);
+  has_default_policy_ = false;
+  default_policy_ = Policy();
+  pair_policies_.clear();
+  range_policies_.clear();
+}
+
+void FaultInjector::CrashAfter(MachineId machine, std::uint64_t n_messages) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_countdown_[machine] = n_messages;
+}
+
+void FaultInjector::DropNext(MachineId src, MachineId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++drop_next_[{src, dst}];
+}
+
+void FaultInjector::Partition(std::vector<MachineId> a,
+                              std::vector<MachineId> b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.push_back(PartitionRule{std::move(a), std::move(b)});
+}
+
+void FaultInjector::ClearPartitions() {
+  std::lock_guard<std::mutex> lock(mu_);
+  partitions_.clear();
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+const FaultInjector::Policy* FaultInjector::FindPolicyLocked(
+    MachineId src, MachineId dst, HandlerId id) const {
+  auto pair_it = pair_policies_.find({src, dst});
+  if (pair_it != pair_policies_.end()) return &pair_it->second;
+  // Later registrations win over earlier ones.
+  for (auto it = range_policies_.rbegin(); it != range_policies_.rend();
+       ++it) {
+    if (id >= it->lo && id <= it->hi) return &it->policy;
+  }
+  if (has_default_policy_) return &default_policy_;
+  return nullptr;
+}
+
+bool FaultInjector::PartitionedLocked(MachineId src, MachineId dst) const {
+  auto in = [](const std::vector<MachineId>& side, MachineId m) {
+    return std::find(side.begin(), side.end(), m) != side.end();
+  };
+  for (const PartitionRule& rule : partitions_) {
+    if ((in(rule.a, src) && in(rule.b, dst)) ||
+        (in(rule.b, src) && in(rule.a, dst))) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultInjector::RollLocked(double prob) {
+  if (prob <= 0.0) return false;
+  if (prob >= 1.0) return true;
+  return rng_.Bernoulli(prob);
+}
+
+FaultInjector::AsyncAction FaultInjector::OnAsyncMessage(MachineId src,
+                                                         MachineId dst,
+                                                         HandlerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (PartitionedLocked(src, dst)) {
+    ++stats_.partition_blocks;
+    ++stats_.dropped;
+    return AsyncAction::kDrop;
+  }
+  auto drop_it = drop_next_.find({src, dst});
+  if (drop_it != drop_next_.end() && drop_it->second > 0) {
+    if (--drop_it->second == 0) drop_next_.erase(drop_it);
+    ++stats_.dropped;
+    return AsyncAction::kDrop;
+  }
+  const Policy* policy = FindPolicyLocked(src, dst, id);
+  if (policy == nullptr) return AsyncAction::kDeliver;
+  if (RollLocked(policy->drop_prob)) {
+    ++stats_.dropped;
+    return AsyncAction::kDrop;
+  }
+  if (RollLocked(policy->duplicate_prob)) {
+    ++stats_.duplicated;
+    return AsyncAction::kDuplicate;
+  }
+  return AsyncAction::kDeliver;
+}
+
+Status FaultInjector::OnCall(MachineId src, MachineId dst, HandlerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (PartitionedLocked(src, dst)) {
+    ++stats_.partition_blocks;
+    ++stats_.failed_calls;
+    return Status::Unavailable("injected: network partition");
+  }
+  const Policy* policy = FindPolicyLocked(src, dst, id);
+  if (policy == nullptr) return Status::OK();
+  if (RollLocked(policy->call_fail_prob)) {
+    ++stats_.failed_calls;
+    return Status::Unavailable("injected: call failure");
+  }
+  if (RollLocked(policy->call_timeout_prob)) {
+    ++stats_.timed_out_calls;
+    return Status::TimedOut("injected: call timeout");
+  }
+  return Status::OK();
+}
+
+bool FaultInjector::DelayFlush(MachineId src, MachineId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Flushes are pair-level events, not handler-level; only pair and default
+  // policies apply.
+  const Policy* policy = FindPolicyLocked(src, dst, 0);
+  if (policy == nullptr) return false;
+  if (RollLocked(policy->delay_flush_prob)) {
+    ++stats_.delayed_flushes;
+    return true;
+  }
+  return false;
+}
+
+std::vector<MachineId> FaultInjector::NoteMessage(MachineId src,
+                                                  MachineId dst) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MachineId> expired;
+  for (MachineId m : {src, dst}) {
+    auto it = crash_countdown_.find(m);
+    if (it == crash_countdown_.end()) continue;
+    if (it->second > 0) --it->second;
+    if (it->second == 0) {
+      expired.push_back(m);
+      crash_countdown_.erase(it);
+      ++stats_.crashes;
+    }
+    if (src == dst) break;  // A self-message counts once.
+  }
+  return expired;
+}
+
+}  // namespace trinity::net

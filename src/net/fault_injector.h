@@ -1,0 +1,143 @@
+#ifndef TRINITY_NET_FAULT_INJECTOR_H_
+#define TRINITY_NET_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/types.h"
+
+namespace trinity::net {
+
+using HandlerId = std::uint32_t;
+
+/// Deterministic fault-injection policy for the simulated interconnect.
+///
+/// The injector is consulted by the Fabric on every logical message event and
+/// decides — from a seeded PRNG plus an explicit script — whether to drop an
+/// async message, deliver it twice, fail a sync Call, hold a packed flush
+/// back until the next FlushAll, or crash a machine outright. Every decision
+/// draws from the same seeded stream, so a chaos run is fully replayable from
+/// its seed: no wall clock, no unseeded randomness.
+///
+/// Two complementary interfaces:
+///  * Probabilistic policies — a Policy can be installed as the default, for
+///    one (src,dst) pair, or for a half-open handler-id range. Lookup order
+///    is pair > handler range > default (the first match wins, so a pair
+///    policy completely overrides the others for that pair).
+///  * Script API — one-shot, exactly-scheduled events: CrashAfter(m, n)
+///    crashes machine m once n further messages have touched it, DropNext
+///    swallows exactly the next async message on a pair, Partition splits the
+///    cluster so nothing crosses the cut until ClearPartitions.
+///
+/// The injector is passive: it never calls into the Fabric. The Fabric asks
+/// (OnAsyncMessage / OnCall / DelayFlush / NoteMessage) and executes the
+/// verdicts itself, which keeps the locking one-directional.
+class FaultInjector {
+ public:
+  struct Policy {
+    double drop_prob = 0.0;          ///< Async message silently lost.
+    double duplicate_prob = 0.0;     ///< Async message delivered twice.
+    double call_fail_prob = 0.0;     ///< Sync Call fails with Unavailable.
+    double call_timeout_prob = 0.0;  ///< Sync Call fails with TimedOut.
+    double delay_flush_prob = 0.0;   ///< Packed flush deferred to FlushAll.
+  };
+
+  struct Stats {
+    std::uint64_t dropped = 0;
+    std::uint64_t duplicated = 0;
+    std::uint64_t failed_calls = 0;
+    std::uint64_t timed_out_calls = 0;
+    std::uint64_t delayed_flushes = 0;
+    std::uint64_t crashes = 0;
+    std::uint64_t partition_blocks = 0;  ///< Messages refused by a partition.
+  };
+
+  /// Verdict for one async message.
+  enum class AsyncAction { kDeliver, kDrop, kDuplicate };
+
+  explicit FaultInjector(std::uint64_t seed);
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  std::uint64_t seed() const { return seed_; }
+
+  // --- Policy configuration ----------------------------------------------
+  void SetDefaultPolicy(const Policy& policy);
+  void SetPairPolicy(MachineId src, MachineId dst, const Policy& policy);
+  /// Applies to handler ids in [lo, hi] inclusive. Later registrations win
+  /// over earlier ones when ranges overlap.
+  void SetHandlerRangePolicy(HandlerId lo, HandlerId hi,
+                             const Policy& policy);
+  /// Removes all probabilistic policies (the script state stays).
+  void ClearPolicies();
+
+  // --- Script API ---------------------------------------------------------
+  /// Crashes `machine` once `n_messages` further logical messages (sent or
+  /// received by it, async or sync) have completed. The Fabric executes the
+  /// crash and notifies its crash listener.
+  void CrashAfter(MachineId machine, std::uint64_t n_messages);
+  /// Swallows exactly the next async message from src to dst. Calls stack:
+  /// invoking it twice drops the next two messages.
+  void DropNext(MachineId src, MachineId dst);
+  /// Installs a network partition: any message between a machine in `a` and
+  /// a machine in `b` is refused (async dropped, Call returns Unavailable)
+  /// until ClearPartitions(). Multiple partitions may be active at once.
+  void Partition(std::vector<MachineId> a, std::vector<MachineId> b);
+  void ClearPartitions();
+
+  Stats stats() const;
+
+  // --- Fabric-facing hooks ------------------------------------------------
+  /// Verdict for an async message about to enter the fabric.
+  AsyncAction OnAsyncMessage(MachineId src, MachineId dst, HandlerId id);
+  /// Verdict for a sync call: OK means proceed; Unavailable / TimedOut is
+  /// returned to the caller without invoking the handler.
+  Status OnCall(MachineId src, MachineId dst, HandlerId id);
+  /// Whether a non-forced flush of the (src,dst) pack buffer should be held
+  /// back (delivered by the next FlushAll instead).
+  bool DelayFlush(MachineId src, MachineId dst);
+  /// Accounts one completed logical message against the crash schedules of
+  /// src and dst; returns the machines whose schedule just expired (the
+  /// Fabric takes them down and fires its crash listener).
+  std::vector<MachineId> NoteMessage(MachineId src, MachineId dst);
+
+ private:
+  struct HandlerRangePolicy {
+    HandlerId lo;
+    HandlerId hi;
+    Policy policy;
+  };
+
+  struct PartitionRule {
+    std::vector<MachineId> a;
+    std::vector<MachineId> b;
+  };
+
+  /// Pair > handler range > default; nullptr when nothing matches.
+  const Policy* FindPolicyLocked(MachineId src, MachineId dst,
+                                 HandlerId id) const;
+  bool PartitionedLocked(MachineId src, MachineId dst) const;
+  bool RollLocked(double prob);
+
+  const std::uint64_t seed_;
+  mutable std::mutex mu_;
+  Random rng_;
+  bool has_default_policy_ = false;
+  Policy default_policy_;
+  std::map<std::pair<MachineId, MachineId>, Policy> pair_policies_;
+  std::vector<HandlerRangePolicy> range_policies_;
+  std::map<std::pair<MachineId, MachineId>, int> drop_next_;
+  std::map<MachineId, std::uint64_t> crash_countdown_;
+  std::vector<PartitionRule> partitions_;
+  Stats stats_;
+};
+
+}  // namespace trinity::net
+
+#endif  // TRINITY_NET_FAULT_INJECTOR_H_

@@ -20,6 +20,15 @@ struct NetworkStats {
   std::uint64_t sync_calls = 0;    ///< Request-response round trips.
   std::uint64_t local_messages = 0;  ///< Same-machine deliveries (free).
   std::uint64_t dropped = 0;       ///< Messages to dead machines.
+
+  // Faults manufactured by an attached FaultInjector (all deterministic
+  // given the injector's seed). `dropped` above also counts injected drops,
+  // so the meters stay comparable with and without an injector.
+  std::uint64_t injected_drops = 0;
+  std::uint64_t injected_duplicates = 0;
+  std::uint64_t injected_call_failures = 0;
+  std::uint64_t injected_crashes = 0;
+  std::uint64_t delayed_flushes = 0;
 };
 
 /// Per-machine traffic view used by the cost model: a machine's modeled

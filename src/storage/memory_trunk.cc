@@ -147,8 +147,10 @@ Status MemoryTrunk::AppendEntryLocked(CellId id, Slice payload,
   hdr->id = id;
   hdr->size = static_cast<std::uint32_t>(payload.size());
   hdr->capacity = static_cast<std::uint32_t>(capacity);
-  std::memcpy(PhysPtr(*logical) + kHeaderSize, payload.data(),
-              payload.size());
+  if (!payload.empty()) {
+    std::memcpy(PhysPtr(*logical) + kHeaderSize, payload.data(),
+                payload.size());
+  }
   return Status::OK();
 }
 
@@ -188,8 +190,10 @@ Status MemoryTrunk::PutCell(CellId id, Slice payload) {
     stats_.live_bytes -= hdr->size;
     stats_.reserved_slack += hdr->size;
     stats_.reserved_slack -= payload.size();
-    std::memcpy(PhysPtr(offset) + kHeaderSize, payload.data(),
-                payload.size());
+    if (!payload.empty()) {
+      std::memcpy(PhysPtr(offset) + kHeaderSize, payload.data(),
+                  payload.size());
+    }
     hdr->size = static_cast<std::uint32_t>(payload.size());
     return Status::OK();
   }
@@ -258,8 +262,10 @@ Status MemoryTrunk::AppendToCell(CellId id, Slice suffix) {
   const std::uint64_t new_size = hdr->size + suffix.size();
   if (new_size <= hdr->capacity) {
     // The short-lived reservation absorbs the growth; no relocation.
-    std::memcpy(PhysPtr(offset) + kHeaderSize + hdr->size, suffix.data(),
-                suffix.size());
+    if (!suffix.empty()) {
+      std::memcpy(PhysPtr(offset) + kHeaderSize + hdr->size, suffix.data(),
+                  suffix.size());
+    }
     stats_.reserved_slack -= suffix.size();
     stats_.live_bytes += suffix.size();
     hdr->size = static_cast<std::uint32_t>(new_size);
@@ -303,8 +309,10 @@ Status MemoryTrunk::WriteAt(CellId id, std::uint64_t offset, Slice bytes) {
     return Status::InvalidArgument("write past end of cell");
   }
   SpinLockGuard cell_lock(LockFor(id));
-  std::memcpy(PhysPtr(entry) + kHeaderSize + offset, bytes.data(),
-              bytes.size());
+  if (!bytes.empty()) {
+    std::memcpy(PhysPtr(entry) + kHeaderSize + offset, bytes.data(),
+                bytes.size());
+  }
   return Status::OK();
 }
 

@@ -1,0 +1,358 @@
+// Chaos suite: randomized crash/recover schedules driven by the seeded
+// fault injector, asserting the paper's §6.2 fault-tolerance claims end to
+// end. Every test prints (via SCOPED_TRACE / assertion messages) the seed it
+// ran under, and every source of randomness derives from that seed, so any
+// failure replays exactly with the same seed.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+
+#include "common/random.h"
+#include "compute/async_engine.h"
+#include "compute/bsp.h"
+#include "graph/graph.h"
+#include "net/fault_injector.h"
+
+namespace trinity {
+namespace {
+
+std::string FreshTfsRoot(const std::string& tag, std::uint64_t seed) {
+  const std::string root = ::testing::TempDir() + "/chaos_" + tag + "_" +
+                           std::to_string(seed);
+  std::filesystem::remove_all(root);
+  return root;
+}
+
+// Cluster under chaos: the injector must outlive the cloud (the fabric keeps
+// a raw pointer), hence the declaration order.
+struct ChaosCluster {
+  std::unique_ptr<tfs::Tfs> tfs;
+  std::unique_ptr<net::FaultInjector> injector;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+};
+
+ChaosCluster NewCluster(const std::string& tag, std::uint64_t seed,
+                        int slaves = 4) {
+  ChaosCluster c;
+  tfs::Tfs::Options tfs_options;
+  tfs_options.root = FreshTfsRoot(tag, seed);
+  EXPECT_TRUE(tfs::Tfs::Open(tfs_options, &c.tfs).ok());
+  c.injector = std::make_unique<net::FaultInjector>(seed);
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 256 * 1024;
+  options.tfs = c.tfs.get();
+  options.buffered_logging = true;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &c.cloud).ok());
+  c.cloud->fabric().SetFaultInjector(c.injector.get());
+  return c;
+}
+
+// Drives the pending CrashAfter schedule to completion: each heartbeat is
+// one logical message touching the victim, so a countdown that did not
+// expire during the workload expires here, never in a later round.
+void DrainCrashSchedule(ChaosCluster& c, MachineId victim) {
+  for (int i = 0; i < 128 && c.cloud->fabric().IsMachineUp(victim); ++i) {
+    std::string pong;
+    c.cloud->fabric().Call(c.cloud->client_id(), victim,
+                           cloud::kHeartbeatHandler, Slice(), &pong);
+  }
+}
+
+void HealCluster(ChaosCluster& c) {
+  c.cloud->DetectAndRecover();
+  for (MachineId m = 0; m < c.cloud->num_slaves(); ++m) {
+    if (!c.cloud->fabric().IsMachineUp(m)) {
+      ASSERT_TRUE(c.cloud->RestartMachine(m).ok());
+    }
+  }
+}
+
+// ------------------------------------------------------------------- KV
+
+class KvChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The §6.2 durability claim under buffered logging: once a write is
+// acknowledged, no sequence of (sequential) machine crashes and recoveries
+// may lose it — the backup's log or the committed snapshot always covers it.
+TEST_P(KvChaosTest, AcknowledgedWritesSurviveCrashes) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  ChaosCluster c = NewCluster("kv", seed);
+  Random rng(seed * 0x9e3779b97f4a7c15ULL + 1);
+
+  net::FaultInjector::Policy wire;
+  wire.call_fail_prob = 0.03;
+  wire.call_timeout_prob = 0.03;
+  wire.drop_prob = 0.05;       // Async traffic: table broadcasts etc.
+  wire.delay_flush_prob = 0.2;
+
+  std::map<CellId, std::string> reference;  // Acknowledged state.
+  const int kRounds = 5;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    c.injector->SetDefaultPolicy(wire);
+    const MachineId victim =
+        static_cast<MachineId>(rng.Uniform(c.cloud->num_slaves()));
+    c.injector->CrashAfter(victim, 1 + rng.Uniform(60));
+
+    for (int op = 0; op < 60; ++op) {
+      const CellId id = static_cast<CellId>(rng.Uniform(64));
+      if (!reference.empty() && rng.Bernoulli(0.15)) {
+        auto it = reference.begin();
+        std::advance(it, rng.Uniform(reference.size()));
+        const CellId dead_id = it->first;
+        if (c.cloud->RemoveCell(dead_id).ok()) reference.erase(dead_id);
+      } else {
+        const std::string value = "v" + std::to_string(id) + "." +
+                                  std::to_string(round) + "." +
+                                  std::to_string(op);
+        if (c.cloud->PutCell(id, Slice(value)).ok()) reference[id] = value;
+      }
+    }
+
+    // Calm the wire for the audit; the crash schedule stays armed and is
+    // forced to fire now so failures never overlap across rounds (the §6.2
+    // model recovers one machine at a time).
+    c.injector->ClearPolicies();
+    DrainCrashSchedule(c, victim);
+    HealCluster(c);
+
+    for (const auto& [id, value] : reference) {
+      std::string out;
+      ASSERT_TRUE(c.cloud->GetCell(id, &out).ok())
+          << "seed " << seed << ": acknowledged cell " << id
+          << " lost after crash of machine " << victim;
+      ASSERT_EQ(out, value) << "seed " << seed << ": cell " << id;
+    }
+    ASSERT_EQ(c.cloud->TotalCellCount(), reference.size())
+        << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KvChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------------------------------------- BSP
+
+constexpr int kPrVertices = 48;
+constexpr int kPrSupersteps = 10;
+
+void BuildPageRankGraph(graph::Graph* graph) {
+  for (CellId v = 0; v < kPrVertices; ++v) {
+    ASSERT_TRUE(graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 0; v < kPrVertices; ++v) {
+    ASSERT_TRUE(graph->AddEdge(v, (v + 1) % kPrVertices).ok());
+    ASSERT_TRUE(graph->AddEdge(v, (v * 7 + 3) % kPrVertices).ok());
+  }
+}
+
+compute::BspEngine::Program PageRankProgram() {
+  return [](compute::BspEngine::VertexContext& ctx) {
+    double rank = 1.0;
+    if (ctx.superstep() > 0) {
+      double sum = 0;
+      for (const std::string& m : ctx.messages()) {
+        double v = 0;
+        std::memcpy(&v, m.data(), 8);
+        sum += v;
+      }
+      rank = 0.15 + 0.85 * sum;
+    }
+    ctx.value().assign(reinterpret_cast<const char*>(&rank), 8);
+    if (ctx.out_count() > 0) {
+      const double share = rank / static_cast<double>(ctx.out_count());
+      char buf[8];
+      std::memcpy(buf, &share, 8);
+      ctx.SendToAllOut(Slice(buf, 8));
+    }
+    // Never halt: the superstep limit bounds the run, so every run executes
+    // exactly kPrSupersteps supersteps and results are comparable.
+  };
+}
+
+std::map<CellId, double> RunPageRank(graph::Graph* graph, Status* status) {
+  compute::BspEngine::Options options;
+  options.superstep_limit = kPrSupersteps;
+  compute::BspEngine engine(graph, options);
+  compute::BspEngine::RunStats stats;
+  *status = engine.Run(PageRankProgram(), &stats);
+  std::map<CellId, double> ranks;
+  if (status->ok()) {
+    engine.ForEachValue([&](CellId v, const std::string& value) {
+      double r = 0;
+      std::memcpy(&r, value.data(), 8);
+      ranks[v] = r;
+    });
+  }
+  return ranks;
+}
+
+class BspChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// §6.2 for synchronous computation: a crash mid-run surfaces cleanly, the
+// cloud recovers the lost partition from snapshot + buffered logs, and the
+// recomputed result matches the fault-free run.
+TEST_P(BspChaosTest, PageRankSurvivesMidRunCrash) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+
+  // Fault-free baseline.
+  ChaosCluster base = NewCluster("bsp_base", seed);
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph base_graph(base.cloud.get(), gopts);
+  BuildPageRankGraph(&base_graph);
+  Status base_status;
+  const std::map<CellId, double> expected =
+      RunPageRank(&base_graph, &base_status);
+  ASSERT_TRUE(base_status.ok()) << base_status.message();
+  ASSERT_EQ(expected.size(), static_cast<std::size_t>(kPrVertices));
+
+  // Chaos run: same graph, one crash scheduled somewhere inside the run.
+  ChaosCluster c = NewCluster("bsp", seed);
+  graph::Graph graph(c.cloud.get(), gopts);
+  BuildPageRankGraph(&graph);
+  ASSERT_TRUE(c.cloud->SaveSnapshot().ok());
+  Random rng(seed * 0x2545f4914f6cdd1dULL + 7);
+  const MachineId victim =
+      static_cast<MachineId>(rng.Uniform(c.cloud->num_slaves()));
+  c.injector->CrashAfter(victim, 1 + rng.Uniform(400));
+
+  std::map<CellId, double> got;
+  bool done = false;
+  for (int attempt = 0; attempt < 6 && !done; ++attempt) {
+    Status s;
+    got = RunPageRank(&graph, &s);
+    if (s.ok()) {
+      done = true;
+      break;
+    }
+    // The only acceptable failure is the clean crash report.
+    ASSERT_TRUE(s.IsUnavailable())
+        << "seed " << seed << ": " << s.message();
+    HealCluster(c);
+  }
+  ASSERT_TRUE(done) << "seed " << seed << ": run never completed";
+  ASSERT_EQ(got.size(), expected.size()) << "seed " << seed;
+  for (const auto& [v, rank] : expected) {
+    auto it = got.find(v);
+    ASSERT_NE(it, got.end()) << "seed " << seed << ": vertex " << v;
+    EXPECT_NEAR(it->second, rank, 1e-9)
+        << "seed " << seed << ": vertex " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BspChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+// ------------------------------------------------------------------ Async
+
+class AsyncChaosTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// The asynchronous engine's crash handling: a mid-run crash surfaces as a
+// clean Unavailable at the next scheduling sweep, and a fresh run on the
+// recovered cloud converges to the fault-free fixpoint (max-label
+// propagation has a unique one, independent of update order).
+TEST_P(AsyncChaosTest, MaxLabelPropagationSurvivesCrash) {
+  const std::uint64_t seed = GetParam();
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  ChaosCluster c = NewCluster("async", seed);
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph graph(c.cloud.get(), gopts);
+  BuildPageRankGraph(&graph);  // Ring + chords: everything reachable from 0.
+  ASSERT_TRUE(c.cloud->SaveSnapshot().ok());
+
+  Random rng(seed * 0xd1342543de82ef95ULL + 3);
+  const MachineId victim =
+      static_cast<MachineId>(rng.Uniform(c.cloud->num_slaves()));
+  c.injector->CrashAfter(victim, 1 + rng.Uniform(200));
+
+  const std::uint64_t kLabel = 1000;
+  auto handler = [](compute::AsyncEngine::Context& ctx, Slice message) {
+    std::uint64_t label = 0;
+    std::memcpy(&label, message.data(), 8);
+    std::uint64_t current = 0;
+    if (ctx.value().size() == 8) {
+      std::memcpy(&current, ctx.value().data(), 8);
+    }
+    if (label <= current) return;
+    ctx.value().assign(reinterpret_cast<const char*>(&label), 8);
+    char buf[8];
+    std::memcpy(buf, &label, 8);
+    for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+      ctx.Send(ctx.out()[i], Slice(buf, 8));
+    }
+  };
+
+  bool done = false;
+  for (int attempt = 0; attempt < 6 && !done; ++attempt) {
+    compute::AsyncEngine engine(&graph, compute::AsyncEngine::Options{});
+    char buf[8];
+    std::memcpy(buf, &kLabel, 8);
+    ASSERT_TRUE(engine.Seed(0, Slice(buf, 8)).ok());
+    compute::AsyncEngine::RunStats stats;
+    Status s = engine.Run(handler, &stats);
+    if (s.ok()) {
+      int labeled = 0;
+      engine.ForEachValue([&](CellId, const std::string& value) {
+        std::uint64_t label = 0;
+        ASSERT_EQ(value.size(), 8u);
+        std::memcpy(&label, value.data(), 8);
+        if (label == kLabel) ++labeled;
+      });
+      EXPECT_EQ(labeled, kPrVertices) << "seed " << seed;
+      done = true;
+      break;
+    }
+    ASSERT_TRUE(s.IsUnavailable()) << "seed " << seed << ": " << s.message();
+    HealCluster(c);
+  }
+  ASSERT_TRUE(done) << "seed " << seed << ": run never completed";
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AsyncChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 9));
+
+// ----------------------------------------------------------- Determinism
+
+// The replayability contract: two clusters driven by the same seed and the
+// same workload make byte-identical fault decisions — the printed seed of a
+// failing chaos run is a complete reproducer.
+TEST(ChaosDeterminismTest, SameSeedSameFaultSequence) {
+  const std::uint64_t seed = 424242;
+  auto run = [&](const std::string& tag) {
+    ChaosCluster c = NewCluster(tag, seed);
+    net::FaultInjector::Policy wire;
+    wire.call_fail_prob = 0.1;
+    wire.call_timeout_prob = 0.1;
+    wire.drop_prob = 0.1;
+    c.injector->SetDefaultPolicy(wire);
+    c.injector->CrashAfter(2, 100);
+    Random rng(seed);
+    std::string acked;
+    for (int op = 0; op < 250; ++op) {
+      const CellId id = static_cast<CellId>(rng.Uniform(32));
+      if (c.cloud->PutCell(id, Slice("x" + std::to_string(op))).ok()) {
+        acked += std::to_string(op) + ",";
+      }
+    }
+    const net::FaultInjector::Stats fs = c.injector->stats();
+    const net::NetworkStats ns = c.cloud->fabric().stats();
+    return std::make_tuple(acked, fs.failed_calls, fs.timed_out_calls,
+                           fs.dropped, fs.crashes, ns.sync_calls,
+                           ns.injected_call_failures, ns.injected_crashes);
+  };
+  EXPECT_EQ(run("det_a"), run("det_b"));
+}
+
+}  // namespace
+}  // namespace trinity

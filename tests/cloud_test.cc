@@ -83,10 +83,14 @@ TEST_F(MemoryCloudTest, GlobalKeyValueOps) {
     ASSERT_TRUE(cloud_->GetCell(id, &out).ok());
     EXPECT_EQ(out, "v" + std::to_string(id));
   }
-  EXPECT_TRUE(cloud_->Contains(42));
-  EXPECT_FALSE(cloud_->Contains(4242));
+  bool exists = false;
+  ASSERT_TRUE(cloud_->Contains(42, &exists).ok());
+  EXPECT_TRUE(exists);
+  ASSERT_TRUE(cloud_->Contains(4242, &exists).ok());
+  EXPECT_FALSE(exists);
   ASSERT_TRUE(cloud_->RemoveCell(42).ok());
-  EXPECT_FALSE(cloud_->Contains(42));
+  ASSERT_TRUE(cloud_->Contains(42, &exists).ok());
+  EXPECT_FALSE(exists);
   EXPECT_EQ(cloud_->TotalCellCount(), 199u);
 }
 
@@ -323,6 +327,63 @@ TEST_F(MemoryCloudFtTest, RebalanceAfterRejoin) {
     std::string out;
     ASSERT_TRUE(cloud_->GetCell(id, &out).ok()) << "cell " << id;
   }
+}
+
+TEST_F(MemoryCloudTest, ContainsDistinguishesAbsenceFromUnavailability) {
+  ASSERT_TRUE(cloud_->AddCell(7, Slice("here")).ok());
+  // Absence is a definitive answer: OK with exists=false.
+  bool exists = true;
+  ASSERT_TRUE(cloud_->Contains(4242, &exists).ok());
+  EXPECT_FALSE(exists);
+  // A down owner is NOT absence: the status must be non-OK so a caller can
+  // never mistake "unreachable" for "deleted".
+  const MachineId owner = cloud_->MachineOf(7);
+  ASSERT_TRUE(cloud_->FailMachine(owner).ok());
+  exists = true;
+  const Status s = cloud_->Contains(7, &exists);
+  EXPECT_TRUE(s.IsUnavailable()) << s.message();
+}
+
+TEST_F(MemoryCloudTest, StaleReplicaResyncsTransparently) {
+  ASSERT_TRUE(cloud_->AddCell(11, Slice("moved")).ok());
+  const TrunkId trunk = cloud_->TrunkOf(11);
+  const MachineId old_owner = cloud_->MachineOf(11);
+  const MachineId new_owner =
+      static_cast<MachineId>((old_owner + 1) % cloud_->num_slaves());
+  ASSERT_TRUE(cloud_->MigrateTrunk(trunk, new_owner).ok());
+  // Roll the client's table replica back to the seed layout: it now names
+  // the old owner for the migrated trunk. The first access fails over
+  // there ("trunk not hosted"), re-syncs from the primary and succeeds.
+  cloud_->DesyncReplicaForTest(cloud_->client_id());
+  std::string out;
+  ASSERT_TRUE(cloud_->GetCell(11, &out).ok());
+  EXPECT_EQ(out, "moved");
+}
+
+TEST_F(MemoryCloudFtTest, RestartWithoutRecoveryIsPermanentlyStale) {
+  for (CellId id = 0; id < 40; ++id) {
+    ASSERT_TRUE(cloud_->AddCell(id, Slice("stale")).ok());
+  }
+  // Pick a cell owned by a non-leader machine, crash the owner and restart
+  // it *without* running recovery: the primary table still names it for its
+  // trunks, but the restarted process hosts nothing. Every retry re-syncs to
+  // the same wrong answer — the terminal error names that condition, not a
+  // dead owner.
+  CellId probe = 0;
+  while (cloud_->MachineOf(probe) == cloud_->leader()) ++probe;
+  const MachineId owner = cloud_->MachineOf(probe);
+  ASSERT_TRUE(cloud_->FailMachine(owner).ok());
+  ASSERT_TRUE(cloud_->RestartMachine(owner).ok());
+  std::string out;
+  const Status s = cloud_->GetCell(probe, &out);
+  ASSERT_TRUE(s.IsUnavailable()) << s.message();
+  EXPECT_NE(s.message().find("permanently stale"), std::string::npos)
+      << s.message();
+  // Proper recovery repairs the table and the data comes back.
+  ASSERT_TRUE(cloud_->FailMachine(owner).ok());
+  ASSERT_TRUE(cloud_->RecoverMachine(owner).ok());
+  ASSERT_TRUE(cloud_->GetCell(probe, &out).ok());
+  EXPECT_EQ(out, "stale");
 }
 
 TEST_F(MemoryCloudFtTest, SequentialFailuresSurvivable) {

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/cost_model.h"
+#include "net/fault_injector.h"
 
 namespace trinity::net {
 namespace {
@@ -180,6 +181,225 @@ TEST(FabricTest, TrafficAttribution) {
   EXPECT_EQ(traffic.transfers_in[1], 1u);
   EXPECT_EQ(traffic.transfers_in[2], 1u);
   EXPECT_GT(traffic.bytes_out[0], 0u);
+}
+
+TEST(FabricTest, SendToDownMachineCountsDropped) {
+  Fabric fabric(2);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  fabric.SetMachineDown(1);
+  const std::uint64_t before = fabric.stats().dropped;
+  EXPECT_TRUE(fabric.SendAsync(0, 1, 7, Slice("lost")).IsUnavailable());
+  EXPECT_EQ(fabric.stats().dropped, before + 1);
+  // Messages already buffered toward a machine that dies before the flush
+  // are dropped (and counted) at flush time.
+  fabric.SetMachineUp(1);
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("buffered")).ok());
+  fabric.SetMachineDown(1);
+  fabric.FlushAll();
+  EXPECT_EQ(count, 0);
+  EXPECT_EQ(fabric.stats().dropped, before + 2);
+}
+
+TEST(FabricTest, DownMachineCannotOriginateTraffic) {
+  Fabric fabric(2);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+  fabric.RegisterSyncHandler(1, 9, [](MachineId, Slice, std::string*) {
+    return Status::OK();
+  });
+  fabric.SetMachineDown(0);
+  EXPECT_TRUE(fabric.SendAsync(0, 1, 7, Slice("x")).IsUnavailable());
+  std::string response;
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).IsUnavailable());
+}
+
+TEST(FabricTest, HandlerReregistrationAfterRestartReceivesTraffic) {
+  Fabric fabric(2);
+  int old_count = 0, new_count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++old_count; });
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("pre")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(old_count, 1);
+  // Crash + restart: the restarted process registers a fresh handler, which
+  // replaces the old registration and receives all subsequent traffic.
+  fabric.SetMachineDown(1);
+  fabric.SetMachineUp(1);
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++new_count; });
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("post")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(old_count, 1);
+  EXPECT_EQ(new_count, 1);
+}
+
+// ----------------------------------------------------- Fault injection
+
+TEST(FaultInjectorTest, DropNextSwallowsExactlyOneMessage) {
+  Fabric fabric(2);
+  FaultInjector injector(1);
+  fabric.SetFaultInjector(&injector);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  injector.DropNext(0, 1);
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("eaten")).ok());  // Silent loss.
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("kept")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(count, 1);
+  EXPECT_EQ(injector.stats().dropped, 1u);
+  EXPECT_EQ(fabric.stats().injected_drops, 1u);
+}
+
+TEST(FaultInjectorTest, CallPoliciesFailWithConfiguredStatus) {
+  Fabric fabric(2);
+  FaultInjector injector(2);
+  fabric.SetFaultInjector(&injector);
+  fabric.RegisterSyncHandler(1, 9, [](MachineId, Slice, std::string*) {
+    return Status::OK();
+  });
+  FaultInjector::Policy policy;
+  policy.call_fail_prob = 1.0;
+  injector.SetDefaultPolicy(policy);
+  std::string response;
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).IsUnavailable());
+  policy.call_fail_prob = 0.0;
+  policy.call_timeout_prob = 1.0;
+  injector.SetDefaultPolicy(policy);
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).IsTimedOut());
+  const FaultInjector::Stats stats = injector.stats();
+  EXPECT_EQ(stats.failed_calls, 1u);
+  EXPECT_EQ(stats.timed_out_calls, 1u);
+  EXPECT_EQ(fabric.stats().injected_call_failures, 2u);
+  injector.ClearPolicies();
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).ok());
+}
+
+TEST(FaultInjectorTest, DuplicatePolicyDeliversTwice) {
+  Fabric fabric(2);
+  FaultInjector injector(3);
+  fabric.SetFaultInjector(&injector);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  FaultInjector::Policy policy;
+  policy.duplicate_prob = 1.0;
+  injector.SetDefaultPolicy(policy);
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("twice")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(injector.stats().duplicated, 1u);
+  EXPECT_EQ(fabric.stats().injected_duplicates, 1u);
+}
+
+TEST(FaultInjectorTest, PartitionBlocksBothDirectionsUntilCleared) {
+  Fabric fabric(4);
+  FaultInjector injector(4);
+  fabric.SetFaultInjector(&injector);
+  int count = 0;
+  for (MachineId m = 0; m < 4; ++m) {
+    fabric.RegisterAsyncHandler(m, 7, [&](MachineId, Slice) { ++count; });
+    fabric.RegisterSyncHandler(m, 9, [](MachineId, Slice, std::string*) {
+      return Status::OK();
+    });
+  }
+  injector.Partition({0, 1}, {2, 3});
+  std::string response;
+  // Cross-cut traffic is refused in both directions.
+  EXPECT_TRUE(fabric.Call(0, 2, 9, Slice(), &response).IsUnavailable());
+  EXPECT_TRUE(fabric.Call(3, 1, 9, Slice(), &response).IsUnavailable());
+  ASSERT_TRUE(fabric.SendAsync(1, 3, 7, Slice("cut")).ok());  // Silent drop.
+  fabric.FlushAll();
+  EXPECT_EQ(count, 0);
+  // Same-side traffic is unaffected.
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).ok());
+  EXPECT_TRUE(fabric.Call(2, 3, 9, Slice(), &response).ok());
+  EXPECT_GT(injector.stats().partition_blocks, 0u);
+  injector.ClearPartitions();
+  EXPECT_TRUE(fabric.Call(0, 2, 9, Slice(), &response).ok());
+  ASSERT_TRUE(fabric.SendAsync(1, 3, 7, Slice("healed")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(FaultInjectorTest, DelayedFlushHeldUntilFlushAll) {
+  Fabric::Params params;
+  params.pack_threshold_bytes = 1;  // Every send tries to flush immediately.
+  Fabric fabric(2, params);
+  FaultInjector injector(5);
+  fabric.SetFaultInjector(&injector);
+  int count = 0;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId, Slice) { ++count; });
+  FaultInjector::Policy policy;
+  policy.delay_flush_prob = 1.0;
+  injector.SetDefaultPolicy(policy);
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("held")).ok());
+  EXPECT_EQ(count, 0);  // Threshold flush was injected away.
+  EXPECT_GT(injector.stats().delayed_flushes, 0u);
+  EXPECT_GT(fabric.stats().delayed_flushes, 0u);
+  fabric.FlushAll();  // The barrier overrides injected delays.
+  EXPECT_EQ(count, 1);
+}
+
+TEST(FaultInjectorTest, CrashAfterTakesMachineDownAndNotifies) {
+  Fabric fabric(3);
+  FaultInjector injector(6);
+  fabric.SetFaultInjector(&injector);
+  std::vector<MachineId> crashed;
+  fabric.SetCrashListener([&](MachineId m) { crashed.push_back(m); });
+  fabric.RegisterSyncHandler(1, 9, [](MachineId, Slice, std::string*) {
+    return Status::OK();
+  });
+  injector.CrashAfter(1, 2);
+  std::string response;
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).ok());
+  EXPECT_TRUE(fabric.IsMachineUp(1));
+  // The second message touching machine 1 completes, then the crash fires.
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).ok());
+  EXPECT_FALSE(fabric.IsMachineUp(1));
+  ASSERT_EQ(crashed.size(), 1u);
+  EXPECT_EQ(crashed[0], 1);
+  EXPECT_EQ(injector.stats().crashes, 1u);
+  EXPECT_EQ(fabric.stats().injected_crashes, 1u);
+  EXPECT_TRUE(fabric.Call(0, 1, 9, Slice(), &response).IsUnavailable());
+}
+
+TEST(FaultInjectorTest, PairPolicyOverridesRangeAndDefault) {
+  Fabric fabric(3);
+  FaultInjector injector(7);
+  fabric.SetFaultInjector(&injector);
+  int count = 0;
+  for (MachineId m = 0; m < 3; ++m) {
+    fabric.RegisterAsyncHandler(m, 7, [&](MachineId, Slice) { ++count; });
+  }
+  FaultInjector::Policy drop_all;
+  drop_all.drop_prob = 1.0;
+  injector.SetDefaultPolicy(drop_all);
+  injector.SetHandlerRangePolicy(7, 7, drop_all);
+  // The pair policy (deliver everything) wins over both.
+  injector.SetPairPolicy(0, 1, FaultInjector::Policy());
+  ASSERT_TRUE(fabric.SendAsync(0, 1, 7, Slice("kept")).ok());
+  ASSERT_TRUE(fabric.SendAsync(0, 2, 7, Slice("dropped")).ok());
+  fabric.FlushAll();
+  EXPECT_EQ(count, 1);
+}
+
+TEST(FaultInjectorTest, SameSeedMakesIdenticalDecisions) {
+  auto run = [](std::uint64_t seed) {
+    Fabric fabric(2);
+    FaultInjector injector(seed);
+    fabric.SetFaultInjector(&injector);
+    fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+    FaultInjector::Policy policy;
+    policy.drop_prob = 0.3;
+    policy.duplicate_prob = 0.2;
+    injector.SetDefaultPolicy(policy);
+    for (int i = 0; i < 500; ++i) {
+      fabric.SendAsync(0, 1, 7, Slice("m"));
+    }
+    fabric.FlushAll();
+    const FaultInjector::Stats stats = injector.stats();
+    return std::to_string(stats.dropped) + "/" +
+           std::to_string(stats.duplicated);
+  };
+  EXPECT_EQ(run(99), run(99));
+  EXPECT_NE(run(99), run(100));  // Different seed, different stream.
 }
 
 TEST(CostModelTest, ComputeTermScalesWithCriticalPath) {

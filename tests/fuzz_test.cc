@@ -249,7 +249,9 @@ TEST_P(CloudChurnFuzzTest, NoOpIsLostAcrossCrashes) {
   }
   for (CellId id = 0; id < 128; ++id) {
     if (reference.count(id) == 0) {
-      ASSERT_FALSE(cloud->Contains(id)) << "ghost cell " << id;
+      bool exists = false;
+      ASSERT_TRUE(cloud->Contains(id, &exists).ok());
+      ASSERT_FALSE(exists) << "ghost cell " << id;
     }
   }
 }
