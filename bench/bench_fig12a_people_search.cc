@@ -13,7 +13,7 @@
 namespace trinity {
 namespace {
 
-void Run() {
+void Run(bench::JsonEmitter* json) {
   bench::PrintHeader("Figure 12(a)",
                      "people search on a social graph, 8 machines");
   std::printf("%8s %12s %12s %12s %12s %12s %10s\n", "degree", "nodes",
@@ -29,6 +29,7 @@ void Run() {
                                   /*track_inlinks=*/false, 12345);
     Histogram hop2, hop3;
     std::uint64_t visited3 = 0;
+    Stopwatch watch;
     for (int q = 0; q < kQueries; ++q) {
       const CellId user = (q * 997) % num_nodes;
       algos::PeopleSearchOptions options;
@@ -44,11 +45,22 @@ void Run() {
       hop3.Add(result.stats.modeled_millis);
       visited3 += result.stats.visited;
     }
+    const double wall_seconds = watch.ElapsedMicros() / 1e6;
     std::printf("%8d %12llu %12.3f %12.3f %12.3f %12.3f %10llu\n", degree,
                 static_cast<unsigned long long>(num_nodes),
                 hop2.Percentile(50), hop2.Percentile(99),
                 hop3.Percentile(50), hop3.Percentile(99),
                 static_cast<unsigned long long>(visited3 / kQueries));
+    json->BeginRow("fig12a");
+    json->Add("degree", degree);
+    json->Add("nodes", num_nodes);
+    json->Add("queries", kQueries);
+    json->Add("hop2_p50_modeled_millis", hop2.Percentile(50));
+    json->Add("hop2_p99_modeled_millis", hop2.Percentile(99));
+    json->Add("hop3_p50_modeled_millis", hop3.Percentile(50));
+    json->Add("hop3_p99_modeled_millis", hop3.Percentile(99));
+    json->Add("hop3_mean_visited", visited3 / kQueries);
+    json->Add("wall_seconds", wall_seconds);
   }
   std::printf(
       "(paper: 2-hop < 10 ms throughout; 3-hop grows with degree, ~96 ms at "
@@ -59,7 +71,8 @@ void Run() {
 }  // namespace
 }  // namespace trinity
 
-int main() {
-  trinity::Run();
+int main(int argc, char** argv) {
+  trinity::bench::JsonEmitter json("fig12a_people_search", argc, argv);
+  trinity::Run(&json);
   return 0;
 }

@@ -10,11 +10,12 @@
 
 #include "algos/bfs.h"
 #include "bench_util.h"
+#include "common/histogram.h"
 
 namespace trinity {
 namespace {
 
-void Run() {
+void Run(bench::JsonEmitter* json) {
   bench::PrintHeader("Figure 12(c)", "BFS seconds, R-MAT, degree 13");
   const int machine_counts[] = {8, 10, 12, 14};
   const std::uint64_t node_counts[] = {8192, 16384, 32768, 65536};
@@ -29,10 +30,21 @@ void Run() {
       auto graph = bench::LoadGraph(cloud.get(), edges, false,
                                     /*track_inlinks=*/false);
       algos::BfsResult result;
+      Stopwatch watch;
       Status s = algos::RunBfs(graph.get(), 0,
                                compute::TraversalEngine::Options{}, &result);
+      const double wall_seconds = watch.ElapsedMicros() / 1e6;
       TRINITY_CHECK(s.ok(), "bfs failed");
       std::printf(" %13.4f", result.modeled_seconds);
+      json->BeginRow("fig12c");
+      json->Add("nodes", nodes);
+      json->Add("machines", machines);
+      json->Add("modeled_seconds", result.modeled_seconds);
+      json->Add("wall_seconds", wall_seconds);
+      json->Add("messages", result.stats.messages);
+      json->Add("transfers", result.stats.transfers);
+      json->Add("rounds", result.stats.rounds);
+      json->Add("reached", result.reached);
     }
     std::printf("\n");
   }
@@ -45,7 +57,8 @@ void Run() {
 }  // namespace
 }  // namespace trinity
 
-int main() {
-  trinity::Run();
+int main(int argc, char** argv) {
+  trinity::bench::JsonEmitter json("fig12c_bfs", argc, argv);
+  trinity::Run(&json);
   return 0;
 }

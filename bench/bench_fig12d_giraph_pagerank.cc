@@ -10,11 +10,12 @@
 #include "algos/pagerank.h"
 #include "baseline/heap_engine.h"
 #include "bench_util.h"
+#include "common/histogram.h"
 
 namespace trinity {
 namespace {
 
-void Run() {
+void Run(bench::JsonEmitter* json) {
   bench::PrintHeader("Figure 12(d)",
                      "PageRank on the Giraph-like heap-object baseline");
   const int machine_counts[] = {4, 8, 16};
@@ -34,10 +35,20 @@ void Run() {
       Status s = engine.LoadGraph(edges);
       TRINITY_CHECK(s.ok(), "heap engine load failed");
       baseline::HeapEngine::RunStats stats;
+      Stopwatch watch;
       s = engine.RunPageRank(&stats);
+      const double wall_seconds = watch.ElapsedMicros() / 1e6;
       TRINITY_CHECK(s.ok(), "heap engine pagerank failed");
       std::printf(" %13.4f", stats.seconds_per_iteration);
       if (machines == 8) giraph8 = stats.seconds_per_iteration;
+      json->BeginRow("fig12d_giraph");
+      json->Add("nodes", nodes);
+      json->Add("machines", machines);
+      json->Add("modeled_seconds_per_iteration", stats.seconds_per_iteration);
+      json->Add("modeled_seconds", stats.modeled_seconds);
+      json->Add("wall_seconds", wall_seconds);
+      json->Add("messages", stats.messages);
+      json->Add("memory_bytes", stats.memory_bytes);
     }
     // Trinity on the same graph, 8 machines, for the headline comparison.
     auto cloud = bench::NewCloud(8);
@@ -46,10 +57,21 @@ void Run() {
     algos::PageRankOptions options;
     options.iterations = 2;
     algos::PageRankResult result;
+    Stopwatch watch;
     Status s = algos::RunPageRank(graph.get(), options, &result);
+    const double wall_seconds = watch.ElapsedMicros() / 1e6;
     TRINITY_CHECK(s.ok(), "trinity pagerank failed");
     std::printf(" %13.4f %8.1fx\n", result.seconds_per_iteration,
                 giraph8 / result.seconds_per_iteration);
+    json->BeginRow("fig12d_trinity");
+    json->Add("nodes", nodes);
+    json->Add("machines", 8);
+    json->Add("modeled_seconds_per_iteration", result.seconds_per_iteration);
+    json->Add("modeled_seconds", result.stats.modeled_seconds);
+    json->Add("wall_seconds", wall_seconds);
+    json->Add("messages", result.stats.messages);
+    json->Add("bytes", result.stats.bytes);
+    json->Add("giraph_slowdown_at_8", giraph8 / result.seconds_per_iteration);
   }
   std::printf(
       "(paper: Giraph is ~2 orders of magnitude slower than Trinity and "
@@ -60,7 +82,8 @@ void Run() {
 }  // namespace
 }  // namespace trinity
 
-int main() {
-  trinity::Run();
+int main(int argc, char** argv) {
+  trinity::bench::JsonEmitter json("fig12d_giraph_pagerank", argc, argv);
+  trinity::Run(&json);
   return 0;
 }

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# Builds the default (RelWithDebInfo) preset and runs the Fig 12 benchmark
+# suite with --json, leaving one BENCH_<name>.json per figure in the repo
+# root (wall-clock + modeled seconds, message/transfer/byte counters per
+# table cell). The human-readable tables still print to stdout.
+#
+#   scripts/bench.sh             # all four Fig 12 benches
+#   scripts/bench.sh fig12b      # only benches whose name matches the arg
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BENCHES=(
+  bench_fig12a_people_search
+  bench_fig12b_pagerank
+  bench_fig12c_bfs
+  bench_fig12d_giraph_pagerank
+)
+if [[ $# -gt 0 ]]; then
+  FILTERED=()
+  for b in "${BENCHES[@]}"; do
+    [[ "$b" == *"$1"* ]] && FILTERED+=("$b")
+  done
+  BENCHES=("${FILTERED[@]}")
+fi
+
+cmake --preset default
+cmake --build --preset default -j "$(nproc)" -- "${BENCHES[@]}"
+
+for b in "${BENCHES[@]}"; do
+  "./build/bench/$b" --json
+done
+
+ls -l BENCH_*.json

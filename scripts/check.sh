@@ -1,14 +1,27 @@
 #!/usr/bin/env bash
 # Full verification sweep: the tier-1 suite plus the chaos suite, both under
-# AddressSanitizer + UndefinedBehaviorSanitizer. A plain (unsanitized) run is
-# assumed to happen through the default preset; this script is the slower,
-# paranoid gate.
+# AddressSanitizer + UndefinedBehaviorSanitizer, and (with --tsan) the
+# multithreaded compute + chaos suites under ThreadSanitizer. A plain
+# (unsanitized) run is assumed to happen through the default preset; this
+# script is the slower, paranoid gate.
 #
-#   scripts/check.sh            # sanitized build + full ctest
-#   scripts/check.sh --chaos    # sanitized build + chaos label only
+#   scripts/check.sh            # ASan/UBSan build + full ctest
+#   scripts/check.sh --chaos    # ASan/UBSan build + chaos label only
+#   scripts/check.sh --tsan     # TSan build + compute and chaos labels
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--tsan" ]]; then
+  # The compute engines run per-machine vertex loops on a thread pool; the
+  # compute + chaos labels drive every multithreaded code path (supersteps,
+  # sweep barriers, packed sends, crash recovery) under the race detector.
+  cmake --preset tsan
+  cmake --build --preset tsan -j "$(nproc)"
+  cd build-tsan
+  ctest --output-on-failure -j "$(nproc)" -L 'compute|chaos'
+  exit 0
+fi
 
 FILTER=()
 if [[ "${1:-}" == "--chaos" ]]; then

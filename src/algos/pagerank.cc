@@ -57,8 +57,8 @@ Status RunPageRank(graph::Graph* graph, const PageRankOptions& options,
         } else {
           previous = DecodeDouble(Slice(ctx.value()));
           double incoming = 0;
-          for (const std::string& msg : ctx.messages()) {
-            incoming += DecodeDouble(Slice(msg));
+          for (Slice msg : ctx.messages()) {
+            incoming += DecodeDouble(msg);
           }
           rank = (1.0 - damping) / n + damping * incoming;
         }

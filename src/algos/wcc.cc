@@ -35,8 +35,8 @@ Status RunWcc(graph::Graph* graph, const WccOptions& options,
           changed = true;
         } else {
           label = DecodeId(Slice(ctx.value()));
-          for (const std::string& msg : ctx.messages()) {
-            const CellId candidate = DecodeId(Slice(msg));
+          for (Slice msg : ctx.messages()) {
+            const CellId candidate = DecodeId(msg);
             if (candidate < label) {
               label = candidate;
               changed = true;

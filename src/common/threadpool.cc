@@ -1,5 +1,6 @@
 #include "common/threadpool.h"
 
+#include <algorithm>
 #include <atomic>
 
 namespace trinity {
@@ -36,24 +37,33 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(int n, const std::function<void(int)>& fn) {
   if (n <= 0) return;
-  std::atomic<int> next{0};
-  std::atomic<int> done{0};
+  const int shards = std::min(n, num_threads());
+  if (shards <= 1) {
+    for (int i = 0; i < n; ++i) fn(i);
+    return;
+  }
+  // Contiguous chunks, one task per shard: shard s covers
+  // [s*chunk + min(s,rem), ...) so sizes differ by at most one.
+  const int chunk = n / shards;
+  const int rem = n % shards;
+  // All completion state lives on this stack frame, so the count must only
+  // be touched under done_mu: the waiter can then observe completion only
+  // after the finishing worker's last access, making it safe to return and
+  // pop the frame.
   std::mutex done_mu;
   std::condition_variable done_cv;
-  const int shards = num_threads();
+  int done = 0;
   for (int s = 0; s < shards; ++s) {
-    Submit([&, n] {
-      for (int i = next.fetch_add(1); i < n; i = next.fetch_add(1)) {
-        fn(i);
-      }
-      if (done.fetch_add(1) + 1 == shards) {
-        std::lock_guard<std::mutex> lock(done_mu);
-        done_cv.notify_all();
-      }
+    const int begin = s * chunk + std::min(s, rem);
+    const int end = begin + chunk + (s < rem ? 1 : 0);
+    Submit([&, begin, end] {
+      for (int i = begin; i < end; ++i) fn(i);
+      std::lock_guard<std::mutex> lock(done_mu);
+      if (++done == shards) done_cv.notify_all();
     });
   }
   std::unique_lock<std::mutex> lock(done_mu);
-  done_cv.wait(lock, [&] { return done.load() == shards; });
+  done_cv.wait(lock, [&] { return done == shards; });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -29,7 +29,13 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(workers_.size()); }
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion —
+  /// the call itself is the barrier. The range is split into at most
+  /// num_threads() contiguous chunks (one task each) so a worker touches a
+  /// run of adjacent indices instead of interleaving with its neighbors;
+  /// n <= 1 (and a single-thread pool) runs inline on the calling thread.
+  /// fn must not call ParallelFor on the same pool (a worker would block
+  /// waiting for tasks that only it could run).
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
  private:

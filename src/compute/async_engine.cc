@@ -1,5 +1,8 @@
 #include "compute/async_engine.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/serializer.h"
 
 namespace trinity::compute {
@@ -14,23 +17,32 @@ AsyncEngine::AsyncEngine(graph::Graph* graph, Options options)
   num_slaves_ = cloud->num_slaves();
   machines_.resize(num_slaves_);
   trunk_owner_.resize(cloud->table().num_slots());
+  owns_trunks_.assign(num_slaves_, false);
   for (int t = 0; t < cloud->table().num_slots(); ++t) {
     trunk_owner_[t] = cloud->table().machine_of_trunk(t);
+    if (trunk_owner_[t] >= 0 && trunk_owner_[t] < num_slaves_) {
+      owns_trunks_[trunk_owner_[t]] = true;
+    }
   }
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads < 1) threads = 1;
+  pool_ = std::make_unique<ThreadPool>(threads);
   net::Fabric& fabric = cloud->fabric();
   for (MachineId m = 0; m < num_slaves_; ++m) {
+    machines_[m].outboxes.resize(num_slaves_);
     fabric.RegisterAsyncHandler(
         m, cloud::kAsyncUpdateHandler, [this, m](MachineId, Slice payload) {
-          BinaryReader reader(payload);
-          CellId target = 0;
-          Slice message;
-          if (reader.GetU64(&target) && reader.GetBytes(&message)) {
-            // Receiving a message makes the machine black (Safra) and
-            // settles one unit of the sender's deficit on our side.
-            machines_[m].black = true;
-            --machines_[m].deficit;
-            EnqueueLocal(m, target, message);
-          }
+          // One payload packs many updates. Each record makes the machine
+          // black (Safra) and settles one unit of the sender's deficit.
+          ForEachPackedRecord(payload,
+                              [this, m](CellId target, Slice message) {
+                                machines_[m].black = true;
+                                --machines_[m].deficit;
+                                EnqueueLocal(m, target, message);
+                              });
         });
   }
   // Discard updates stranded in the fabric's pair buffers by a previous
@@ -52,14 +64,7 @@ MachineId AsyncEngine::OwnerOf(CellId vertex) const {
 Status AsyncEngine::CheckClusterHealthy() const {
   const net::Fabric& fabric = graph_->cloud()->fabric();
   for (MachineId m = 0; m < num_slaves_; ++m) {
-    bool owns_trunks = false;
-    for (MachineId owner : trunk_owner_) {
-      if (owner == m) {
-        owns_trunks = true;
-        break;
-      }
-    }
-    if (owns_trunks && !fabric.IsMachineUp(m)) {
+    if (owns_trunks_[m] && !fabric.IsMachineUp(m)) {
       return Status::Unavailable("machine " + std::to_string(m) +
                                  " crashed during the async run");
     }
@@ -78,12 +83,26 @@ void AsyncEngine::SendUpdate(MachineId src, CellId target, Slice message) {
     EnqueueLocal(dst, target, message);
     return;
   }
+  // Append-only into src's outbox (no fabric, no locks mid-sweep); the
+  // deficit rises now and settles when the packed payload is unpacked on
+  // the destination at the sweep barrier.
   ++machines_[src].deficit;
-  BinaryWriter writer;
-  writer.PutU64(target);
-  writer.PutBytes(message);
-  graph_->cloud()->fabric().SendAsync(src, dst, cloud::kAsyncUpdateHandler,
-                                      Slice(writer.buffer()));
+  machines_[src].outboxes[dst].Add(target, message);
+}
+
+void AsyncEngine::FlushOutboxes() {
+  net::Fabric& fabric = graph_->cloud()->fabric();
+  for (MachineId src = 0; src < num_slaves_; ++src) {
+    for (MachineId dst = 0; dst < num_slaves_; ++dst) {
+      Outbox& outbox = machines_[src].outboxes[dst];
+      if (outbox.empty()) continue;
+      // A batch dropped on a dead endpoint is counted by the fabric; the
+      // next sweep's health check surfaces the crash itself.
+      fabric.SendPacked(src, dst, cloud::kAsyncUpdateHandler,
+                        Slice(outbox.bytes), outbox.count);
+      outbox.Clear();
+    }
+  }
 }
 
 Status AsyncEngine::Seed(CellId vertex, Slice message) {
@@ -127,10 +146,17 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
     // detect the crash itself here, once per scheduling sweep.
     Status healthy = CheckClusterHealthy();
     if (!healthy.ok()) return healthy;
-    bool processed_any = false;
-    for (MachineId m = 0; m < num_slaves_; ++m) {
-      net::Fabric::MeterScope meter(fabric, m);
+    // Parallel scheduling sweep: every machine drains up to batch_size
+    // updates from its own queue on a pool worker. Workers touch only their
+    // machine's state and outboxes, so the sweep is lock-free; the
+    // ParallelFor join is the sweep barrier.
+    pool_->ParallelFor(num_slaves_, [&](int mi) {
+      const MachineId m = mi;
       MachineState& state = machines_[m];
+      state.sweep_status = Status::OK();
+      state.sweep_updates = 0;
+      net::Fabric::MeterScope meter(fabric, m);
+      storage::MemoryStorage* store = graph_->cloud()->storage(m);
       for (int i = 0; i < options_.batch_size && !state.queue.empty(); ++i) {
         Update update = std::move(state.queue.front());
         state.queue.pop_front();
@@ -140,7 +166,7 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
         ctx.vertex_ = update.vertex;
         ctx.value_ = &state.values[update.vertex];
         Status vs = graph_->VisitLocalNode(
-            m, update.vertex,
+            store, update.vertex,
             [&](Slice data, const CellId*, std::size_t, const CellId* out,
                 std::size_t out_count) {
               ctx.data_ = data;
@@ -148,17 +174,24 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
               ctx.out_count_ = out_count;
               handler(ctx, Slice(update.message));
             });
-        if (!vs.ok() && !vs.IsNotFound()) failure = vs;
-        ++stats->updates;
-        ++since_snapshot;
-        processed_any = true;
-        if (stats->updates >= options_.max_updates) {
-          return Status::Aborted("async update limit reached");
-        }
+        if (!vs.ok() && !vs.IsNotFound()) state.sweep_status = vs;
+        ++state.sweep_updates;
       }
+    });
+    bool processed_any = false;
+    for (const MachineState& state : machines_) {
+      if (!state.sweep_status.ok()) failure = state.sweep_status;
+      stats->updates += state.sweep_updates;
+      since_snapshot += state.sweep_updates;
+      processed_any = processed_any || state.sweep_updates > 0;
     }
     if (!failure.ok()) return failure;
-    // Asynchronous delivery: drain in-flight messages opportunistically.
+    if (stats->updates >= options_.max_updates) {
+      return Status::Aborted("async update limit reached");
+    }
+    // Asynchronous delivery: drain the packed outboxes, then anything the
+    // fabric still buffers.
+    FlushOutboxes();
     fabric.FlushAll();
     // Periodic interruption + snapshot (§6.2).
     if (options_.snapshot_interval > 0 && options_.tfs != nullptr &&
@@ -192,16 +225,23 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
 }
 
 Status AsyncEngine::WriteSnapshot(int index) {
+  // Sorted per machine so two snapshots of identical state are
+  // byte-identical (unordered_map iteration order is not deterministic).
   BinaryWriter writer;
   std::uint64_t total = 0;
   for (const MachineState& state : machines_) {
     total += state.values.size();
   }
   writer.PutU64(total);
+  std::vector<CellId> ids;
   for (const MachineState& state : machines_) {
-    for (const auto& [vertex, value] : state.values) {
-      writer.PutU64(vertex);
-      writer.PutString(value);
+    ids.clear();
+    ids.reserve(state.values.size());
+    for (const auto& [vertex, value] : state.values) ids.push_back(vertex);
+    std::sort(ids.begin(), ids.end());
+    for (CellId v : ids) {
+      writer.PutU64(v);
+      writer.PutString(state.values.at(v));
     }
   }
   return options_.tfs->WriteFile(

@@ -4,11 +4,14 @@
 #include <cstdint>
 #include <deque>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
+#include "common/threadpool.h"
+#include "compute/packed_messages.h"
 #include "graph/graph.h"
 #include "net/cost_model.h"
 #include "tfs/tfs.h"
@@ -39,7 +42,14 @@ class AsyncEngine {
     std::string snapshot_prefix = "async_snap";
     /// Updates a machine processes per scheduling slice.
     int batch_size = 256;
-    /// Safety valve against non-terminating programs.
+    /// Worker threads for the per-machine update sweeps. 0 = one per
+    /// hardware thread; 1 = sequential. Results are identical either way:
+    /// remote updates travel as packed payloads drained at the sweep
+    /// barrier in canonical (source machine, arrival order) order.
+    int num_threads = 0;
+    /// Safety valve against non-terminating programs. Checked at sweep
+    /// granularity (a sweep processes at most batch_size updates per
+    /// machine), so a run may overshoot by one sweep before aborting.
     std::uint64_t max_updates = 100'000'000;
   };
 
@@ -105,6 +115,12 @@ class AsyncEngine {
     /// Safra bookkeeping: message deficit (sent - received) and color.
     std::int64_t deficit = 0;
     bool black = false;
+    /// Per-destination outboxes; only this machine's worker appends during
+    /// a sweep, the barrier drains them as packed payloads.
+    std::vector<Outbox> outboxes;
+    /// Per-machine outcome of the parallel sweep.
+    Status sweep_status;
+    std::uint64_t sweep_updates = 0;
   };
 
   MachineId OwnerOf(CellId vertex) const;
@@ -114,6 +130,9 @@ class AsyncEngine {
   Status CheckClusterHealthy() const;
   void SendUpdate(MachineId src, CellId target, Slice message);
   void EnqueueLocal(MachineId machine, CellId target, Slice message);
+  /// Drains every (src,dst) outbox through Fabric::SendPacked in canonical
+  /// src-asc, dst-asc order (sweep barrier).
+  void FlushOutboxes();
   /// One pass of Safra's token around the ring. With `require_idle_queues`
   /// the token certifies global termination (no work, no in-flight
   /// messages); without, it certifies only transport quiescence — the
@@ -125,6 +144,10 @@ class AsyncEngine {
   Options options_;
   std::vector<MachineState> machines_;
   std::vector<MachineId> trunk_owner_;
+  /// owns_trunks_[m]: machine m hosts at least one trunk (precomputed so
+  /// the per-sweep health check is O(machines)).
+  std::vector<bool> owns_trunks_;
+  std::unique_ptr<ThreadPool> pool_;
   int num_slaves_;
 };
 

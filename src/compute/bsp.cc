@@ -1,5 +1,8 @@
 #include "compute/bsp.h"
 
+#include <algorithm>
+#include <thread>
+
 #include "common/logging.h"
 #include "common/serializer.h"
 
@@ -40,19 +43,25 @@ BspEngine::BspEngine(graph::Graph* graph, Options options)
   // Snapshot trunk ownership so per-message routing is lock-free. BSP runs
   // assume stable membership for their duration.
   trunk_owner_.resize(cloud->table().num_slots());
+  owns_trunks_.assign(num_slaves_, false);
   for (int t = 0; t < cloud->table().num_slots(); ++t) {
     trunk_owner_[t] = cloud->table().machine_of_trunk(t);
+    if (trunk_owner_[t] >= 0 && trunk_owner_[t] < num_slaves_) {
+      owns_trunks_[trunk_owner_[t]] = true;
+    }
   }
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads < 1) threads = 1;
+  pool_ = std::make_unique<ThreadPool>(threads);
   for (MachineId m = 0; m < num_slaves_; ++m) {
     machines_[m].vertices = graph_->LocalNodes(m);
+    machines_[m].outboxes.resize(num_slaves_);
     cloud->fabric().RegisterAsyncHandler(
         m, handler_id_, [this, m](MachineId, Slice payload) {
-          BinaryReader reader(payload);
-          CellId target = 0;
-          Slice message;
-          if (reader.GetU64(&target) && reader.GetBytes(&message)) {
-            DeliverLocal(m, target, message);
-          }
+          ReceivePacked(m, payload);
         });
   }
 }
@@ -64,14 +73,7 @@ MachineId BspEngine::OwnerOf(CellId vertex) const {
 Status BspEngine::CheckClusterHealthy() const {
   const net::Fabric& fabric = graph_->cloud()->fabric();
   for (MachineId m = 0; m < num_slaves_; ++m) {
-    bool owns_trunks = false;
-    for (MachineId owner : trunk_owner_) {
-      if (owner == m) {
-        owns_trunks = true;
-        break;
-      }
-    }
-    if (owns_trunks && !fabric.IsMachineUp(m)) {
+    if (owns_trunks_[m] && !fabric.IsMachineUp(m)) {
       return Status::Unavailable("machine " + std::to_string(m) +
                                  " crashed during the BSP run");
     }
@@ -80,62 +82,149 @@ Status BspEngine::CheckClusterHealthy() const {
 }
 
 void BspEngine::SendMessage(MachineId src, CellId target, Slice message) {
-  const MachineId dst = OwnerOf(target);
-  if (dst == src) {
-    // Local messages bypass the fabric entirely (and its CPU meter — the
-    // surrounding superstep MeterScope already covers this work).
-    DeliverLocal(dst, target, message);
-    return;
-  }
-  BinaryWriter writer;
-  writer.PutU64(target);
-  writer.PutBytes(message);
-  graph_->cloud()->fabric().SendAsync(src, dst, handler_id_,
-                                      Slice(writer.buffer()));
+  // Append-only into src's outbox — no locks, no fabric until the barrier.
+  machines_[src].outboxes[OwnerOf(target)].Add(target, message);
 }
 
 void BspEngine::DeliverLocal(MachineId machine, CellId target,
                              Slice message) {
   MachineState& state = machines_[machine];
-  auto& slot = state.next_inbox[target];
   if (options_.combiner) {
-    if (slot.empty()) {
-      slot.emplace_back(message.ToString());
+    auto it = state.next_acc.find(target);
+    if (it == state.next_acc.end()) {
+      state.next_acc.emplace(target, message.ToString());
+      state.next_acc_order.push_back(target);
     } else {
-      options_.combiner(&slot.front(), message);
+      options_.combiner(&it->second, message);
     }
   } else {
-    slot.emplace_back(message.ToString());
+    state.next_records.push_back(
+        InboxRecord{target, state.next_arena.size(),
+                    static_cast<std::uint32_t>(message.size())});
+    state.next_arena.append(message.data(), message.size());
   }
-  state.halted.erase(target);  // A message reawakens a halted vertex.
+}
+
+void BspEngine::ReceivePacked(MachineId machine, Slice payload) {
+  // Handlers fire on the driver thread while outboxes drain in canonical
+  // order; just stash the packed bytes. Unpacking (and the combiner fold)
+  // is per-destination work and runs in parallel inside FinalizeInboxes.
+  machines_[machine].pending.emplace_back(payload.ToString());
+}
+
+void BspEngine::FlushOutboxes() {
+  net::Fabric& fabric = graph_->cloud()->fabric();
+  // Canonical drain order — src asc, dst asc, arrival order within a pair —
+  // is what makes parallel and sequential runs deliver identical inboxes.
+  for (MachineId src = 0; src < num_slaves_; ++src) {
+    for (MachineId dst = 0; dst < num_slaves_; ++dst) {
+      Outbox& outbox = machines_[src].outboxes[dst];
+      if (outbox.empty()) continue;
+      if (src == dst) {
+        // Local messages bypass the fabric and its meters — the superstep
+        // MeterScope already covered this work.
+        ReceivePacked(src, Slice(outbox.bytes));
+      } else {
+        // Dead endpoints drop the batch inside the fabric (counted); the
+        // post-superstep health check surfaces the crash.
+        fabric.SendPacked(src, dst, handler_id_, Slice(outbox.bytes),
+                          outbox.count);
+      }
+      outbox.Clear();
+    }
+  }
+}
+
+void BspEngine::FinalizeInboxes(bool* any_messages) {
+  // Second parallel half of the barrier: each destination unpacks its own
+  // pending payloads, folds combiners, and sorts its inbox — no machine
+  // touches another's staging state, so the fan-out is lock-free.
+  pool_->ParallelFor(num_slaves_, [&](int mi) {
+    MachineState& state = machines_[mi];
+    for (const std::string& payload : state.pending) {
+      const bool ok = ForEachPackedRecord(
+          Slice(payload), [this, mi](CellId target, Slice message) {
+            DeliverLocal(mi, target, message);
+          });
+      if (!ok) {
+        TRINITY_WARN("malformed packed BSP payload on machine %d", mi);
+      }
+    }
+    state.pending.clear();
+    if (options_.combiner) {
+      // Materialize the folded accumulators in first-arrival order.
+      state.next_arena.clear();
+      state.next_records.clear();
+      for (CellId target : state.next_acc_order) {
+        const std::string& acc = state.next_acc[target];
+        state.next_records.push_back(
+            InboxRecord{target, state.next_arena.size(),
+                        static_cast<std::uint32_t>(acc.size())});
+        state.next_arena.append(acc);
+      }
+      state.next_acc.clear();
+      state.next_acc_order.clear();
+    }
+    // Stable by target: each vertex's messages keep canonical arrival order.
+    std::stable_sort(state.next_records.begin(), state.next_records.end(),
+                     [](const InboxRecord& a, const InboxRecord& b) {
+                       return a.target < b.target;
+                     });
+    state.arena.swap(state.next_arena);
+    state.records.swap(state.next_records);
+    state.next_arena.clear();
+    state.next_records.clear();
+  });
+  *any_messages = false;
+  for (const MachineState& state : machines_) {
+    if (!state.records.empty()) *any_messages = true;
+  }
 }
 
 Status BspEngine::RunSuperstep(const Program& program, int superstep,
                                bool* all_quiet) {
   net::Fabric& fabric = graph_->cloud()->fabric();
-  bool any_active = false;
-  static const std::vector<std::string> kNoMessages;
-  for (MachineId m = 0; m < num_slaves_; ++m) {
-    net::Fabric::MeterScope meter(fabric, m);
+  cloud::MemoryCloud* cloud = graph_->cloud();
+  // Machine-level parallelism (§5.3): each simulated slave's vertex loop
+  // runs on a pool worker. A worker only touches its machine's state and
+  // outboxes, so the loop is lock-free; the ParallelFor join is the first
+  // half of the superstep barrier.
+  pool_->ParallelFor(num_slaves_, [&](int mi) {
+    const MachineId m = mi;
     MachineState& state = machines_[m];
+    state.step_status = Status::OK();
+    state.any_active = false;
+    net::Fabric::MeterScope meter(fabric, m);
+    // One storage resolution per machine per superstep; vertices then read
+    // trunk memory without the cloud membership mutex.
+    storage::MemoryStorage* store = cloud->storage(m);
     for (CellId v : state.vertices) {
-      auto msg_it = state.inbox.find(v);
-      const bool has_messages = msg_it != state.inbox.end();
+      auto lo = std::lower_bound(
+          state.records.begin(), state.records.end(), v,
+          [](const InboxRecord& r, CellId id) { return r.target < id; });
+      const bool has_messages =
+          lo != state.records.end() && lo->target == v;
       const bool is_halted = state.halted.count(v) != 0;
       // A vertex runs if it has messages, or has not halted (superstep 0
       // activates everyone).
       if (is_halted && !has_messages) continue;
-      any_active = true;
+      state.any_active = true;
+      state.msg_scratch.clear();
+      for (auto it = lo; it != state.records.end() && it->target == v;
+           ++it) {
+        state.msg_scratch.emplace_back(state.arena.data() + it->offset,
+                                       it->len);
+      }
       VertexContext ctx;
       ctx.engine_ = this;
       ctx.machine_ = m;
       ctx.vertex_ = v;
       ctx.superstep_ = superstep;
-      ctx.messages_ = has_messages ? &msg_it->second : &kNoMessages;
+      ctx.messages_ = &state.msg_scratch;
       ctx.value_ = &state.values[v];
       ctx.aggregated_ = Slice(aggregated_);
       Status vs = graph_->VisitLocalNode(
-          m, v,
+          store, v,
           [&](Slice data, const CellId* in, std::size_t in_count,
               const CellId* out, std::size_t out_count) {
             ctx.data_ = data;
@@ -146,13 +235,14 @@ Status BspEngine::RunSuperstep(const Program& program, int superstep,
             program(ctx);
           });
       if (!vs.ok()) {
-        // A machine that crashed mid-superstep makes its local reads fail
-        // with NotFound; report the crash, not the symptom.
-        if (!fabric.IsMachineUp(m)) {
-          return Status::Unavailable("machine " + std::to_string(m) +
-                                     " crashed during the BSP run");
-        }
-        return vs;
+        // A machine that crashed makes its local reads fail with NotFound;
+        // report the crash, not the symptom.
+        state.step_status =
+            !fabric.IsMachineUp(m)
+                ? Status::Unavailable("machine " + std::to_string(m) +
+                                      " crashed during the BSP run")
+                : vs;
+        return;
       }
       if (ctx.halt_) {
         state.halted.insert(v);
@@ -160,8 +250,15 @@ Status BspEngine::RunSuperstep(const Program& program, int superstep,
         state.halted.erase(v);
       }
     }
+  });
+  bool any_active = false;
+  for (MachineState& state : machines_) {
+    if (!state.step_status.ok()) return state.step_status;
+    any_active = any_active || state.any_active;
   }
-  // Superstep barrier: deliver all in-flight messages.
+  // Second half of the barrier: drain the packed outboxes through the
+  // fabric (O(machines²) sends), then anything non-engine traffic buffered.
+  FlushOutboxes();
   fabric.FlushAll();
   // Fold the per-machine partial aggregates (in a real deployment each
   // machine ships one small value to the master here — negligible traffic).
@@ -180,13 +277,8 @@ Status BspEngine::RunSuperstep(const Program& program, int superstep,
       state.has_partial_aggregate = false;
     }
   }
-  // Swap inboxes and decide quiescence.
   bool any_messages = false;
-  for (MachineState& state : machines_) {
-    state.inbox = std::move(state.next_inbox);
-    state.next_inbox.clear();
-    if (!state.inbox.empty()) any_messages = true;
-  }
+  FinalizeInboxes(&any_messages);
   *all_quiet = !any_messages && !any_active;
   return Status::OK();
 }
@@ -194,14 +286,19 @@ Status BspEngine::RunSuperstep(const Program& program, int superstep,
 Status BspEngine::Run(const Program& program, RunStats* stats) {
   *stats = RunStats();
   net::Fabric& fabric = graph_->cloud()->fabric();
-  // A previous run aborted by a crash leaves packed vertex messages stranded
-  // in the fabric's pair buffers; the first barrier of this run would deliver
-  // them and corrupt superstep sums. Drain them into our (freshly
-  // re-registered) handlers and discard.
+  // A previous run aborted by a crash can leave messages stranded in the
+  // fabric's pair buffers or in our outboxes; the first barrier of this run
+  // would deliver them and corrupt superstep sums. Drain and discard.
   fabric.FlushAll();
   for (MachineState& state : machines_) {
-    state.inbox.clear();
-    state.next_inbox.clear();
+    state.arena.clear();
+    state.records.clear();
+    state.pending.clear();
+    state.next_arena.clear();
+    state.next_records.clear();
+    state.next_acc.clear();
+    state.next_acc_order.clear();
+    for (Outbox& outbox : state.outboxes) outbox.Clear();
   }
   int superstep = 0;
   if (options_.checkpoint_interval > 0 && options_.tfs != nullptr) {
@@ -260,22 +357,53 @@ void BspEngine::ForEachValue(
 }
 
 Status BspEngine::WriteCheckpoint(int superstep) {
+  // Every container is serialized in sorted vertex order so two checkpoints
+  // of identical state are byte-identical (unordered_map iteration order is
+  // not deterministic across processes).
   BinaryWriter writer;
   writer.PutI32(superstep);
   writer.PutI32(num_slaves_);
+  std::vector<CellId> ids;
   for (const MachineState& state : machines_) {
-    writer.PutU32(static_cast<std::uint32_t>(state.values.size()));
-    for (const auto& [vertex, value] : state.values) {
-      writer.PutU64(vertex);
-      writer.PutString(value);
+    ids.clear();
+    ids.reserve(state.values.size());
+    for (const auto& [vertex, value] : state.values) ids.push_back(vertex);
+    std::sort(ids.begin(), ids.end());
+    writer.PutU32(static_cast<std::uint32_t>(ids.size()));
+    for (CellId v : ids) {
+      writer.PutU64(v);
+      writer.PutString(state.values.at(v));
     }
-    writer.PutU32(static_cast<std::uint32_t>(state.halted.size()));
-    for (CellId v : state.halted) writer.PutU64(v);
-    writer.PutU32(static_cast<std::uint32_t>(state.inbox.size()));
-    for (const auto& [vertex, messages] : state.inbox) {
-      writer.PutU64(vertex);
-      writer.PutU32(static_cast<std::uint32_t>(messages.size()));
-      for (const std::string& msg : messages) writer.PutString(msg);
+    ids.assign(state.halted.begin(), state.halted.end());
+    std::sort(ids.begin(), ids.end());
+    writer.PutU32(static_cast<std::uint32_t>(ids.size()));
+    for (CellId v : ids) writer.PutU64(v);
+    // Inbox records are sorted by target, so the groups stream out in
+    // ascending vertex order — already deterministic.
+    std::uint32_t groups = 0;
+    for (std::size_t i = 0; i < state.records.size();) {
+      std::size_t j = i;
+      while (j < state.records.size() &&
+             state.records[j].target == state.records[i].target) {
+        ++j;
+      }
+      ++groups;
+      i = j;
+    }
+    writer.PutU32(groups);
+    for (std::size_t i = 0; i < state.records.size();) {
+      const CellId target = state.records[i].target;
+      std::size_t j = i;
+      while (j < state.records.size() && state.records[j].target == target) {
+        ++j;
+      }
+      writer.PutU64(target);
+      writer.PutU32(static_cast<std::uint32_t>(j - i));
+      for (std::size_t k = i; k < j; ++k) {
+        writer.PutBytes(Slice(state.arena.data() + state.records[k].offset,
+                              state.records[k].len));
+      }
+      i = j;
     }
   }
   return options_.tfs->WriteFile(options_.checkpoint_prefix + "/state",
@@ -296,8 +424,13 @@ Status BspEngine::TryRestoreCheckpoint(int* superstep) {
   for (MachineState& state : machines_) {
     state.values.clear();
     state.halted.clear();
-    state.inbox.clear();
-    state.next_inbox.clear();
+    state.arena.clear();
+    state.records.clear();
+    state.pending.clear();
+    state.next_arena.clear();
+    state.next_records.clear();
+    state.next_acc.clear();
+    state.next_acc_order.clear();
     std::uint32_t count = 0;
     if (!reader.GetU32(&count)) return Status::Corruption("ckpt values");
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -321,13 +454,21 @@ Status BspEngine::TryRestoreCheckpoint(int* superstep) {
       if (!reader.GetU64(&v) || !reader.GetU32(&msgs)) {
         return Status::Corruption("ckpt inbox entry");
       }
-      auto& slot = state.inbox[v];
       for (std::uint32_t k = 0; k < msgs; ++k) {
-        std::string msg;
-        if (!reader.GetString(&msg)) return Status::Corruption("ckpt msg");
-        slot.push_back(std::move(msg));
+        Slice msg;
+        if (!reader.GetBytes(&msg)) return Status::Corruption("ckpt msg");
+        state.records.push_back(
+            InboxRecord{v, state.arena.size(),
+                        static_cast<std::uint32_t>(msg.size())});
+        state.arena.append(msg.data(), msg.size());
       }
     }
+    // Checkpoints written by this engine are already grouped and sorted;
+    // normalize anyway so the vertex loop's binary search always holds.
+    std::stable_sort(state.records.begin(), state.records.end(),
+                     [](const InboxRecord& a, const InboxRecord& b) {
+                       return a.target < b.target;
+                     });
   }
   *superstep = step;
   return Status::OK();

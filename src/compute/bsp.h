@@ -3,12 +3,15 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/threadpool.h"
+#include "compute/packed_messages.h"
 #include "graph/graph.h"
 #include "net/cost_model.h"
 #include "tfs/tfs.h"
@@ -22,10 +25,18 @@ namespace trinity::compute {
 /// *restrictive* model), and may vote to halt. A halted vertex is reawakened
 /// by an incoming message.
 ///
-/// Messages travel through the fabric's one-sided async path, so small
-/// per-vertex messages are automatically packed into few physical transfers
-/// (§4.2), and per-superstep CPU + traffic are metered per machine. The
-/// engine reports both measured meter totals and the CostModel's modeled
+/// Execution is parallel at machine granularity (each simulated slave runs
+/// its vertex loop on a pool worker, like the paper's slaves running vertex
+/// programs on all cores); the superstep barrier is the ParallelFor join.
+/// Vertex sends append to per-(src,dst) outbox buffers that reach the fabric
+/// as one packed payload per pair at the barrier (§4.2 message packing done
+/// explicitly), so fabric-mutex traffic is O(machines²) per superstep, not
+/// O(messages). Inboxes are merged at the barrier in canonical (source
+/// machine, arrival order) order, which makes a parallel run bit-identical
+/// to a sequential one for deterministic programs — see
+/// docs/parallel_execution.md.
+///
+/// The engine reports both measured meter totals and the CostModel's modeled
 /// cluster seconds — the number the Fig 12(b)/(c) benchmarks plot.
 /// Each engine binds the cloud's BSP message handler at construction, so at
 /// most one BspEngine may be *running* on a given MemoryCloud at a time
@@ -36,8 +47,12 @@ class BspEngine {
   struct Options {
     int superstep_limit = 64;
     net::CostModel cost_model;
+    /// Worker threads for the per-machine vertex loops. 0 = one per
+    /// hardware thread; 1 = sequential execution (identical results either
+    /// way — see the determinism note above).
+    int num_threads = 0;
     /// Optional associative combiner: incoming messages for one vertex are
-    /// folded into a single accumulator at delivery time (PageRank's sum),
+    /// folded into a single accumulator at the barrier (PageRank's sum),
     /// keeping inboxes O(V) instead of O(E).
     std::function<void(std::string* accumulator, Slice message)> combiner;
     /// Checkpoint every N supersteps to TFS (0 = off). See §6.2: "For BSP
@@ -54,7 +69,10 @@ class BspEngine {
         aggregator;
   };
 
-  /// Execution context handed to the vertex program.
+  /// Execution context handed to the vertex program. The program runs on a
+  /// pool worker; everything reachable through the context is owned by the
+  /// vertex's machine, so programs need no locking as long as they only
+  /// touch state through the context.
   class VertexContext {
    public:
     CellId vertex() const { return vertex_; }
@@ -66,7 +84,9 @@ class BspEngine {
     const CellId* in() const { return in_; }
     std::size_t in_count() const { return in_count_; }
     /// Combined/collected messages delivered to this vertex this superstep.
-    const std::vector<std::string>& messages() const { return *messages_; }
+    /// Slices point into the machine's inbox arena; they are valid only for
+    /// the duration of the vertex program.
+    const std::vector<Slice>& messages() const { return *messages_; }
     /// Mutable per-vertex state ("local variables" in Fig 10).
     std::string& value() { return *value_; }
 
@@ -94,7 +114,7 @@ class BspEngine {
     std::size_t out_count_ = 0;
     const CellId* in_ = nullptr;
     std::size_t in_count_ = 0;
-    const std::vector<std::string>* messages_ = nullptr;
+    const std::vector<Slice>* messages_ = nullptr;
     std::string* value_ = nullptr;
     Slice aggregated_;
     bool halt_ = false;
@@ -134,19 +154,55 @@ class BspEngine {
   const std::string& aggregated() const { return aggregated_; }
 
  private:
+  /// One delivered message: `len` bytes at `offset` into the inbox arena,
+  /// destined for vertex `target`.
+  struct InboxRecord {
+    CellId target;
+    std::uint64_t offset;
+    std::uint32_t len;
+  };
+
   struct MachineState {
     std::vector<CellId> vertices;
     std::unordered_map<CellId, std::string> values;
     std::unordered_set<CellId> halted;
-    /// Messages for the next superstep, keyed by target vertex.
-    std::unordered_map<CellId, std::vector<std::string>> inbox;
-    std::unordered_map<CellId, std::vector<std::string>> next_inbox;
+
+    /// Current-superstep inbox: one contiguous arena plus records sorted by
+    /// target (stable, so each vertex sees its messages in canonical
+    /// arrival order). No per-message heap allocations.
+    std::string arena;
+    std::vector<InboxRecord> records;
+
+    /// Packed payloads received at the barrier, in canonical (source
+    /// machine asc, arrival order) order. Unpacking them is per-destination
+    /// work, so it is deferred to the parallel half of FinalizeInboxes.
+    std::vector<std::string> pending;
+
+    /// Next-superstep staging, filled while unpacking `pending`.
+    std::string next_arena;
+    std::vector<InboxRecord> next_records;
+    /// Combiner mode folds into one accumulator per target instead;
+    /// next_acc_order remembers first-arrival order for determinism.
+    std::unordered_map<CellId, std::string> next_acc;
+    std::vector<CellId> next_acc_order;
+
+    /// Per-destination outboxes. Only this machine's worker thread appends
+    /// during a superstep; the barrier drains them sequentially.
+    std::vector<Outbox> outboxes;
+
+    /// Reused messages() view for the running vertex.
+    std::vector<Slice> msg_scratch;
+
     /// Per-machine partial aggregate for the current superstep. In a real
     /// cluster each machine folds locally and ships one value to the
     /// master at the barrier; the fold function is associative so the
     /// result is identical.
     std::string partial_aggregate;
     bool has_partial_aggregate = false;
+
+    /// Per-machine outcome of the parallel vertex loop.
+    Status step_status;
+    bool any_active = false;
   };
 
   /// Owner machine of a vertex (lock-free snapshot of the addressing table
@@ -157,12 +213,23 @@ class BspEngine {
   /// computing on a shrunken cluster; the caller recovers the cloud and
   /// re-runs (restoring from the last checkpoint when configured).
   Status CheckClusterHealthy() const;
-  /// Routes a message: local targets are delivered directly; remote targets
-  /// ride the fabric's packed one-sided path.
+  /// Appends the message to machine src's outbox toward the target's owner.
   void SendMessage(MachineId src, CellId target, Slice message);
+  /// Stages one message into machine's next-superstep inbox (barrier only).
   void DeliverLocal(MachineId machine, CellId target, Slice message);
+  /// Stashes one packed payload for machine (fabric handler; unpacked later
+  /// by FinalizeInboxes).
+  void ReceivePacked(MachineId machine, Slice payload);
+  /// Runs the per-machine vertex loops in parallel, drains the outboxes
+  /// through the fabric, folds aggregates and swaps inboxes.
   Status RunSuperstep(const Program& program, int superstep,
                       bool* all_quiet);
+  /// Drains every (src,dst) outbox: local pairs stage directly, remote
+  /// pairs go through Fabric::SendPacked. Canonical order: src asc, dst asc.
+  void FlushOutboxes();
+  /// Unpacks pending payloads (in parallel, one worker per destination),
+  /// sorts staged records by target, and swaps them in as the new inbox.
+  void FinalizeInboxes(bool* any_messages);
   Status WriteCheckpoint(int superstep);
   Status TryRestoreCheckpoint(int* superstep);
 
@@ -174,6 +241,10 @@ class BspEngine {
   net::HandlerId handler_id_;
   std::vector<MachineState> machines_;
   std::vector<MachineId> trunk_owner_;
+  /// owns_trunks_[m]: machine m hosts at least one trunk (precomputed so
+  /// CheckClusterHealthy is O(machines), not O(machines × trunks)).
+  std::vector<bool> owns_trunks_;
+  std::unique_ptr<ThreadPool> pool_;
   std::string aggregated_;
   int num_slaves_;
 };

@@ -1,8 +1,11 @@
 #include "compute/traversal.h"
 
+#include <cstring>
 #include <limits>
+#include <thread>
 
 #include "common/serializer.h"
+#include "compute/packed_messages.h"
 
 namespace trinity::compute {
 
@@ -14,6 +17,12 @@ TraversalEngine::TraversalEngine(graph::Graph* graph, Options options)
   for (int t = 0; t < cloud->table().num_slots(); ++t) {
     trunk_owner_[t] = cloud->table().machine_of_trunk(t);
   }
+  int threads = options_.num_threads;
+  if (threads <= 0) {
+    threads = static_cast<int>(std::thread::hardware_concurrency());
+  }
+  if (threads < 1) threads = 1;
+  pool_ = std::make_unique<ThreadPool>(threads);
 }
 
 TraversalEngine::TraversalEngine(graph::Graph* graph)
@@ -27,26 +36,38 @@ Status TraversalEngine::KHopExplore(CellId start, int max_depth,
                                     const Visitor& visit, QueryStats* stats) {
   *stats = QueryStats();
   net::Fabric& fabric = graph_->cloud()->fabric();
+  cloud::MemoryCloud* cloud = graph_->cloud();
   struct FrontierEntry {
     CellId vertex;
     std::uint32_t depth;
   };
-  std::vector<std::vector<FrontierEntry>> frontier(num_slaves_);
-  std::vector<std::vector<FrontierEntry>> incoming(num_slaves_);
-  std::vector<std::unordered_set<CellId>> visited(num_slaves_);
+  /// Per-machine round state; a pool worker touches only its own slot.
+  struct MachineRound {
+    std::vector<FrontierEntry> frontier;
+    std::vector<FrontierEntry> incoming;
+    std::unordered_set<CellId> visited;
+    std::vector<Outbox> outboxes;  ///< One per destination machine.
+    std::uint64_t visited_count = 0;
+    Status status;
+  };
+  std::vector<MachineRound> rounds(num_slaves_);
+  for (MachineRound& r : rounds) r.outboxes.resize(num_slaves_);
 
-  // Frontier-forwarding handler: a machine receives the vertices it owns
-  // that a remote machine just discovered.
+  // Frontier-forwarding handler: a machine receives a packed payload of the
+  // vertices it owns that a remote machine just discovered. Record payload
+  // is the 4-byte hop depth. Handlers only run at the round barrier (the
+  // expansion loop never touches the fabric), so `rounds` needs no lock.
   for (MachineId m = 0; m < num_slaves_; ++m) {
     fabric.RegisterAsyncHandler(
         m, cloud::kTraversalExpandHandler,
-        [m, &incoming](MachineId, Slice payload) {
-          BinaryReader reader(payload);
-          CellId vertex = 0;
-          std::uint32_t depth = 0;
-          if (reader.GetU64(&vertex) && reader.GetU32(&depth)) {
-            incoming[m].push_back({vertex, depth});
-          }
+        [m, &rounds](MachineId, Slice payload) {
+          ForEachPackedRecord(payload, [m, &rounds](CellId vertex,
+                                                    Slice depth_bytes) {
+            if (depth_bytes.size() != 4) return;
+            std::uint32_t depth = 0;
+            std::memcpy(&depth, depth_bytes.data(), 4);
+            rounds[m].incoming.push_back({vertex, depth});
+          });
         });
   }
 
@@ -54,27 +75,32 @@ Status TraversalEngine::KHopExplore(CellId start, int max_depth,
   if (start_owner < 0 || start_owner >= num_slaves_) {
     return Status::NotFound("start vertex unroutable");
   }
-  frontier[start_owner].push_back({start, 0});
+  rounds[start_owner].frontier.push_back({start, 0});
 
-  Status failure;
   for (;;) {
     bool any = false;
-    for (const auto& f : frontier) {
-      if (!f.empty()) {
+    for (const MachineRound& r : rounds) {
+      if (!r.frontier.empty()) {
         any = true;
         break;
       }
     }
     if (!any) break;
     fabric.ResetMeters();
-    for (MachineId m = 0; m < num_slaves_; ++m) {
+    // One round: every machine expands its frontier slice on a pool worker
+    // (lock-free — remote discoveries go into per-destination outboxes).
+    pool_->ParallelFor(num_slaves_, [&](int mi) {
+      const MachineId m = mi;
+      MachineRound& round = rounds[m];
+      round.status = Status::OK();
       net::Fabric::MeterScope meter(fabric, m);
-      for (const FrontierEntry& entry : frontier[m]) {
-        if (!visited[m].insert(entry.vertex).second) continue;
-        ++stats->visited;
+      storage::MemoryStorage* store = cloud->storage(m);
+      for (const FrontierEntry& entry : round.frontier) {
+        if (!round.visited.insert(entry.vertex).second) continue;
+        ++round.visited_count;
         bool expand = false;
         Status vs = graph_->VisitLocalNode(
-            m, entry.vertex,
+            store, entry.vertex,
             [&](Slice data, const CellId*, std::size_t, const CellId* out,
                 std::size_t out_count) {
               expand = visit(entry.vertex, static_cast<int>(entry.depth),
@@ -88,27 +114,40 @@ Status TraversalEngine::KHopExplore(CellId start, int max_depth,
                 const CellId neighbor = out[i];
                 const MachineId owner = OwnerOf(neighbor);
                 if (owner == m) {
-                  if (visited[m].count(neighbor) == 0) {
-                    incoming[m].push_back({neighbor, next_depth});
+                  if (round.visited.count(neighbor) == 0) {
+                    round.incoming.push_back({neighbor, next_depth});
                   }
                 } else {
-                  BinaryWriter writer;
-                  writer.PutU64(neighbor);
-                  writer.PutU32(next_depth);
-                  fabric.SendAsync(m, owner, cloud::kTraversalExpandHandler,
-                                   Slice(writer.buffer()));
+                  round.outboxes[owner].Add(
+                      neighbor,
+                      Slice(reinterpret_cast<const char*>(&next_depth), 4));
                 }
               }
             });
-        if (!vs.ok() && !vs.IsNotFound()) failure = vs;
+        if (!vs.ok() && !vs.IsNotFound()) round.status = vs;
       }
-      frontier[m].clear();
+      round.frontier.clear();
+    });
+    for (MachineRound& round : rounds) {
+      if (!round.status.ok()) return round.status;
+      stats->visited += round.visited_count;
+      round.visited_count = 0;
     }
-    if (!failure.ok()) return failure;
+    // Round barrier: one packed payload per (src,dst) pair with traffic in
+    // flight, drained in canonical src-asc, dst-asc order.
+    for (MachineId src = 0; src < num_slaves_; ++src) {
+      for (MachineId dst = 0; dst < num_slaves_; ++dst) {
+        Outbox& outbox = rounds[src].outboxes[dst];
+        if (outbox.empty()) continue;
+        fabric.SendPacked(src, dst, cloud::kTraversalExpandHandler,
+                          Slice(outbox.bytes), outbox.count);
+        outbox.Clear();
+      }
+    }
     fabric.FlushAll();  // One communication round.
-    for (MachineId m = 0; m < num_slaves_; ++m) {
-      frontier[m] = std::move(incoming[m]);
-      incoming[m].clear();
+    for (MachineRound& round : rounds) {
+      round.frontier = std::move(round.incoming);
+      round.incoming.clear();
     }
     const net::NetworkStats net = fabric.stats();
     stats->messages += net.messages;
@@ -124,13 +163,26 @@ Status TraversalEngine::Bfs(
     CellId start, std::unordered_map<CellId, std::uint32_t>* distances,
     QueryStats* stats) {
   distances->clear();
-  return KHopExplore(
+  // The visitor runs on the worker that owns the vertex; collect into a
+  // per-owner map so concurrent expansion never shares a container, then
+  // merge after the run.
+  std::vector<std::unordered_map<CellId, std::uint32_t>> per_machine(
+      num_slaves_);
+  Status s = KHopExplore(
       start, std::numeric_limits<int>::max() - 1,
-      [distances](CellId vertex, int depth, Slice) {
-        distances->emplace(vertex, static_cast<std::uint32_t>(depth));
+      [this, &per_machine](CellId vertex, int depth, Slice) {
+        per_machine[OwnerOf(vertex)].emplace(
+            vertex, static_cast<std::uint32_t>(depth));
         return true;
       },
       stats);
+  if (!s.ok()) return s;
+  for (auto& partial : per_machine) {
+    for (const auto& [vertex, depth] : partial) {
+      distances->emplace(vertex, depth);
+    }
+  }
+  return Status::OK();
 }
 
 }  // namespace trinity::compute

@@ -3,11 +3,13 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "common/status.h"
+#include "common/threadpool.h"
 #include "graph/graph.h"
 #include "net/cost_model.h"
 
@@ -22,13 +24,21 @@ namespace trinity::compute {
 /// The engine runs a level-synchronous distributed expansion: each machine
 /// expands the frontier vertices it owns against its local trunks
 /// (zero-copy), and forwards newly discovered remote vertices as packed
-/// one-sided messages. Query latency is modeled per round — exactly the
-/// round-trip structure a real deployment would see — and summed into
+/// one-sided payloads — one per (src,dst) machine pair per round (§4.2).
+/// With num_threads > 1 the per-machine expansions of one round run on pool
+/// workers. Query latency is modeled per round — exactly the round-trip
+/// structure a real deployment would see — and summed into
 /// QueryStats::modeled_millis, the number Fig 12(a) plots.
 class TraversalEngine {
  public:
   struct Options {
     net::CostModel cost_model;
+    /// Worker threads for the per-machine frontier expansion. Defaults to 1
+    /// (sequential) because the Visitor runs on the worker that owns the
+    /// vertex: with num_threads > 1 the visitor MUST be safe to call
+    /// concurrently from different machines' workers. Bfs() is internally
+    /// parallel-safe. 0 = one thread per hardware thread.
+    int num_threads = 1;
   };
 
   struct QueryStats {
@@ -42,6 +52,7 @@ class TraversalEngine {
   /// Visitor invoked once per visited vertex, on the machine that owns it.
   /// `data` is the node payload (e.g. the person's name). Returning false
   /// prunes expansion below this vertex (its neighbors are not enqueued).
+  /// See Options::num_threads for the concurrency contract.
   using Visitor = std::function<bool(CellId vertex, int depth, Slice data)>;
 
   TraversalEngine(graph::Graph* graph, Options options);
@@ -58,6 +69,8 @@ class TraversalEngine {
 
   /// Distributed BFS from `start` over the whole graph; returns the hop
   /// distance per reached vertex. This is the Fig 12(c)/Fig 13 kernel.
+  /// Parallel-safe regardless of num_threads (distances are collected per
+  /// owning machine and merged after the run).
   Status Bfs(CellId start,
              std::unordered_map<CellId, std::uint32_t>* distances,
              QueryStats* stats);
@@ -68,6 +81,7 @@ class TraversalEngine {
   graph::Graph* graph_;
   Options options_;
   std::vector<MachineId> trunk_owner_;
+  std::unique_ptr<ThreadPool> pool_;
   int num_slaves_;
 };
 

@@ -206,6 +206,12 @@ Status Graph::VisitLocalNode(MachineId machine, CellId id,
                              const LocalVisitor& fn) const {
   storage::MemoryStorage* store = cloud_->storage(machine);
   if (store == nullptr) return Status::NotFound("not a slave");
+  return VisitLocalNode(store, id, fn);
+}
+
+Status Graph::VisitLocalNode(storage::MemoryStorage* store, CellId id,
+                             const LocalVisitor& fn) const {
+  if (store == nullptr) return Status::NotFound("not a slave");
   storage::MemoryTrunk* trunk = store->trunk(cloud_->TrunkOf(id));
   if (trunk == nullptr) return Status::NotFound("node not local");
   storage::MemoryTrunk::ConstAccessor accessor;

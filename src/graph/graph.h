@@ -105,6 +105,14 @@ class Graph {
   Status VisitLocalNode(MachineId machine, CellId id,
                         const LocalVisitor& fn) const;
 
+  /// Same, against an already-resolved storage snapshot. Compute engines
+  /// resolve `cloud()->storage(m)` once per superstep and use this overload
+  /// from worker threads so the per-vertex hot path never touches the cloud
+  /// membership mutex. Concurrent const access is safe: the trunk pins the
+  /// cell under its striped spinlock for the visit.
+  Status VisitLocalNode(storage::MemoryStorage* store, CellId id,
+                        const LocalVisitor& fn) const;
+
   /// Node ids hosted on `machine` (scans its trunks).
   std::vector<CellId> LocalNodes(MachineId machine) const;
 

@@ -70,6 +70,16 @@ class Fabric {
   /// are dropped and counted.
   Status SendAsync(MachineId src, MachineId dst, HandlerId id, Slice payload);
 
+  /// One-sided delivery of a payload that already packs `message_count`
+  /// logical messages (the compute engines' per-(src,dst) outboxes, §4.2).
+  /// Unlike SendAsync the payload is never buffered: the caller has already
+  /// done the packing, so the fabric charges `message_count` logical messages
+  /// plus ceil(payload / pack_threshold_bytes) physical transfers (one per
+  /// message when packing is ablated away) and delivers immediately. The
+  /// attached injector sees one message event per packed payload.
+  Status SendPacked(MachineId src, MachineId dst, HandlerId id, Slice payload,
+                    std::uint64_t message_count);
+
   /// One-sided synchronous request-response. Returns Unavailable when the
   /// destination machine is down — callers use this to detect failures
   /// (paper §6.2: "machine A ... can detect the failure of machine B").
@@ -151,8 +161,10 @@ class Fabric {
   /// FlushAll forces delivery.
   void FlushPairLocked(MachineId src, MachineId dst, bool force);
   void Deliver(MachineId src, MachineId dst, HandlerId id, Slice payload);
+  /// Charges `transfer_count` physical transfers totalling `bytes` on the
+  /// src→dst wire.
   void AccountTransfer(MachineId src, MachineId dst, std::size_t bytes,
-                       std::size_t message_count);
+                       std::size_t transfer_count);
   /// Charges one completed message against the injector's crash schedules
   /// and executes any crash that fires. Must be called without mu_ held.
   void MaybeTriggerCrashes(MachineId src, MachineId dst);

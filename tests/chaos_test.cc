@@ -5,6 +5,7 @@
 // failure replays exactly with the same seed.
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cmath>
 #include <cstring>
@@ -22,8 +23,12 @@ namespace trinity {
 namespace {
 
 std::string FreshTfsRoot(const std::string& tag, std::uint64_t seed) {
+  // The pid keeps roots disjoint when the suite runs concurrently from two
+  // build trees (e.g. the default and TSan presets) — a shared path would
+  // let one process clobber the other's snapshot and log files mid-test.
   const std::string root = ::testing::TempDir() + "/chaos_" + tag + "_" +
-                           std::to_string(seed);
+                           std::to_string(seed) + "_" +
+                           std::to_string(::getpid());
   std::filesystem::remove_all(root);
   return root;
 }
@@ -159,7 +164,7 @@ compute::BspEngine::Program PageRankProgram() {
     double rank = 1.0;
     if (ctx.superstep() > 0) {
       double sum = 0;
-      for (const std::string& m : ctx.messages()) {
+      for (Slice m : ctx.messages()) {
         double v = 0;
         std::memcpy(&v, m.data(), 8);
         sum += v;

@@ -236,6 +236,44 @@ TEST(ThreadPoolTest, ParallelForCoversRange) {
   for (auto& h : hits) EXPECT_EQ(h.load(), 1);
 }
 
+TEST(ThreadPoolTest, ParallelForZeroAndNegativeAreNoOps) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.ParallelFor(0, [&](int) { ++calls; });
+  pool.ParallelFor(-5, [&](int) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, ParallelForFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::vector<std::atomic<int>> hits(3);
+  pool.ParallelFor(3, [&](int i) { hits[i].fetch_add(1); });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForSingleItemRunsInline) {
+  ThreadPool pool(4);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.ParallelFor(1, [&](int) { ran_on = std::this_thread::get_id(); });
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPoolTest, NestedSubmitDuringWaitIdle) {
+  // A task submitted from inside a task must complete before WaitIdle
+  // returns — the barrier covers transitively spawned work.
+  ThreadPool pool(3);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 10; ++i) {
+    pool.Submit([&] {
+      done.fetch_add(1);
+      pool.Submit([&] { done.fetch_add(1); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 20);
+}
+
 TEST(HistogramTest, Percentiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.Add(i);

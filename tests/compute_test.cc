@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstring>
 #include <filesystem>
 #include <map>
@@ -14,6 +16,16 @@
 
 namespace trinity::compute {
 namespace {
+
+// Per-process scratch root: the suite runs from several build trees (e.g.
+// the default and TSan presets), and a shared /tmp path would let two
+// concurrently running processes clobber each other's checkpoint files.
+std::string FreshTfsRoot(const std::string& tag) {
+  const std::string root = ::testing::TempDir() + "/" + tag + "_" +
+                           std::to_string(::getpid());
+  std::filesystem::remove_all(root);
+  return root;
+}
 
 struct Fixture {
   std::unique_ptr<cloud::MemoryCloud> cloud;
@@ -132,7 +144,7 @@ TEST(BspEngineTest, CombinerFoldsMessages) {
                         } else if (!ctx.messages().empty()) {
                           // Combined into exactly one message.
                           EXPECT_EQ(ctx.messages().size(), 1u);
-                          ctx.value() = ctx.messages().front();
+                          ctx.value() = ctx.messages().front().ToString();
                         }
                         ctx.VoteToHalt();
                       },
@@ -168,8 +180,7 @@ TEST(BspEngineTest, StatsAreMeaningful) {
 }
 
 TEST(BspEngineTest, CheckpointAndRestore) {
-  const std::string root = ::testing::TempDir() + "/bsp_ckpt";
-  std::filesystem::remove_all(root);
+  const std::string root = FreshTfsRoot("bsp_ckpt");
   tfs::Tfs::Options tfs_options;
   tfs_options.root = root;
   std::unique_ptr<tfs::Tfs> tfs;
@@ -204,6 +215,158 @@ TEST(BspEngineTest, CheckpointAndRestore) {
   ASSERT_TRUE(resumed.Run(program, &resumed_stats).ok());
   EXPECT_TRUE(resumed_stats.restored_from_checkpoint);
   EXPECT_LT(resumed_stats.supersteps, stats.supersteps);
+}
+
+// PageRank-style program with a sum combiner: deterministic given a
+// deterministic inbox order, so parallel and sequential runs must agree to
+// the last bit.
+BspEngine::Options PageRankStyleOptions(int num_threads) {
+  BspEngine::Options options;
+  options.num_threads = num_threads;
+  options.superstep_limit = 6;
+  options.combiner = [](std::string* acc, Slice msg) {
+    double a = 0, b = 0;
+    std::memcpy(&a, acc->data(), 8);
+    std::memcpy(&b, msg.data(), 8);
+    a += b;
+    std::memcpy(acc->data(), &a, 8);
+  };
+  return options;
+}
+
+BspEngine::Program PageRankStyleProgram() {
+  return [](BspEngine::VertexContext& ctx) {
+    double rank = 1.0;
+    if (ctx.superstep() > 0) {
+      double sum = 0;
+      for (Slice msg : ctx.messages()) {
+        double v = 0;
+        std::memcpy(&v, msg.data(), 8);
+        sum += v;
+      }
+      rank = 0.15 + 0.85 * sum;
+    }
+    ctx.value().assign(reinterpret_cast<const char*>(&rank), 8);
+    if (ctx.out_count() > 0) {
+      const double share = rank / static_cast<double>(ctx.out_count());
+      ctx.SendToAllOut(Slice(reinterpret_cast<const char*>(&share), 8));
+    }
+  };
+}
+
+TEST(BspEngineTest, ParallelRunIsBitIdenticalToSequential) {
+  // The tentpole determinism guarantee: inboxes merge at the barrier in
+  // canonical (source machine, arrival order) order, so thread count must
+  // not change a single byte of the result.
+  auto run = [](int num_threads) {
+    Fixture f = NewGraph(8);
+    EXPECT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 512, 6.0, 9).ok());
+    BspEngine engine(f.graph.get(), PageRankStyleOptions(num_threads));
+    BspEngine::RunStats stats;
+    EXPECT_TRUE(engine.Run(PageRankStyleProgram(), &stats).ok());
+    std::map<CellId, std::string> values;
+    engine.ForEachValue([&](CellId v, const std::string& value) {
+      values[v] = value;
+    });
+    return values;
+  };
+  const auto sequential = run(1);
+  const auto parallel = run(8);
+  ASSERT_EQ(sequential.size(), parallel.size());
+  for (const auto& [vertex, value] : sequential) {
+    auto it = parallel.find(vertex);
+    ASSERT_NE(it, parallel.end()) << "vertex " << vertex;
+    EXPECT_EQ(it->second, value) << "vertex " << vertex;
+  }
+}
+
+TEST(BspEngineTest, NonCombinedMessagesArriveInCanonicalOrder) {
+  // Without a combiner every vertex sees its messages ordered by source
+  // machine, then arrival — identical for any thread count.
+  auto run = [](int num_threads) {
+    Fixture f = NewGraph(8);
+    EXPECT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 5.0, 3).ok());
+    BspEngine::Options options;
+    options.num_threads = num_threads;
+    options.superstep_limit = 3;
+    BspEngine engine(f.graph.get(), options);
+    BspEngine::RunStats stats;
+    EXPECT_TRUE(engine
+                    .Run(
+                        [](BspEngine::VertexContext& ctx) {
+                          // Concatenate received sender ids in inbox order.
+                          for (Slice msg : ctx.messages()) {
+                            ctx.value().append(msg.data(), msg.size());
+                          }
+                          const CellId self = ctx.vertex();
+                          ctx.SendToAllOut(Slice(
+                              reinterpret_cast<const char*>(&self), 8));
+                        },
+                        &stats)
+                    .ok());
+    std::map<CellId, std::string> values;
+    engine.ForEachValue([&](CellId v, const std::string& value) {
+      values[v] = value;
+    });
+    return values;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(BspEngineTest, CheckpointsAreByteDeterministic) {
+  // Two engines computing identical state — one sequential, one parallel —
+  // must write byte-identical checkpoints (the serializer sorts every
+  // unordered container).
+  auto checkpoint_bytes = [](int num_threads, const std::string& dir) {
+    const std::string root = FreshTfsRoot(dir);
+    tfs::Tfs::Options tfs_options;
+    tfs_options.root = root;
+    std::unique_ptr<tfs::Tfs> tfs;
+    EXPECT_TRUE(tfs::Tfs::Open(tfs_options, &tfs).ok());
+    Fixture f = NewGraph(4);
+    EXPECT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 4.0, 11).ok());
+    BspEngine::Options options = PageRankStyleOptions(num_threads);
+    options.checkpoint_interval = 2;
+    options.tfs = tfs.get();
+    BspEngine engine(f.graph.get(), options);
+    BspEngine::RunStats stats;
+    EXPECT_TRUE(engine.Run(PageRankStyleProgram(), &stats).ok());
+    EXPECT_GT(stats.checkpoints_written, 0);
+    std::string image;
+    EXPECT_TRUE(tfs->ReadFile("bsp_ckpt/state", &image).ok());
+    return image;
+  };
+  const std::string a = checkpoint_bytes(1, "bsp_ckpt_det_a");
+  const std::string b = checkpoint_bytes(8, "bsp_ckpt_det_b");
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(BspEngineTest, PackedTransfersAreQuadraticInMachinesNotMessages) {
+  // The packed send path hands the fabric at most one payload per
+  // (src,dst) machine pair per superstep, so physical transfers are bounded
+  // by machines² per superstep no matter how many messages flow.
+  const int slaves = 4;
+  Fixture f = NewGraph(slaves);
+  ASSERT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 512, 6.0, 21).ok());
+  BspEngine::Options options;
+  options.superstep_limit = 4;
+  BspEngine engine(f.graph.get(), options);
+  BspEngine::RunStats stats;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](BspEngine::VertexContext& ctx) {
+                        ctx.SendToAllOut(Slice("eight-by"));
+                      },
+                      &stats)
+                  .ok());
+  // Thousands of logical messages per superstep...
+  EXPECT_GT(stats.messages / stats.supersteps,
+            static_cast<std::uint64_t>(slaves * slaves));
+  // ...but at most machines² packed payloads (each under the 64 KiB pack
+  // threshold, so exactly one transfer per pair with traffic).
+  EXPECT_LE(stats.transfers,
+            static_cast<std::uint64_t>(stats.supersteps) * slaves * slaves);
 }
 
 TEST(TraversalTest, KHopVisitsExactlyOnce) {
@@ -309,6 +472,51 @@ TEST(TraversalTest, BfsMatchesReference) {
   EXPECT_GT(stats.modeled_millis, 0.0);
 }
 
+TEST(TraversalTest, ParallelBfsMatchesSequential) {
+  auto run = [](int num_threads) {
+    Fixture f = NewGraph(8);
+    const auto edges = graph::Generators::Rmat(512, 6.0, 77);
+    EXPECT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+    TraversalEngine::Options options;
+    options.num_threads = num_threads;
+    TraversalEngine engine(f.graph.get(), options);
+    TraversalEngine::QueryStats stats;
+    std::unordered_map<CellId, std::uint32_t> distances;
+    EXPECT_TRUE(engine.Bfs(0, &distances, &stats).ok());
+    return distances;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
+TEST(AsyncEngineTest, ParallelSweepsMatchSequential) {
+  auto run = [](int num_threads) {
+    Fixture f = NewGraph(8);
+    EXPECT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 5.0, 13).ok());
+    AsyncEngine::Options options;
+    options.num_threads = num_threads;
+    AsyncEngine engine(f.graph.get(), options);
+    EXPECT_TRUE(engine.Seed(0, Slice("seed")).ok());
+    AsyncEngine::RunStats stats;
+    EXPECT_TRUE(engine
+                    .Run(
+                        [](AsyncEngine::Context& ctx, Slice) {
+                          if (!ctx.value().empty()) return;
+                          ctx.value() = "visited";
+                          for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+                            ctx.Send(ctx.out()[i], Slice("fwd"));
+                          }
+                        },
+                        &stats)
+                    .ok());
+    std::map<CellId, std::string> values;
+    engine.ForEachValue([&](CellId v, const std::string& value) {
+      values[v] = value;
+    });
+    return values;
+  };
+  EXPECT_EQ(run(1), run(8));
+}
+
 TEST(AsyncEngineTest, RunsToTerminationViaSafra) {
   Fixture f = NewGraph();
   BuildChain(f.graph.get());
@@ -338,8 +546,7 @@ TEST(AsyncEngineTest, RunsToTerminationViaSafra) {
 }
 
 TEST(AsyncEngineTest, SnapshotsWrittenPeriodically) {
-  const std::string root = ::testing::TempDir() + "/async_snap";
-  std::filesystem::remove_all(root);
+  const std::string root = FreshTfsRoot("async_snap");
   tfs::Tfs::Options tfs_options;
   tfs_options.root = root;
   std::unique_ptr<tfs::Tfs> tfs;

@@ -80,6 +80,66 @@ TEST(FabricTest, LocalMessagesAreFree) {
   EXPECT_EQ(stats.bytes, 0u);
 }
 
+TEST(FabricTest, SendPackedDeliversOnceAndCountsMessages) {
+  Fabric fabric(2);
+  int handler_calls = 0;
+  std::string got;
+  fabric.RegisterAsyncHandler(1, 7, [&](MachineId src, Slice payload) {
+    EXPECT_EQ(src, 0);
+    ++handler_calls;
+    got = payload.ToString();
+  });
+  ASSERT_TRUE(fabric.SendPacked(0, 1, 7, Slice("packed-batch"), 50).ok());
+  EXPECT_EQ(handler_calls, 1);  // One payload, one handler invocation.
+  EXPECT_EQ(got, "packed-batch");
+  const NetworkStats stats = fabric.stats();
+  EXPECT_EQ(stats.messages, 50u);  // Logical messages, not payloads.
+  EXPECT_EQ(stats.transfers, 1u);  // Fits in one pack-threshold transfer.
+}
+
+TEST(FabricTest, SendPackedChargesTransfersByThreshold) {
+  Fabric::Params params;
+  params.pack_threshold_bytes = 1024;
+  Fabric fabric(2, params);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+  const std::string payload(4096, 'x');
+  ASSERT_TRUE(fabric.SendPacked(0, 1, 7, Slice(payload), 100).ok());
+  // 4096 bytes over a 1 KiB threshold = 4 physical transfers.
+  EXPECT_EQ(fabric.stats().transfers, 4u);
+}
+
+TEST(FabricTest, SendPackedUnpackedModeChargesPerMessage) {
+  Fabric::Params params;
+  params.pack_messages = false;
+  Fabric fabric(2, params);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+  ASSERT_TRUE(fabric.SendPacked(0, 1, 7, Slice("abcdef"), 3).ok());
+  // Ablation baseline: one transfer per logical message.
+  EXPECT_EQ(fabric.stats().transfers, 3u);
+}
+
+TEST(FabricTest, SendPackedLocalSkipsTheWire) {
+  Fabric fabric(2);
+  int calls = 0;
+  fabric.RegisterAsyncHandler(0, 7, [&](MachineId, Slice) { ++calls; });
+  ASSERT_TRUE(fabric.SendPacked(0, 0, 7, Slice("local"), 5).ok());
+  EXPECT_EQ(calls, 1);
+  const NetworkStats stats = fabric.stats();
+  EXPECT_EQ(stats.local_messages, 5u);
+  EXPECT_EQ(stats.transfers, 0u);
+  EXPECT_EQ(stats.bytes, 0u);
+}
+
+TEST(FabricTest, SendPackedToDownMachineDropsWholeBatch) {
+  Fabric fabric(2);
+  fabric.RegisterAsyncHandler(1, 7, [](MachineId, Slice) {});
+  fabric.SetMachineDown(1);
+  EXPECT_TRUE(fabric.SendPacked(0, 1, 7, Slice("batch"), 7).IsUnavailable());
+  const NetworkStats stats = fabric.stats();
+  EXPECT_EQ(stats.dropped, 7u);
+  EXPECT_EQ(stats.transfers, 0u);
+}
+
 TEST(FabricTest, SyncCallRoundTrip) {
   Fabric fabric(2);
   fabric.RegisterSyncHandler(
