@@ -5,12 +5,31 @@
 # (unsanitized) run is assumed to happen through the default preset; this
 # script is the slower, paranoid gate.
 #
-#   scripts/check.sh            # ASan/UBSan build + full ctest
-#   scripts/check.sh --chaos    # ASan/UBSan build + chaos label only
-#   scripts/check.sh --tsan     # TSan build + compute and chaos labels
+#   scripts/check.sh                # ASan/UBSan build + full ctest
+#   scripts/check.sh --chaos        # ASan/UBSan build + chaos label only
+#   scripts/check.sh --chaos-sweep [N]  # chaos label across N seed offsets
+#   scripts/check.sh --tsan         # TSan build + compute and chaos labels
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+if [[ "${1:-}" == "--chaos-sweep" ]]; then
+  # Re-run the chaos label under N distinct fault-injector seed ranges
+  # (default 10). Each iteration exports TRINITY_CHAOS_SEED_OFFSET=i*1000;
+  # every chaos test derives its seeds as base + offset, so each pass runs
+  # the same assertions against a disjoint, fully deterministic fault
+  # schedule. Offset 0 is the range the default ctest run uses.
+  SWEEP="${2:-10}"
+  cmake --preset sanitize
+  cmake --build --preset sanitize -j "$(nproc)"
+  cd build-sanitize
+  for ((i = 0; i < SWEEP; ++i)); do
+    echo "=== chaos sweep $((i + 1))/${SWEEP}: TRINITY_CHAOS_SEED_OFFSET=$((i * 1000)) ==="
+    ASAN_OPTIONS=detect_leaks=0 TRINITY_CHAOS_SEED_OFFSET=$((i * 1000)) \
+      ctest --output-on-failure -j "$(nproc)" -L chaos
+  done
+  exit 0
+fi
 
 if [[ "${1:-}" == "--tsan" ]]; then
   # The compute engines run per-machine vertex loops on a thread pool; the

@@ -1,5 +1,7 @@
 #include "cloud/addressing_table.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/serializer.h"
 
@@ -16,6 +18,8 @@ AddressingTable::AddressingTable(int p_bits, int num_machines)
   for (int i = 0; i < slots; ++i) {
     slots_[i] = static_cast<MachineId>(i % num_machines);
   }
+  epochs_.assign(slots, 1);
+  replicas_.resize(slots);
 }
 
 std::vector<TrunkId> AddressingTable::trunks_of(MachineId machine) const {
@@ -29,6 +33,7 @@ std::vector<TrunkId> AddressingTable::trunks_of(MachineId machine) const {
 void AddressingTable::MoveTrunk(TrunkId trunk, MachineId to) {
   TRINITY_CHECK(trunk >= 0 && trunk < num_slots(), "trunk out of range");
   slots_[trunk] = to;
+  ++epochs_[trunk];
   ++version_;
 }
 
@@ -39,10 +44,51 @@ void AddressingTable::EvacuateMachine(MachineId from,
   for (int i = 0; i < num_slots(); ++i) {
     if (slots_[i] == from) {
       slots_[i] = targets[next % targets.size()];
+      ++epochs_[i];
       ++next;
     }
   }
   ++version_;
+}
+
+void AddressingTable::SetReplicas(TrunkId trunk,
+                                  std::vector<MachineId> replicas) {
+  TRINITY_CHECK(trunk >= 0 && trunk < num_slots(), "trunk out of range");
+  replicas_[trunk] = std::move(replicas);
+  ++version_;
+}
+
+bool AddressingTable::AddReplica(TrunkId trunk, MachineId machine) {
+  TRINITY_CHECK(trunk >= 0 && trunk < num_slots(), "trunk out of range");
+  auto& set = replicas_[trunk];
+  if (std::find(set.begin(), set.end(), machine) != set.end()) return false;
+  set.push_back(machine);
+  ++version_;
+  return true;
+}
+
+bool AddressingTable::RemoveReplica(TrunkId trunk, MachineId machine) {
+  TRINITY_CHECK(trunk >= 0 && trunk < num_slots(), "trunk out of range");
+  auto& set = replicas_[trunk];
+  auto it = std::find(set.begin(), set.end(), machine);
+  if (it == set.end()) return false;
+  set.erase(it);
+  ++version_;
+  return true;
+}
+
+int AddressingTable::RemoveReplicaEverywhere(MachineId machine) {
+  int removed = 0;
+  for (int i = 0; i < num_slots(); ++i) {
+    auto& set = replicas_[i];
+    auto it = std::find(set.begin(), set.end(), machine);
+    if (it != set.end()) {
+      set.erase(it);
+      ++removed;
+    }
+  }
+  if (removed > 0) ++version_;
+  return removed;
 }
 
 std::string AddressingTable::Serialize() const {
@@ -50,7 +96,12 @@ std::string AddressingTable::Serialize() const {
   writer.PutU32(static_cast<std::uint32_t>(p_bits_));
   writer.PutU64(version_);
   writer.PutU32(static_cast<std::uint32_t>(slots_.size()));
-  for (MachineId m : slots_) writer.PutI32(m);
+  for (int i = 0; i < num_slots(); ++i) {
+    writer.PutI32(slots_[i]);
+    writer.PutU64(epochs_[i]);
+    writer.PutU32(static_cast<std::uint32_t>(replicas_[i].size()));
+    for (MachineId r : replicas_[i]) writer.PutI32(r);
+  }
   return writer.Release();
 }
 
@@ -63,16 +114,29 @@ Status AddressingTable::Deserialize(Slice data, AddressingTable* out) {
       !reader.GetU32(&count)) {
     return Status::Corruption("addressing table header");
   }
-  if (count != (1u << p_bits)) {
+  if (p_bits > 20 || count != (1u << p_bits)) {
     return Status::Corruption("addressing table slot count mismatch");
   }
   AddressingTable table;
   table.p_bits_ = static_cast<int>(p_bits);
   table.version_ = version;
   table.slots_.resize(count);
+  table.epochs_.resize(count);
+  table.replicas_.resize(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    if (!reader.GetI32(&table.slots_[i])) {
+    std::uint32_t replica_count = 0;
+    if (!reader.GetI32(&table.slots_[i]) || !reader.GetU64(&table.epochs_[i]) ||
+        !reader.GetU32(&replica_count)) {
       return Status::Corruption("addressing table slot");
+    }
+    if (replica_count > count) {
+      return Status::Corruption("addressing table replica count");
+    }
+    table.replicas_[i].resize(replica_count);
+    for (std::uint32_t r = 0; r < replica_count; ++r) {
+      if (!reader.GetI32(&table.replicas_[i][r])) {
+        return Status::Corruption("addressing table replica");
+      }
     }
   }
   *out = table;

@@ -13,6 +13,7 @@
 #include "common/status.h"
 #include "common/types.h"
 #include "net/fabric.h"
+#include "net/network_stats.h"
 #include "storage/memory_storage.h"
 #include "tfs/tfs.h"
 
@@ -27,6 +28,13 @@ enum CloudHandlerIds : net::HandlerId {
   kLogRecordHandler = 52,    ///< Buffered-logging append to a backup.
   kLogTruncateHandler = 53,  ///< Backup log truncation after a snapshot.
   kTrunkMigrateHandler = 54,  ///< Live trunk migration (image transfer).
+  // Hot-standby replication handlers (55..58). Chaos tests target exactly
+  // this range with FaultInjector::SetHandlerRangePolicy to fault the
+  // replication traffic without touching the client-facing protocol.
+  kReplicaApplyHandler = 55,    ///< Primary → replica synchronous mutation.
+  kReplicaInstallHandler = 56,  ///< Full trunk-image install (re-replication).
+  kReplicaReadHandler = 57,     ///< Degraded read served by a replica trunk.
+  kIsrShrinkHandler = 58,       ///< Leader-confirmed in-sync-set shrink.
   // Compute-engine handlers (60..99).
   kBspMessageHandler = 60,       ///< BSP vertex messages.
   kTraversalExpandHandler = 61,  ///< Online traversal frontier expansion.
@@ -79,6 +87,23 @@ class MemoryCloud {
     /// Log mutations to a remote backup's memory before applying (RAMCloud
     /// buffered logging, §6.2) so recovery loses nothing since the snapshot.
     bool buffered_logging = false;
+    /// Hot-standby replication: number of synchronous in-memory replicas
+    /// per trunk (0 = off). Every acknowledged mutation applies on the
+    /// primary and ships to k replica trunks placed by rendezvous hashing
+    /// on distinct machines; failover *promotes* a replica (an
+    /// addressing-table metadata flip, no TFS read) and TFS becomes the
+    /// cold tier consulted only when every replica of a trunk is lost.
+    /// Subsumes buffered_logging — the two are mutually exclusive. Values
+    /// larger than num_slaves-1 degrade gracefully to fewer replicas.
+    int replication_factor = 0;
+    /// Promote replicas inline when routing detects a dead owner. When
+    /// false, reads still fail over to replicas but writes to affected
+    /// trunks return retryable Unavailable until DetectAndRecover runs —
+    /// tests use this to hold the cluster in the degraded window.
+    bool auto_promote = true;
+    /// Restore the replication factor during DetectAndRecover sweeps after
+    /// promotions dropped it (background parallel re-replication).
+    bool rereplicate_on_recover = true;
     RetryPolicy retry;
   };
 
@@ -159,9 +184,21 @@ class MemoryCloud {
   /// Simulates a machine crash: storage dropped, endpoint marked down.
   Status FailMachine(MachineId m);
 
-  /// Leader heartbeat sweep; recovers every failed slave found. Returns the
-  /// number of machines recovered.
-  int DetectAndRecover();
+  /// Per-machine outcome of one DetectAndRecover sweep. Machines whose
+  /// recovery failed stay marked down so the next sweep retries them.
+  struct SweepReport {
+    std::vector<MachineId> recovered;
+    std::vector<std::pair<MachineId, Status>> failed;
+    int rereplicated_trunks = 0;  ///< Replication-factor repairs shipped.
+  };
+
+  /// Leader heartbeat sweep; recovers every failed slave found (promotion
+  /// failover in replicated mode, TFS reload otherwise) and, in replicated
+  /// mode, runs background re-replication afterwards. Returns the number of
+  /// machines recovered; `report` (may be null) receives the per-machine
+  /// status summary instead of errors being silently discarded.
+  int DetectAndRecover(SweepReport* report);
+  int DetectAndRecover() { return DetectAndRecover(nullptr); }
 
   /// Recovers one known-failed slave (reload from TFS + log replay +
   /// table rebroadcast). The machine stays down; its data moves elsewhere.
@@ -193,6 +230,23 @@ class MemoryCloud {
   /// Elects the lowest-id alive slave, fencing through a TFS flag file when
   /// TFS is configured.
   Status ElectLeader();
+
+  /// Cumulative failover/recovery counters (replicated mode). All times are
+  /// simulated microseconds, deterministic per fault-injector seed.
+  net::RecoveryStats recovery_stats() const;
+
+  /// Committed bytes held in replica trunks across alive slaves — the
+  /// memory overhead of the replication factor.
+  std::uint64_t ReplicaMemoryBytes() const;
+
+  /// Restores the replication factor after failures: computes the missing
+  /// (trunk, replica) pairs under the current membership, serializes the
+  /// source trunks in parallel on a thread pool, and ships the images
+  /// sequentially in canonical (trunk, target) order — parallel CPU work,
+  /// deterministic fabric traffic. Returns the number of replicas
+  /// installed. Run automatically by DetectAndRecover sweeps when
+  /// options.rereplicate_on_recover is set.
+  int ReReplicate();
 
  private:
   enum class CellOp : std::uint8_t {
@@ -245,6 +299,40 @@ class MemoryCloud {
   /// FailMachine, driven by the fault injector's crash schedules.
   void OnInjectedCrash(MachineId m);
 
+  bool replicated() const { return options_.replication_factor > 0; }
+
+  /// Ships one applied mutation synchronously to every in-sync replica,
+  /// stamped with the fencing epoch from the *primary's own* table replica.
+  /// A deposed primary therefore advertises its stale epoch and is rejected
+  /// (Aborted) by any replica that heard the promotion broadcast — the
+  /// split-brain guard. Unreachable replicas are dropped from the in-sync
+  /// set only after the current leader confirms the shrink; with no
+  /// confirmation the write is NOT acknowledged.
+  Status ReplicateMutation(MachineId primary, CellOp op, CellId id,
+                           Slice payload);
+
+  /// Degraded-read failover: serves a Get/Contains from any in-sync replica
+  /// of the cell's trunk while the primary is unreachable. Sets *served
+  /// when some replica produced a definitive answer (incl. NotFound).
+  Status TryReplicaRead(MachineId src, CellOp op, CellId id,
+                        std::string* response, bool* served);
+
+  /// Asks the current leader to drop `replica` from the trunk's in-sync
+  /// set. The leader verifies the caller is still the trunk's primary at
+  /// the claimed epoch — a deposed primary gets Aborted here instead of
+  /// acking writes against a unilaterally shrunken set.
+  Status ConfirmShrink(MachineId primary, TrunkId trunk, std::uint64_t epoch,
+                       MachineId replica);
+
+  /// Replicated-mode body of RecoverMachine: promotes an in-sync replica of
+  /// each trunk the failed machine owned (metadata flip, zero TFS reads),
+  /// falling back to a TFS cold-tier reload only when every replica of a
+  /// trunk is lost. A machine whose fabric endpoint is still up (heartbeats
+  /// failed ⇒ partition, not crash) is *deposed*: its trunks are promoted
+  /// away and every epoch bump fences its stale write path, but its
+  /// endpoint and memory image stay so split-brain behavior is observable.
+  Status PromoteReplicasLocked(MachineId failed);
+
   /// TFS directory of the last *committed* snapshot epoch; empty when no
   /// snapshot has committed yet.
   std::string SnapshotPrefixLocked() const;
@@ -274,6 +362,7 @@ class MemoryCloud {
   /// not been covered by a committed snapshot yet. Cleared by the next
   /// successful SnapshotAllLocked (the re-protection point).
   bool reprotect_pending_ = false;
+  net::RecoveryStats recovery_stats_;  ///< Guarded by mu_.
 };
 
 }  // namespace trinity::cloud

@@ -1,0 +1,50 @@
+#include "cloud/replica_placement.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "common/hash.h"
+
+namespace trinity::cloud {
+
+namespace {
+
+/// Pseudo-random rendezvous weight for hosting `trunk` on `machine`.
+/// Distinct stream from TrunkHash/InTrunkHash so placement is independent of
+/// key routing. +1 offsets keep trunk 0 / machine 0 away from the Mix64
+/// fixed-point-ish small inputs.
+std::uint64_t PlacementScore(TrunkId trunk, MachineId machine) {
+  const std::uint64_t t = static_cast<std::uint64_t>(trunk) + 1;
+  const std::uint64_t m = static_cast<std::uint64_t>(machine) + 1;
+  return Mix64(t * 0x9ddfea08eb382d69ULL ^ Mix64(m * 0xc2b2ae3d27d4eb4fULL));
+}
+
+}  // namespace
+
+std::vector<MachineId> ReplicaTargets(
+    TrunkId trunk, MachineId primary, int replication_factor,
+    const std::vector<MachineId>& candidates) {
+  std::vector<std::pair<std::uint64_t, MachineId>> scored;
+  scored.reserve(candidates.size());
+  for (MachineId m : candidates) {
+    if (m == primary) continue;
+    scored.emplace_back(PlacementScore(trunk, m), m);
+  }
+  // Descending score; machine id breaks (astronomically unlikely) ties so
+  // the result is independent of the candidate ordering.
+  std::sort(scored.begin(), scored.end(),
+            [](const auto& a, const auto& b) {
+              if (a.first != b.first) return a.first > b.first;
+              return a.second < b.second;
+            });
+  const std::size_t k = std::min<std::size_t>(
+      replication_factor < 0 ? 0 : static_cast<std::size_t>(replication_factor),
+      scored.size());
+  std::vector<MachineId> result;
+  result.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) result.push_back(scored[i].second);
+  return result;
+}
+
+}  // namespace trinity::cloud

@@ -1,0 +1,34 @@
+#ifndef TRINITY_CLOUD_REPLICA_PLACEMENT_H_
+#define TRINITY_CLOUD_REPLICA_PLACEMENT_H_
+
+#include <vector>
+
+#include "common/types.h"
+
+namespace trinity::cloud {
+
+/// Rendezvous (highest-random-weight) hashing for replica placement: every
+/// (trunk, machine) pair gets a pseudo-random score and the k highest-scoring
+/// machines other than the primary host the trunk's replicas.
+///
+/// Properties the replication layer relies on:
+///  - replicas land on k *distinct* machines, never on the primary;
+///  - the choice is a pure function of (trunk, primary, candidate set), so
+///    every machine computes the same placement without coordination;
+///  - membership churn is minimal: removing one machine only re-places the
+///    replicas that lived on it — the relative order of the survivors'
+///    scores is unchanged (the consistent-hashing property);
+///  - k is clamped to candidates-1, so a cluster smaller than k+1 machines
+///    degrades gracefully to fewer replicas instead of failing.
+///
+/// `candidates` is the set of machines eligible to host replicas (typically
+/// the alive slaves, including the primary — it is skipped internally).
+/// Returns the chosen machines in descending score order; deterministic for
+/// a given input regardless of candidate ordering.
+std::vector<MachineId> ReplicaTargets(TrunkId trunk, MachineId primary,
+                                      int replication_factor,
+                                      const std::vector<MachineId>& candidates);
+
+}  // namespace trinity::cloud
+
+#endif  // TRINITY_CLOUD_REPLICA_PLACEMENT_H_

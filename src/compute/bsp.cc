@@ -431,6 +431,17 @@ Status BspEngine::TryRestoreCheckpoint(int* superstep) {
     state.next_records.clear();
     state.next_acc.clear();
     state.next_acc_order.clear();
+  }
+  // Each entry re-buckets through OwnerOf rather than landing on the
+  // machine whose section it was written in: trunk ownership may have
+  // changed between checkpoint and restore (a failover promoted replicas
+  // onto survivors), and the restored state must follow the vertices to
+  // their new owners. A target's messages sit contiguously in exactly one
+  // section, so appending them in file order keeps their canonical arrival
+  // order — the final stable sort then reproduces the exact inbox a
+  // crash-free run would have had, which is what keeps restored runs
+  // bit-identical.
+  for (std::int32_t section = 0; section < slaves; ++section) {
     std::uint32_t count = 0;
     if (!reader.GetU32(&count)) return Status::Corruption("ckpt values");
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -439,13 +450,21 @@ Status BspEngine::TryRestoreCheckpoint(int* superstep) {
       if (!reader.GetU64(&v) || !reader.GetString(&value)) {
         return Status::Corruption("ckpt value entry");
       }
-      state.values.emplace(v, std::move(value));
+      const MachineId owner = OwnerOf(v);
+      if (owner < 0 || owner >= num_slaves_) {
+        return Status::Corruption("ckpt vertex without owner");
+      }
+      machines_[owner].values.emplace(v, std::move(value));
     }
     if (!reader.GetU32(&count)) return Status::Corruption("ckpt halted");
     for (std::uint32_t i = 0; i < count; ++i) {
       CellId v = 0;
       if (!reader.GetU64(&v)) return Status::Corruption("ckpt halted entry");
-      state.halted.insert(v);
+      const MachineId owner = OwnerOf(v);
+      if (owner < 0 || owner >= num_slaves_) {
+        return Status::Corruption("ckpt vertex without owner");
+      }
+      machines_[owner].halted.insert(v);
     }
     if (!reader.GetU32(&count)) return Status::Corruption("ckpt inbox");
     for (std::uint32_t i = 0; i < count; ++i) {
@@ -454,17 +473,23 @@ Status BspEngine::TryRestoreCheckpoint(int* superstep) {
       if (!reader.GetU64(&v) || !reader.GetU32(&msgs)) {
         return Status::Corruption("ckpt inbox entry");
       }
+      const MachineId owner = OwnerOf(v);
+      if (owner < 0 || owner >= num_slaves_) {
+        return Status::Corruption("ckpt vertex without owner");
+      }
+      MachineState& dest = machines_[owner];
       for (std::uint32_t k = 0; k < msgs; ++k) {
         Slice msg;
         if (!reader.GetBytes(&msg)) return Status::Corruption("ckpt msg");
-        state.records.push_back(
-            InboxRecord{v, state.arena.size(),
+        dest.records.push_back(
+            InboxRecord{v, dest.arena.size(),
                         static_cast<std::uint32_t>(msg.size())});
-        state.arena.append(msg.data(), msg.size());
+        dest.arena.append(msg.data(), msg.size());
       }
     }
-    // Checkpoints written by this engine are already grouped and sorted;
-    // normalize anyway so the vertex loop's binary search always holds.
+  }
+  for (MachineState& state : machines_) {
+    // Normalize so the vertex loop's binary search always holds.
     std::stable_sort(state.records.begin(), state.records.end(),
                      [](const InboxRecord& a, const InboxRecord& b) {
                        return a.target < b.target;

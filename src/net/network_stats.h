@@ -31,6 +31,28 @@ struct NetworkStats {
   std::uint64_t delayed_flushes = 0;
 };
 
+/// Failover/recovery observability for the replicated memory cloud. All
+/// times are *simulated* microseconds (the fabric's CPU meter), so they are
+/// deterministic for a given fault-injector seed. Cumulative since the cloud
+/// was created; read through MemoryCloud::recovery_stats().
+struct RecoveryStats {
+  std::uint64_t promotions = 0;  ///< Replica trunks promoted to primary.
+  /// Simulated µs from failure detection to the addressing-table epoch bump
+  /// that completes the most recent promotion (metadata flip only).
+  std::uint64_t last_promote_micros = 0;
+  /// Simulated µs from failure detection until the replication factor was
+  /// fully restored by re-replication (includes last_promote_micros).
+  std::uint64_t last_full_replication_micros = 0;
+  std::uint64_t bytes_rereplicated = 0;  ///< Trunk-image bytes re-shipped.
+  std::uint64_t trunks_rereplicated = 0;
+  std::uint64_t degraded_reads = 0;  ///< Reads served by a replica trunk.
+  /// Writes rejected because the sender's fencing epoch was stale — the
+  /// split-brain counter; a stale primary's ack path shows up here.
+  std::uint64_t fenced_writes = 0;
+  /// Trunks reloaded from TFS because *every* in-memory replica was lost.
+  std::uint64_t tfs_fallback_reloads = 0;
+};
+
 /// Per-machine traffic view used by the cost model: a machine's modeled
 /// communication time depends on the bytes and transfers crossing *its* NIC.
 struct PerMachineTraffic {

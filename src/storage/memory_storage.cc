@@ -46,6 +46,72 @@ std::vector<TrunkId> MemoryStorage::trunk_ids() const {
   return ids;
 }
 
+Status MemoryStorage::AttachReplicaTrunk(TrunkId trunk_id) {
+  std::unique_ptr<MemoryTrunk> trunk;
+  Status s = MemoryTrunk::Create(options_.trunk, &trunk);
+  if (!s.ok()) return s;
+  return AttachReplicaTrunk(trunk_id, std::move(trunk));
+}
+
+Status MemoryStorage::AttachReplicaTrunk(TrunkId trunk_id,
+                                         std::unique_ptr<MemoryTrunk> trunk) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (trunks_.count(trunk_id) != 0) {
+    return Status::AlreadyExists("machine is primary for this trunk");
+  }
+  replica_trunks_[trunk_id] = std::move(trunk);
+  return Status::OK();
+}
+
+MemoryTrunk* MemoryStorage::replica_trunk(TrunkId trunk_id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replica_trunks_.find(trunk_id);
+  return it == replica_trunks_.end() ? nullptr : it->second.get();
+}
+
+Status MemoryStorage::DetachReplicaTrunk(TrunkId trunk_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (replica_trunks_.erase(trunk_id) == 0) {
+    return Status::NotFound("no such replica trunk");
+  }
+  return Status::OK();
+}
+
+Status MemoryStorage::PromoteReplicaTrunk(TrunkId trunk_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = replica_trunks_.find(trunk_id);
+  if (it == replica_trunks_.end()) {
+    return Status::NotFound("no replica to promote");
+  }
+  if (trunks_.count(trunk_id) != 0) {
+    return Status::AlreadyExists("already primary for this trunk");
+  }
+  trunks_.emplace(trunk_id, std::move(it->second));
+  replica_trunks_.erase(it);
+  return Status::OK();
+}
+
+std::vector<TrunkId> MemoryStorage::replica_trunk_ids() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TrunkId> ids;
+  ids.reserve(replica_trunks_.size());
+  for (const auto& [id, trunk] : replica_trunks_) {
+    (void)trunk;
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+std::uint64_t MemoryStorage::ReplicaFootprintBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t total = 0;
+  for (const auto& [id, trunk] : replica_trunks_) {
+    (void)id;
+    total += trunk->stats().committed_bytes;
+  }
+  return total;
+}
+
 std::uint64_t MemoryStorage::MemoryFootprintBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::uint64_t total = 0;

@@ -55,6 +55,38 @@ class MemoryStorage {
 
   std::vector<TrunkId> trunk_ids() const;
 
+  /// --- Hot-standby replica trunks -------------------------------------
+  /// Replica trunks are full in-memory copies of trunks whose primary lives
+  /// on another machine. They sit in a separate map so the primary lookup
+  /// path (`trunk()`) never sees them; routing only reaches them through
+  /// the replication handlers and, after promotion, through
+  /// PromoteReplicaTrunk.
+
+  /// Creates an empty replica trunk. Unlike AttachTrunk this *replaces* any
+  /// existing replica image — re-replication may refresh an out-of-sync
+  /// copy.
+  Status AttachReplicaTrunk(TrunkId trunk_id);
+
+  /// Installs a fully-built replica image (re-replication transfer).
+  Status AttachReplicaTrunk(TrunkId trunk_id,
+                            std::unique_ptr<MemoryTrunk> trunk);
+
+  /// Replica lookup; nullptr when this machine holds no replica of it.
+  MemoryTrunk* replica_trunk(TrunkId trunk_id) const;
+
+  /// Drops a replica (replication factor restored elsewhere, or the trunk
+  /// migrated onto this machine).
+  Status DetachReplicaTrunk(TrunkId trunk_id);
+
+  /// Failover: moves a replica trunk into the primary map. The metadata
+  /// flip that makes promotion O(1) — no data copy, no TFS read.
+  Status PromoteReplicaTrunk(TrunkId trunk_id);
+
+  std::vector<TrunkId> replica_trunk_ids() const;
+
+  /// Committed bytes across replica trunks (replication memory overhead).
+  std::uint64_t ReplicaFootprintBytes() const;
+
   /// Sum of committed bytes across trunks plus index overhead — the memory
   /// footprint number reported in the Fig 13 comparison.
   std::uint64_t MemoryFootprintBytes() const;
@@ -81,6 +113,7 @@ class MemoryStorage {
   const Options options_;
   mutable std::mutex mu_;
   std::map<TrunkId, std::unique_ptr<MemoryTrunk>> trunks_;
+  std::map<TrunkId, std::unique_ptr<MemoryTrunk>> replica_trunks_;
 
   std::thread defrag_thread_;
   std::mutex daemon_mu_;

@@ -176,6 +176,7 @@ Status Tfs::ReadFile(const std::string& path, std::string* out) {
     if (!s.ok()) return s;
     out->append(chunk);
   }
+  ++stats_.files_read;
   return Status::OK();
 }
 

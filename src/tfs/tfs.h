@@ -37,6 +37,7 @@ class Tfs {
     std::uint64_t blocks_written = 0;
     std::uint64_t blocks_read = 0;
     std::uint64_t replica_read_failovers = 0;  ///< Reads served by a backup.
+    std::uint64_t files_read = 0;  ///< Whole-file ReadFile completions.
   };
 
   /// Opens (or creates) a TFS instance rooted at options.root. Reloads the

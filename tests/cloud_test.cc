@@ -46,6 +46,30 @@ TEST(AddressingTableTest, SerializeRoundTrip) {
   EXPECT_EQ(decoded.version(), table.version());
 }
 
+TEST(AddressingTableTest, EpochsAndReplicasRoundTrip) {
+  AddressingTable table(4, 4);
+  table.SetReplicas(3, {1, 2});
+  ASSERT_TRUE(table.AddReplica(5, 0));
+  EXPECT_FALSE(table.AddReplica(5, 0));  // Already a member.
+  const std::uint64_t e0 = table.epoch_of_trunk(7);
+  table.MoveTrunk(7, 2);  // Promotion-style move bumps the trunk epoch.
+  EXPECT_GT(table.epoch_of_trunk(7), e0);
+
+  AddressingTable decoded(0, 1);
+  ASSERT_TRUE(
+      AddressingTable::Deserialize(Slice(table.Serialize()), &decoded).ok());
+  EXPECT_TRUE(decoded == table);
+  EXPECT_EQ(decoded.replicas_of_trunk(3),
+            (std::vector<MachineId>{1, 2}));
+  EXPECT_EQ(decoded.epoch_of_trunk(7), table.epoch_of_trunk(7));
+
+  EXPECT_TRUE(decoded.RemoveReplica(3, 1));
+  EXPECT_FALSE(decoded.RemoveReplica(3, 1));
+  EXPECT_FALSE(decoded == table);
+  EXPECT_EQ(table.RemoveReplicaEverywhere(2), 1);  // Was a replica of 3.
+  EXPECT_EQ(table.replicas_of_trunk(3), (std::vector<MachineId>{1}));
+}
+
 TEST(AddressingTableTest, DeserializeRejectsGarbage) {
   AddressingTable table(0, 1);
   EXPECT_TRUE(
