@@ -4,6 +4,11 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "bench_util.h"
 #include "cloud/memory_cloud.h"
 #include "tsl/cell_accessor.h"
 #include "tsl/schema.h"
@@ -125,7 +130,112 @@ void BM_CellAccessorListAppend(benchmark::State& state) {
 }
 BENCHMARK(BM_CellAccessorListAppend);
 
+/// Cloud-level companion to the storage read sweep: N threads issue local
+/// GetCellFrom against slave 0 (the path that used to convoy on the global
+/// cloud mutex and the trunk mutex), plus a remote per-id vs MultiGet
+/// comparison that shows the sync-call batching win. Emitted to
+/// BENCH_read_throughput_cloud.json with --json.
+void RunCloudReadSweep(int argc, char* const* argv) {
+  bench::JsonEmitter json("read_throughput_cloud", argc, argv);
+  auto cloud = NewCloud();
+  std::vector<CellId> local_ids;
+  std::vector<CellId> remote_ids;
+  for (CellId id = 0; local_ids.size() < 1000 || remote_ids.size() < 1000;
+       ++id) {
+    if (cloud->MachineOf(id) == 0 && local_ids.size() < 1000) {
+      (void)cloud->AddCellFrom(0, id, Slice("local payload bytes"));
+      local_ids.push_back(id);
+    } else if (cloud->MachineOf(id) == 1 && remote_ids.size() < 1000) {
+      (void)cloud->AddCellFrom(1, id, Slice("remote payload bytes"));
+      remote_ids.push_back(id);
+    }
+  }
+  std::printf("\n==== read throughput: cloud local gets ====\n");
+  double base_mops = 0.0;
+  for (const int threads : {1, 2, 4, 8}) {
+    const std::uint64_t ops_per_thread = 100000;
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (int t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        std::string out;
+        for (std::uint64_t i = 0; i < ops_per_thread; ++i) {
+          const CellId id = local_ids[(t * 7919 + i) % local_ids.size()];
+          benchmark::DoNotOptimize(cloud->GetCellFrom(0, id, &out));
+        }
+      });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    go.store(true, std::memory_order_release);
+    for (std::thread& w : workers) w.join();
+    const double secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    const std::uint64_t total = ops_per_thread * threads;
+    const double mops = static_cast<double>(total) / secs / 1e6;
+    if (threads == 1) base_mops = mops;
+    std::printf("cloud_local_get threads=%d  %8.2f Mops/s  speedup=%.2fx\n",
+                threads, mops, base_mops > 0 ? mops / base_mops : 1.0);
+    json.BeginRow("cloud_local_get");
+    json.Add("threads", threads);
+    json.Add("ops", total);
+    json.Add("seconds", secs);
+    json.Add("mops_per_sec", mops);
+    json.Add("speedup_vs_1t", base_mops > 0 ? mops / base_mops : 1.0);
+  }
+  // Remote reads: 1000 ids fetched one sync call at a time vs one MultiGet
+  // (which packs them into a single request per owner machine).
+  const auto stats_before = cloud->fabric().stats();
+  const auto per_id_start = std::chrono::steady_clock::now();
+  std::string out;
+  for (CellId id : remote_ids) {
+    benchmark::DoNotOptimize(cloud->GetCellFrom(0, id, &out));
+  }
+  const double per_id_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    per_id_start)
+          .count();
+  const auto stats_mid = cloud->fabric().stats();
+  std::vector<cloud::MemoryCloud::MultiGetResult> results;
+  const auto batched_start = std::chrono::steady_clock::now();
+  (void)cloud->MultiGet(0, remote_ids, &results);
+  const double batched_secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    batched_start)
+          .count();
+  const auto stats_after = cloud->fabric().stats();
+  const std::uint64_t per_id_calls =
+      stats_mid.sync_calls - stats_before.sync_calls;
+  const std::uint64_t batched_calls =
+      stats_after.sync_calls - stats_mid.sync_calls;
+  std::printf("cloud_remote_get per-id:  %zu ids, %llu sync calls, %.3f ms\n",
+              remote_ids.size(),
+              static_cast<unsigned long long>(per_id_calls),
+              per_id_secs * 1e3);
+  std::printf("cloud_remote_get batched: %zu ids, %llu sync calls, %.3f ms\n",
+              remote_ids.size(),
+              static_cast<unsigned long long>(batched_calls),
+              batched_secs * 1e3);
+  json.BeginRow("cloud_multiget_per_id");
+  json.Add("ids", static_cast<std::uint64_t>(remote_ids.size()));
+  json.Add("sync_calls", per_id_calls);
+  json.Add("seconds", per_id_secs);
+  json.BeginRow("cloud_multiget_batched");
+  json.Add("ids", static_cast<std::uint64_t>(remote_ids.size()));
+  json.Add("sync_calls", batched_calls);
+  json.Add("seconds", batched_secs);
+}
+
 }  // namespace
 }  // namespace trinity
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  trinity::RunCloudReadSweep(argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -25,10 +25,21 @@ if [[ $# -gt 0 ]]; then
 fi
 
 cmake --preset default
-cmake --build --preset default -j "$(nproc)" -- "${BENCHES[@]}"
+cmake --build --preset default -j "$(nproc)" -- "${BENCHES[@]}" \
+  bench_micro_storage bench_micro_cloud
 
 for b in "${BENCHES[@]}"; do
   "./build/bench/$b" --json
 done
+
+# Multithreaded read-throughput sweeps (BENCH_read_throughput.json and
+# BENCH_read_throughput_cloud.json). --benchmark_filter=NONE skips the
+# google-benchmark micro suites so only the sweep runs.
+if [[ $# -eq 0 || "bench_micro_storage" == *"$1"* ]]; then
+  ./build/bench/bench_micro_storage --json '--benchmark_filter=NONE'
+fi
+if [[ $# -eq 0 || "bench_micro_cloud" == *"$1"* ]]; then
+  ./build/bench/bench_micro_cloud --json '--benchmark_filter=NONE'
+fi
 
 ls -l BENCH_*.json

@@ -8,6 +8,9 @@
 #include "common/logging.h"
 #include "common/serializer.h"
 #include "common/threadpool.h"
+// Header-only [id][len][bytes] record helpers shared with the compute
+// engines' outboxes; MultiGet responses reuse the same wire shape.
+#include "compute/packed_messages.h"
 
 namespace trinity::cloud {
 
@@ -80,27 +83,36 @@ Status MemoryCloud::Init() {
                             options_.replication_factor, slaves));
     }
   }
-  machines_.resize(num_endpoints());
-  alive_.assign(num_endpoints(), true);
+  machines_ = std::make_unique<MachineState[]>(num_endpoints());
+  alive_ = std::make_unique<std::atomic<bool>[]>(num_endpoints());
+  for (MachineId m = 0; m < num_endpoints(); ++m) {
+    alive_[m].store(true, std::memory_order_relaxed);
+  }
   for (MachineId m = 0; m < num_endpoints(); ++m) {
     machines_[m].table_replica = primary_table_;
     if (m < options_.num_slaves) {
-      machines_[m].storage =
-          std::make_unique<storage::MemoryStorage>(options_.storage);
+      auto store = std::make_shared<storage::MemoryStorage>(options_.storage);
       for (TrunkId t : primary_table_.trunks_of(m)) {
-        Status s = machines_[m].storage->AttachTrunk(t);
+        Status s = store->AttachTrunk(t);
         if (!s.ok()) return s;
       }
+      machines_[m].storage.store(std::move(store),
+                                 std::memory_order_release);
     }
     RegisterHandlers(m);
   }
   if (replicated()) {
     for (TrunkId t = 0; t < primary_table_.num_slots(); ++t) {
       for (MachineId r : primary_table_.replicas_of_trunk(t)) {
-        Status s = machines_[r].storage->AttachReplicaTrunk(t);
+        Status s = StorageOf(r)->AttachReplicaTrunk(t);
         if (!s.ok()) return s;
       }
     }
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (MachineId m = 0; m < num_endpoints(); ++m) RefreshRoutingLocked(m);
+    RefreshPrimaryRoutingLocked();
   }
   leader_ = 0;
   return Status::OK();
@@ -115,6 +127,7 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
           std::lock_guard<std::mutex> lock(mu_);
           if (table.version() > machines_[m].table_replica.version()) {
             machines_[m].table_replica = table;
+            RefreshRoutingLocked(m);
           }
         }
       });
@@ -131,6 +144,45 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
         }
         return ExecuteLocal(m, static_cast<CellOp>(op), id, payload,
                             response);
+      });
+  fabric_->RegisterSyncHandler(
+      m, kMultiGetHandler,
+      [this, m](MachineId, Slice request, std::string* response) {
+        BinaryReader reader(request);
+        std::uint8_t op = 0;
+        std::uint32_t count = 0;
+        if (!reader.GetU8(&op) || !reader.GetU32(&count)) {
+          return Status::Corruption("bad multi-get request");
+        }
+        if (response == nullptr) return Status::InvalidArgument("no response");
+        auto store = StorageOf(m);
+        if (store == nullptr) return Status::Unavailable("not a slave");
+        for (std::uint32_t i = 0; i < count; ++i) {
+          CellId id = 0;
+          if (!reader.GetU64(&id)) {
+            return Status::Corruption("bad multi-get request");
+          }
+          storage::MemoryTrunk* trunk = store->trunk(TrunkOf(id));
+          if (trunk == nullptr) {
+            // The caller's routing snapshot is stale for this id. Fail the
+            // whole batch so the caller re-routes each id individually —
+            // partial answers must not masquerade as NotFound.
+            return Status::Unavailable("trunk not hosted");
+          }
+          if (static_cast<CellOp>(op) == CellOp::kContains) {
+            // Present ids answer with an empty record; absent ids are
+            // simply omitted from the response.
+            if (trunk->Contains(id)) {
+              compute::AppendPackedRecord(response, id, Slice());
+            }
+            continue;
+          }
+          storage::MemoryTrunk::ConstAccessor accessor;
+          if (trunk->Access(id, &accessor).ok()) {
+            compute::AppendPackedRecord(response, id, accessor.data());
+          }
+        }
+        return Status::OK();
       });
   fabric_->RegisterSyncHandler(
       m, kHeartbeatHandler,
@@ -173,10 +225,9 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
         Status s = storage::MemoryTrunk::Deserialize(
             image, options_.storage.trunk, &trunk);
         if (!s.ok()) return s;
-        if (machines_[m].storage == nullptr) {
-          return Status::Unavailable("not a slave");
-        }
-        return machines_[m].storage->AttachTrunk(trunk_id, std::move(trunk));
+        auto store = StorageOf(m);
+        if (store == nullptr) return Status::Unavailable("not a slave");
+        return store->AttachTrunk(trunk_id, std::move(trunk));
       });
   fabric_->RegisterSyncHandler(
       m, kReplicaApplyHandler,
@@ -203,14 +254,15 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
             return Status::Corruption("replica apply trunk out of range");
           }
           if (epoch < machines_[m].table_replica.epoch_of_trunk(trunk_id)) {
-            ++recovery_stats_.fenced_writes;
+            recovery_stats_.fenced_writes.fetch_add(
+                1, std::memory_order_relaxed);
             return Status::Aborted("fenced: replication epoch " +
                                    std::to_string(epoch) +
                                    " is stale for trunk " +
                                    std::to_string(trunk_id));
           }
         }
-        storage::MemoryStorage* store = machines_[m].storage.get();
+        auto store = StorageOf(m);
         if (store == nullptr) return Status::Unavailable("not a slave");
         storage::MemoryTrunk* replica = store->replica_trunk(trunk_id);
         if (replica == nullptr) {
@@ -246,11 +298,9 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
         Status s = storage::MemoryTrunk::Deserialize(
             image, options_.storage.trunk, &trunk);
         if (!s.ok()) return s;
-        if (machines_[m].storage == nullptr) {
-          return Status::Unavailable("not a slave");
-        }
-        return machines_[m].storage->AttachReplicaTrunk(trunk_id,
-                                                        std::move(trunk));
+        auto store = StorageOf(m);
+        if (store == nullptr) return Status::Unavailable("not a slave");
+        return store->AttachReplicaTrunk(trunk_id, std::move(trunk));
       });
   fabric_->RegisterSyncHandler(
       m, kReplicaReadHandler,
@@ -263,7 +313,7 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
             !reader.GetU64(&id)) {
           return Status::Corruption("bad replica read request");
         }
-        storage::MemoryStorage* store = machines_[m].storage.get();
+        auto store = StorageOf(m);
         if (store == nullptr) return Status::Unavailable("not a slave");
         storage::MemoryTrunk* replica = store->replica_trunk(trunk_id);
         if (replica == nullptr) {
@@ -306,7 +356,8 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
           // The caller was deposed: a promotion moved the trunk (bumping
           // its epoch) after the caller last synced. It must not be allowed
           // to establish ack authority by shrinking the in-sync set.
-          ++recovery_stats_.fenced_writes;
+          recovery_stats_.fenced_writes.fetch_add(1,
+                                                  std::memory_order_relaxed);
           return Status::Aborted("fenced: shrink from deposed primary");
         }
         primary_table_.RemoveReplica(trunk_id, replica);
@@ -318,16 +369,23 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
 }
 
 MachineId MemoryCloud::MachineOf(CellId id) const {
+  std::shared_ptr<const RoutingView> view =
+      primary_routing_.load(std::memory_order_acquire);
+  if (view != nullptr &&
+      view->stamp == routing_stamp_.load(std::memory_order_acquire)) {
+    return view->owner[TrunkOf(id)];
+  }
   std::lock_guard<std::mutex> lock(mu_);
+  RefreshPrimaryRoutingLocked();
   return primary_table_.machine_of_trunk(TrunkOf(id));
 }
 
 storage::MemoryStorage* MemoryCloud::storage(MachineId m) {
-  std::lock_guard<std::mutex> lock(mu_);
-  // A crashed machine's memory image may linger until recovery (see
-  // OnInjectedCrash) but must never be readable.
-  if (!alive_[m]) return nullptr;
-  return machines_[m].storage.get();
+  // Lock-free: liveness and the storage pointer are both atomics. A crashed
+  // machine's memory image may linger until recovery (see OnInjectedCrash)
+  // but must never be readable.
+  if (!alive_[m].load(std::memory_order_acquire)) return nullptr;
+  return StorageOf(m).get();
 }
 
 const AddressingTable& MemoryCloud::table() const { return primary_table_; }
@@ -335,8 +393,9 @@ const AddressingTable& MemoryCloud::table() const { return primary_table_; }
 std::uint64_t MemoryCloud::MemoryFootprintBytes() const {
   std::uint64_t total = 0;
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (alive_[m] && machines_[m].storage != nullptr) {
-      total += machines_[m].storage->MemoryFootprintBytes();
+    auto store = StorageOf(m);
+    if (alive_[m].load(std::memory_order_acquire) && store != nullptr) {
+      total += store->MemoryFootprintBytes();
     }
   }
   return total;
@@ -345,8 +404,9 @@ std::uint64_t MemoryCloud::MemoryFootprintBytes() const {
 std::uint64_t MemoryCloud::TotalCellCount() const {
   std::uint64_t total = 0;
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (alive_[m] && machines_[m].storage != nullptr) {
-      total += machines_[m].storage->TotalCellCount();
+    auto store = StorageOf(m);
+    if (alive_[m].load(std::memory_order_acquire) && store != nullptr) {
+      total += store->TotalCellCount();
     }
   }
   return total;
@@ -354,7 +414,7 @@ std::uint64_t MemoryCloud::TotalCellCount() const {
 
 Status MemoryCloud::ExecuteLocal(MachineId m, CellOp op, CellId id,
                                  Slice payload, std::string* response) {
-  storage::MemoryStorage* store = machines_[m].storage.get();
+  auto store = StorageOf(m);
   if (store == nullptr) return Status::Unavailable("not a slave");
   storage::MemoryTrunk* trunk = store->trunk(TrunkOf(id));
   if (trunk == nullptr) {
@@ -530,10 +590,7 @@ Status MemoryCloud::TryReplicaRead(MachineId src, CellOp op, CellId id,
     if (s.IsUnavailable() || s.IsTimedOut()) continue;  // Next replica.
     // Definitive answer (OK / NotFound / error): the read was served.
     *served = true;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      ++recovery_stats_.degraded_reads;
-    }
+    recovery_stats_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
     if (s.ok() && response != nullptr) *response = std::move(resp);
     return s;
   }
@@ -583,7 +640,9 @@ bool MemoryCloud::LogToBackup(MachineId primary, CellOp op, CellId id,
 void MemoryCloud::OnInjectedCrash(MachineId m) {
   if (m < 0 || m >= num_endpoints()) return;
   std::lock_guard<std::mutex> lock(mu_);
-  alive_[m] = false;
+  alive_[m].store(false, std::memory_order_release);
+  // Membership changed: lazily invalidate every routing snapshot.
+  routing_stamp_.fetch_add(1, std::memory_order_acq_rel);
   if (m >= options_.num_slaves) return;  // Proxies/client carry no state.
   machines_[m].backup_logs.clear();  // The logs it held as backup are gone.
   // Re-protection snapshots only matter when buffered logs exist; in
@@ -601,9 +660,50 @@ MachineId MemoryCloud::BackupOf(MachineId m) const {
   std::lock_guard<std::mutex> lock(mu_);
   for (int step = 1; step < options_.num_slaves; ++step) {
     const MachineId candidate = (m + step) % options_.num_slaves;
-    if (alive_[candidate]) return candidate;
+    if (alive_[candidate].load(std::memory_order_acquire)) return candidate;
   }
   return kInvalidMachine;
+}
+
+void MemoryCloud::RefreshRoutingLocked(MachineId m) {
+  auto view = std::make_shared<RoutingView>();
+  view->stamp = routing_stamp_.load(std::memory_order_acquire);
+  const AddressingTable& table = machines_[m].table_replica;
+  view->owner.resize(static_cast<std::size_t>(table.num_slots()));
+  for (TrunkId t = 0; t < table.num_slots(); ++t) {
+    view->owner[static_cast<std::size_t>(t)] = table.machine_of_trunk(t);
+  }
+  machines_[m].routing.store(std::move(view), std::memory_order_release);
+}
+
+void MemoryCloud::RefreshPrimaryRoutingLocked() const {
+  auto view = std::make_shared<RoutingView>();
+  view->stamp = routing_stamp_.load(std::memory_order_acquire);
+  view->owner.resize(static_cast<std::size_t>(primary_table_.num_slots()));
+  for (TrunkId t = 0; t < primary_table_.num_slots(); ++t) {
+    view->owner[static_cast<std::size_t>(t)] =
+        primary_table_.machine_of_trunk(t);
+  }
+  primary_routing_.store(std::move(view), std::memory_order_release);
+}
+
+MachineId MemoryCloud::RouteDst(MachineId src, CellId id) {
+  const TrunkId t = TrunkOf(id);
+  // RCU fast path: route against this machine's immutable snapshot with no
+  // lock taken. The stamp check bounds staleness to the last membership or
+  // table change; correctness never depends on it because a wrong owner
+  // answers Unavailable and RouteOp re-syncs and retries.
+  std::shared_ptr<const RoutingView> view =
+      machines_[src].routing.load(std::memory_order_acquire);
+  if (view != nullptr &&
+      view->stamp == routing_stamp_.load(std::memory_order_acquire)) {
+    return view->owner[static_cast<std::size_t>(t)];
+  }
+  // Slow path: rebuild the snapshot under the lock from the (possibly still
+  // stale) table replica — re-sync with the primary stays RouteOp's job.
+  std::lock_guard<std::mutex> lock(mu_);
+  RefreshRoutingLocked(src);
+  return machines_[src].table_replica.machine_of_trunk(t);
 }
 
 Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
@@ -630,12 +730,8 @@ Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
         return Status::Unavailable("source machine is down");
       }
     }
-    MachineId dst;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      dst = machines_[src].table_replica.machine_of_trunk(TrunkOf(id));
-    }
-    if (dst == src && machines_[src].storage != nullptr) {
+    const MachineId dst = RouteDst(src, id);
+    if (dst == src && StorageOf(src) != nullptr) {
       net::Fabric::MeterScope meter(*fabric_, src);
       last = ExecuteLocal(src, op, id, payload, response);
     } else {
@@ -694,6 +790,7 @@ Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
     // and attempt to access the item again."
     std::lock_guard<std::mutex> lock(mu_);
     machines_[src].table_replica = primary_table_;
+    RefreshRoutingLocked(src);
   }
   // Bounded attempts exhausted — name the terminal condition precisely so
   // callers can tell a dead owner from a table that never converges.
@@ -727,6 +824,100 @@ Status MemoryCloud::AppendToCellFrom(MachineId src, CellId id, Slice suffix) {
   return RouteOp(src, CellOp::kAppend, id, suffix, nullptr);
 }
 
+Status MemoryCloud::MultiOp(MachineId src, CellOp op,
+                            std::span<const CellId> ids,
+                            std::vector<MultiGetResult>* out) {
+  if (out == nullptr) return Status::InvalidArgument("no output vector");
+  out->assign(ids.size(), MultiGetResult{});
+  if (ids.empty()) return Status::OK();
+  if (!fabric_->IsMachineUp(src)) {
+    return Status::Unavailable("source machine is down");
+  }
+  // Group the batch by owner via the lock-free snapshot. std::map keeps the
+  // per-machine call order deterministic for the fault injector.
+  std::map<MachineId, std::vector<std::size_t>> groups;
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    groups[RouteDst(src, ids[i])].push_back(i);
+  }
+  // Ids whose batched path failed retriably fall back to the single-id
+  // RouteOp, which owns re-sync, degraded reads, and promotion failover.
+  std::vector<std::size_t> fallback;
+  for (const auto& [dst, indices] : groups) {
+    auto store = StorageOf(src);
+    if (dst == src && store != nullptr) {
+      // Local group: answer straight from the trunks, one accessor per id.
+      net::Fabric::MeterScope meter(*fabric_, src);
+      for (std::size_t i : indices) {
+        storage::MemoryTrunk* trunk = store->trunk(TrunkOf(ids[i]));
+        if (trunk == nullptr) {
+          fallback.push_back(i);  // Snapshot was stale for this id.
+          continue;
+        }
+        if (op == CellOp::kContains) {
+          if (trunk->Contains(ids[i])) (*out)[i].status = Status::OK();
+          continue;
+        }
+        storage::MemoryTrunk::ConstAccessor accessor;
+        Status s = trunk->Access(ids[i], &accessor);
+        if (s.ok()) {
+          (*out)[i].value.assign(accessor.data().data(),
+                                 accessor.data().size());
+          (*out)[i].status = Status::OK();
+        }
+      }
+      continue;
+    }
+    // Remote group: one packed request for the whole machine.
+    BinaryWriter writer;
+    writer.PutU8(static_cast<std::uint8_t>(op));
+    writer.PutU32(static_cast<std::uint32_t>(indices.size()));
+    for (std::size_t i : indices) writer.PutU64(ids[i]);
+    const std::string request = writer.Release();
+    std::string response;
+    Status s = fabric_->Call(src, dst, kMultiGetHandler, Slice(request),
+                             &response);
+    if (!s.ok()) {
+      // Stale routing, dead owner, or injected fault: every id in the group
+      // retries individually so failover semantics match GetCellFrom.
+      fallback.insert(fallback.end(), indices.begin(), indices.end());
+      continue;
+    }
+    // The response holds one packed record per *found* id; ids the owner did
+    // not report keep their NotFound default.
+    std::map<CellId, std::vector<std::size_t>> by_id;
+    for (std::size_t i : indices) by_id[ids[i]].push_back(i);
+    compute::ForEachPackedRecord(Slice(response),
+                                 [&](CellId id, Slice bytes) {
+      auto it = by_id.find(id);
+      if (it == by_id.end()) return;
+      for (std::size_t i : it->second) {
+        (*out)[i].status = Status::OK();
+        if (op == CellOp::kGet) {
+          (*out)[i].value.assign(bytes.data(), bytes.size());
+        }
+      }
+    });
+  }
+  for (std::size_t i : fallback) {
+    std::string value;
+    Status s = RouteOp(src, op, ids[i], Slice(),
+                       op == CellOp::kGet ? &value : nullptr);
+    (*out)[i].status = s;
+    if (s.ok() && op == CellOp::kGet) (*out)[i].value = std::move(value);
+  }
+  return Status::OK();
+}
+
+Status MemoryCloud::MultiGet(MachineId src, std::span<const CellId> ids,
+                             std::vector<MultiGetResult>* out) {
+  return MultiOp(src, CellOp::kGet, ids, out);
+}
+
+Status MemoryCloud::MultiContains(MachineId src, std::span<const CellId> ids,
+                                  std::vector<MultiGetResult>* out) {
+  return MultiOp(src, CellOp::kContains, ids, out);
+}
+
 Status MemoryCloud::Contains(CellId id, bool* exists) {
   *exists = false;
   Status s = RouteOp(client_id(), CellOp::kContains, id, Slice(), nullptr);
@@ -748,19 +939,27 @@ Status MemoryCloud::PersistTableLocked() {
 
 void MemoryCloud::BroadcastTableLocked() {
   const std::string image = primary_table_.Serialize();
+  // New table generation: retire every routing snapshot built before this
+  // broadcast, then rebuild the views of the machines the broadcast reaches
+  // so their fast paths resume immediately. Machines the broadcast skips
+  // (dead ones) rebuild lazily on their first post-restart read.
+  routing_stamp_.fetch_add(1, std::memory_order_acq_rel);
   for (MachineId m = 0; m < num_endpoints(); ++m) {
     if (m == leader_) {
       machines_[m].table_replica = primary_table_;
+      RefreshRoutingLocked(m);
       continue;
     }
-    if (!alive_[m]) continue;
+    if (!alive_[m].load(std::memory_order_acquire)) continue;
     // Direct replica install; losing the broadcast is tolerated because a
     // stale machine re-syncs on its next failed access.
     AddressingTable table(0, 1);
     if (AddressingTable::Deserialize(Slice(image), &table).ok()) {
       machines_[m].table_replica = table;
+      RefreshRoutingLocked(m);
     }
   }
+  RefreshPrimaryRoutingLocked();
 }
 
 std::string MemoryCloud::SnapshotPrefixLocked() const {
@@ -774,7 +973,8 @@ Status MemoryCloud::SnapshotAllLocked() {
   // would truncate both and lose its data. Recovery moves the trunks to
   // survivors first and then calls back in here.
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (!alive_[m] && !primary_table_.trunks_of(m).empty()) {
+    if (!alive_[m].load(std::memory_order_acquire) &&
+        !primary_table_.trunks_of(m).empty()) {
       return Status::Unavailable("machine " + std::to_string(m) +
                                  " awaits recovery; snapshot deferred");
     }
@@ -785,8 +985,11 @@ Status MemoryCloud::SnapshotAllLocked() {
   const std::string snap_prefix =
       options_.tfs_prefix + "/snap_" + std::to_string(epoch);
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (!alive_[m] || machines_[m].storage == nullptr) continue;
-    Status s = machines_[m].storage->SaveToTfs(options_.tfs, snap_prefix);
+    auto store = StorageOf(m);
+    if (!alive_[m].load(std::memory_order_acquire) || store == nullptr) {
+      continue;
+    }
+    Status s = store->SaveToTfs(options_.tfs, snap_prefix);
     // A failure here abandons the staging files: the previous snapshot and
     // every buffered log record stay intact, so no recovery path ever sees
     // a truncated snapshot.
@@ -800,8 +1003,8 @@ Status MemoryCloud::SnapshotAllLocked() {
   if (!s.ok()) return s;
   snapshot_epoch_ = epoch;
   // Only a *committed* snapshot makes the buffered log records redundant.
-  for (auto& machine : machines_) {
-    machine.backup_logs.clear();
+  for (MachineId m = 0; m < num_endpoints(); ++m) {
+    machines_[m].backup_logs.clear();
   }
   reprotect_pending_ = false;  // Every acked write is in this epoch.
   // Garbage-collect superseded epochs (and abandoned staging attempts).
@@ -829,8 +1032,9 @@ Status MemoryCloud::FailMachine(MachineId m) {
   }
   fabric_->SetMachineDown(m);
   std::lock_guard<std::mutex> lock(mu_);
-  alive_[m] = false;
-  machines_[m].storage.reset();     // RAM contents are gone.
+  alive_[m].store(false, std::memory_order_release);
+  routing_stamp_.fetch_add(1, std::memory_order_acq_rel);
+  machines_[m].storage.store(nullptr);  // RAM contents are gone.
   machines_[m].backup_logs.clear();  // So are the logs it held as backup.
   // The wiped logs may have been the only copies protecting other
   // primaries' recent writes; the next recovery snapshot re-protects them.
@@ -841,7 +1045,7 @@ Status MemoryCloud::FailMachine(MachineId m) {
 std::vector<MachineId> MemoryCloud::AliveSlavesLocked() const {
   std::vector<MachineId> result;
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (alive_[m]) result.push_back(m);
+    if (alive_[m].load(std::memory_order_acquire)) result.push_back(m);
   }
   return result;
 }
@@ -875,14 +1079,14 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
   }
   std::lock_guard<std::mutex> lock(mu_);
   if (replicated()) return PromoteReplicasLocked(failed);
-  if (alive_[failed]) {
-    alive_[failed] = false;
+  if (alive_[failed].load(std::memory_order_acquire)) {
+    alive_[failed].store(false, std::memory_order_release);
     fabric_->SetMachineDown(failed);
   }
   // Covers both the explicit-failure path and an injected crash whose stale
   // memory image was deliberately kept alive until now (see OnInjectedCrash).
-  machines_[failed].storage.reset();
-  if (leader_ == failed || !alive_[leader_]) {
+  machines_[failed].storage.store(nullptr);
+  if (leader_ == failed || !alive_[leader_].load(std::memory_order_acquire)) {
     // Leader is gone; elect a new one (inline, we already hold the state).
     const std::vector<MachineId> alive = AliveSlavesLocked();
     if (alive.empty()) return Status::Unavailable("no alive slaves");
@@ -919,7 +1123,8 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
   std::size_t next = 0;
   for (TrunkId t : trunks) {
     const MachineId target = targets[next++ % targets.size()];
-    if (machines_[target].storage == nullptr) {
+    auto target_store = StorageOf(target);
+    if (target_store == nullptr) {
       return Status::Unavailable("recovery target lost its storage");
     }
     std::unique_ptr<storage::MemoryTrunk> trunk;
@@ -933,7 +1138,7 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
       s = storage::MemoryTrunk::Create(options_.storage.trunk, &trunk);
     }
     if (!s.ok()) return s;
-    s = machines_[target].storage->AttachTrunk(t, std::move(trunk));
+    s = target_store->AttachTrunk(t, std::move(trunk));
     if (!s.ok()) return s;
     primary_table_.MoveTrunk(t, target);
   }
@@ -960,8 +1165,9 @@ Status MemoryCloud::RecoverMachine(MachineId failed) {
     last_seq = record.seq;
     const TrunkId t = TrunkOf(record.id);
     const MachineId owner = primary_table_.machine_of_trunk(t);
-    if (machines_[owner].storage == nullptr) continue;
-    storage::MemoryTrunk* trunk = machines_[owner].storage->trunk(t);
+    auto owner_store = StorageOf(owner);
+    if (owner_store == nullptr) continue;
+    storage::MemoryTrunk* trunk = owner_store->trunk(t);
     if (trunk == nullptr) continue;
     switch (record.op) {
       case CellOp::kAdd:
@@ -1003,14 +1209,15 @@ Status MemoryCloud::PromoteReplicasLocked(MachineId failed) {
   // stale primary the split-brain tests aim at. A down endpoint is a real
   // crash: its lingering image (kept by OnInjectedCrash for zero-copy
   // safety) is a ghost and is discarded here.
-  if (alive_[failed]) {
-    if (!fabric_->IsMachineUp(failed)) machines_[failed].storage.reset();
-    alive_[failed] = false;
+  if (alive_[failed].load(std::memory_order_acquire)) {
+    if (!fabric_->IsMachineUp(failed)) machines_[failed].storage.store(nullptr);
+    alive_[failed].store(false, std::memory_order_release);
   } else if (!fabric_->IsMachineUp(failed)) {
-    machines_[failed].storage.reset();
+    machines_[failed].storage.store(nullptr);
   }
+  routing_stamp_.fetch_add(1, std::memory_order_acq_rel);
   machines_[failed].backup_logs.clear();
-  if (leader_ == failed || !alive_[leader_]) {
+  if (leader_ == failed || !alive_[leader_].load(std::memory_order_acquire)) {
     const std::vector<MachineId> alive = AliveSlavesLocked();
     if (alive.empty()) return Status::Unavailable("no alive slaves");
     leader_ = alive.front();
@@ -1041,10 +1248,13 @@ Status MemoryCloud::PromoteReplicasLocked(MachineId failed) {
   std::size_t rr = 0;
   for (TrunkId t : owned) {
     MachineId target = kInvalidMachine;
+    std::shared_ptr<storage::MemoryStorage> target_store;
     for (MachineId r : primary_table_.replicas_of_trunk(t)) {
-      if (alive_[r] && machines_[r].storage != nullptr &&
-          machines_[r].storage->replica_trunk(t) != nullptr) {
+      auto store = StorageOf(r);
+      if (alive_[r].load(std::memory_order_acquire) && store != nullptr &&
+          store->replica_trunk(t) != nullptr) {
         target = r;
+        target_store = std::move(store);
         break;
       }
     }
@@ -1052,7 +1262,7 @@ Status MemoryCloud::PromoteReplicasLocked(MachineId failed) {
       // The hot path: an O(1) ownership flip. No trunk bytes move and no
       // TFS file is read — the acceptance criterion the chaos tests assert
       // via the TFS read counters.
-      Status s = machines_[target].storage->PromoteReplicaTrunk(t);
+      Status s = target_store->PromoteReplicaTrunk(t);
       if (!s.ok()) return s;
       primary_table_.MoveTrunk(t, target);  // Bumps the fencing epoch.
       primary_table_.RemoveReplica(t, target);  // Promoted: now primary.
@@ -1067,7 +1277,8 @@ Status MemoryCloud::PromoteReplicasLocked(MachineId failed) {
                                  "cold tier configured");
     }
     const MachineId tgt = survivors[rr++ % survivors.size()];
-    if (machines_[tgt].storage == nullptr) {
+    auto tgt_store = StorageOf(tgt);
+    if (tgt_store == nullptr) {
       return Status::Unavailable("recovery target lost its storage");
     }
     std::unique_ptr<storage::MemoryTrunk> trunk;
@@ -1082,11 +1293,11 @@ Status MemoryCloud::PromoteReplicasLocked(MachineId failed) {
       s = storage::MemoryTrunk::Create(options_.storage.trunk, &trunk);
     }
     if (!s.ok()) return s;
-    if (machines_[tgt].storage->replica_trunk(t) != nullptr) {
+    if (tgt_store->replica_trunk(t) != nullptr) {
       // A stale (not in-sync) replica image is superseded by the reload.
-      machines_[tgt].storage->DetachReplicaTrunk(t);
+      tgt_store->DetachReplicaTrunk(t);
     }
-    s = machines_[tgt].storage->AttachTrunk(t, std::move(trunk));
+    s = tgt_store->AttachTrunk(t, std::move(trunk));
     if (!s.ok()) return s;
     primary_table_.MoveTrunk(t, tgt);
     primary_table_.RemoveReplica(t, tgt);
@@ -1099,13 +1310,14 @@ Status MemoryCloud::PromoteReplicasLocked(MachineId failed) {
                                 5.0 * static_cast<double>(survivors.size()) +
                                 500.0 * static_cast<double>(reloaded);
   fabric_->AddCpuMicros(leader_, promote_micros);
-  recovery_stats_.promotions += promoted;
-  recovery_stats_.tfs_fallback_reloads += reloaded;
-  recovery_stats_.last_promote_micros =
-      static_cast<std::uint64_t>(promote_micros);
+  recovery_stats_.promotions.fetch_add(promoted, std::memory_order_relaxed);
+  recovery_stats_.tfs_fallback_reloads.fetch_add(reloaded,
+                                                 std::memory_order_relaxed);
+  recovery_stats_.last_promote_micros.store(
+      static_cast<std::uint64_t>(promote_micros), std::memory_order_relaxed);
   // Until re-replication runs, promotion is all the recovery there is.
-  recovery_stats_.last_full_replication_micros =
-      recovery_stats_.last_promote_micros;
+  recovery_stats_.last_full_replication_micros.store(
+      static_cast<std::uint64_t>(promote_micros), std::memory_order_relaxed);
   Status ps = PersistTableLocked();
   if (!ps.ok()) return ps;
   BroadcastTableLocked();
@@ -1139,7 +1351,7 @@ int MemoryCloud::DetectAndRecover(SweepReport* report) {
   for (int m = 0; m < options_.num_slaves; ++m) {
     {
       std::lock_guard<std::mutex> lock(mu_);
-      if (!alive_[m]) {
+      if (!alive_[m].load(std::memory_order_acquire)) {
         // Known dead. Recover if it still owns trunks, or if its death took
         // backup-log copies that have not been re-protected yet; otherwise
         // the crash is fully handled.
@@ -1179,16 +1391,35 @@ int MemoryCloud::DetectAndRecover(SweepReport* report) {
 std::uint64_t MemoryCloud::ReplicaMemoryBytes() const {
   std::uint64_t total = 0;
   for (int m = 0; m < options_.num_slaves; ++m) {
-    if (alive_[m] && machines_[m].storage != nullptr) {
-      total += machines_[m].storage->ReplicaFootprintBytes();
+    auto store = StorageOf(m);
+    if (alive_[m].load(std::memory_order_acquire) && store != nullptr) {
+      total += store->ReplicaFootprintBytes();
     }
   }
   return total;
 }
 
 net::RecoveryStats MemoryCloud::recovery_stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return recovery_stats_;
+  // Lock-free snapshot of the relaxed counters; fields may be mutually
+  // inconsistent for an instant, which is fine for observability data.
+  net::RecoveryStats out;
+  out.promotions = recovery_stats_.promotions.load(std::memory_order_relaxed);
+  out.last_promote_micros =
+      recovery_stats_.last_promote_micros.load(std::memory_order_relaxed);
+  out.last_full_replication_micros =
+      recovery_stats_.last_full_replication_micros.load(
+          std::memory_order_relaxed);
+  out.bytes_rereplicated =
+      recovery_stats_.bytes_rereplicated.load(std::memory_order_relaxed);
+  out.trunks_rereplicated =
+      recovery_stats_.trunks_rereplicated.load(std::memory_order_relaxed);
+  out.degraded_reads =
+      recovery_stats_.degraded_reads.load(std::memory_order_relaxed);
+  out.fenced_writes =
+      recovery_stats_.fenced_writes.load(std::memory_order_relaxed);
+  out.tfs_fallback_reloads =
+      recovery_stats_.tfs_fallback_reloads.load(std::memory_order_relaxed);
+  return out;
 }
 
 int MemoryCloud::ReReplicate() {
@@ -1205,7 +1436,8 @@ int MemoryCloud::ReReplicate() {
     if (alive.size() < 2) return 0;
     for (TrunkId t = 0; t < primary_table_.num_slots(); ++t) {
       const MachineId primary = primary_table_.machine_of_trunk(t);
-      if (!alive_[primary] || machines_[primary].storage == nullptr) {
+      if (!alive_[primary].load(std::memory_order_acquire) ||
+          StorageOf(primary) == nullptr) {
         continue;  // Awaiting promotion; not repairable yet.
       }
       // Desired placement under the current membership. Rendezvous scores
@@ -1238,7 +1470,7 @@ int MemoryCloud::ReReplicate() {
   std::vector<Status> serialize_status(jobs.size(), Status::OK());
   ThreadPool pool(0);
   pool.ParallelFor(static_cast<int>(jobs.size()), [&](int i) {
-    storage::MemoryStorage* store = machines_[jobs[i].primary].storage.get();
+    auto store = StorageOf(jobs[i].primary);
     storage::MemoryTrunk* source =
         store == nullptr ? nullptr : store->trunk(jobs[i].trunk);
     if (source == nullptr) {
@@ -1271,7 +1503,7 @@ int MemoryCloud::ReReplicate() {
     // Commit only if the world did not shift underneath the transfer (an
     // injected crash during the Call can trigger promotions).
     if (primary_table_.machine_of_trunk(job.trunk) == job.primary &&
-        alive_[job.target]) {
+        alive_[job.target].load(std::memory_order_acquire)) {
       primary_table_.AddReplica(job.trunk, job.target);
       ++installed;
       shipped_bytes += images[i].size();
@@ -1281,8 +1513,10 @@ int MemoryCloud::ReReplicate() {
   }
   if (installed > 0) {
     std::lock_guard<std::mutex> lock(mu_);
-    recovery_stats_.trunks_rereplicated += installed;
-    recovery_stats_.bytes_rereplicated += shipped_bytes;
+    recovery_stats_.trunks_rereplicated.fetch_add(installed,
+                                                  std::memory_order_relaxed);
+    recovery_stats_.bytes_rereplicated.fetch_add(shipped_bytes,
+                                                 std::memory_order_relaxed);
     // Modeled wall time of the parallel transfer: each destination installs
     // its images serially, destinations proceed in parallel — the slowest
     // destination bounds time-to-full-replication.
@@ -1291,9 +1525,10 @@ int MemoryCloud::ReReplicate() {
       (void)target;
       slowest = std::max(slowest, micros);
     }
-    recovery_stats_.last_full_replication_micros =
-        recovery_stats_.last_promote_micros +
-        static_cast<std::uint64_t>(slowest);
+    recovery_stats_.last_full_replication_micros.store(
+        recovery_stats_.last_promote_micros.load(std::memory_order_relaxed) +
+            static_cast<std::uint64_t>(slowest),
+        std::memory_order_relaxed);
     Status ps = PersistTableLocked();
     (void)ps;  // Best effort: the next sweep re-persists.
     BroadcastTableLocked();
@@ -1310,7 +1545,7 @@ int MemoryCloud::ReReplicate() {
     for (TrunkId t = 0;
          alive.size() >= 2 && t < primary_table_.num_slots(); ++t) {
       const MachineId primary = primary_table_.machine_of_trunk(t);
-      if (!alive_[primary]) continue;
+      if (!alive_[primary].load(std::memory_order_acquire)) continue;
       const std::vector<MachineId> want = ReplicaTargets(
           t, primary, options_.replication_factor, alive);
       // Copied: RemoveReplica below mutates the table's vector.
@@ -1326,8 +1561,9 @@ int MemoryCloud::ReReplicate() {
       for (MachineId h : have) {
         if (std::find(want.begin(), want.end(), h) != want.end()) continue;
         primary_table_.RemoveReplica(t, h);
-        if (alive_[h] && machines_[h].storage != nullptr) {
-          machines_[h].storage->DetachReplicaTrunk(t);
+        auto holder = StorageOf(h);
+        if (alive_[h].load(std::memory_order_acquire) && holder != nullptr) {
+          holder->DetachReplicaTrunk(t);
         }
         ++trimmed;
       }
@@ -1348,17 +1584,23 @@ Status MemoryCloud::MigrateTrunk(TrunkId trunk, MachineId to) {
     if (trunk < 0 || trunk >= primary_table_.num_slots()) {
       return Status::InvalidArgument("trunk out of range");
     }
-    if (to < 0 || to >= options_.num_slaves || !alive_[to]) {
+    if (to < 0 || to >= options_.num_slaves ||
+        !alive_[to].load(std::memory_order_acquire)) {
       return Status::InvalidArgument("destination is not an alive slave");
     }
     from = primary_table_.machine_of_trunk(trunk);
     if (from == to) return Status::OK();
-    if (!alive_[from] || machines_[from].storage == nullptr) {
+    if (!alive_[from].load(std::memory_order_acquire) ||
+        StorageOf(from) == nullptr) {
       return Status::Unavailable("source machine is down");
     }
   }
   // 1. Serialize the trunk at the source (metered as its CPU work).
-  storage::MemoryTrunk* source = machines_[from].storage->trunk(trunk);
+  auto from_store = StorageOf(from);
+  if (from_store == nullptr) {
+    return Status::Unavailable("source machine is down");
+  }
+  storage::MemoryTrunk* source = from_store->trunk(trunk);
   if (source == nullptr) return Status::NotFound("trunk not hosted at source");
   std::string image;
   {
@@ -1379,8 +1621,9 @@ Status MemoryCloud::MigrateTrunk(TrunkId trunk, MachineId to) {
     // attach the image before the failure surfaced, detach it so exactly
     // one replica stays authoritative.
     std::lock_guard<std::mutex> lock(mu_);
-    if (alive_[to] && machines_[to].storage != nullptr) {
-      machines_[to].storage->DetachTrunk(trunk);  // NotFound is fine.
+    auto to_store = StorageOf(to);
+    if (alive_[to].load(std::memory_order_acquire) && to_store != nullptr) {
+      to_store->DetachTrunk(trunk);  // NotFound is fine.
     }
     return s.ok() ? Status::Unavailable(
                         "destination crashed during trunk migration")
@@ -1392,16 +1635,19 @@ Status MemoryCloud::MigrateTrunk(TrunkId trunk, MachineId to) {
   // is exactly the re-drive a leader performs for a half-finished migration.
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (alive_[from] && machines_[from].storage != nullptr) {
-      Status ds = machines_[from].storage->DetachTrunk(trunk);
+    if (alive_[from].load(std::memory_order_acquire) &&
+        StorageOf(from) != nullptr) {
+      Status ds = StorageOf(from)->DetachTrunk(trunk);
       if (!ds.ok()) return ds;
     }
     if (replicated()) {
       // The destination may have held a replica of this trunk; the primary
       // image it just received supersedes it, and a machine never appears
       // in its own trunk's in-sync set.
-      if (machines_[to].storage->replica_trunk(trunk) != nullptr) {
-        machines_[to].storage->DetachReplicaTrunk(trunk);
+      auto to_store = StorageOf(to);
+      if (to_store != nullptr &&
+          to_store->replica_trunk(trunk) != nullptr) {
+        to_store->DetachReplicaTrunk(trunk);
       }
       primary_table_.RemoveReplica(trunk, to);
     }
@@ -1423,7 +1669,10 @@ int MemoryCloud::RebalanceTrunks() {
       // Find the most- and least-loaded alive slaves.
       std::size_t max_count = 0, min_count = ~std::size_t{0};
       for (MachineId m = 0; m < options_.num_slaves; ++m) {
-        if (!alive_[m] || machines_[m].storage == nullptr) continue;
+        if (!alive_[m].load(std::memory_order_acquire) ||
+            StorageOf(m) == nullptr) {
+          continue;
+        }
         const std::size_t count = primary_table_.trunks_of(m).size();
         if (count > max_count) {
           max_count = count;
@@ -1450,6 +1699,9 @@ void MemoryCloud::DesyncReplicaForTest(MachineId m) {
   std::lock_guard<std::mutex> lock(mu_);
   machines_[m].table_replica =
       AddressingTable(options_.p_bits, options_.num_slaves);
+  // Install a snapshot of the *stale* table: the fast path must route per
+  // the desynced view so RouteOp's transparent re-sync is exercised.
+  RefreshRoutingLocked(m);
 }
 
 Status MemoryCloud::RestartMachine(MachineId m) {
@@ -1457,12 +1709,16 @@ Status MemoryCloud::RestartMachine(MachineId m) {
     return Status::InvalidArgument("can only restart slaves");
   }
   std::lock_guard<std::mutex> lock(mu_);
-  if (alive_[m]) return Status::AlreadyExists("machine is up");
-  machines_[m].storage =
-      std::make_unique<storage::MemoryStorage>(options_.storage);
+  if (alive_[m].load(std::memory_order_acquire)) {
+    return Status::AlreadyExists("machine is up");
+  }
+  machines_[m].storage.store(
+      std::make_shared<storage::MemoryStorage>(options_.storage),
+      std::memory_order_release);
   machines_[m].table_replica = primary_table_;
   machines_[m].next_log_seq = 1;
-  alive_[m] = true;
+  alive_[m].store(true, std::memory_order_release);
+  RefreshRoutingLocked(m);
   fabric_->SetMachineUp(m);
   RegisterHandlers(m);
   return Status::OK();

@@ -1,10 +1,12 @@
 #ifndef TRINITY_CLOUD_MEMORY_CLOUD_H_
 #define TRINITY_CLOUD_MEMORY_CLOUD_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -23,6 +25,7 @@ namespace trinity::cloud {
 /// kUserHandlerBase or above.
 enum CloudHandlerIds : net::HandlerId {
   kCellOpHandler = 1,        ///< Sync KV operation dispatch.
+  kMultiGetHandler = 2,      ///< Batched read dispatch (MultiGet/Contains).
   kHeartbeatHandler = 50,    ///< Leader ping.
   kTableUpdateHandler = 51,  ///< Addressing-table broadcast.
   kLogRecordHandler = 52,    ///< Buffered-logging append to a backup.
@@ -151,6 +154,37 @@ class MemoryCloud {
   /// mistaken for a missing cell.
   Status Contains(CellId id, bool* exists);
 
+  /// Per-id outcome of a MultiGet/MultiContains batch. `status` is OK when
+  /// the cell was read (value filled for MultiGet), NotFound when the owner
+  /// definitively answered that the cell is absent, and any other status
+  /// when the id could not be resolved (e.g. its owner is unrecoverable).
+  struct MultiGetResult {
+    Status status = Status::NotFound("no such cell");
+    std::string value;
+  };
+
+  /// Batched read: groups `ids` per owner machine using the lock-free
+  /// routing snapshot, answers ids owned by `src` straight from trunk
+  /// accessors, and ships ONE packed request per remote owner (response
+  /// records reuse the compute engines' [id][len][bytes] wire shape). A
+  /// whole-batch failure against one owner (crash, stale routing) falls
+  /// back to per-id routed reads for that group, so replica failover and
+  /// promotion semantics are exactly those of GetCellFrom. `out` is resized
+  /// to ids.size(); ids may repeat. Returns non-OK only when the batch as a
+  /// whole could not be attempted (e.g. `src` is down) — per-id outcomes
+  /// are reported through `out`.
+  Status MultiGet(MachineId src, std::span<const CellId> ids,
+                  std::vector<MultiGetResult>* out);
+  Status MultiGet(std::span<const CellId> ids,
+                  std::vector<MultiGetResult>* out) {
+    return MultiGet(client_id(), ids, out);
+  }
+  /// Batched existence check with the same routing/fallback semantics;
+  /// out[i].status is OK (present), NotFound (definitively absent), or an
+  /// error (unknown — the owner could not be reached). Values stay empty.
+  Status MultiContains(MachineId src, std::span<const CellId> ids,
+                       std::vector<MultiGetResult>* out);
+
   // --- Key-value operations from an arbitrary endpoint. Local accesses on
   // the owning slave bypass the network; remote ones are metered sync calls.
   Status AddCellFrom(MachineId src, CellId id, Slice payload);
@@ -265,12 +299,45 @@ class MemoryCloud {
     std::string payload;
   };
 
+  /// Immutable trunk→owner snapshot derived from one machine's addressing-
+  /// table replica (RCU-style): the read path loads it with a single atomic
+  /// operation and routes without taking mu_. `stamp` is the value of
+  /// routing_stamp_ when the view was built; a mismatch means membership or
+  /// table state changed since, and the reader falls back to the locked
+  /// path (which rebuilds the view). Correctness never depends on freshness
+  /// — a stale owner answers Unavailable("trunk not hosted") and the retry
+  /// loop re-syncs — the stamp only bounds how long readers chase stale
+  /// routes.
+  struct RoutingView {
+    std::uint64_t stamp = 0;
+    std::vector<MachineId> owner;  ///< Indexed by TrunkId.
+  };
+
   struct MachineState {
-    std::unique_ptr<storage::MemoryStorage> storage;
+    /// Atomic shared_ptr so lock-free readers (ExecuteLocal, the batched
+    /// read handler, the RouteOp fast path) can pin the storage object
+    /// across an operation while FailMachine/promotion swap it out.
+    std::atomic<std::shared_ptr<storage::MemoryStorage>> storage;
     AddressingTable table_replica{0, 1};
+    /// This machine's lock-free routing snapshot (see RoutingView).
+    std::atomic<std::shared_ptr<const RoutingView>> routing;
     /// Buffered log records this machine holds as backup, keyed by primary.
     std::map<MachineId, std::vector<LogRecord>> backup_logs;
     std::uint64_t next_log_seq = 1;
+  };
+
+  /// Relaxed-atomic mirror of net::RecoveryStats: hot read paths (degraded
+  /// reads, fencing rejections) bump counters without touching mu_ and
+  /// recovery_stats() snapshots without blocking writers.
+  struct AtomicRecoveryStats {
+    std::atomic<std::uint64_t> promotions{0};
+    std::atomic<std::uint64_t> last_promote_micros{0};
+    std::atomic<std::uint64_t> last_full_replication_micros{0};
+    std::atomic<std::uint64_t> bytes_rereplicated{0};
+    std::atomic<std::uint64_t> trunks_rereplicated{0};
+    std::atomic<std::uint64_t> degraded_reads{0};
+    std::atomic<std::uint64_t> fenced_writes{0};
+    std::atomic<std::uint64_t> tfs_fallback_reloads{0};
   };
 
   explicit MemoryCloud(const Options& options);
@@ -286,6 +353,28 @@ class MemoryCloud {
   /// table replicas and machine failures with one retry after re-sync.
   Status RouteOp(MachineId src, CellOp op, CellId id, Slice payload,
                  std::string* response);
+
+  /// Shared body of MultiGet/MultiContains (op is kGet or kContains).
+  Status MultiOp(MachineId src, CellOp op, std::span<const CellId> ids,
+                 std::vector<MultiGetResult>* out);
+
+  /// Loads machine m's storage with acquire semantics; the returned
+  /// shared_ptr keeps the storage alive for the duration of the caller's
+  /// operation even if a concurrent failure path swaps it out.
+  std::shared_ptr<storage::MemoryStorage> StorageOf(MachineId m) const {
+    return machines_[m].storage.load(std::memory_order_acquire);
+  }
+
+  /// Resolves the owner of `id` as seen from `src`: lock-free against the
+  /// routing snapshot when its stamp is current, else the slow locked path
+  /// (which also rebuilds the snapshot).
+  MachineId RouteDst(MachineId src, CellId id);
+
+  /// Rebuilds machine m's routing snapshot from its table replica. Caller
+  /// holds mu_.
+  void RefreshRoutingLocked(MachineId m);
+  /// Rebuilds the leader-view snapshot used by MachineOf. Caller holds mu_.
+  void RefreshPrimaryRoutingLocked() const;
 
   /// Sends the mutation to the primary's backup before it applies locally.
   /// Retries across surviving backups so a backup crash (or injected call
@@ -350,8 +439,20 @@ class MemoryCloud {
 
   const Options options_;
   std::unique_ptr<net::Fabric> fabric_;
-  std::vector<MachineState> machines_;  ///< One per endpoint (incl. client).
-  std::vector<bool> alive_;             ///< Slave liveness (proxies too).
+  /// One per endpoint (incl. client). A raw array (not std::vector) because
+  /// MachineState holds atomics and is therefore not movable; the size is
+  /// fixed at num_endpoints() after Init.
+  std::unique_ptr<MachineState[]> machines_;
+  /// Slave liveness (proxies too); atomic so storage() and the fast read
+  /// path can check it without mu_.
+  std::unique_ptr<std::atomic<bool>[]> alive_;
+
+  /// Generation counter for the routing snapshots: bumped (under mu_) on
+  /// every membership/table change, which lazily invalidates every
+  /// RoutingView built before the change.
+  std::atomic<std::uint64_t> routing_stamp_{1};
+  /// Snapshot of the primary table's ownership map for lock-free MachineOf.
+  mutable std::atomic<std::shared_ptr<const RoutingView>> primary_routing_;
 
   mutable std::mutex mu_;  ///< Guards table/membership/leader state.
   AddressingTable primary_table_{0, 1};
@@ -362,7 +463,7 @@ class MemoryCloud {
   /// not been covered by a committed snapshot yet. Cleared by the next
   /// successful SnapshotAllLocked (the re-protection point).
   bool reprotect_pending_ = false;
-  net::RecoveryStats recovery_stats_;  ///< Guarded by mu_.
+  mutable AtomicRecoveryStats recovery_stats_;  ///< Relaxed atomics.
 };
 
 }  // namespace trinity::cloud

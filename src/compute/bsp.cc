@@ -488,6 +488,42 @@ Status BspEngine::TryRestoreCheckpoint(int* superstep) {
       }
     }
   }
+  // Batched existence check over the restored vertex set: ownership may have
+  // moved since the checkpoint, and a vertex deleted from the graph in the
+  // meantime must not be resurrected as ghost state. One MultiContains ships
+  // one packed probe per owner machine instead of a sync call per vertex;
+  // state is dropped only on a definitive NotFound — errors (owner dead,
+  // promotion pending) conservatively keep the state, matching the retry
+  // semantics of the superstep loop that follows.
+  std::vector<CellId> restored;
+  for (const MachineState& state : machines_) {
+    for (const auto& [v, value] : state.values) restored.push_back(v);
+  }
+  std::sort(restored.begin(), restored.end());
+  if (!restored.empty()) {
+    cloud::MemoryCloud* cloud = graph_->cloud();
+    std::vector<cloud::MemoryCloud::MultiGetResult> present;
+    if (cloud->MultiContains(cloud->client_id(), restored, &present).ok()) {
+      std::unordered_set<CellId> gone;
+      for (std::size_t i = 0; i < restored.size(); ++i) {
+        if (present[i].status.IsNotFound()) gone.insert(restored[i]);
+      }
+      if (!gone.empty()) {
+        for (MachineState& state : machines_) {
+          for (CellId v : gone) {
+            state.values.erase(v);
+            state.halted.erase(v);
+          }
+          state.records.erase(
+              std::remove_if(state.records.begin(), state.records.end(),
+                             [&](const InboxRecord& r) {
+                               return gone.count(r.target) != 0;
+                             }),
+              state.records.end());
+        }
+      }
+    }
+  }
   for (MachineState& state : machines_) {
     // Normalize so the vertex loop's binary search always holds.
     std::stable_sort(state.records.begin(), state.records.end(),

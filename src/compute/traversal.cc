@@ -95,36 +95,73 @@ Status TraversalEngine::KHopExplore(CellId start, int max_depth,
       round.status = Status::OK();
       net::Fabric::MeterScope meter(fabric, m);
       storage::MemoryStorage* store = cloud->storage(m);
+      // Shared expansion body: runs the user visitor and buckets neighbors,
+      // identical for locally-visited and batch-fetched vertices.
+      const auto expand_node = [&](const FrontierEntry& entry, Slice data,
+                                   const CellId* out, std::size_t out_count) {
+        const bool expand =
+            visit(entry.vertex, static_cast<int>(entry.depth), data);
+        if (!expand || entry.depth >= static_cast<std::uint32_t>(max_depth)) {
+          return;
+        }
+        const std::uint32_t next_depth = entry.depth + 1;
+        for (std::size_t i = 0; i < out_count; ++i) {
+          const CellId neighbor = out[i];
+          const MachineId owner = OwnerOf(neighbor);
+          if (owner == m) {
+            if (round.visited.count(neighbor) == 0) {
+              round.incoming.push_back({neighbor, next_depth});
+            }
+          } else {
+            round.outboxes[owner].Add(
+                neighbor,
+                Slice(reinterpret_cast<const char*>(&next_depth), 4));
+          }
+        }
+      };
+      // Vertices this round's owner snapshot misrouted to us (the engine's
+      // trunk→owner map is frozen at construction; migration or failover can
+      // strand a vertex elsewhere). Batched into one MultiGet per round.
+      std::vector<FrontierEntry> misses;
       for (const FrontierEntry& entry : round.frontier) {
         if (!round.visited.insert(entry.vertex).second) continue;
         ++round.visited_count;
-        bool expand = false;
         Status vs = graph_->VisitLocalNode(
             store, entry.vertex,
             [&](Slice data, const CellId*, std::size_t, const CellId* out,
                 std::size_t out_count) {
-              expand = visit(entry.vertex, static_cast<int>(entry.depth),
-                             data);
-              if (!expand ||
-                  entry.depth >= static_cast<std::uint32_t>(max_depth)) {
-                return;
-              }
-              const std::uint32_t next_depth = entry.depth + 1;
-              for (std::size_t i = 0; i < out_count; ++i) {
-                const CellId neighbor = out[i];
-                const MachineId owner = OwnerOf(neighbor);
-                if (owner == m) {
-                  if (round.visited.count(neighbor) == 0) {
-                    round.incoming.push_back({neighbor, next_depth});
-                  }
-                } else {
-                  round.outboxes[owner].Add(
-                      neighbor,
-                      Slice(reinterpret_cast<const char*>(&next_depth), 4));
-                }
-              }
+              expand_node(entry, data, out, out_count);
             });
-        if (!vs.ok() && !vs.IsNotFound()) round.status = vs;
+        if (vs.IsNotFound()) {
+          misses.push_back(entry);
+        } else if (!vs.ok()) {
+          round.status = vs;
+        }
+      }
+      if (!misses.empty() && round.status.ok()) {
+        // Healthy runs never reach here (every frontier vertex is local), so
+        // the fast path issues zero extra calls. On a stale snapshot the
+        // stranded vertices are fetched with one packed request per owner;
+        // ids the cloud cannot serve (owner dead, promotion pending) are
+        // skipped exactly as the silent NotFound skip above always did.
+        std::vector<CellId> ids;
+        ids.reserve(misses.size());
+        for (const FrontierEntry& entry : misses) ids.push_back(entry.vertex);
+        std::vector<cloud::MemoryCloud::MultiGetResult> fetched;
+        Status ms = cloud->MultiGet(m, ids, &fetched);
+        if (ms.ok()) {
+          for (std::size_t i = 0; i < misses.size(); ++i) {
+            if (!fetched[i].status.ok()) continue;
+            graph::NodeImage node;
+            if (!graph::Graph::DecodeNode(ids[i], Slice(fetched[i].value),
+                                          &node)
+                     .ok()) {
+              continue;
+            }
+            expand_node(misses[i], Slice(node.data), node.out.data(),
+                        node.out.size());
+          }
+        }
       }
       round.frontier.clear();
     });

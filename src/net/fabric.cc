@@ -15,12 +15,21 @@ Fabric::Fabric(int num_machines, Params params)
   sync_handlers_.resize(num_machines_);
   pair_buffers_.resize(static_cast<std::size_t>(num_machines_) *
                        num_machines_);
-  machine_up_.assign(num_machines_, true);
-  cpu_micros_.assign(num_machines_, 0.0);
-  traffic_.bytes_in.assign(num_machines_, 0);
-  traffic_.bytes_out.assign(num_machines_, 0);
-  traffic_.transfers_in.assign(num_machines_, 0);
-  traffic_.transfers_out.assign(num_machines_, 0);
+  const std::size_t n = static_cast<std::size_t>(num_machines_);
+  machine_up_ = std::make_unique<std::atomic<bool>[]>(n);
+  cpu_micros_ = std::make_unique<std::atomic<double>[]>(n);
+  traffic_bytes_in_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  traffic_bytes_out_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  traffic_transfers_in_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  traffic_transfers_out_ = std::make_unique<std::atomic<std::uint64_t>[]>(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    machine_up_[i].store(true, std::memory_order_relaxed);
+    cpu_micros_[i].store(0.0, std::memory_order_relaxed);
+    traffic_bytes_in_[i].store(0, std::memory_order_relaxed);
+    traffic_bytes_out_[i].store(0, std::memory_order_relaxed);
+    traffic_transfers_in_[i].store(0, std::memory_order_relaxed);
+    traffic_transfers_out_[i].store(0, std::memory_order_relaxed);
+  }
 }
 
 void Fabric::RegisterAsyncHandler(MachineId machine, HandlerId id,
@@ -40,41 +49,35 @@ Status Fabric::SendAsync(MachineId src, MachineId dst, HandlerId id,
   if (dst < 0 || dst >= num_machines_) {
     return Status::InvalidArgument("bad destination machine");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.messages;
-    if (src >= 0 && src < num_machines_ && !machine_up_[src]) {
-      // A crashed machine cannot originate traffic; callers still running on
-      // its behalf (e.g. a vertex program mid-superstep) see the failure.
-      ++stats_.dropped;
-      return Status::Unavailable("source machine is down");
-    }
-    if (!machine_up_[dst]) {
-      ++stats_.dropped;
-      return Status::Unavailable("destination machine is down");
-    }
-    if (src == dst) {
-      ++stats_.local_messages;
-    }
+  stats_.messages.fetch_add(1, std::memory_order_relaxed);
+  if (src >= 0 && src < num_machines_ &&
+      !machine_up_[src].load(std::memory_order_acquire)) {
+    // A crashed machine cannot originate traffic; callers still running on
+    // its behalf (e.g. a vertex program mid-superstep) see the failure.
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("source machine is down");
+  }
+  if (!machine_up_[dst].load(std::memory_order_acquire)) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("destination machine is down");
+  }
+  if (src == dst) {
+    stats_.local_messages.fetch_add(1, std::memory_order_relaxed);
   }
   int copies = 1;
   if (injector_ != nullptr) {
     switch (injector_->OnAsyncMessage(src, dst, id)) {
-      case FaultInjector::AsyncAction::kDrop: {
+      case FaultInjector::AsyncAction::kDrop:
         // Silent loss: the sender believes the send succeeded — that is the
         // fault being modeled.
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.dropped;
-        ++stats_.injected_drops;
-      }
+        stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+        stats_.injected_drops.fetch_add(1, std::memory_order_relaxed);
         MaybeTriggerCrashes(src, dst);
         return Status::OK();
-      case FaultInjector::AsyncAction::kDuplicate: {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.injected_duplicates;
+      case FaultInjector::AsyncAction::kDuplicate:
+        stats_.injected_duplicates.fetch_add(1, std::memory_order_relaxed);
         copies = 2;
         break;
-      }
       case FaultInjector::AsyncAction::kDeliver:
         break;
     }
@@ -118,39 +121,33 @@ Status Fabric::SendPacked(MachineId src, MachineId dst, HandlerId id,
   if (dst < 0 || dst >= num_machines_) {
     return Status::InvalidArgument("bad destination machine");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_.messages += message_count;
-    if (src >= 0 && src < num_machines_ && !machine_up_[src]) {
-      stats_.dropped += message_count;
-      return Status::Unavailable("source machine is down");
-    }
-    if (!machine_up_[dst]) {
-      stats_.dropped += message_count;
-      return Status::Unavailable("destination machine is down");
-    }
-    if (src == dst) {
-      stats_.local_messages += message_count;
-    }
+  stats_.messages.fetch_add(message_count, std::memory_order_relaxed);
+  if (src >= 0 && src < num_machines_ &&
+      !machine_up_[src].load(std::memory_order_acquire)) {
+    stats_.dropped.fetch_add(message_count, std::memory_order_relaxed);
+    return Status::Unavailable("source machine is down");
+  }
+  if (!machine_up_[dst].load(std::memory_order_acquire)) {
+    stats_.dropped.fetch_add(message_count, std::memory_order_relaxed);
+    return Status::Unavailable("destination machine is down");
+  }
+  if (src == dst) {
+    stats_.local_messages.fetch_add(message_count, std::memory_order_relaxed);
   }
   int copies = 1;
   if (injector_ != nullptr) {
     // The injector sees the packed payload as one message event: a drop
     // loses the whole batch (the unit that actually crosses the wire).
     switch (injector_->OnAsyncMessage(src, dst, id)) {
-      case FaultInjector::AsyncAction::kDrop: {
-        std::lock_guard<std::mutex> lock(mu_);
-        stats_.dropped += message_count;
-        ++stats_.injected_drops;
-      }
+      case FaultInjector::AsyncAction::kDrop:
+        stats_.dropped.fetch_add(message_count, std::memory_order_relaxed);
+        stats_.injected_drops.fetch_add(1, std::memory_order_relaxed);
         MaybeTriggerCrashes(src, dst);
         return Status::OK();
-      case FaultInjector::AsyncAction::kDuplicate: {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.injected_duplicates;
+      case FaultInjector::AsyncAction::kDuplicate:
+        stats_.injected_duplicates.fetch_add(1, std::memory_order_relaxed);
         copies = 2;
         break;
-      }
       case FaultInjector::AsyncAction::kDeliver:
         break;
     }
@@ -187,27 +184,22 @@ Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
   if (dst < 0 || dst >= num_machines_) {
     return Status::InvalidArgument("bad destination machine");
   }
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.sync_calls;
-    if (src >= 0 && src < num_machines_ && !machine_up_[src]) {
-      ++stats_.dropped;
-      return Status::Unavailable("source machine is down");
-    }
-    if (!machine_up_[dst]) {
-      ++stats_.dropped;
-      return Status::Unavailable("destination machine is down");
-    }
+  stats_.sync_calls.fetch_add(1, std::memory_order_relaxed);
+  if (src >= 0 && src < num_machines_ &&
+      !machine_up_[src].load(std::memory_order_acquire)) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("source machine is down");
+  }
+  if (!machine_up_[dst].load(std::memory_order_acquire)) {
+    stats_.dropped.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("destination machine is down");
   }
   if (injector_ != nullptr) {
     // An injected failure happens "on the wire": the handler never runs,
     // exactly as if the request (or its response) was lost.
     Status injected = injector_->OnCall(src, dst, id);
     if (!injected.ok()) {
-      {
-        std::lock_guard<std::mutex> lock(mu_);
-        ++stats_.injected_call_failures;
-      }
+      stats_.injected_call_failures.fetch_add(1, std::memory_order_relaxed);
       MaybeTriggerCrashes(src, dst);
       return injected;
     }
@@ -226,8 +218,7 @@ Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
     AccountTransfer(src, dst, payload.size() + params_.frame_overhead_bytes,
                     1);
   } else {
-    std::lock_guard<std::mutex> lock(mu_);
-    ++stats_.local_messages;
+    stats_.local_messages.fetch_add(1, std::memory_order_relaxed);
   }
   Status s;
   {
@@ -276,16 +267,16 @@ void Fabric::FlushPairLocked(MachineId src, MachineId dst, bool force) {
   if (buf.messages.empty()) return;
   if (!force && injector_ != nullptr && injector_->DelayFlush(src, dst)) {
     // Injected delay: the buffer stays queued until the next FlushAll.
-    ++stats_.delayed_flushes;
+    stats_.delayed_flushes.fetch_add(1, std::memory_order_relaxed);
     return;
   }
   std::vector<PackedMessage> batch = std::move(buf.messages);
   std::size_t bytes = buf.bytes;
   buf.messages.clear();
   buf.bytes = 0;
-  const bool alive = machine_up_[dst];
+  const bool alive = machine_up_[dst].load(std::memory_order_acquire);
   if (!alive) {
-    stats_.dropped += batch.size();
+    stats_.dropped.fetch_add(batch.size(), std::memory_order_relaxed);
     return;
   }
   mu_.unlock();
@@ -300,11 +291,11 @@ void Fabric::Deliver(MachineId src, MachineId dst, HandlerId id,
                      Slice payload) {
   AsyncHandler handler;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!machine_up_[dst]) {
-      ++stats_.dropped;
+    if (!machine_up_[dst].load(std::memory_order_acquire)) {
+      stats_.dropped.fetch_add(1, std::memory_order_relaxed);
       return;
     }
+    std::lock_guard<std::mutex> lock(mu_);
     auto it = async_handlers_[dst].find(id);
     if (it == async_handlers_[dst].end()) {
       TRINITY_WARN("no async handler %u on machine %d", id, dst);
@@ -318,13 +309,14 @@ void Fabric::Deliver(MachineId src, MachineId dst, HandlerId id,
 
 void Fabric::AccountTransfer(MachineId src, MachineId dst, std::size_t bytes,
                              std::size_t transfer_count) {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_.transfers += transfer_count;
-  stats_.bytes += bytes;
-  traffic_.bytes_out[src] += bytes;
-  traffic_.bytes_in[dst] += bytes;
-  traffic_.transfers_out[src] += transfer_count;
-  traffic_.transfers_in[dst] += transfer_count;
+  stats_.transfers.fetch_add(transfer_count, std::memory_order_relaxed);
+  stats_.bytes.fetch_add(bytes, std::memory_order_relaxed);
+  traffic_bytes_out_[src].fetch_add(bytes, std::memory_order_relaxed);
+  traffic_bytes_in_[dst].fetch_add(bytes, std::memory_order_relaxed);
+  traffic_transfers_out_[src].fetch_add(transfer_count,
+                                        std::memory_order_relaxed);
+  traffic_transfers_in_[dst].fetch_add(transfer_count,
+                                       std::memory_order_relaxed);
 }
 
 void Fabric::SetFaultInjector(FaultInjector* injector) {
@@ -340,15 +332,10 @@ void Fabric::SetCrashListener(std::function<void(MachineId)> listener) {
 void Fabric::MaybeTriggerCrashes(MachineId src, MachineId dst) {
   if (injector_ == nullptr) return;
   for (MachineId m : injector_->NoteMessage(src, dst)) {
-    bool fired = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (machine_up_[m]) {
-        machine_up_[m] = false;
-        ++stats_.injected_crashes;
-        fired = true;
-      }
-    }
+    // exchange() makes the down-transition race-free: exactly one caller
+    // observes true→false and fires the listener.
+    const bool fired = machine_up_[m].exchange(false, std::memory_order_acq_rel);
+    if (fired) stats_.injected_crashes.fetch_add(1, std::memory_order_relaxed);
     // The listener runs outside mu_ so it may call back into the fabric
     // (e.g. the memory cloud dropping the crashed machine's storage).
     if (fired && crash_listener_) crash_listener_(m);
@@ -356,57 +343,94 @@ void Fabric::MaybeTriggerCrashes(MachineId src, MachineId dst) {
 }
 
 void Fabric::SetMachineDown(MachineId machine) {
-  std::lock_guard<std::mutex> lock(mu_);
-  machine_up_[machine] = false;
+  machine_up_[machine].store(false, std::memory_order_release);
   // Messages already queued toward a dead machine will be dropped at flush.
 }
 
 void Fabric::SetMachineUp(MachineId machine) {
-  std::lock_guard<std::mutex> lock(mu_);
-  machine_up_[machine] = true;
+  machine_up_[machine].store(true, std::memory_order_release);
 }
 
 bool Fabric::IsMachineUp(MachineId machine) const {
-  std::lock_guard<std::mutex> lock(mu_);
   if (machine < 0 || machine >= num_machines_) return false;
-  return machine_up_[machine];
+  return machine_up_[machine].load(std::memory_order_acquire);
 }
 
 void Fabric::AddCpuMicros(MachineId machine, double micros) {
-  std::lock_guard<std::mutex> lock(mu_);
-  cpu_micros_[machine] += micros;
+  cpu_micros_[machine].fetch_add(micros, std::memory_order_relaxed);
 }
 
 double Fabric::cpu_micros(MachineId machine) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return cpu_micros_[machine];
+  return cpu_micros_[machine].load(std::memory_order_relaxed);
 }
 
 double Fabric::MaxCpuMicros() const {
-  std::lock_guard<std::mutex> lock(mu_);
   double max = 0.0;
-  for (double v : cpu_micros_) max = std::max(max, v);
+  for (int m = 0; m < num_machines_; ++m) {
+    max = std::max(max, cpu_micros_[m].load(std::memory_order_relaxed));
+  }
   return max;
 }
 
 NetworkStats Fabric::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  // Lock-free snapshot; fields may be mutually inconsistent for an instant,
+  // which is fine for meters read at phase boundaries.
+  NetworkStats out;
+  out.messages = stats_.messages.load(std::memory_order_relaxed);
+  out.transfers = stats_.transfers.load(std::memory_order_relaxed);
+  out.bytes = stats_.bytes.load(std::memory_order_relaxed);
+  out.sync_calls = stats_.sync_calls.load(std::memory_order_relaxed);
+  out.local_messages = stats_.local_messages.load(std::memory_order_relaxed);
+  out.dropped = stats_.dropped.load(std::memory_order_relaxed);
+  out.injected_drops = stats_.injected_drops.load(std::memory_order_relaxed);
+  out.injected_duplicates =
+      stats_.injected_duplicates.load(std::memory_order_relaxed);
+  out.injected_call_failures =
+      stats_.injected_call_failures.load(std::memory_order_relaxed);
+  out.injected_crashes =
+      stats_.injected_crashes.load(std::memory_order_relaxed);
+  out.delayed_flushes =
+      stats_.delayed_flushes.load(std::memory_order_relaxed);
+  return out;
 }
 
 PerMachineTraffic Fabric::traffic() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return traffic_;
+  PerMachineTraffic out;
+  const std::size_t n = static_cast<std::size_t>(num_machines_);
+  out.bytes_in.resize(n);
+  out.bytes_out.resize(n);
+  out.transfers_in.resize(n);
+  out.transfers_out.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.bytes_in[i] = traffic_bytes_in_[i].load(std::memory_order_relaxed);
+    out.bytes_out[i] = traffic_bytes_out_[i].load(std::memory_order_relaxed);
+    out.transfers_in[i] =
+        traffic_transfers_in_[i].load(std::memory_order_relaxed);
+    out.transfers_out[i] =
+        traffic_transfers_out_[i].load(std::memory_order_relaxed);
+  }
+  return out;
 }
 
 void Fabric::ResetMeters() {
-  std::lock_guard<std::mutex> lock(mu_);
-  stats_ = NetworkStats();
-  cpu_micros_.assign(num_machines_, 0.0);
-  traffic_.bytes_in.assign(num_machines_, 0);
-  traffic_.bytes_out.assign(num_machines_, 0);
-  traffic_.transfers_in.assign(num_machines_, 0);
-  traffic_.transfers_out.assign(num_machines_, 0);
+  stats_.messages.store(0, std::memory_order_relaxed);
+  stats_.transfers.store(0, std::memory_order_relaxed);
+  stats_.bytes.store(0, std::memory_order_relaxed);
+  stats_.sync_calls.store(0, std::memory_order_relaxed);
+  stats_.local_messages.store(0, std::memory_order_relaxed);
+  stats_.dropped.store(0, std::memory_order_relaxed);
+  stats_.injected_drops.store(0, std::memory_order_relaxed);
+  stats_.injected_duplicates.store(0, std::memory_order_relaxed);
+  stats_.injected_call_failures.store(0, std::memory_order_relaxed);
+  stats_.injected_crashes.store(0, std::memory_order_relaxed);
+  stats_.delayed_flushes.store(0, std::memory_order_relaxed);
+  for (int m = 0; m < num_machines_; ++m) {
+    cpu_micros_[m].store(0.0, std::memory_order_relaxed);
+    traffic_bytes_in_[m].store(0, std::memory_order_relaxed);
+    traffic_bytes_out_[m].store(0, std::memory_order_relaxed);
+    traffic_transfers_in_[m].store(0, std::memory_order_relaxed);
+    traffic_transfers_out_[m].store(0, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace trinity::net

@@ -1,8 +1,10 @@
 #ifndef TRINITY_NET_FABRIC_H_
 #define TRINITY_NET_FABRIC_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -169,19 +171,42 @@ class Fabric {
   /// and executes any crash that fires. Must be called without mu_ held.
   void MaybeTriggerCrashes(MachineId src, MachineId dst);
 
+  /// Internal atomic mirror of NetworkStats: every hot-path send bumps these
+  /// with relaxed ops instead of taking mu_, so instrumentation no longer
+  /// serializes concurrent readers. stats() snapshots them into the plain
+  /// struct callers already consume.
+  struct AtomicNetworkStats {
+    std::atomic<std::uint64_t> messages{0};
+    std::atomic<std::uint64_t> transfers{0};
+    std::atomic<std::uint64_t> bytes{0};
+    std::atomic<std::uint64_t> sync_calls{0};
+    std::atomic<std::uint64_t> local_messages{0};
+    std::atomic<std::uint64_t> dropped{0};
+    std::atomic<std::uint64_t> injected_drops{0};
+    std::atomic<std::uint64_t> injected_duplicates{0};
+    std::atomic<std::uint64_t> injected_call_failures{0};
+    std::atomic<std::uint64_t> injected_crashes{0};
+    std::atomic<std::uint64_t> delayed_flushes{0};
+  };
+
   const int num_machines_;
   const Params params_;
   FaultInjector* injector_ = nullptr;
   std::function<void(MachineId)> crash_listener_;
 
+  /// mu_ still guards the structural state: handler maps, pack buffers, and
+  /// the injector/listener hooks. Liveness flags and all meters are atomics.
   mutable std::mutex mu_;
   std::vector<std::unordered_map<HandlerId, AsyncHandler>> async_handlers_;
   std::vector<std::unordered_map<HandlerId, SyncHandler>> sync_handlers_;
   std::vector<PairBuffer> pair_buffers_;
-  std::vector<bool> machine_up_;
-  std::vector<double> cpu_micros_;
-  NetworkStats stats_;
-  PerMachineTraffic traffic_;
+  std::unique_ptr<std::atomic<bool>[]> machine_up_;
+  std::unique_ptr<std::atomic<double>[]> cpu_micros_;
+  AtomicNetworkStats stats_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> traffic_bytes_in_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> traffic_bytes_out_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> traffic_transfers_in_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> traffic_transfers_out_;
 };
 
 }  // namespace trinity::net

@@ -49,6 +49,50 @@ SpinLock& MemoryTrunk::LockFor(CellId id) const {
   return locks_[InTrunkHash(id) % kLockStripes];
 }
 
+std::shared_lock<std::shared_mutex> MemoryTrunk::ReadLock() const {
+  shared_reads_.fetch_add(1, std::memory_order_relaxed);
+  std::shared_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    read_lock_contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+std::unique_lock<std::shared_mutex> MemoryTrunk::WriteLock() const {
+  std::unique_lock<std::shared_mutex> lock(mu_, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    write_lock_contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
+SpinLock* MemoryTrunk::AcquireCellLock(CellId id) const {
+  SpinLock& lock = LockFor(id);
+#ifndef NDEBUG
+  TRINITY_CHECK(!internal::StripeHeldByThisThread(&lock),
+                "re-entrant striped cell-lock acquisition: this thread "
+                "already holds an accessor or cell lock on this stripe and "
+                "would self-deadlock (see docs/concurrent_reads.md)");
+#endif
+  if (!lock.TryLock()) {
+    cell_lock_contended_.fetch_add(1, std::memory_order_relaxed);
+    lock.Lock();
+  }
+#ifndef NDEBUG
+  internal::NoteStripeAcquired(&lock);
+#endif
+  return &lock;
+}
+
+void MemoryTrunk::ReleaseCellLock(SpinLock* lock) const {
+#ifndef NDEBUG
+  internal::NoteStripeReleased(lock);
+#endif
+  lock->Unlock();
+}
+
 Status MemoryTrunk::EnsureCommitted(std::uint64_t phys_begin,
                                     std::uint64_t length) {
   if (length == 0) return Status::OK();
@@ -156,7 +200,7 @@ Status MemoryTrunk::AppendEntryLocked(CellId id, Slice payload,
 
 Status MemoryTrunk::AddCell(CellId id, Slice payload) {
   if (id >= kDeadCell) return Status::InvalidArgument("reserved cell id");
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = WriteLock();
   if (index_.Find(id) != TrunkIndex::kNoOffset) {
     return Status::AlreadyExists("cell exists");
   }
@@ -171,7 +215,7 @@ Status MemoryTrunk::AddCell(CellId id, Slice payload) {
 
 Status MemoryTrunk::PutCell(CellId id, Slice payload) {
   if (id >= kDeadCell) return Status::InvalidArgument("reserved cell id");
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = WriteLock();
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) {
     std::uint64_t logical = 0;
@@ -183,7 +227,7 @@ Status MemoryTrunk::PutCell(CellId id, Slice payload) {
     return Status::OK();
   }
   EntryHeader* hdr = HeaderAt(offset);
-  SpinLockGuard cell_lock(LockFor(id));
+  CellLockGuard cell_lock(this, id);
   if (payload.size() <= hdr->capacity) {
     // In-place overwrite; shrink or grow within the existing allocation.
     stats_.live_bytes += payload.size();
@@ -217,7 +261,7 @@ Status MemoryTrunk::PutCell(CellId id, Slice payload) {
 }
 
 Status MemoryTrunk::GetCell(CellId id, std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
   const EntryHeader* hdr = HeaderAt(offset);
@@ -226,12 +270,12 @@ Status MemoryTrunk::GetCell(CellId id, std::string* out) const {
 }
 
 bool MemoryTrunk::Contains(CellId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   return index_.Find(id) != TrunkIndex::kNoOffset;
 }
 
 Status MemoryTrunk::GetCellSize(CellId id, std::uint64_t* size) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
   *size = HeaderAt(offset)->size;
@@ -239,11 +283,11 @@ Status MemoryTrunk::GetCellSize(CellId id, std::uint64_t* size) const {
 }
 
 Status MemoryTrunk::RemoveCell(CellId id) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = WriteLock();
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
   EntryHeader* hdr = HeaderAt(offset);
-  SpinLockGuard cell_lock(LockFor(id));
+  CellLockGuard cell_lock(this, id);
   index_.Erase(id);
   --stats_.live_cells;
   stats_.live_bytes -= hdr->size;
@@ -254,11 +298,11 @@ Status MemoryTrunk::RemoveCell(CellId id) {
 }
 
 Status MemoryTrunk::AppendToCell(CellId id, Slice suffix) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = WriteLock();
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
   EntryHeader* hdr = HeaderAt(offset);
-  SpinLockGuard cell_lock(LockFor(id));
+  CellLockGuard cell_lock(this, id);
   const std::uint64_t new_size = hdr->size + suffix.size();
   if (new_size <= hdr->capacity) {
     // The short-lived reservation absorbs the growth; no relocation.
@@ -301,14 +345,14 @@ Status MemoryTrunk::AppendToCell(CellId id, Slice suffix) {
 }
 
 Status MemoryTrunk::WriteAt(CellId id, std::uint64_t offset, Slice bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = WriteLock();
   const std::uint64_t entry = index_.Find(id);
   if (entry == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
   EntryHeader* hdr = HeaderAt(entry);
   if (offset + bytes.size() > hdr->size) {
     return Status::InvalidArgument("write past end of cell");
   }
-  SpinLockGuard cell_lock(LockFor(id));
+  CellLockGuard cell_lock(this, id);
   if (!bytes.empty()) {
     std::memcpy(PhysPtr(entry) + kHeaderSize + offset, bytes.data(),
                 bytes.size());
@@ -317,20 +361,20 @@ Status MemoryTrunk::WriteAt(CellId id, std::uint64_t offset, Slice bytes) {
 }
 
 Status MemoryTrunk::Access(CellId id, ConstAccessor* accessor) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
   const EntryHeader* hdr = HeaderAt(offset);
-  SpinLock& cell_lock = LockFor(id);
-  cell_lock.Lock();  // Pins the cell: defrag TryLock will skip it.
-  accessor->Release();
-  accessor->lock_ = &cell_lock;
+  accessor->Release();  // Before acquiring: the old stripe may equal ours.
+  // Pins the cell: defrag TryLock will skip it. Debug builds abort on
+  // re-entrant stripe acquisition (see AcquireCellLock).
+  accessor->lock_ = AcquireCellLock(id);
   accessor->data_ = Slice(PhysPtr(offset) + kHeaderSize, hdr->size);
   return Status::OK();
 }
 
 std::uint64_t MemoryTrunk::Defragment() {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = WriteLock();
   return DefragmentLocked();
 }
 
@@ -393,21 +437,28 @@ std::uint64_t MemoryTrunk::DefragmentLocked() {
 }
 
 MemoryTrunk::Stats MemoryTrunk::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   Stats s = stats_;
   s.used_bytes = head_ - tail_;
   s.committed_bytes = committed_page_count_ * page_size_;
   s.capacity = capacity_;
+  // Lock-contention counters live outside stats_ as relaxed atomics so the
+  // hot paths can bump them without owning the trunk lock exclusively.
+  s.shared_reads = shared_reads_.load(std::memory_order_relaxed);
+  s.read_lock_contended = read_lock_contended_.load(std::memory_order_relaxed);
+  s.write_lock_contended =
+      write_lock_contended_.load(std::memory_order_relaxed);
+  s.cell_lock_contended = cell_lock_contended_.load(std::memory_order_relaxed);
   return s;
 }
 
 std::uint64_t MemoryTrunk::cell_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   return index_.size();
 }
 
 std::vector<CellId> MemoryTrunk::CellIds() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   std::vector<CellId> ids;
   ids.reserve(index_.size());
   index_.ForEach([&](CellId id, std::uint64_t) { ids.push_back(id); });
@@ -415,7 +466,7 @@ std::vector<CellId> MemoryTrunk::CellIds() const {
 }
 
 Status MemoryTrunk::Serialize(std::string* out) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  auto lock = ReadLock();
   BinaryWriter writer;
   writer.PutU64(index_.size());
   index_.ForEach([&](CellId id, std::uint64_t offset) {

@@ -1,9 +1,12 @@
 #ifndef TRINITY_STORAGE_MEMORY_TRUNK_H_
 #define TRINITY_STORAGE_MEMORY_TRUNK_H_
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -14,6 +17,33 @@
 #include "storage/trunk_index.h"
 
 namespace trinity::storage {
+
+namespace internal {
+#ifndef NDEBUG
+/// Debug-only tracking of the striped cell locks held by the current thread.
+/// Two cells can hash to the same of the 256 stripes, so a thread that holds
+/// a ConstAccessor and then acquires the cell lock of *another* cell on the
+/// same stripe self-deadlocks. Release paths and checked acquisition paths
+/// keep this list in sync so the deadlock is caught as an assertion instead
+/// of a hang (see docs/concurrent_reads.md).
+inline thread_local std::vector<const void*> held_cell_stripes;
+
+inline bool StripeHeldByThisThread(const void* stripe) {
+  return std::find(held_cell_stripes.begin(), held_cell_stripes.end(),
+                   stripe) != held_cell_stripes.end();
+}
+inline void NoteStripeAcquired(const void* stripe) {
+  held_cell_stripes.push_back(stripe);
+}
+inline void NoteStripeReleased(const void* stripe) {
+  auto it = std::find(held_cell_stripes.rbegin(), held_cell_stripes.rend(),
+                      stripe);
+  if (it != held_cell_stripes.rend()) {
+    held_cell_stripes.erase(std::next(it).base());
+  }
+}
+#endif  // NDEBUG
+}  // namespace internal
 
 /// A memory trunk: one shard of the memory cloud's storage, implementing the
 /// paper's circular memory management (§6.1).
@@ -34,10 +64,19 @@ namespace trinity::storage {
 /// append. A reservation lives only until the next defragmentation pass,
 /// exactly as in the paper.
 ///
-/// Concurrency: a trunk-level mutex serializes metadata operations; each cell
-/// additionally has a (striped) spin lock that both readers and the
-/// defragmenter acquire, which is what pins a cell's physical location while
-/// it is being accessed (§3).
+/// Concurrency: a trunk-level reader/writer lock protects the index and the
+/// ring metadata. Read operations (GetCell / Access / Contains / GetCellSize
+/// and the const scans) take the shared side, so concurrent readers scale
+/// with threads; mutators and Defragment() take the exclusive side. Each
+/// cell additionally has a (striped) spin lock that zero-copy accessors and
+/// the defragmenter acquire, which is what pins a cell's physical location
+/// while it is being accessed (§3): an accessor keeps its stripe locked
+/// after the shared lock is dropped, and defrag — which runs exclusively —
+/// TryLocks each cell and skips pinned ones. The per-cell spin locks are
+/// striped 256 ways, so two distinct cells can share a stripe; acquiring a
+/// cell lock while this thread already holds an accessor on the same stripe
+/// would self-deadlock and is rejected by a debug assertion (see
+/// docs/concurrent_reads.md).
 class MemoryTrunk {
  public:
   struct Options {
@@ -64,6 +103,11 @@ class MemoryTrunk {
     std::uint64_t cells_moved = 0;
     std::uint64_t expansions_in_place = 0;
     std::uint64_t expansions_relocated = 0;
+    /// Read-path observability (relaxed-atomic internally; snapshot here):
+    std::uint64_t shared_reads = 0;  ///< Shared-lock acquisitions (read ops).
+    std::uint64_t read_lock_contended = 0;   ///< Shared acquisitions blocked.
+    std::uint64_t write_lock_contended = 0;  ///< Exclusive acquis. blocked.
+    std::uint64_t cell_lock_contended = 0;   ///< Stripe locks not free on try.
   };
 
   /// Creates a trunk. Fails with OutOfMemory if the reservation cannot be
@@ -100,9 +144,11 @@ class MemoryTrunk {
   Status WriteAt(CellId id, std::uint64_t offset, Slice bytes);
 
   /// Zero-copy read access. The accessor holds the cell's spin lock, pinning
-  /// the cell against defragmentation until destroyed. Do not call other
-  /// trunk methods for the same cell while holding an accessor on the same
-  /// thread.
+  /// the cell against defragmentation until destroyed. Do not call mutating
+  /// trunk methods for the same *lock stripe* (any cell may share the
+  /// stripe) while holding an accessor on the same thread — debug builds
+  /// assert on such re-entrant stripe acquisition. Lock-free reads
+  /// (GetCell / Contains / GetCellSize) stay safe while holding an accessor.
   class ConstAccessor {
    public:
     ConstAccessor() = default;
@@ -126,6 +172,9 @@ class MemoryTrunk {
     friend class MemoryTrunk;
     void Release() {
       if (lock_ != nullptr) {
+#ifndef NDEBUG
+        internal::NoteStripeReleased(lock_);
+#endif
         lock_->Unlock();
         lock_ = nullptr;
       }
@@ -140,6 +189,24 @@ class MemoryTrunk {
   std::uint64_t Defragment();
 
   Stats stats() const;
+
+  /// Lock-free reads of the contention counters. Unlike stats() these never
+  /// touch the trunk lock, so they are safe to poll from a thread that holds
+  /// a ConstAccessor even while a writer owns the exclusive side (stats()
+  /// would deadlock there: the writer spins on the accessor's stripe while
+  /// holding the lock stats() needs).
+  std::uint64_t shared_reads() const noexcept {
+    return shared_reads_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t read_lock_contended() const noexcept {
+    return read_lock_contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t write_lock_contended() const noexcept {
+    return write_lock_contended_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t cell_lock_contended() const noexcept {
+    return cell_lock_contended_.load(std::memory_order_relaxed);
+  }
 
   /// Number of live cells.
   std::uint64_t cell_count() const;
@@ -187,6 +254,29 @@ class MemoryTrunk {
   }
   SpinLock& LockFor(CellId id) const;
 
+  /// Contention-counted lock acquisition. ReadLock/WriteLock wrap mu_;
+  /// AcquireCellLock takes the cell's stripe spin lock with the debug
+  /// re-entrancy assertion (the returned lock is released either by
+  /// ReleaseCellLock or by handing it to a ConstAccessor).
+  std::shared_lock<std::shared_mutex> ReadLock() const;
+  std::unique_lock<std::shared_mutex> WriteLock() const;
+  SpinLock* AcquireCellLock(CellId id) const;
+  void ReleaseCellLock(SpinLock* lock) const;
+
+  /// RAII stripe-lock holder for mutators.
+  class CellLockGuard {
+   public:
+    CellLockGuard(const MemoryTrunk* trunk, CellId id)
+        : trunk_(trunk), lock_(trunk->AcquireCellLock(id)) {}
+    ~CellLockGuard() { trunk_->ReleaseCellLock(lock_); }
+    CellLockGuard(const CellLockGuard&) = delete;
+    CellLockGuard& operator=(const CellLockGuard&) = delete;
+
+   private:
+    const MemoryTrunk* trunk_;
+    SpinLock* lock_;
+  };
+
   /// Reserves `span` contiguous physical bytes at the head, inserting ring
   /// padding and triggering auto-defrag as needed. On success *logical is
   /// the entry's logical offset. Caller holds mu_.
@@ -202,7 +292,7 @@ class MemoryTrunk {
   std::uint64_t page_size_ = 0;
   char* base_ = nullptr;
 
-  mutable std::mutex mu_;
+  mutable std::shared_mutex mu_;
   TrunkIndex index_;
   std::uint64_t head_ = 0;  ///< Logical append head.
   std::uint64_t tail_ = 0;  ///< Logical committed tail.
@@ -211,6 +301,12 @@ class MemoryTrunk {
   bool in_defrag_ = false;  ///< Guards against recursive auto-defrag.
   mutable Stats stats_;
   mutable std::unique_ptr<SpinLock[]> locks_;
+  // Lock-contention counters live outside stats_ so the read path can bump
+  // them without exclusive ownership; stats() folds them into the snapshot.
+  mutable std::atomic<std::uint64_t> shared_reads_{0};
+  mutable std::atomic<std::uint64_t> read_lock_contended_{0};
+  mutable std::atomic<std::uint64_t> write_lock_contended_{0};
+  mutable std::atomic<std::uint64_t> cell_lock_contended_{0};
 };
 
 }  // namespace trinity::storage

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
 #include <cstring>
@@ -14,6 +15,8 @@
 #include <map>
 #include <set>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "common/random.h"
 #include "compute/async_engine.h"
@@ -681,6 +684,116 @@ TEST(ReplicatedBspCheckpointTest, CrashMidRunRestoresBitIdentical) {
   EXPECT_GT(restored_runs, 0)
       << "no seed in the sweep exercised a checkpoint restore";
 }
+
+// ------------------------------------ Replication: concurrent readers
+
+class ReplicatedConcurrentReadChaosTest
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Readers hammer the lock-free hot path — shared trunk locks, RCU routing
+// snapshots, and batched MultiGet — while the main thread kills and heals a
+// seed-chosen victim each round. Cell values never change after the initial
+// load, so every read must either return the exact loaded bytes or fail
+// cleanly; a read that returns *wrong* bytes (torn copy, stale-routed ghost
+// image) is precisely the bug this test exists to catch. The fault schedule
+// is deterministic per seed; the reader interleaving is not, so every
+// assertion is an invariant that holds under any interleaving.
+TEST_P(ReplicatedConcurrentReadChaosTest, ReadersSurviveFailoverRounds) {
+  const std::uint64_t seed = GetParam() + SeedOffset();
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+  ChaosCluster c =
+      NewReplicatedCluster("crdr", seed, /*replication_factor=*/1);
+
+  constexpr CellId kCells = 96;
+  auto value_of = [](CellId id) { return "r" + std::to_string(id); };
+  for (CellId id = 0; id < kCells; ++id) {
+    ASSERT_TRUE(c.cloud->PutCell(id, Slice(value_of(id))).ok());
+  }
+
+  std::atomic<bool> stop{false};
+  std::atomic<std::uint64_t> wrong{0};
+  std::atomic<std::uint64_t> ok_reads{0};
+  constexpr int kReaders = 4;
+  std::vector<std::thread> readers;
+  readers.reserve(kReaders);
+  for (int t = 0; t < kReaders; ++t) {
+    readers.emplace_back([&, t] {
+      Random rng(seed * 0x9e3779b97f4a7c15ULL + 101 + t);
+      while (!stop.load(std::memory_order_acquire)) {
+        if (t == 0) {
+          // Batched path: one MultiGet over a contiguous window of ids.
+          std::vector<CellId> ids;
+          const CellId base = static_cast<CellId>(rng.Uniform(kCells));
+          for (CellId i = 0; i < 16; ++i) ids.push_back((base + i) % kCells);
+          std::vector<cloud::MemoryCloud::MultiGetResult> out;
+          if (!c.cloud->MultiGet(ids, &out).ok()) continue;
+          for (std::size_t i = 0; i < ids.size(); ++i) {
+            if (!out[i].status.ok()) continue;  // Clean miss mid-failover.
+            ok_reads.fetch_add(1, std::memory_order_relaxed);
+            if (out[i].value != value_of(ids[i])) {
+              wrong.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        } else {
+          const CellId id = static_cast<CellId>(rng.Uniform(kCells));
+          std::string v;
+          if (!c.cloud->GetCell(id, &v).ok()) continue;
+          ok_reads.fetch_add(1, std::memory_order_relaxed);
+          if (v != value_of(id)) {
+            wrong.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      }
+    });
+  }
+
+  Random rng(seed * 0x2545f4914f6cdd1dULL + 17);
+  const int kRounds = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    SCOPED_TRACE("round " + std::to_string(round));
+    const MachineId victim =
+        static_cast<MachineId>(rng.Uniform(c.cloud->num_slaves()));
+    ASSERT_TRUE(c.cloud->FailMachine(victim).ok());
+    // A degraded window: readers keep running against in-memory replicas
+    // while the owner is down; the main thread joins the traffic so the
+    // window is never empty even if the reader threads are descheduled.
+    for (int op = 0; op < 200; ++op) {
+      std::string v;
+      const CellId id = static_cast<CellId>(rng.Uniform(kCells));
+      if (c.cloud->GetCell(id, &v).ok()) {
+        ASSERT_EQ(v, value_of(id)) << "seed " << seed << " cell " << id;
+      }
+    }
+    HealReplicated(c);  // Asserts zero TFS reads on the promotion path.
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : readers) th.join();
+
+  EXPECT_EQ(wrong.load(), 0u)
+      << "seed " << seed << ": a concurrent reader observed wrong bytes";
+  EXPECT_GT(ok_reads.load(), 0u) << "seed " << seed;
+  EXPECT_GT(c.cloud->recovery_stats().degraded_reads, 0u)
+      << "seed " << seed << ": no read was ever served degraded";
+
+  // Final audit on the healed cluster: nothing lost, nothing mutated.
+  for (CellId id = 0; id < kCells; ++id) {
+    std::string v;
+    ASSERT_TRUE(c.cloud->GetCell(id, &v).ok())
+        << "seed " << seed << ": cell " << id << " lost";
+    ASSERT_EQ(v, value_of(id)) << "seed " << seed;
+  }
+  std::vector<CellId> all;
+  for (CellId id = 0; id < kCells; ++id) all.push_back(id);
+  std::vector<cloud::MemoryCloud::MultiGetResult> out;
+  ASSERT_TRUE(c.cloud->MultiGet(all, &out).ok());
+  for (CellId id = 0; id < kCells; ++id) {
+    ASSERT_TRUE(out[id].status.ok()) << "seed " << seed << " cell " << id;
+    ASSERT_EQ(out[id].value, value_of(id)) << "seed " << seed;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ReplicatedConcurrentReadChaosTest,
+                         ::testing::Range<std::uint64_t>(1, 11));
 
 // ----------------------------------------------------------- Determinism
 
