@@ -60,6 +60,12 @@ class JsonEmitter {
     if (!enabled_) return;
     Field(key, value ? "true" : "false");
   }
+  /// String values are quoted. Callers must pass std::string explicitly — a
+  /// bare literal would prefer the bool overload.
+  void Add(const char* key, const std::string& value) {
+    if (!enabled_) return;
+    Field(key, "\"" + value + "\"");
+  }
 
   void Flush() {
     if (!enabled_ || flushed_) return;

@@ -4,7 +4,7 @@
 # root (wall-clock + modeled seconds, message/transfer/byte counters per
 # table cell). The human-readable tables still print to stdout.
 #
-#   scripts/bench.sh             # all four Fig 12 benches
+#   scripts/bench.sh             # Fig 12 benches + the serving front door
 #   scripts/bench.sh fig12b      # only benches whose name matches the arg
 set -euo pipefail
 
@@ -15,6 +15,7 @@ BENCHES=(
   bench_fig12b_pagerank
   bench_fig12c_bfs
   bench_fig12d_giraph_pagerank
+  bench_serving
 )
 if [[ $# -gt 0 ]]; then
   FILTERED=()

@@ -26,7 +26,7 @@ if [[ "${1:-}" == "--chaos-sweep" ]]; then
   for ((i = 0; i < SWEEP; ++i)); do
     echo "=== chaos sweep $((i + 1))/${SWEEP}: TRINITY_CHAOS_SEED_OFFSET=$((i * 1000)) ==="
     ASAN_OPTIONS=detect_leaks=0 TRINITY_CHAOS_SEED_OFFSET=$((i * 1000)) \
-      ctest --output-on-failure -j "$(nproc)" -L chaos
+      ctest --output-on-failure -j "$(nproc)" -L 'chaos|serving'
   done
   exit 0
 fi
@@ -36,14 +36,16 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # compute + chaos labels drive every multithreaded code path (supersteps,
   # sweep barriers, packed sends, crash recovery) under the race detector.
   # The storage label adds the concurrent-read torture suite (readers racing
-  # defrag, relocations, and replica promotion on the shared-lock hot path).
+  # defrag, relocations, and replica promotion on the shared-lock hot path);
+  # the serving label adds the front-door suite (worker threads racing
+  # admission control and the shared retry budget through a machine kill).
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   # libstdc++'s std::atomic<std::shared_ptr> spin-lock protocol is not
   # tsan-annotated; suppress the library internals (see scripts/tsan.supp).
   export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
   cd build-tsan
-  ctest --output-on-failure -j "$(nproc)" -L 'compute|chaos|storage'
+  ctest --output-on-failure -j "$(nproc)" -L 'compute|chaos|storage|serving'
   exit 0
 fi
 

@@ -496,24 +496,24 @@ Status MemoryCloud::ReplicateMutation(MachineId primary, CellOp op, CellId id,
   writer.PutU64(id);
   writer.PutBytes(payload);
   for (MachineId r : replicas) {
-    Status s = Status::Unavailable("unattempted");
-    double backoff = options_.retry.backoff_base_micros;
-    for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
-      if (attempt > 0) {
-        fabric_->AddCpuMicros(primary, backoff);
-        backoff *= options_.retry.backoff_multiplier;
-      }
+    RetryPolicy::RunHooks hooks;
+    hooks.salt = Mix64(id) ^ Mix64(static_cast<std::uint64_t>(r) + 1);
+    hooks.charge = [&](double micros) {
+      fabric_->AddCpuMicros(primary, micros);
+    };
+    // Dead replica — shrink it out of the in-sync set, don't retry.
+    hooks.keep_trying = [&] { return fabric_->IsMachineUp(r); };
+    Status s = options_.retry.Run(hooks, [&](int) -> Status {
       std::string unused;
-      s = fabric_->Call(primary, r, kReplicaApplyHandler,
-                        Slice(writer.buffer()), &unused);
-      if (s.ok() && !fabric_->IsMachineUp(r)) {
+      Status as = fabric_->Call(primary, r, kReplicaApplyHandler,
+                                Slice(writer.buffer()), &unused);
+      if (as.ok() && !fabric_->IsMachineUp(r)) {
         // The replica crashed right after applying; its copy is a ghost
         // and protects nothing.
-        s = Status::Unavailable("replica crashed after apply");
+        as = Status::Unavailable("replica crashed after apply");
       }
-      if (!s.IsUnavailable() && !s.IsTimedOut()) break;
-      if (!fabric_->IsMachineUp(r)) break;  // Dead — shrink, don't retry.
-    }
+      return as;
+    });
     if (s.ok()) continue;  // Replicated.
     if (s.IsAborted()) {
       // The replica holds a newer fencing epoch: we were deposed. Terminal.
@@ -547,13 +547,13 @@ Status MemoryCloud::ConfirmShrink(MachineId primary, TrunkId trunk,
   writer.PutI32(trunk);
   writer.PutU64(epoch);
   writer.PutI32(replica);
-  Status s = Status::Unavailable("unattempted");
-  double backoff = options_.retry.backoff_base_micros;
-  for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
-    if (attempt > 0) {
-      fabric_->AddCpuMicros(primary, backoff);
-      backoff *= options_.retry.backoff_multiplier;
-    }
+  RetryPolicy::RunHooks hooks;
+  hooks.salt = Mix64(static_cast<std::uint64_t>(trunk)) ^
+               Mix64(static_cast<std::uint64_t>(replica) + 2);
+  hooks.charge = [&](double micros) {
+    fabric_->AddCpuMicros(primary, micros);
+  };
+  return options_.retry.Run(hooks, [&](int) -> Status {
     MachineId leader;
     {
       std::lock_guard<std::mutex> lock(mu_);
@@ -562,15 +562,14 @@ Status MemoryCloud::ConfirmShrink(MachineId primary, TrunkId trunk,
     // Self-calls (primary == leader) still route through the fabric and
     // run the same fencing check, keeping one code path.
     std::string unused;
-    s = fabric_->Call(primary, leader, kIsrShrinkHandler,
-                      Slice(writer.buffer()), &unused);
-    if (!s.IsUnavailable() && !s.IsTimedOut()) return s;
-  }
-  return s;
+    return fabric_->Call(primary, leader, kIsrShrinkHandler,
+                         Slice(writer.buffer()), &unused);
+  });
 }
 
 Status MemoryCloud::TryReplicaRead(MachineId src, CellOp op, CellId id,
-                                   std::string* response, bool* served) {
+                                   std::string* response, bool* served,
+                                   CallContext* ctx) {
   *served = false;
   const TrunkId t = TrunkOf(id);
   std::vector<MachineId> replicas;
@@ -586,8 +585,8 @@ Status MemoryCloud::TryReplicaRead(MachineId src, CellOp op, CellId id,
     if (!fabric_->IsMachineUp(r)) continue;
     std::string resp;
     Status s = fabric_->Call(src, r, kReplicaReadHandler,
-                             Slice(writer.buffer()), &resp);
-    if (s.IsUnavailable() || s.IsTimedOut()) continue;  // Next replica.
+                             Slice(writer.buffer()), &resp, ctx);
+    if (s.IsRetryable()) continue;  // Next replica.
     // Definitive answer (OK / NotFound / error): the read was served.
     *served = true;
     recovery_stats_.degraded_reads.fetch_add(1, std::memory_order_relaxed);
@@ -707,52 +706,57 @@ MachineId MemoryCloud::RouteDst(MachineId src, CellId id) {
 }
 
 Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
-                            Slice payload, std::string* response) {
+                            Slice payload, std::string* response,
+                            CallContext* ctx) {
   const RetryPolicy& retry = options_.retry;
   if (!fabric_->IsMachineUp(src)) {
     // A dead machine cannot issue operations — this also keeps the local
     // fast path below from reading a crashed machine's lingering image.
     return Status::Unavailable("source machine is down");
   }
-  Status last = Status::Unavailable("unroutable");
   bool owner_down = false;
-  double backoff = retry.backoff_base_micros;
-  for (int attempt = 0; attempt < retry.max_attempts; ++attempt) {
-    if (attempt > 0) {
-      // Exponential backoff in simulated time: the stall is charged to the
-      // retrying endpoint's CPU meter so the cost model sees it, and every
-      // run of a given seed waits the exact same amount.
-      fabric_->AddCpuMicros(src, backoff);
-      backoff *= retry.backoff_multiplier;
-      if (!fabric_->IsMachineUp(src)) {
-        // The source crashed between attempts; its ghost image must not
-        // serve the local fast path below.
-        return Status::Unavailable("source machine is down");
-      }
+  bool src_down = false;
+  RetryPolicy::RunHooks hooks;
+  hooks.ctx = ctx;
+  hooks.salt = Mix64(id) ^ static_cast<std::uint64_t>(src);
+  // Exponential backoff in simulated time: the stall is charged to the
+  // retrying endpoint's CPU meter so the cost model sees it, and every run
+  // of a given seed waits the exact same (jittered) amount.
+  hooks.charge = [&](double micros) { fabric_->AddCpuMicros(src, micros); };
+  hooks.keep_trying = [&] {
+    if (!fabric_->IsMachineUp(src)) {
+      // The source crashed between attempts; its ghost image must not
+      // serve the local fast path below.
+      src_down = true;
+      return false;
     }
+    return true;
+  };
+  Status last = retry.Run(hooks, [&](int) -> Status {
     const MachineId dst = RouteDst(src, id);
+    Status s;
     if (dst == src && StorageOf(src) != nullptr) {
       net::Fabric::MeterScope meter(*fabric_, src);
-      last = ExecuteLocal(src, op, id, payload, response);
+      s = ExecuteLocal(src, op, id, payload, response);
     } else {
       const std::string request =
           EncodeCellOp(static_cast<std::uint8_t>(op), id, payload);
-      last = fabric_->Call(src, dst, kCellOpHandler, Slice(request),
-                           response);
+      s = fabric_->Call(src, dst, kCellOpHandler, Slice(request),
+                        response, ctx);
     }
     // Unavailable: our table replica is stale ("trunk not hosted"), the
     // owner crashed, or a fault was injected on the wire. TimedOut is the
     // injected lost-response case — equally retriable. Everything else is a
     // definitive answer (including Aborted: the source is a fenced, deposed
     // primary and must not spin).
-    if (!last.IsUnavailable() && !last.IsTimedOut()) return last;
+    if (!s.IsRetryable()) return s;
     // Degraded-read failover: a read blocked by a dead *or partitioned*
     // owner is served by any in-sync replica immediately, before (and
     // without) any promotion work.
     if (replicated() &&
         (op == CellOp::kGet || op == CellOp::kContains)) {
       bool served = false;
-      Status rs = TryReplicaRead(src, op, id, response, &served);
+      Status rs = TryReplicaRead(src, op, id, response, &served, ctx);
       if (served) return rs;
     }
     owner_down = !fabric_->IsMachineUp(dst);
@@ -791,7 +795,10 @@ Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
     std::lock_guard<std::mutex> lock(mu_);
     machines_[src].table_replica = primary_table_;
     RefreshRoutingLocked(src);
-  }
+    return s;
+  });
+  if (src_down) return Status::Unavailable("source machine is down");
+  if (!last.IsRetryable()) return last;
   // Bounded attempts exhausted — name the terminal condition precisely so
   // callers can tell a dead owner from a table that never converges.
   if (owner_down) {
@@ -804,29 +811,35 @@ Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
                              " attempts: " + last.message());
 }
 
-Status MemoryCloud::AddCellFrom(MachineId src, CellId id, Slice payload) {
-  return RouteOp(src, CellOp::kAdd, id, payload, nullptr);
+Status MemoryCloud::AddCellFrom(MachineId src, CellId id, Slice payload,
+                                CallContext* ctx) {
+  return RouteOp(src, CellOp::kAdd, id, payload, nullptr, ctx);
 }
 
-Status MemoryCloud::PutCellFrom(MachineId src, CellId id, Slice payload) {
-  return RouteOp(src, CellOp::kPut, id, payload, nullptr);
+Status MemoryCloud::PutCellFrom(MachineId src, CellId id, Slice payload,
+                                CallContext* ctx) {
+  return RouteOp(src, CellOp::kPut, id, payload, nullptr, ctx);
 }
 
-Status MemoryCloud::GetCellFrom(MachineId src, CellId id, std::string* out) {
-  return RouteOp(src, CellOp::kGet, id, Slice(), out);
+Status MemoryCloud::GetCellFrom(MachineId src, CellId id, std::string* out,
+                                CallContext* ctx) {
+  return RouteOp(src, CellOp::kGet, id, Slice(), out, ctx);
 }
 
-Status MemoryCloud::RemoveCellFrom(MachineId src, CellId id) {
-  return RouteOp(src, CellOp::kRemove, id, Slice(), nullptr);
+Status MemoryCloud::RemoveCellFrom(MachineId src, CellId id,
+                                   CallContext* ctx) {
+  return RouteOp(src, CellOp::kRemove, id, Slice(), nullptr, ctx);
 }
 
-Status MemoryCloud::AppendToCellFrom(MachineId src, CellId id, Slice suffix) {
-  return RouteOp(src, CellOp::kAppend, id, suffix, nullptr);
+Status MemoryCloud::AppendToCellFrom(MachineId src, CellId id, Slice suffix,
+                                     CallContext* ctx) {
+  return RouteOp(src, CellOp::kAppend, id, suffix, nullptr, ctx);
 }
 
 Status MemoryCloud::MultiOp(MachineId src, CellOp op,
                             std::span<const CellId> ids,
-                            std::vector<MultiGetResult>* out) {
+                            std::vector<MultiGetResult>* out,
+                            CallContext* ctx) {
   if (out == nullptr) return Status::InvalidArgument("no output vector");
   out->assign(ids.size(), MultiGetResult{});
   if (ids.empty()) return Status::OK();
@@ -875,7 +888,7 @@ Status MemoryCloud::MultiOp(MachineId src, CellOp op,
     const std::string request = writer.Release();
     std::string response;
     Status s = fabric_->Call(src, dst, kMultiGetHandler, Slice(request),
-                             &response);
+                             &response, ctx);
     if (!s.ok()) {
       // Stale routing, dead owner, or injected fault: every id in the group
       // retries individually so failover semantics match GetCellFrom.
@@ -901,7 +914,7 @@ Status MemoryCloud::MultiOp(MachineId src, CellOp op,
   for (std::size_t i : fallback) {
     std::string value;
     Status s = RouteOp(src, op, ids[i], Slice(),
-                       op == CellOp::kGet ? &value : nullptr);
+                       op == CellOp::kGet ? &value : nullptr, ctx);
     (*out)[i].status = s;
     if (s.ok() && op == CellOp::kGet) (*out)[i].value = std::move(value);
   }
@@ -909,13 +922,15 @@ Status MemoryCloud::MultiOp(MachineId src, CellOp op,
 }
 
 Status MemoryCloud::MultiGet(MachineId src, std::span<const CellId> ids,
-                             std::vector<MultiGetResult>* out) {
-  return MultiOp(src, CellOp::kGet, ids, out);
+                             std::vector<MultiGetResult>* out,
+                             CallContext* ctx) {
+  return MultiOp(src, CellOp::kGet, ids, out, ctx);
 }
 
 Status MemoryCloud::MultiContains(MachineId src, std::span<const CellId> ids,
-                                  std::vector<MultiGetResult>* out) {
-  return MultiOp(src, CellOp::kContains, ids, out);
+                                  std::vector<MultiGetResult>* out,
+                                  CallContext* ctx) {
+  return MultiOp(src, CellOp::kContains, ids, out, ctx);
 }
 
 Status MemoryCloud::Contains(CellId id, bool* exists) {
@@ -1364,18 +1379,16 @@ int MemoryCloud::DetectAndRecover(SweepReport* report) {
     // proactively detect machine failures"). Retried under the same policy
     // as routing: a single injected call failure or lost response must not
     // condemn a healthy machine to a (costly) false recovery.
-    Status s;
-    double backoff = options_.retry.backoff_base_micros;
-    for (int attempt = 0; attempt < options_.retry.max_attempts; ++attempt) {
-      if (attempt > 0) {
-        fabric_->AddCpuMicros(leader_, backoff);
-        backoff *= options_.retry.backoff_multiplier;
-      }
+    RetryPolicy::RunHooks hooks;
+    hooks.salt = Mix64(static_cast<std::uint64_t>(m) + 3);
+    hooks.charge = [&](double micros) {
+      fabric_->AddCpuMicros(leader_, micros);
+    };
+    Status s = options_.retry.Run(hooks, [&](int) -> Status {
       std::string pong;
-      s = fabric_->Call(leader_, m, kHeartbeatHandler, Slice(), &pong);
-      if (!s.IsUnavailable() && !s.IsTimedOut()) break;
-    }
-    if (s.IsUnavailable() || s.IsTimedOut()) {
+      return fabric_->Call(leader_, m, kHeartbeatHandler, Slice(), &pong);
+    });
+    if (s.IsRetryable()) {
       record(m, RecoverMachine(m));
     }
   }

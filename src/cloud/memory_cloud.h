@@ -11,7 +11,9 @@
 #include <vector>
 
 #include "cloud/addressing_table.h"
+#include "common/call_context.h"
 #include "common/hash.h"
+#include "common/retry.h"
 #include "common/status.h"
 #include "common/types.h"
 #include "net/fabric.h"
@@ -68,14 +70,12 @@ enum CloudHandlerIds : net::HandlerId {
 class MemoryCloud {
  public:
   /// Governs every retry loop that faces transient Unavailable/TimedOut
-  /// failures (routing, heartbeats). Backoff is *simulated* time: each wait
-  /// is charged to the retrying machine's CPU meter so the cost model sees
-  /// the stall, without the test suite actually sleeping.
-  struct RetryPolicy {
-    int max_attempts = 4;
-    double backoff_base_micros = 200.0;
-    double backoff_multiplier = 2.0;
-  };
+  /// failures (routing, replica ship, ISR shrink, heartbeats). Backoff is
+  /// *simulated* time: each wait is charged to the retrying machine's CPU
+  /// meter so the cost model sees the stall, without the test suite
+  /// actually sleeping. All four loops run through the shared
+  /// trinity::RetryPolicy::Run helper with deterministic seeded jitter.
+  using RetryPolicy = trinity::RetryPolicy;
 
   struct Options {
     int num_slaves = 4;
@@ -174,7 +174,8 @@ class MemoryCloud {
   /// whole could not be attempted (e.g. `src` is down) — per-id outcomes
   /// are reported through `out`.
   Status MultiGet(MachineId src, std::span<const CellId> ids,
-                  std::vector<MultiGetResult>* out);
+                  std::vector<MultiGetResult>* out,
+                  CallContext* ctx = nullptr);
   Status MultiGet(std::span<const CellId> ids,
                   std::vector<MultiGetResult>* out) {
     return MultiGet(client_id(), ids, out);
@@ -183,15 +184,25 @@ class MemoryCloud {
   /// out[i].status is OK (present), NotFound (definitively absent), or an
   /// error (unknown — the owner could not be reached). Values stay empty.
   Status MultiContains(MachineId src, std::span<const CellId> ids,
-                       std::vector<MultiGetResult>* out);
+                       std::vector<MultiGetResult>* out,
+                       CallContext* ctx = nullptr);
 
   // --- Key-value operations from an arbitrary endpoint. Local accesses on
   // the owning slave bypass the network; remote ones are metered sync calls.
-  Status AddCellFrom(MachineId src, CellId id, Slice payload);
-  Status PutCellFrom(MachineId src, CellId id, Slice payload);
-  Status GetCellFrom(MachineId src, CellId id, std::string* out);
-  Status RemoveCellFrom(MachineId src, CellId id);
-  Status AppendToCellFrom(MachineId src, CellId id, Slice suffix);
+  // The optional CallContext carries a per-request deadline + retry budget
+  // down through RouteOp and Fabric::Call: retries stop with
+  // DeadlineExceeded (or ResourceExhausted when the cluster-wide retry
+  // budget is drained) instead of hanging through a failover.
+  Status AddCellFrom(MachineId src, CellId id, Slice payload,
+                     CallContext* ctx = nullptr);
+  Status PutCellFrom(MachineId src, CellId id, Slice payload,
+                     CallContext* ctx = nullptr);
+  Status GetCellFrom(MachineId src, CellId id, std::string* out,
+                     CallContext* ctx = nullptr);
+  Status RemoveCellFrom(MachineId src, CellId id,
+                        CallContext* ctx = nullptr);
+  Status AppendToCellFrom(MachineId src, CellId id, Slice suffix,
+                          CallContext* ctx = nullptr);
 
   /// Direct pointer to the local storage of a slave (engines use this for
   /// partition-local scans; access is expected to be metered by the caller).
@@ -352,11 +363,12 @@ class MemoryCloud {
   /// Encodes and routes an op from src to the owner of id, handling stale
   /// table replicas and machine failures with one retry after re-sync.
   Status RouteOp(MachineId src, CellOp op, CellId id, Slice payload,
-                 std::string* response);
+                 std::string* response, CallContext* ctx = nullptr);
 
   /// Shared body of MultiGet/MultiContains (op is kGet or kContains).
   Status MultiOp(MachineId src, CellOp op, std::span<const CellId> ids,
-                 std::vector<MultiGetResult>* out);
+                 std::vector<MultiGetResult>* out,
+                 CallContext* ctx = nullptr);
 
   /// Loads machine m's storage with acquire semantics; the returned
   /// shared_ptr keeps the storage alive for the duration of the caller's
@@ -404,7 +416,8 @@ class MemoryCloud {
   /// of the cell's trunk while the primary is unreachable. Sets *served
   /// when some replica produced a definitive answer (incl. NotFound).
   Status TryReplicaRead(MachineId src, CellOp op, CellId id,
-                        std::string* response, bool* served);
+                        std::string* response, bool* served,
+                        CallContext* ctx = nullptr);
 
   /// Asks the current leader to drop `replica` from the trunk's in-sync
   /// set. The leader verifies the caller is still the trunk's primary at

@@ -1,0 +1,64 @@
+#include "common/retry.h"
+
+#include <cmath>
+
+#include "common/hash.h"
+
+namespace trinity {
+
+double RetryPolicy::BackoffMicros(int retry, std::uint64_t salt) const {
+  double backoff = backoff_base_micros;
+  for (int i = 1; i < retry; ++i) backoff *= backoff_multiplier;
+  if (jitter_fraction > 0.0 && backoff > 0.0) {
+    const std::uint64_t lane =
+        Mix64(jitter_seed ^ Mix64(salt + 0x9e3779b97f4a7c15ULL *
+                                             static_cast<std::uint64_t>(retry)));
+    // 53-bit mantissa draw in [0, 1), same construction as common/random.h.
+    const double unit = static_cast<double>(lane >> 11) * 0x1.0p-53;
+    backoff *= 1.0 + jitter_fraction * (2.0 * unit - 1.0);
+  }
+  return backoff;
+}
+
+Status RetryPolicy::Run(const RunHooks& hooks,
+                        const std::function<Status(int)>& attempt) const {
+  if (max_attempts < 1) {
+    return Status::InvalidArgument("RetryPolicy.max_attempts must be >= 1");
+  }
+  RetryBudget* budget =
+      hooks.ctx != nullptr ? hooks.ctx->retry_budget() : nullptr;
+  if (budget != nullptr) budget->OnAttempt();
+  if (hooks.ctx != nullptr) {
+    Status gate = hooks.ctx->Check();
+    if (!gate.ok()) return gate;
+  }
+  Status last = attempt(0);
+  for (int retry = 1; retry < max_attempts; ++retry) {
+    if (!last.IsRetryable()) return last;
+    if (hooks.keep_trying && !hooks.keep_trying()) return last;
+    if (hooks.ctx != nullptr) {
+      Status gate = hooks.ctx->Check();
+      if (!gate.ok()) return gate;
+    }
+    const double backoff = BackoffMicros(retry, hooks.salt);
+    if (hooks.ctx != nullptr && hooks.ctx->has_deadline() &&
+        backoff >= hooks.ctx->remaining_micros()) {
+      // The wait alone would blow the deadline; burn the rest of the
+      // budget and report instead of sleeping through it.
+      hooks.ctx->Consume(hooks.ctx->remaining_micros());
+      return Status::DeadlineExceeded(
+          "deadline exhausted before retry " + std::to_string(retry) +
+          "; last error: " + last.ToString());
+    }
+    if (budget != nullptr && !budget->TryAcquire()) {
+      return Status::ResourceExhausted(
+          "retry budget exhausted; last error: " + last.ToString());
+    }
+    if (hooks.charge) hooks.charge(backoff);
+    if (hooks.ctx != nullptr) hooks.ctx->Consume(backoff);
+    last = attempt(retry);
+  }
+  return last;
+}
+
+}  // namespace trinity

@@ -1,0 +1,122 @@
+#ifndef TRINITY_COMMON_RETRY_H_
+#define TRINITY_COMMON_RETRY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "common/call_context.h"
+#include "common/status.h"
+
+namespace trinity {
+
+/// Cluster-wide token bucket bounding retry amplification (the Finagle /
+/// gRPC "retry budget" idea): first attempts *earn* a fraction of a token,
+/// every re-attempt *spends* a whole token. When most traffic succeeds the
+/// bucket stays full and retries are free; when a primary dies and every
+/// request starts failing, the bucket drains after `capacity` retries and
+/// further requests fail fast with ResourceExhausted instead of multiplying
+/// load on the recovering cluster by max_attempts.
+///
+/// Thread-safe; all state is atomic.
+class RetryBudget {
+ public:
+  struct Options {
+    double capacity = 32.0;      ///< Max banked retry tokens.
+    double refill_per_op = 0.1;  ///< Tokens earned per first attempt.
+    double initial = 32.0;       ///< Starting balance.
+  };
+
+  RetryBudget() : RetryBudget(Options{}) {}
+  explicit RetryBudget(const Options& options)
+      : options_(options), tokens_(options.initial) {}
+
+  RetryBudget(const RetryBudget&) = delete;
+  RetryBudget& operator=(const RetryBudget&) = delete;
+
+  /// Called once per operation (not per attempt) to earn budget.
+  void OnAttempt() {
+    double cur = tokens_.load(std::memory_order_relaxed);
+    double next;
+    do {
+      next = cur + options_.refill_per_op;
+      if (next > options_.capacity) next = options_.capacity;
+    } while (!tokens_.compare_exchange_weak(cur, next,
+                                            std::memory_order_relaxed));
+  }
+
+  /// Spends one token for a re-attempt; false means the retry must not run.
+  bool TryAcquire() {
+    double cur = tokens_.load(std::memory_order_relaxed);
+    do {
+      if (cur < 1.0) {
+        denied_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+    } while (!tokens_.compare_exchange_weak(cur, cur - 1.0,
+                                            std::memory_order_relaxed));
+    granted_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  double tokens() const { return tokens_.load(std::memory_order_relaxed); }
+  std::uint64_t granted() const {
+    return granted_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t denied() const {
+    return denied_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  const Options options_;
+  std::atomic<double> tokens_;
+  std::atomic<std::uint64_t> granted_{0};
+  std::atomic<std::uint64_t> denied_{0};
+};
+
+/// Exponential-backoff retry schedule shared by every backoff loop in the
+/// engine (RouteOp, replica ship, ISR shrink, heartbeats). Backoff waits
+/// are *simulated* time: Run charges them through the caller-supplied
+/// `charge` hook (normally Fabric::AddCpuMicros) and, when a CallContext is
+/// present, against the request's deadline budget.
+///
+/// Jitter is deterministic: the backoff for (jitter_seed, salt, retry) is a
+/// pure function, so seeded chaos runs replay identically while distinct
+/// callers (different salts) still decorrelate after a failover.
+struct RetryPolicy {
+  int max_attempts = 4;
+  double backoff_base_micros = 200.0;
+  double backoff_multiplier = 2.0;
+  /// Backoff is scaled by a factor in [1-j, 1+j]; 0 disables jitter.
+  double jitter_fraction = 0.25;
+  std::uint64_t jitter_seed = 0;
+
+  /// Jittered backoff before re-attempt `retry` (1-based).
+  double BackoffMicros(int retry, std::uint64_t salt) const;
+
+  struct RunHooks {
+    /// Deadline/cancellation/retry-budget source; may be null.
+    CallContext* ctx = nullptr;
+    /// Decorrelates callers sharing one policy (e.g. hash of cell id).
+    std::uint64_t salt = 0;
+    /// Accounts a backoff wait (simulated micros), e.g. AddCpuMicros(src).
+    std::function<void(double)> charge;
+    /// Extra per-retry predicate; returning false stops with the last
+    /// attempt's status (e.g. "replica died — shrink, don't retry").
+    std::function<bool()> keep_trying;
+  };
+
+  /// Runs `attempt` (passed the 0-based attempt index) until it returns a
+  /// non-retryable status (see Status::IsRetryable) or attempts are
+  /// exhausted. Between attempts, in order: stop if keep_trying() is
+  /// false (returning the last status); stop with Aborted/DeadlineExceeded
+  /// if the context is cancelled/expired or cannot afford the next backoff
+  /// wait; stop with ResourceExhausted if the retry budget is empty;
+  /// otherwise charge the jittered backoff and go again.
+  Status Run(const RunHooks& hooks,
+             const std::function<Status(int)>& attempt) const;
+};
+
+}  // namespace trinity
+
+#endif  // TRINITY_COMMON_RETRY_H_

@@ -28,6 +28,10 @@ const char* CodeName(Status::Code code) {
       return "Aborted";
     case Status::Code::kNotSupported:
       return "NotSupported";
+    case Status::Code::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case Status::Code::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -23,6 +23,8 @@ class Status {
     kTimedOut = 8,
     kAborted = 9,
     kNotSupported = 10,
+    kDeadlineExceeded = 11,   // request deadline/budget spent
+    kResourceExhausted = 12,  // load shed / retry budget empty
   };
 
   Status() : code_(Code::kOk) {}
@@ -63,6 +65,12 @@ class Status {
   static Status NotSupported(std::string msg = "") {
     return Status(Code::kNotSupported, std::move(msg));
   }
+  static Status DeadlineExceeded(std::string msg = "") {
+    return Status(Code::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg = "") {
+    return Status(Code::kResourceExhausted, std::move(msg));
+  }
 
   bool ok() const { return code_ == Code::kOk; }
   bool IsNotFound() const { return code_ == Code::kNotFound; }
@@ -75,6 +83,18 @@ class Status {
   bool IsTimedOut() const { return code_ == Code::kTimedOut; }
   bool IsAborted() const { return code_ == Code::kAborted; }
   bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+  bool IsDeadlineExceeded() const {
+    return code_ == Code::kDeadlineExceeded;
+  }
+  bool IsResourceExhausted() const {
+    return code_ == Code::kResourceExhausted;
+  }
+
+  /// True for transient failures where another attempt may succeed
+  /// (machine restarting, stale addressing table, dropped call). Terminal
+  /// codes — including DeadlineExceeded, ResourceExhausted, and Aborted
+  /// (epoch fencing) — are never retried.
+  bool IsRetryable() const { return IsUnavailable() || IsTimedOut(); }
 
   Code code() const { return code_; }
   const std::string& message() const { return msg_; }

@@ -33,7 +33,8 @@ MachineId TraversalEngine::OwnerOf(CellId vertex) const {
 }
 
 Status TraversalEngine::KHopExplore(CellId start, int max_depth,
-                                    const Visitor& visit, QueryStats* stats) {
+                                    const Visitor& visit, QueryStats* stats,
+                                    CallContext* ctx) {
   *stats = QueryStats();
   net::Fabric& fabric = graph_->cloud()->fabric();
   cloud::MemoryCloud* cloud = graph_->cloud();
@@ -86,6 +87,13 @@ Status TraversalEngine::KHopExplore(CellId start, int max_depth,
       }
     }
     if (!any) break;
+    if (ctx != nullptr) {
+      // Deadline/cancellation boundary: the frontier for the next round is
+      // intact, but a spent budget stops the query here rather than paying
+      // for another full expansion round.
+      Status gate = ctx->Check();
+      if (!gate.ok()) return gate;
+    }
     fabric.ResetMeters();
     // One round: every machine expands its frontier slice on a pool worker
     // (lock-free — remote discoveries go into per-destination outboxes).
@@ -189,16 +197,20 @@ Status TraversalEngine::KHopExplore(CellId start, int max_depth,
     const net::NetworkStats net = fabric.stats();
     stats->messages += net.messages;
     stats->transfers += net.transfers;
-    stats->modeled_millis +=
+    const double round_millis =
         options_.cost_model.PhaseSeconds(fabric) * 1000.0;
+    stats->modeled_millis += round_millis;
     ++stats->rounds;
+    // The round's modeled latency is time the caller waited: charge it to
+    // the deadline budget (simulated micros, like every other layer).
+    if (ctx != nullptr) ctx->Consume(round_millis * 1000.0);
   }
   return Status::OK();
 }
 
 Status TraversalEngine::Bfs(
     CellId start, std::unordered_map<CellId, std::uint32_t>* distances,
-    QueryStats* stats) {
+    QueryStats* stats, CallContext* ctx) {
   distances->clear();
   // The visitor runs on the worker that owns the vertex; collect into a
   // per-owner map so concurrent expansion never shares a container, then
@@ -212,7 +224,7 @@ Status TraversalEngine::Bfs(
             vertex, static_cast<std::uint32_t>(depth));
         return true;
       },
-      stats);
+      stats, ctx);
   if (!s.ok()) return s;
   for (auto& partial : per_machine) {
     for (const auto& [vertex, depth] : partial) {

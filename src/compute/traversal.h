@@ -8,6 +8,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/call_context.h"
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "graph/graph.h"
@@ -64,8 +65,14 @@ class TraversalEngine {
   /// Explores the out-neighborhood of `start` up to `max_depth` hops,
   /// invoking `visit` for every distinct vertex reached (including the
   /// start at depth 0). Each vertex is visited exactly once.
+  ///
+  /// `ctx`, when non-null, bounds the query: the deadline is checked at
+  /// every round barrier and each round's modeled latency is charged
+  /// against the budget, so a query that cannot finish in time returns
+  /// DeadlineExceeded (or Aborted when cancelled) with the rounds it
+  /// completed already reflected in `stats`.
   Status KHopExplore(CellId start, int max_depth, const Visitor& visit,
-                     QueryStats* stats);
+                     QueryStats* stats, CallContext* ctx = nullptr);
 
   /// Distributed BFS from `start` over the whole graph; returns the hop
   /// distance per reached vertex. This is the Fig 12(c)/Fig 13 kernel.
@@ -73,7 +80,7 @@ class TraversalEngine {
   /// owning machine and merged after the run).
   Status Bfs(CellId start,
              std::unordered_map<CellId, std::uint32_t>* distances,
-             QueryStats* stats);
+             QueryStats* stats, CallContext* ctx = nullptr);
 
  private:
   MachineId OwnerOf(CellId vertex) const;

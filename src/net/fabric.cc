@@ -180,9 +180,14 @@ Status Fabric::SendPacked(MachineId src, MachineId dst, HandlerId id,
 }
 
 Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
-                    std::string* response) {
+                    std::string* response, CallContext* ctx) {
   if (dst < 0 || dst >= num_machines_) {
     return Status::InvalidArgument("bad destination machine");
+  }
+  if (ctx != nullptr) {
+    // A cancelled or already-expired request never touches the wire.
+    Status gate = ctx->Check();
+    if (!gate.ok()) return gate;
   }
   stats_.sync_calls.fetch_add(1, std::memory_order_relaxed);
   if (src >= 0 && src < num_machines_ &&
@@ -202,6 +207,24 @@ Status Fabric::Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
       stats_.injected_call_failures.fetch_add(1, std::memory_order_relaxed);
       MaybeTriggerCrashes(src, dst);
       return injected;
+    }
+    const double delay = injector_->CallDelayMicros(src, dst, id);
+    if (delay > 0.0) {
+      // A straggler call: the caller blocks for `delay` simulated micros
+      // before the handler runs. Charge the wait to the caller's CPU meter
+      // and to the request's deadline budget.
+      stats_.injected_call_delays.fetch_add(1, std::memory_order_relaxed);
+      if (src >= 0 && src < num_machines_) AddCpuMicros(src, delay);
+      if (ctx != nullptr) {
+        if (ctx->has_deadline() && delay >= ctx->remaining_micros()) {
+          // The deadline fires mid-wait; abandon the straggler.
+          ctx->Consume(ctx->remaining_micros());
+          MaybeTriggerCrashes(src, dst);
+          return Status::DeadlineExceeded(
+              "injected straggler delay outlived the request deadline");
+        }
+        ctx->Consume(delay);
+      }
     }
   }
   SyncHandler handler;
@@ -391,6 +414,8 @@ NetworkStats Fabric::stats() const {
       stats_.injected_crashes.load(std::memory_order_relaxed);
   out.delayed_flushes =
       stats_.delayed_flushes.load(std::memory_order_relaxed);
+  out.injected_call_delays =
+      stats_.injected_call_delays.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -424,6 +449,7 @@ void Fabric::ResetMeters() {
   stats_.injected_call_failures.store(0, std::memory_order_relaxed);
   stats_.injected_crashes.store(0, std::memory_order_relaxed);
   stats_.delayed_flushes.store(0, std::memory_order_relaxed);
+  stats_.injected_call_delays.store(0, std::memory_order_relaxed);
   for (int m = 0; m < num_machines_; ++m) {
     cpu_micros_[m].store(0.0, std::memory_order_relaxed);
     traffic_bytes_in_[m].store(0, std::memory_order_relaxed);

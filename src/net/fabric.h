@@ -10,6 +10,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/call_context.h"
 #include "common/histogram.h"
 #include "common/slice.h"
 #include "common/status.h"
@@ -85,8 +86,14 @@ class Fabric {
   /// One-sided synchronous request-response. Returns Unavailable when the
   /// destination machine is down — callers use this to detect failures
   /// (paper §6.2: "machine A ... can detect the failure of machine B").
+  ///
+  /// `ctx`, when non-null, carries the request's deadline: a cancelled or
+  /// expired context short-circuits before touching the wire, and injected
+  /// straggler delays (FaultInjector call_delay) are charged against the
+  /// remaining budget — a delay the budget cannot afford abandons the call
+  /// with DeadlineExceeded instead of waiting out the straggler.
   Status Call(MachineId src, MachineId dst, HandlerId id, Slice payload,
-              std::string* response);
+              std::string* response, CallContext* ctx = nullptr);
 
   /// Delivers every buffered async message from `src` (all destinations).
   void Flush(MachineId src);
@@ -187,6 +194,7 @@ class Fabric {
     std::atomic<std::uint64_t> injected_call_failures{0};
     std::atomic<std::uint64_t> injected_crashes{0};
     std::atomic<std::uint64_t> delayed_flushes{0};
+    std::atomic<std::uint64_t> injected_call_delays{0};
   };
 
   const int num_machines_;

@@ -138,6 +138,22 @@ Status FaultInjector::OnCall(MachineId src, MachineId dst, HandlerId id) {
   return Status::OK();
 }
 
+double FaultInjector::CallDelayMicros(MachineId src, MachineId dst,
+                                      HandlerId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const Policy* policy = FindPolicyLocked(src, dst, id);
+  if (policy == nullptr) return 0.0;
+  if (!RollLocked(policy->call_delay_prob)) return 0.0;
+  const double lo = policy->call_delay_min_micros;
+  const double hi = policy->call_delay_max_micros;
+  double delay = lo;
+  if (hi > lo) delay = lo + (hi - lo) * rng_.NextDouble();
+  if (delay <= 0.0) return 0.0;
+  ++stats_.delayed_calls;
+  stats_.delay_micros_total += delay;
+  return delay;
+}
+
 bool FaultInjector::DelayFlush(MachineId src, MachineId dst) {
   std::lock_guard<std::mutex> lock(mu_);
   // Flushes are pair-level events, not handler-level; only pair and default

@@ -45,6 +45,16 @@ class FaultInjector {
     double call_fail_prob = 0.0;     ///< Sync Call fails with Unavailable.
     double call_timeout_prob = 0.0;  ///< Sync Call fails with TimedOut.
     double delay_flush_prob = 0.0;   ///< Packed flush deferred to FlushAll.
+    /// Straggler injection: with probability call_delay_prob a sync Call is
+    /// slowed by a simulated delay drawn uniformly from
+    /// [call_delay_min_micros, call_delay_max_micros]. The Fabric charges
+    /// the delay to the caller's CPU meter and to the request's
+    /// CallContext deadline budget — the call still runs unless the delay
+    /// alone blows the deadline, in which case the caller gets
+    /// DeadlineExceeded without invoking the handler.
+    double call_delay_prob = 0.0;
+    double call_delay_min_micros = 0.0;
+    double call_delay_max_micros = 0.0;
   };
 
   struct Stats {
@@ -55,6 +65,8 @@ class FaultInjector {
     std::uint64_t delayed_flushes = 0;
     std::uint64_t crashes = 0;
     std::uint64_t partition_blocks = 0;  ///< Messages refused by a partition.
+    std::uint64_t delayed_calls = 0;     ///< Sync Calls slowed by a delay.
+    double delay_micros_total = 0.0;     ///< Sum of injected call delays.
   };
 
   /// Verdict for one async message.
@@ -99,6 +111,9 @@ class FaultInjector {
   /// Verdict for a sync call: OK means proceed; Unavailable / TimedOut is
   /// returned to the caller without invoking the handler.
   Status OnCall(MachineId src, MachineId dst, HandlerId id);
+  /// Simulated straggler delay (micros) for a sync call about to run, or 0.
+  /// Drawn from the same seeded stream as every other verdict.
+  double CallDelayMicros(MachineId src, MachineId dst, HandlerId id);
   /// Whether a non-forced flush of the (src,dst) pack buffer should be held
   /// back (delivered by the next FlushAll instead).
   bool DelayFlush(MachineId src, MachineId dst);

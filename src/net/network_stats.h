@@ -29,6 +29,7 @@ struct NetworkStats {
   std::uint64_t injected_call_failures = 0;
   std::uint64_t injected_crashes = 0;
   std::uint64_t delayed_flushes = 0;
+  std::uint64_t injected_call_delays = 0;  ///< Sync calls slowed in flight.
 };
 
 /// Failover/recovery observability for the replicated memory cloud. All

@@ -92,8 +92,13 @@ struct Tql::ParsedQuery {
   bool inbound = false;     ///< NEIGHBORS ... IN.
 };
 
-Status Tql::Execute(const std::string& statement, Result* result) {
+Status Tql::Execute(const std::string& statement, Result* result,
+                    CallContext* ctx) {
   *result = Result();
+  if (ctx != nullptr) {
+    Status gate = ctx->Check();
+    if (!gate.ok()) return gate;
+  }
   TokenStream stream(statement);
   std::string token;
   char kind = stream.Next(&token);
@@ -163,7 +168,7 @@ Status Tql::Execute(const std::string& statement, Result* result) {
       }
     }
     return RunExplore(query, query.kind == ParsedQuery::Kind::kCount,
-                      result);
+                      result, ctx);
   }
   if (token == "NEIGHBORS") {
     query.kind = ParsedQuery::Kind::kNeighbors;
@@ -216,13 +221,13 @@ Status Tql::Execute(const std::string& statement, Result* result) {
     } else if (k != 'e') {
       return SyntaxError(stream, "expected MAXHOPS or end of statement");
     }
-    return RunPath(query, result);
+    return RunPath(query, result, ctx);
   }
   return SyntaxError(stream, "unknown statement '" + token + "'");
 }
 
 Status Tql::RunExplore(const ParsedQuery& query, bool count_only,
-                       Result* result) {
+                       Result* result, CallContext* ctx) {
   compute::TraversalEngine engine(graph_);
   compute::TraversalEngine::QueryStats stats;
   std::uint64_t matched = 0;
@@ -243,7 +248,7 @@ Status Tql::RunExplore(const ParsedQuery& query, bool count_only,
         }
         return true;
       },
-      &stats);
+      &stats, ctx);
   if (!s.ok()) return s;
   if (count_only) {
     result->columns = {"count"};
@@ -280,7 +285,8 @@ Status Tql::RunNode(const ParsedQuery& query, Result* result) {
   return Status::OK();
 }
 
-Status Tql::RunPath(const ParsedQuery& query, Result* result) {
+Status Tql::RunPath(const ParsedQuery& query, Result* result,
+                    CallContext* ctx) {
   compute::TraversalEngine engine(graph_);
   compute::TraversalEngine::QueryStats stats;
   std::int64_t distance = -1;
@@ -293,7 +299,7 @@ Status Tql::RunPath(const ParsedQuery& query, Result* result) {
         }
         return distance < 0;  // Stop expanding once found.
       },
-      &stats);
+      &stats, ctx);
   if (!s.ok()) return s;
   result->columns = {"from", "to", "distance"};
   result->rows.push_back({std::to_string(query.from),

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/call_context.h"
 #include "compute/traversal.h"
 #include "graph/graph.h"
 
@@ -50,8 +51,11 @@ class Tql {
   Tql& operator=(const Tql&) = delete;
 
   /// Parses and executes one statement. Syntax errors come back as
-  /// InvalidArgument with a position hint.
-  Status Execute(const std::string& statement, Result* result);
+  /// InvalidArgument with a position hint. `ctx`, when non-null, carries
+  /// the request deadline into the traversal rounds of EXPLORE/COUNT/PATH
+  /// (point statements answer from local state and only check it once).
+  Status Execute(const std::string& statement, Result* result,
+                 CallContext* ctx = nullptr);
 
   /// Renders a result as an aligned text table (for shells and examples).
   static std::string Format(const Result& result);
@@ -60,10 +64,10 @@ class Tql {
   struct ParsedQuery;
 
   Status RunExplore(const ParsedQuery& query, bool count_only,
-                    Result* result);
+                    Result* result, CallContext* ctx);
   Status RunNeighbors(const ParsedQuery& query, Result* result);
   Status RunNode(const ParsedQuery& query, Result* result);
-  Status RunPath(const ParsedQuery& query, Result* result);
+  Status RunPath(const ParsedQuery& query, Result* result, CallContext* ctx);
 
   graph::Graph* graph_;
 };

@@ -1,0 +1,216 @@
+#include "serving/query_frontend.h"
+
+#include <chrono>
+
+#include "compute/traversal.h"
+
+namespace trinity::serving {
+
+QueryFrontend::QueryFrontend(cloud::MemoryCloud* cloud, graph::Graph* graph,
+                             const Options& options)
+    : cloud_(cloud),
+      graph_(graph),
+      options_(options),
+      retry_budget_(options.enable_retry_budget
+                        ? std::make_unique<RetryBudget>(options.retry_budget)
+                        : nullptr),
+      degraded_reads_baseline_(cloud->recovery_stats().degraded_reads),
+      inflight_per_machine_(static_cast<std::size_t>(cloud->num_endpoints()),
+                            0) {}
+
+Status QueryFrontend::Admit(MachineId machine, CallContext* ctx) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  auto over_limit = [&] {
+    if (inflight_total_ >= options_.max_inflight_total) return true;
+    return machine >= 0 &&
+           inflight_per_machine_[static_cast<std::size_t>(machine)] >=
+               options_.max_inflight_per_machine;
+  };
+  if (over_limit()) {
+    if (!options_.backpressure_wait || !ctx->has_deadline()) {
+      return Status::ResourceExhausted(
+          machine >= 0
+              ? "admission queue full for machine " + std::to_string(machine)
+              : "admission queue full");
+    }
+    // Backpressure: wait for a slot, charging the wall wait against the
+    // deadline (1 wall µs = 1 simulated µs) so a queued request cannot
+    // outwait its caller.
+    Stopwatch waited;
+    double charged = 0.0;
+    while (over_limit()) {
+      admission_cv_.wait_for(lock, std::chrono::microseconds(100));
+      const double elapsed = waited.ElapsedMicros();
+      ctx->Consume(elapsed - charged);
+      charged = elapsed;
+      Status gate = ctx->Check();
+      if (!gate.ok()) {
+        return gate.IsDeadlineExceeded()
+                   ? Status::DeadlineExceeded(
+                         "deadline expired in the admission queue")
+                   : gate;
+      }
+    }
+  }
+  ++inflight_total_;
+  if (machine >= 0) {
+    ++inflight_per_machine_[static_cast<std::size_t>(machine)];
+  }
+  return Status::OK();
+}
+
+void QueryFrontend::Release(MachineId machine) {
+  {
+    std::lock_guard<std::mutex> lock(admission_mu_);
+    --inflight_total_;
+    if (machine >= 0) {
+      --inflight_per_machine_[static_cast<std::size_t>(machine)];
+    }
+  }
+  admission_cv_.notify_all();
+}
+
+Status QueryFrontend::Dispatch(const Request& request, CallContext* ctx,
+                               Response* response) {
+  const MachineId client = cloud_->client_id();
+  switch (request.type) {
+    case RequestType::kGet:
+      return cloud_->GetCellFrom(client, request.id, &response->value, ctx);
+    case RequestType::kPut:
+      return cloud_->PutCellFrom(client, request.id, Slice(request.payload),
+                                 ctx);
+    case RequestType::kMultiGet: {
+      Status s = cloud_->MultiGet(client, request.ids, &response->values,
+                                  ctx);
+      if (!s.ok()) return s;
+      // Per-id outcomes are in response->values; summarize the batch as the
+      // first hard per-id failure so callers (and the terminal-status
+      // accounting) see deadline/shed outcomes instead of a hollow OK.
+      for (const auto& r : response->values) {
+        if (!r.status.ok() && !r.status.IsNotFound()) return r.status;
+      }
+      return Status::OK();
+    }
+    case RequestType::kKHop: {
+      if (graph_ == nullptr) {
+        return Status::InvalidArgument("frontend has no graph attached");
+      }
+      // One traversal at a time: the engine registers fabric handlers for
+      // the shared expand handler id and resets fabric meters per round.
+      std::lock_guard<std::mutex> lock(traversal_mu_);
+      compute::TraversalEngine engine(graph_);
+      compute::TraversalEngine::QueryStats qstats;
+      std::uint64_t visited = 0;
+      Status s = engine.KHopExplore(
+          request.id, request.hops,
+          [&visited](CellId, int, Slice) {
+            ++visited;
+            return true;
+          },
+          &qstats, ctx);
+      response->visited = visited;
+      return s;
+    }
+    case RequestType::kTql: {
+      if (graph_ == nullptr) {
+        return Status::InvalidArgument("frontend has no graph attached");
+      }
+      std::lock_guard<std::mutex> lock(traversal_mu_);
+      query::Tql tql(graph_);
+      return tql.Execute(request.statement, &response->tql, ctx);
+    }
+  }
+  return Status::InvalidArgument("unknown request type");
+}
+
+Status QueryFrontend::Execute(const Request& request, Response* response) {
+  Stopwatch watch;
+  counters_.received.fetch_add(1, std::memory_order_relaxed);
+  *response = Response();
+
+  const double deadline = request.deadline_micros > 0.0
+                              ? request.deadline_micros
+                              : options_.default_deadline_micros;
+  CallContext ctx(deadline, retry_budget_.get());
+  if (request.cancel != nullptr) ctx.set_cancel_token(request.cancel);
+
+  // Point requests are admitted against their owner machine so one dead or
+  // hot owner sheds its own traffic without starving the rest of the
+  // cluster; batch and traversal requests hold a global slot only.
+  MachineId target = -1;
+  if (request.type == RequestType::kGet ||
+      request.type == RequestType::kPut) {
+    target = cloud_->MachineOf(request.id);
+  }
+
+  Status admitted = Admit(target, &ctx);
+  if (!admitted.ok()) {
+    response->status = admitted;
+    response->latency_micros = watch.ElapsedMicros();
+    RecordOutcome(admitted, response->latency_micros);
+    return admitted;
+  }
+  counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+
+  Status s = Dispatch(request, &ctx, response);
+  Release(target);
+
+  response->status = s;
+  response->latency_micros = watch.ElapsedMicros();
+  RecordOutcome(s, response->latency_micros);
+  return s;
+}
+
+void QueryFrontend::RecordOutcome(const Status& status,
+                                  double latency_micros) {
+  if (status.ok()) {
+    counters_.ok.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsNotFound()) {
+    counters_.not_found.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsResourceExhausted()) {
+    counters_.shed.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsDeadlineExceeded()) {
+    counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsAborted()) {
+    counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsRetryable()) {
+    counters_.unavailable.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    counters_.other_errors.fetch_add(1, std::memory_order_relaxed);
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  latency_micros_.Add(latency_micros);
+}
+
+ServingStats QueryFrontend::stats() const {
+  ServingStats out;
+  out.received = counters_.received.load(std::memory_order_relaxed);
+  out.admitted = counters_.admitted.load(std::memory_order_relaxed);
+  out.ok = counters_.ok.load(std::memory_order_relaxed);
+  out.not_found = counters_.not_found.load(std::memory_order_relaxed);
+  out.shed = counters_.shed.load(std::memory_order_relaxed);
+  out.deadline_exceeded =
+      counters_.deadline_exceeded.load(std::memory_order_relaxed);
+  out.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
+  out.unavailable = counters_.unavailable.load(std::memory_order_relaxed);
+  out.other_errors = counters_.other_errors.load(std::memory_order_relaxed);
+  out.degraded_reads =
+      cloud_->recovery_stats().degraded_reads - degraded_reads_baseline_;
+  if (retry_budget_ != nullptr) {
+    out.retries_granted = retry_budget_->granted();
+    out.retries_denied = retry_budget_->denied();
+    out.retry_budget_tokens = retry_budget_->tokens();
+  }
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  out.latency_count = latency_micros_.count();
+  if (out.latency_count > 0) {
+    out.latency_mean_micros = latency_micros_.Mean();
+    out.latency_p50_micros = latency_micros_.Percentile(50.0);
+    out.latency_p95_micros = latency_micros_.Percentile(95.0);
+    out.latency_p99_micros = latency_micros_.Percentile(99.0);
+    out.latency_max_micros = latency_micros_.Max();
+  }
+  return out;
+}
+
+}  // namespace trinity::serving

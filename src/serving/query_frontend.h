@@ -1,0 +1,164 @@
+#ifndef TRINITY_SERVING_QUERY_FRONTEND_H_
+#define TRINITY_SERVING_QUERY_FRONTEND_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cloud/memory_cloud.h"
+#include "common/call_context.h"
+#include "common/histogram.h"
+#include "common/retry.h"
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+#include "query/tql.h"
+#include "serving/serving_stats.h"
+
+namespace trinity::serving {
+
+/// The serving front door of the memory cloud (in the spirit of A1's
+/// Bing-facing tier): accepts concurrent point-read / write / MultiGet /
+/// k-hop / TQL requests, stamps each with a CallContext (deadline +
+/// cancellation + cluster-wide retry budget), applies admission control,
+/// and dispatches into the cloud. Every request resolves to a terminal
+/// status in bounded simulated time:
+///
+///  * OK / NotFound — the normal answers (reads may be served degraded by
+///    a replica while the primary is down; see ServingStats).
+///  * DeadlineExceeded — the deadline budget was spent by backoff waits,
+///    injected stragglers, or traversal rounds; retry loops stop instead
+///    of riding through a failover.
+///  * ResourceExhausted — shed at admission (per-machine or global
+///    inflight cap) or denied a retry by the token-bucket retry budget.
+///  * Aborted — the request's cancellation token fired (or the caller is
+///    a fenced, deposed primary).
+///  * Unavailable — genuinely terminal: retries exhausted against an
+///    unrecoverable owner.
+///
+/// Execute is thread-safe; concurrency comes from caller threads (the
+/// open-loop bench drives one frontend from many workers). Traversal
+/// requests (kKHop/kTql) serialize on an internal mutex because the
+/// traversal engine registers per-query fabric handlers and resets the
+/// fabric meters per round.
+class QueryFrontend {
+ public:
+  struct Options {
+    /// Deadline applied when a request carries none (0 = no deadline).
+    /// Simulated microseconds, like CallContext.
+    double default_deadline_micros = 200000.0;
+    /// Admission control: per-machine and global caps on requests in
+    /// flight. A request targeting machine m (the owner of its cell) is
+    /// shed with ResourceExhausted when m's count or the global count is
+    /// at the cap. Batch/traversal requests count only globally.
+    int max_inflight_per_machine = 64;
+    int max_inflight_total = 256;
+    /// Backpressure instead of immediate shedding: a request finding the
+    /// queue full waits for a slot, charging the wall wait against its
+    /// deadline budget (1 wall µs = 1 simulated µs), and resolves to
+    /// DeadlineExceeded if the budget runs out while queued. Requests
+    /// without a deadline still shed immediately.
+    bool backpressure_wait = false;
+    /// Cluster-wide token-bucket retry budget shared by every request
+    /// admitted through this frontend. Disable for the retry-storm
+    /// ablation (each request then retries to its policy's max_attempts).
+    bool enable_retry_budget = true;
+    RetryBudget::Options retry_budget;
+  };
+
+  enum class RequestType : std::uint8_t {
+    kGet = 1,
+    kPut = 2,
+    kMultiGet = 3,
+    kKHop = 4,
+    kTql = 5,
+  };
+
+  struct Request {
+    RequestType type = RequestType::kGet;
+    CellId id = 0;                 ///< kGet/kPut/kKHop start vertex.
+    std::string payload;           ///< kPut value.
+    std::vector<CellId> ids;       ///< kMultiGet batch.
+    int hops = 2;                  ///< kKHop depth.
+    std::string statement;         ///< kTql statement.
+    /// Per-request deadline in simulated micros; 0 uses the frontend
+    /// default.
+    double deadline_micros = 0.0;
+    /// Optional externally owned cancellation flag; must outlive the
+    /// request. Checked at every retry/round boundary.
+    const std::atomic<bool>* cancel = nullptr;
+  };
+
+  struct Response {
+    Status status;
+    std::string value;                                      ///< kGet.
+    std::vector<cloud::MemoryCloud::MultiGetResult> values; ///< kMultiGet.
+    std::uint64_t visited = 0;                              ///< kKHop.
+    query::Tql::Result tql;                                 ///< kTql.
+    double latency_micros = 0.0;  ///< Wall time inside Execute.
+  };
+
+  /// `graph` may be null when only point/batch requests are served; kKHop
+  /// and kTql then return InvalidArgument. Both pointers are borrowed.
+  QueryFrontend(cloud::MemoryCloud* cloud, graph::Graph* graph,
+                const Options& options);
+
+  QueryFrontend(const QueryFrontend&) = delete;
+  QueryFrontend& operator=(const QueryFrontend&) = delete;
+
+  /// Synchronously executes one request; always fills response->status
+  /// (and returns it). Thread-safe.
+  Status Execute(const Request& request, Response* response);
+
+  ServingStats stats() const;
+  RetryBudget* retry_budget() { return retry_budget_.get(); }
+
+ private:
+  /// machine < 0 means "global slot only" (batch/traversal requests).
+  Status Admit(MachineId machine, CallContext* ctx);
+  void Release(MachineId machine);
+  Status Dispatch(const Request& request, CallContext* ctx,
+                  Response* response);
+  void RecordOutcome(const Status& status, double latency_micros);
+
+  cloud::MemoryCloud* const cloud_;
+  graph::Graph* const graph_;
+  const Options options_;
+  std::unique_ptr<RetryBudget> retry_budget_;
+  const std::uint64_t degraded_reads_baseline_;
+
+  /// Admission state: inflight counts per machine + global, with a condvar
+  /// for the backpressure_wait mode.
+  mutable std::mutex admission_mu_;
+  std::condition_variable admission_cv_;
+  std::vector<int> inflight_per_machine_;
+  int inflight_total_ = 0;
+
+  /// kKHop/kTql serialize here: TraversalEngine registers fabric handlers
+  /// for the shared kTraversalExpandHandler id and resets fabric meters
+  /// per round, so at most one traversal may run at a time.
+  std::mutex traversal_mu_;
+
+  mutable std::mutex stats_mu_;
+  Histogram latency_micros_;  ///< Guarded by stats_mu_.
+  struct Counters {
+    std::atomic<std::uint64_t> received{0};
+    std::atomic<std::uint64_t> admitted{0};
+    std::atomic<std::uint64_t> ok{0};
+    std::atomic<std::uint64_t> not_found{0};
+    std::atomic<std::uint64_t> shed{0};
+    std::atomic<std::uint64_t> deadline_exceeded{0};
+    std::atomic<std::uint64_t> cancelled{0};
+    std::atomic<std::uint64_t> unavailable{0};
+    std::atomic<std::uint64_t> other_errors{0};
+  };
+  Counters counters_;
+};
+
+}  // namespace trinity::serving
+
+#endif  // TRINITY_SERVING_QUERY_FRONTEND_H_

@@ -494,5 +494,103 @@ TEST(CostModelTest, PhaseIsComputePlusComm) {
               1e-12);
 }
 
+// --- Straggler (injected call delay) tests --------------------------------
+
+TEST(FaultInjectorTest, CallDelayChargesCallerCpuAndDeadline) {
+  Fabric fabric(2);
+  FaultInjector injector(/*seed=*/7);
+  FaultInjector::Policy slow;
+  slow.call_delay_prob = 1.0;
+  slow.call_delay_min_micros = 500.0;
+  slow.call_delay_max_micros = 500.0;
+  injector.SetDefaultPolicy(slow);
+  fabric.SetFaultInjector(&injector);
+  bool handler_ran = false;
+  fabric.RegisterSyncHandler(1, 7, [&](MachineId, Slice, std::string*) {
+    handler_ran = true;
+    return Status::OK();
+  });
+  CallContext ctx(10000.0);
+  std::string response;
+  ASSERT_TRUE(fabric.Call(0, 1, 7, Slice("req"), &response, &ctx).ok());
+  EXPECT_TRUE(handler_ran);  // Delay slows the call, doesn't kill it.
+  EXPECT_GE(fabric.cpu_micros(0), 500.0);
+  EXPECT_GE(ctx.consumed_micros(), 500.0);
+  EXPECT_EQ(fabric.stats().injected_call_delays, 1u);
+  const FaultInjector::Stats stats = injector.stats();
+  EXPECT_EQ(stats.delayed_calls, 1u);
+  EXPECT_DOUBLE_EQ(stats.delay_micros_total, 500.0);
+}
+
+TEST(FaultInjectorTest, CallDelayBeyondDeadlineSkipsHandler) {
+  Fabric fabric(2);
+  FaultInjector injector(/*seed=*/8);
+  FaultInjector::Policy slow;
+  slow.call_delay_prob = 1.0;
+  slow.call_delay_min_micros = 5000.0;
+  slow.call_delay_max_micros = 5000.0;
+  injector.SetDefaultPolicy(slow);
+  fabric.SetFaultInjector(&injector);
+  bool handler_ran = false;
+  fabric.RegisterSyncHandler(1, 7, [&](MachineId, Slice, std::string*) {
+    handler_ran = true;
+    return Status::OK();
+  });
+  CallContext ctx(100.0);  // The 5 ms straggler dwarfs the 100 µs budget.
+  std::string response;
+  const Status s = fabric.Call(0, 1, 7, Slice("req"), &response, &ctx);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_FALSE(handler_ran);  // Abandoned on the wire.
+  EXPECT_TRUE(ctx.expired());
+}
+
+TEST(FaultInjectorTest, CallDelaysAreDeterministicPerSeed) {
+  auto total_delay = [](std::uint64_t seed) {
+    Fabric fabric(2);
+    FaultInjector injector(seed);
+    FaultInjector::Policy slow;
+    slow.call_delay_prob = 0.5;
+    slow.call_delay_min_micros = 100.0;
+    slow.call_delay_max_micros = 900.0;
+    injector.SetDefaultPolicy(slow);
+    fabric.SetFaultInjector(&injector);
+    fabric.RegisterSyncHandler(
+        1, 7, [](MachineId, Slice, std::string*) { return Status::OK(); });
+    std::string response;
+    for (int i = 0; i < 64; ++i) {
+      EXPECT_TRUE(fabric.Call(0, 1, 7, Slice("req"), &response).ok());
+    }
+    return injector.stats().delay_micros_total;
+  };
+  const double a = total_delay(1234);
+  const double b = total_delay(1234);
+  const double c = total_delay(4321);
+  EXPECT_DOUBLE_EQ(a, b);  // Same seed, same stragglers.
+  EXPECT_NE(a, c);         // Different seed decorrelates.
+  EXPECT_GT(a, 0.0);       // The 50% policy fired at least once in 64 draws.
+}
+
+TEST(FaultInjectorTest, ExpiredContextShortCircuitsBeforeTheWire) {
+  Fabric fabric(2);
+  bool handler_ran = false;
+  fabric.RegisterSyncHandler(1, 7, [&](MachineId, Slice, std::string*) {
+    handler_ran = true;
+    return Status::OK();
+  });
+  CallContext ctx(100.0);
+  ctx.Consume(100.0);  // Already spent before the call.
+  std::string response;
+  const Status s = fabric.Call(0, 1, 7, Slice("req"), &response, &ctx);
+  EXPECT_TRUE(s.IsDeadlineExceeded()) << s.ToString();
+  EXPECT_FALSE(handler_ran);
+  EXPECT_EQ(fabric.stats().sync_calls, 0u);  // Never touched the wire.
+
+  CallContext cancelled(CallContext::kNoDeadline);
+  cancelled.Cancel();
+  const Status a = fabric.Call(0, 1, 7, Slice("req"), &response, &cancelled);
+  EXPECT_TRUE(a.IsAborted()) << a.ToString();
+  EXPECT_EQ(fabric.stats().sync_calls, 0u);
+}
+
 }  // namespace
 }  // namespace trinity::net
