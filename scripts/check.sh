@@ -38,14 +38,16 @@ if [[ "${1:-}" == "--tsan" ]]; then
   # The storage label adds the concurrent-read torture suite (readers racing
   # defrag, relocations, and replica promotion on the shared-lock hot path);
   # the serving label adds the front-door suite (worker threads racing
-  # admission control and the shared retry budget through a machine kill).
+  # admission control and the shared retry budget through a machine kill);
+  # the analytics label adds snapshot builds racing live writers plus the
+  # sharded triangle-counting pass.
   cmake --preset tsan
   cmake --build --preset tsan -j "$(nproc)"
   # libstdc++'s std::atomic<std::shared_ptr> spin-lock protocol is not
   # tsan-annotated; suppress the library internals (see scripts/tsan.supp).
   export TSAN_OPTIONS="suppressions=$PWD/scripts/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
   cd build-tsan
-  ctest --output-on-failure -j "$(nproc)" -L 'compute|chaos|storage|serving'
+  ctest --output-on-failure -j "$(nproc)" -L 'compute|chaos|storage|serving|analytics'
   exit 0
 fi
 

@@ -1,0 +1,107 @@
+#ifndef TRINITY_ANALYTICS_GRAPH_SNAPSHOT_H_
+#define TRINITY_ANALYTICS_GRAPH_SNAPSHOT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/status.h"
+#include "common/types.h"
+#include "graph/graph.h"
+
+namespace trinity::analytics {
+
+/// Immutable per-machine view of the graph in degree-ordered CSR form — the
+/// shape edge-iterator analytics want, which the cell-at-a-time access model
+/// is exactly wrong for (every adjacency probe through the cloud pays
+/// hashing, routing, and accessor pinning).
+///
+/// Vertices are relabeled by decreasing undirected degree (rank 0 = biggest
+/// hub; ties by cell id ascending), and each vertex keeps only its *oriented*
+/// adjacency: neighbor ranks strictly below its own, sorted ascending. Every
+/// undirected edge therefore appears exactly once — at its higher-rank
+/// endpoint, pointing at the hub side — and a vertex's oriented degree is
+/// bounded by O(sqrt(m)), the classic forward-orientation property that
+/// makes triangle counting Σ|A+(v) ∩ A+(u)| cheap. Hubs occupying the low
+/// ranks is also what makes the packed-bitmap kernel dense.
+///
+/// The view is frozen at build time: once Build returns, no operation ever
+/// touches cells again, and concurrent writers mutating the live graph
+/// cannot be observed through it.
+struct GraphSnapshot {
+  /// Rank → local-index sentinel for vertices hosted elsewhere.
+  static constexpr std::uint32_t kNotLocal = ~static_cast<std::uint32_t>(0);
+
+  /// Slave that owns this view, or kInvalidMachine for a gathered
+  /// full-graph snapshot (every vertex local).
+  MachineId machine = kInvalidMachine;
+
+  // --- Global tables, identical on every machine's view ------------------
+  std::vector<CellId> id_by_rank;             ///< Rank → original cell id.
+  std::vector<std::uint32_t> degree_by_rank;  ///< Undirected (dedup) degree.
+  std::vector<MachineId> owner_by_rank;       ///< Rank → hosting machine.
+
+  // --- Local oriented CSR -------------------------------------------------
+  /// Ranks hosted on `machine`, ascending. Local index i ↔ local_ranks[i].
+  std::vector<std::uint32_t> local_ranks;
+  /// CSR offsets (size local_ranks.size() + 1) into `adjacency`.
+  std::vector<std::uint64_t> offsets;
+  /// Oriented neighbor ranks: each list strictly ascending, every entry
+  /// strictly below the owning vertex's rank.
+  std::vector<std::uint32_t> adjacency;
+  /// Rank → local index (kNotLocal for remote ranks). Sized num_vertices().
+  std::vector<std::uint32_t> local_index;
+
+  std::uint32_t num_vertices() const {
+    return static_cast<std::uint32_t>(id_by_rank.size());
+  }
+  std::size_t num_local() const { return local_ranks.size(); }
+  std::uint64_t oriented_edges() const { return adjacency.size(); }
+
+  /// Oriented list of the vertex at local index i.
+  std::span<const std::uint32_t> List(std::size_t i) const {
+    return {adjacency.data() + offsets[i],
+            static_cast<std::size_t>(offsets[i + 1] - offsets[i])};
+  }
+
+  /// Structural invariants: table sizes agree, local_ranks ascend, offsets
+  /// are monotone, every list ascends strictly below its owner's rank. The
+  /// immutability test validates views built *while* writers mutate cells —
+  /// whatever set of vertices got frozen, the view must be consistent.
+  Status Validate() const;
+};
+
+/// Materializes frozen views from live trunks. The scan runs over the
+/// lock-free read path (PR 5): cells are visited through pinned const
+/// accessors, so builders race concurrent writers safely and capture each
+/// node atomically.
+class SnapshotBuilder {
+ public:
+  /// Wall-clock + traffic breakdown of one build (driver-side; simulated
+  /// cluster, so the fabric deltas are the modeled cost).
+  struct BuildStats {
+    double scan_ms = 0;      ///< Trunk scans (all machines).
+    double exchange_ms = 0;  ///< Degree gather + rank-table broadcast.
+    double csr_ms = 0;       ///< Per-machine CSR materialization.
+    std::uint64_t exchange_bytes = 0;  ///< Fabric bytes for the rank tables.
+    std::uint64_t exchange_messages = 0;
+  };
+
+  /// Builds one view per slave. Degrees are gathered to a coordinator and
+  /// the (id, degree, owner) table is broadcast back in rank order — one
+  /// packed payload per machine pair, metered on the fabric. Requires
+  /// in-link tracking on directed graphs (a vertex must see its full
+  /// undirected neighborhood in its own cell).
+  static Status Build(graph::Graph* graph, std::vector<GraphSnapshot>* views,
+                      BuildStats* stats = nullptr);
+
+  /// Per-machine views gathered into one full-graph snapshot on the client
+  /// endpoint (each machine ships its oriented CSR once) — the input shape
+  /// k-truss decomposition wants.
+  static Status BuildGlobal(graph::Graph* graph, GraphSnapshot* out,
+                            BuildStats* stats = nullptr);
+};
+
+}  // namespace trinity::analytics
+
+#endif  // TRINITY_ANALYTICS_GRAPH_SNAPSHOT_H_

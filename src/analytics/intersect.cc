@@ -1,0 +1,168 @@
+#include "analytics/intersect.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define TRINITY_HAVE_AVX2_DISPATCH 1
+#endif
+
+namespace trinity::analytics {
+
+std::uint64_t IntersectMerge(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb,
+                             std::uint64_t* comparisons) {
+  std::uint64_t hits = 0;
+  std::size_t i = 0, j = 0;
+  std::uint64_t steps = 0;
+  while (i < na && j < nb) {
+    ++steps;
+    const std::uint32_t x = a[i];
+    const std::uint32_t y = b[j];
+    if (x == y) {
+      ++hits;
+      ++i;
+      ++j;
+    } else if (x < y) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  *comparisons += steps;
+  return hits;
+}
+
+namespace {
+
+/// First index in [lo, hi) with list[index] >= key; galloping's binary-search
+/// tail. Steps are charged by the caller.
+std::size_t LowerBound(const std::uint32_t* list, std::size_t lo,
+                       std::size_t hi, std::uint32_t key,
+                       std::uint64_t* steps) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    ++*steps;
+    if (list[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace
+
+std::uint64_t IntersectGalloping(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint64_t* comparisons) {
+  // Gallop the smaller list through the larger one.
+  if (na > nb) {
+    const std::uint32_t* t = a;
+    a = b;
+    b = t;
+    const std::size_t tn = na;
+    na = nb;
+    nb = tn;
+  }
+  std::uint64_t hits = 0;
+  std::uint64_t steps = 0;
+  std::size_t pos = 0;  // Search frontier in b; both lists ascend.
+  for (std::size_t i = 0; i < na && pos < nb; ++i) {
+    const std::uint32_t key = a[i];
+    // Exponential probe from the frontier...
+    std::size_t bound = 1;
+    while (pos + bound < nb && b[pos + bound] < key) {
+      ++steps;
+      bound <<= 1;
+    }
+    ++steps;
+    // ...then binary search inside the bracketed window.
+    const std::size_t hi = pos + bound < nb ? pos + bound + 1 : nb;
+    pos = LowerBound(b, pos, hi, key, &steps);
+    if (pos < nb && b[pos] == key) {
+      ++hits;
+      ++pos;
+    }
+  }
+  *comparisons += steps;
+  return hits;
+}
+
+std::uint64_t IntersectBitmapProbe(const std::uint32_t* list, std::size_t n,
+                                   const std::uint64_t* bitmap,
+                                   std::uint64_t* comparisons) {
+  std::uint64_t hits = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t r = list[i];
+    hits += (bitmap[r >> 6] >> (r & 63)) & 1u;
+  }
+  *comparisons += n;
+  return hits;
+}
+
+std::uint64_t AndPopcountScalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words) {
+  std::uint64_t hits = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    hits += static_cast<std::uint64_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return hits;
+}
+
+namespace {
+
+#ifdef TRINITY_HAVE_AVX2_DISPATCH
+__attribute__((target("avx2"))) std::uint64_t AndPopcountAvx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  std::uint64_t hits = 0;
+  std::size_t w = 0;
+  alignas(32) std::uint64_t lanes[4];
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_and_si256(va, vb));
+    hits += static_cast<std::uint64_t>(__builtin_popcountll(lanes[0])) +
+            static_cast<std::uint64_t>(__builtin_popcountll(lanes[1])) +
+            static_cast<std::uint64_t>(__builtin_popcountll(lanes[2])) +
+            static_cast<std::uint64_t>(__builtin_popcountll(lanes[3]));
+  }
+  for (; w < words; ++w) {
+    hits += static_cast<std::uint64_t>(__builtin_popcountll(a[w] & b[w]));
+  }
+  return hits;
+}
+#endif
+
+using AndPopcountFn = std::uint64_t (*)(const std::uint64_t*,
+                                        const std::uint64_t*, std::size_t);
+
+AndPopcountFn PickAndPopcount() {
+#ifdef TRINITY_HAVE_AVX2_DISPATCH
+  if (__builtin_cpu_supports("avx2")) return &AndPopcountAvx2;
+#endif
+  return &AndPopcountScalar;
+}
+
+const AndPopcountFn kAndPopcount = PickAndPopcount();
+
+}  // namespace
+
+bool BitmapKernelUsesAvx2() {
+#ifdef TRINITY_HAVE_AVX2_DISPATCH
+  return kAndPopcount != &AndPopcountScalar;
+#else
+  return false;
+#endif
+}
+
+std::uint64_t IntersectBitmapWords(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t words,
+                                   std::uint64_t* comparisons) {
+  *comparisons += words;
+  return kAndPopcount(a, b, words);
+}
+
+}  // namespace trinity::analytics

@@ -1,0 +1,53 @@
+#ifndef TRINITY_ANALYTICS_INTERSECT_H_
+#define TRINITY_ANALYTICS_INTERSECT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace trinity::analytics {
+
+/// Sorted-set intersection kernels over degree-ordered vertex ranks (u32,
+/// strictly ascending). These are the raw-speed core of triangle counting
+/// and k-truss: the caller (TriangleCounter) picks a kernel per vertex pair
+/// by degree skew, so each kernel only has to win on its own shape.
+///
+/// Every kernel returns |a ∩ b| and adds its work to *comparisons — the
+/// hardware-independent scoreboard the benchmarks ablate on (the CI box has
+/// one core, so comparison counts are the portable speed signal).
+
+/// Linear merge: the balanced-size workhorse. Work = elements advanced.
+std::uint64_t IntersectMerge(const std::uint32_t* a, std::size_t na,
+                             const std::uint32_t* b, std::size_t nb,
+                             std::uint64_t* comparisons);
+
+/// Galloping (exponential probe + binary search) of the smaller list into
+/// the larger — wins when the size skew is large (a non-hub list probing a
+/// hub list). Work = probe steps, O(min * log(max/min)).
+std::uint64_t IntersectGalloping(const std::uint32_t* a, std::size_t na,
+                                 const std::uint32_t* b, std::size_t nb,
+                                 std::uint64_t* comparisons);
+
+/// List-vs-bitmap probe: counts elements of list[0..n) that are set in the
+/// packed bitmap (bit r = rank r). Work = n probes, independent of the
+/// bitmap side's length — the hub-list kernel.
+std::uint64_t IntersectBitmapProbe(const std::uint32_t* list, std::size_t n,
+                                   const std::uint64_t* bitmap,
+                                   std::uint64_t* comparisons);
+
+/// Bitmap-vs-bitmap: AND + popcount over `words` 64-bit words. Runtime-
+/// dispatched to an AVX2 body when the CPU has it (4 words per vector op);
+/// the densest hub-hub pairs in power-law graphs land here. Work = words.
+std::uint64_t IntersectBitmapWords(const std::uint64_t* a,
+                                   const std::uint64_t* b, std::size_t words,
+                                   std::uint64_t* comparisons);
+
+/// Exposed for tests: the scalar AND+popcount body and whichever body
+/// IntersectBitmapWords dispatched to at startup must agree bit-for-bit.
+std::uint64_t AndPopcountScalar(const std::uint64_t* a, const std::uint64_t* b,
+                                std::size_t words);
+/// True when the AVX2 body was selected at startup.
+bool BitmapKernelUsesAvx2();
+
+}  // namespace trinity::analytics
+
+#endif  // TRINITY_ANALYTICS_INTERSECT_H_

@@ -1,0 +1,157 @@
+#include "analytics/ktruss.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace trinity::analytics {
+
+std::uint32_t KTrussResult::TrussnessOf(std::uint32_t a,
+                                        std::uint32_t b) const {
+  for (std::size_t e = 0; e < trussness.size(); ++e) {
+    if ((src[e] == a && dst[e] == b) || (src[e] == b && dst[e] == a)) {
+      return trussness[e];
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+/// (neighbor rank, edge id), sorted by neighbor — the full undirected
+/// adjacency the peel walks to find an edge's surviving triangles.
+using AdjEntry = std::pair<std::uint32_t, std::uint32_t>;
+
+const AdjEntry* FindNeighbor(const std::vector<AdjEntry>& adj,
+                             std::uint32_t rank) {
+  auto it = std::lower_bound(
+      adj.begin(), adj.end(), rank,
+      [](const AdjEntry& e, std::uint32_t r) { return e.first < r; });
+  if (it == adj.end() || it->first != rank) return nullptr;
+  return &*it;
+}
+
+}  // namespace
+
+Status KTrussDecompose(const GraphSnapshot& snapshot, KTrussResult* out) {
+  *out = KTrussResult();
+  Status s = snapshot.Validate();
+  if (!s.ok()) return s;
+  if (snapshot.num_local() != snapshot.num_vertices()) {
+    return Status::InvalidArgument(
+        "k-truss needs a full snapshot (BuildGlobal), not a per-machine view");
+  }
+  const std::uint32_t n = snapshot.num_vertices();
+  const std::size_t m = snapshot.adjacency.size();
+  out->src.resize(m);
+  out->dst.resize(m);
+  out->trussness.assign(m, 2);
+  if (m == 0) return Status::OK();
+
+  // Undirected adjacency with edge ids: edge e = (v, u) contributes
+  // (u, e) under v and (v, e) under u.
+  std::vector<std::vector<AdjEntry>> adj(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::uint32_t v = snapshot.local_ranks[i];
+    const std::span<const std::uint32_t> list = snapshot.List(i);
+    for (std::size_t j = 0; j < list.size(); ++j) {
+      const auto e = static_cast<std::uint32_t>(snapshot.offsets[i] + j);
+      out->src[e] = v;
+      out->dst[e] = list[j];
+      adj[v].emplace_back(list[j], e);
+      adj[list[j]].emplace_back(v, e);
+    }
+  }
+  for (std::vector<AdjEntry>& a : adj) std::sort(a.begin(), a.end());
+
+  // Initial supports: |N(src) ∩ N(dst)| over the full neighborhoods.
+  std::vector<std::uint32_t> support(m, 0);
+  for (std::uint32_t e = 0; e < m; ++e) {
+    const std::vector<AdjEntry>& a = adj[out->src[e]];
+    const std::vector<AdjEntry>& b = adj[out->dst[e]];
+    std::size_t ia = 0;
+    std::size_t ib = 0;
+    while (ia < a.size() && ib < b.size()) {
+      if (a[ia].first == b[ib].first) {
+        ++support[e];
+        ++ia;
+        ++ib;
+      } else if (a[ia].first < b[ib].first) {
+        ++ia;
+      } else {
+        ++ib;
+      }
+    }
+  }
+  std::uint64_t support_sum = 0;
+  for (std::uint32_t x : support) support_sum += x;
+  out->triangles = support_sum / 3;  // Every triangle supports 3 edges.
+
+  // Bucket queue over supports (k-core style): edges sorted by support,
+  // position[] locating each edge, bucket_start[] the first slot of each
+  // support value. A decrement swaps the edge to the front of its bucket and
+  // shifts the bucket boundary — O(1) per support change.
+  const std::uint32_t max_support =
+      *std::max_element(support.begin(), support.end());
+  std::vector<std::uint32_t> bucket_start(max_support + 2, 0);
+  for (std::uint32_t x : support) ++bucket_start[x + 1];
+  for (std::uint32_t i = 1; i < bucket_start.size(); ++i) {
+    bucket_start[i] += bucket_start[i - 1];
+  }
+  std::vector<std::uint32_t> order(m);
+  std::vector<std::uint32_t> position(m);
+  {
+    std::vector<std::uint32_t> cursor(bucket_start.begin(),
+                                      bucket_start.end() - 1);
+    for (std::uint32_t e = 0; e < m; ++e) {
+      position[e] = cursor[support[e]]++;
+      order[position[e]] = e;
+    }
+  }
+
+  // Batagelj–Zaversnik peel lifted to edges. The guard support[f] >
+  // support[e] keeps every touched bucket front strictly past the scan
+  // line (all slots ≤ idx hold supports ≤ support[e], so bucket_start of
+  // any higher support points beyond idx), making each decrement a safe
+  // O(1) swap-to-front.
+  std::vector<char> alive(m, 1);
+  const auto decrement = [&](std::uint32_t f) {
+    const std::uint32_t sup = support[f];
+    const std::uint32_t pf = position[f];
+    const std::uint32_t pw = bucket_start[sup];
+    const std::uint32_t w = order[pw];
+    if (f != w) {
+      order[pf] = w;
+      order[pw] = f;
+      position[f] = pw;
+      position[w] = pf;
+    }
+    ++bucket_start[sup];
+    --support[f];
+  };
+
+  for (std::uint32_t idx = 0; idx < m; ++idx) {
+    const std::uint32_t e = order[idx];
+    alive[e] = 0;
+    out->trussness[e] = support[e] + 2;
+    const std::uint32_t u = out->src[e];
+    const std::uint32_t v = out->dst[e];
+    const std::vector<AdjEntry>& small =
+        adj[u].size() <= adj[v].size() ? adj[u] : adj[v];
+    const std::uint32_t other_end = adj[u].size() <= adj[v].size() ? v : u;
+    for (const AdjEntry& we : small) {
+      if (!alive[we.second]) continue;
+      const AdjEntry* back = FindNeighbor(adj[other_end], we.first);
+      if (back == nullptr || !alive[back->second]) continue;
+      // Triangle {u, v, w} was still closed: both surviving edges lose the
+      // support e provided, clamped at the current peel level.
+      if (support[we.second] > support[e]) decrement(we.second);
+      if (support[back->second] > support[e]) decrement(back->second);
+    }
+  }
+
+  out->max_trussness =
+      *std::max_element(out->trussness.begin(), out->trussness.end());
+  return Status::OK();
+}
+
+}  // namespace trinity::analytics

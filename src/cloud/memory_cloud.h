@@ -48,6 +48,11 @@ enum CloudHandlerIds : net::HandlerId {
   kGhostSyncHandler = 64,        ///< PBGL-baseline ghost-cell refresh.
   kSubgraphMatchHandler = 65,    ///< Embedding routing for subgraph match.
   kRdfQueryHandler = 66,         ///< SPARQL-lite distributed scans.
+  // Analytics snapshot protocol (67..69): degree-ordered CSR build + the
+  // one-shot boundary-adjacency exchange for distributed triangle counting.
+  kSnapshotDegreeHandler = 67,   ///< (id, degree) gather to the coordinator.
+  kSnapshotRankHandler = 68,     ///< Rank-table broadcast from coordinator.
+  kSnapshotAdjHandler = 69,      ///< Boundary adjacency pull (sync, once/pair).
   kUserHandlerBase = 100,        ///< TSL protocols start here.
 };
 

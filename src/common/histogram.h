@@ -17,6 +17,14 @@ class Histogram {
   void Add(double value) { samples_.push_back(value); }
   void Clear() { samples_.clear(); }
 
+  /// Appends every sample of `other` — how per-shard histograms filled on
+  /// worker threads fold into one report after a parallel-for barrier.
+  void Merge(const Histogram& other) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+  }
+
   std::size_t count() const { return samples_.size(); }
   double Min() const;
   double Max() const;

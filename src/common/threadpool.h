@@ -38,6 +38,38 @@ class ThreadPool {
   /// waiting for tasks that only it could run).
   void ParallelFor(int n, const std::function<void(int)>& fn);
 
+  /// Contiguous index range [begin, end) dispatched as one task.
+  struct Shard {
+    int begin;
+    int end;
+  };
+
+  /// Splits [0, n) into at most max_shards contiguous shards of
+  /// approximately equal *total cost* (caller-supplied per-item cost, e.g. a
+  /// vertex's adjacency length). Fixed-size chunks serialize on runs of
+  /// heavy items — a power-law graph's hub vertices all land in one chunk —
+  /// so cost-balanced splitting is what keeps skewed ParallelFor loops from
+  /// degenerating to single-threaded. A shard never exceeds the ideal cost
+  /// by more than one item; zero-total-cost ranges fall back to equal-count
+  /// chunks.
+  static std::vector<Shard> SplitWeighted(
+      int n, const std::function<double(int)>& cost, int max_shards);
+
+  /// Runs fn(shard_index, begin, end) for every shard and waits for
+  /// completion (one task per shard). Callers that need per-worker
+  /// accumulators index them by shard and merge after the call returns —
+  /// the analytics kernels dispatch this way. A single shard (or empty
+  /// vector) runs inline.
+  void ParallelForShards(const std::vector<Shard>& shards,
+                         const std::function<void(int, int, int)>& fn);
+
+  /// Cost-weighted ParallelFor: shards are balanced by caller-supplied
+  /// per-item cost instead of item count, with mild over-partitioning
+  /// (4x num_threads) so an imperfect cost model still spreads. Semantics
+  /// otherwise match ParallelFor(n, fn).
+  void ParallelFor(int n, const std::function<void(int)>& fn,
+                   const std::function<double(int)>& cost);
+
  private:
   void WorkerLoop();
 

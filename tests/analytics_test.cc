@@ -1,0 +1,479 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <random>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "analytics/graph_snapshot.h"
+#include "analytics/intersect.h"
+#include "analytics/ktruss.h"
+#include "analytics/triangles.h"
+#include "graph/generators.h"
+#include "graph/graph.h"
+
+namespace trinity::analytics {
+namespace {
+
+std::unique_ptr<cloud::MemoryCloud> NewCloud(int slaves = 4) {
+  cloud::MemoryCloud::Options options;
+  options.num_slaves = slaves;
+  options.p_bits = 4;
+  options.storage.trunk.capacity = 4 << 20;
+  std::unique_ptr<cloud::MemoryCloud> cloud;
+  EXPECT_TRUE(cloud::MemoryCloud::Create(options, &cloud).ok());
+  return cloud;
+}
+
+void LoadEdges(graph::Graph* graph,
+               const std::vector<std::pair<CellId, CellId>>& edges) {
+  graph::Generators::EdgeList list;
+  for (const auto& [a, b] : edges) {
+    list.num_nodes = std::max({list.num_nodes, a + 1, b + 1});
+  }
+  list.edges = edges;
+  ASSERT_TRUE(graph::Generators::Load(graph, list, false).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Intersection kernels
+// ---------------------------------------------------------------------------
+
+TEST(IntersectTest, KernelsAgreeOnRandomSets) {
+  std::mt19937_64 rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t na = rng() % 60;
+    const std::size_t nb = rng() % 200;
+    std::set<std::uint32_t> sa;
+    std::set<std::uint32_t> sb;
+    while (sa.size() < na) sa.insert(static_cast<std::uint32_t>(rng() % 256));
+    while (sb.size() < nb) sb.insert(static_cast<std::uint32_t>(rng() % 256));
+    const std::vector<std::uint32_t> a(sa.begin(), sa.end());
+    const std::vector<std::uint32_t> b(sb.begin(), sb.end());
+    std::vector<std::uint32_t> expect;
+    std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                          std::back_inserter(expect));
+
+    std::uint64_t cmp = 0;
+    EXPECT_EQ(IntersectMerge(a.data(), a.size(), b.data(), b.size(), &cmp),
+              expect.size());
+    EXPECT_EQ(IntersectGalloping(a.data(), a.size(), b.data(), b.size(), &cmp),
+              expect.size());
+    std::vector<std::uint64_t> bitmap(4, 0);  // 256 bits.
+    for (std::uint32_t x : b) bitmap[x >> 6] |= 1ull << (x & 63);
+    EXPECT_EQ(IntersectBitmapProbe(a.data(), a.size(), bitmap.data(), &cmp),
+              expect.size());
+    std::vector<std::uint64_t> bitmap_a(4, 0);
+    for (std::uint32_t x : a) bitmap_a[x >> 6] |= 1ull << (x & 63);
+    EXPECT_EQ(IntersectBitmapWords(bitmap_a.data(), bitmap.data(), 4, &cmp),
+              expect.size());
+  }
+}
+
+TEST(IntersectTest, GallopingBeatsMergeOnSkew) {
+  // 8-element list intersecting a 100k-element list: galloping's probe count
+  // must be far below merge's linear walk.
+  std::vector<std::uint32_t> small;
+  std::vector<std::uint32_t> large;
+  for (std::uint32_t i = 0; i < 100000; ++i) large.push_back(i * 2);
+  for (std::uint32_t i = 0; i < 8; ++i) small.push_back(i * 24000);
+  std::uint64_t merge_cmp = 0;
+  std::uint64_t gallop_cmp = 0;
+  const std::uint64_t hits_merge = IntersectMerge(
+      small.data(), small.size(), large.data(), large.size(), &merge_cmp);
+  const std::uint64_t hits_gallop = IntersectGalloping(
+      small.data(), small.size(), large.data(), large.size(), &gallop_cmp);
+  EXPECT_EQ(hits_merge, hits_gallop);
+  EXPECT_LT(gallop_cmp * 10, merge_cmp);
+}
+
+TEST(IntersectTest, DispatchedPopcountMatchesScalar) {
+  // Whatever body IntersectBitmapWords picked at startup (AVX2 when the CPU
+  // has it) must agree with the scalar reference on every width incl. tails.
+  std::mt19937_64 rng(13);
+  for (std::size_t words = 0; words <= 19; ++words) {
+    std::vector<std::uint64_t> a(words + 1);
+    std::vector<std::uint64_t> b(words + 1);
+    for (std::size_t i = 0; i < words; ++i) {
+      a[i] = rng();
+      b[i] = rng();
+    }
+    std::uint64_t cmp = 0;
+    EXPECT_EQ(IntersectBitmapWords(a.data(), b.data(), words, &cmp),
+              AndPopcountScalar(a.data(), b.data(), words))
+        << "words=" << words << " avx2=" << BitmapKernelUsesAvx2();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// GraphSnapshot
+// ---------------------------------------------------------------------------
+
+TEST(GraphSnapshotTest, DegreeOrderedOrientedCsr) {
+  auto cloud = NewCloud(2);
+  graph::Graph graph(cloud.get());
+  // Star around 10 plus a triangle 1-2-3: degrees 10:4, 1:3, 2:3, 3:2, 4:1.
+  LoadEdges(&graph,
+            {{10, 1}, {10, 2}, {10, 3}, {10, 4}, {1, 2}, {2, 3}, {3, 1}});
+  std::vector<GraphSnapshot> views;
+  ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+  ASSERT_EQ(views.size(), 2u);
+  for (const GraphSnapshot& view : views) {
+    ASSERT_TRUE(view.Validate().ok());
+    // Load materializes every id in [0, 11): 5 connected + 6 isolated nodes.
+    ASSERT_EQ(view.num_vertices(), 11u);
+    // Rank order: degree desc, id asc. Degrees: 10→4, 1→3, 2→3, 3→3, 4→1.
+    EXPECT_EQ(view.id_by_rank[0], 10u);
+    EXPECT_EQ(view.degree_by_rank[0], 4u);
+    EXPECT_EQ(view.id_by_rank[1], 1u);
+    EXPECT_EQ(view.id_by_rank[2], 2u);
+    EXPECT_EQ(view.id_by_rank[3], 3u);
+    EXPECT_EQ(view.id_by_rank[4], 4u);
+    // Global tables identical across views.
+    EXPECT_EQ(view.id_by_rank, views[0].id_by_rank);
+    EXPECT_EQ(view.degree_by_rank, views[0].degree_by_rank);
+    EXPECT_EQ(view.owner_by_rank, views[0].owner_by_rank);
+  }
+  // Each undirected edge appears exactly once across all views.
+  std::uint64_t oriented = 0;
+  for (const GraphSnapshot& view : views) oriented += view.oriented_edges();
+  EXPECT_EQ(oriented, 7u);
+}
+
+TEST(GraphSnapshotTest, GlobalGatherCoversEveryVertex) {
+  auto cloud = NewCloud(4);
+  graph::Graph graph(cloud.get());
+  ASSERT_TRUE(graph::Generators::LoadRmat(&graph, 300, 4.0, 11).ok());
+  GraphSnapshot snapshot;
+  ASSERT_TRUE(SnapshotBuilder::BuildGlobal(&graph, &snapshot).ok());
+  ASSERT_TRUE(snapshot.Validate().ok());
+  EXPECT_EQ(snapshot.num_local(), snapshot.num_vertices());
+  std::vector<GraphSnapshot> views;
+  ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+  std::uint64_t distributed_edges = 0;
+  for (const GraphSnapshot& view : views) {
+    distributed_edges += view.oriented_edges();
+  }
+  EXPECT_EQ(snapshot.oriented_edges(), distributed_edges);
+}
+
+TEST(GraphSnapshotTest, RequiresInlinkTracking) {
+  auto cloud = NewCloud(2);
+  graph::Graph::Options options;
+  options.track_inlinks = false;
+  graph::Graph graph(cloud.get(), options);
+  ASSERT_TRUE(graph.AddNode(1, Slice()).ok());
+  std::vector<GraphSnapshot> views;
+  EXPECT_TRUE(SnapshotBuilder::Build(&graph, &views).IsInvalidArgument());
+}
+
+TEST(GraphSnapshotTest, ImmutableUnderConcurrentWriters) {
+  auto cloud = NewCloud(4);
+  graph::Graph graph(cloud.get());
+  const std::uint64_t base_nodes = 200;
+  ASSERT_TRUE(graph::Generators::LoadRmat(&graph, base_nodes, 3.0, 5).ok());
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    std::mt19937_64 rng(99);
+    CellId next = base_nodes;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const CellId id = next++;
+      (void)graph.AddNode(id, Slice("w"));
+      (void)graph.AddEdge(id, rng() % base_nodes);
+      (void)graph.AddEdge(rng() % base_nodes, id);
+    }
+  });
+
+  // Views built *while* the writer mutates cells must still be internally
+  // consistent, and rebuilding from a frozen view must not observe later
+  // writes (the vectors are plain data; nothing aliases trunk memory).
+  for (int round = 0; round < 5; ++round) {
+    std::vector<GraphSnapshot> views;
+    ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+    for (const GraphSnapshot& view : views) {
+      ASSERT_TRUE(view.Validate().ok());
+    }
+    const std::uint64_t before = views[0].num_vertices();
+    TriangleCounter counter(&graph, TriangleOptions{});
+    TriangleStats stats;
+    ASSERT_TRUE(counter.Count(views, &stats).ok());
+    EXPECT_EQ(views[0].num_vertices(), before);
+  }
+  stop.store(true);
+  writer.join();
+
+  // Quiescent rebuild agrees with the naive anchor.
+  std::vector<GraphSnapshot> views;
+  ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+  TriangleCounter counter(&graph, TriangleOptions{});
+  TriangleStats stats;
+  ASSERT_TRUE(counter.Count(views, &stats).ok());
+  std::uint64_t naive = 0;
+  ASSERT_TRUE(CountTrianglesNaive(&graph, &naive).ok());
+  EXPECT_EQ(stats.triangles, naive);
+}
+
+// ---------------------------------------------------------------------------
+// Triangle counting
+// ---------------------------------------------------------------------------
+
+TEST(TriangleTest, KnownSmallGraphs) {
+  struct Case {
+    std::vector<std::pair<CellId, CellId>> edges;
+    std::uint64_t triangles;
+  };
+  const std::vector<Case> cases = {
+      {{{1, 2}, {2, 3}}, 0},                              // Path.
+      {{{1, 2}, {2, 3}, {3, 1}}, 1},                      // Triangle.
+      {{{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}, 4},  // K4.
+      {{{1, 2}, {2, 3}, {3, 1}, {3, 4}, {4, 5}, {5, 3}}, 2},  // Two joined.
+  };
+  for (const Case& c : cases) {
+    for (int slaves : {1, 3}) {
+      auto cloud = NewCloud(slaves);
+      graph::Graph graph(cloud.get());
+      LoadEdges(&graph, c.edges);
+      TriangleCounter counter(&graph, TriangleOptions{});
+      TriangleStats stats;
+      ASSERT_TRUE(counter.CountFromCells(&stats).ok());
+      EXPECT_EQ(stats.triangles, c.triangles) << "slaves=" << slaves;
+    }
+  }
+}
+
+TEST(TriangleTest, AllKernelsMatchNaiveOnRmatAndPowerLaw) {
+  // The acceptance gate: adaptive (and every fixed kernel) bit-matches the
+  // cell-at-a-time naive counter on skewed graphs, on 1 and 8 machines.
+  for (const std::uint64_t seed : {3u, 17u}) {
+    for (const int slaves : {1, 8}) {
+      for (const bool powerlaw : {false, true}) {
+        auto cloud = NewCloud(slaves);
+        graph::Graph graph(cloud.get());
+        graph::Generators::EdgeList list =
+            powerlaw ? graph::Generators::PowerLaw(400, 5.0, 2.2, seed)
+                     : graph::Generators::Rmat(400, 5.0, seed);
+        ASSERT_TRUE(graph::Generators::Load(&graph, list, false).ok());
+        std::uint64_t naive = 0;
+        std::uint64_t fetched = 0;
+        ASSERT_TRUE(CountTrianglesNaive(&graph, &naive, &fetched).ok());
+        EXPECT_GT(fetched, 0u);
+
+        std::vector<GraphSnapshot> views;
+        ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+        for (const IntersectKernel kernel :
+             {IntersectKernel::kMerge, IntersectKernel::kGalloping,
+              IntersectKernel::kBitmap, IntersectKernel::kAdaptive}) {
+          TriangleOptions options;
+          options.kernel = kernel;
+          options.hub_ranks = 64;  // Force mixed resident/non-resident pairs.
+          TriangleCounter counter(&graph, options);
+          TriangleStats stats;
+          ASSERT_TRUE(counter.Count(views, &stats).ok());
+          EXPECT_EQ(stats.triangles, naive)
+              << "kernel=" << static_cast<int>(kernel) << " slaves=" << slaves
+              << " seed=" << seed << " powerlaw=" << powerlaw;
+        }
+      }
+    }
+  }
+}
+
+TEST(TriangleTest, AdaptiveBeatsMergeOnSkewedGraph) {
+  auto cloud = NewCloud(1);
+  graph::Graph graph(cloud.get());
+  ASSERT_TRUE(graph::Generators::Load(
+                  &graph, graph::Generators::PowerLaw(2000, 8.0, 2.1, 42),
+                  false)
+                  .ok());
+  GraphSnapshot snapshot;
+  ASSERT_TRUE(SnapshotBuilder::BuildGlobal(&graph, &snapshot).ok());
+
+  TriangleOptions merge_only;
+  merge_only.kernel = IntersectKernel::kMerge;
+  TriangleCounter merge_counter(&graph, merge_only);
+  TriangleStats merge_stats;
+  ASSERT_TRUE(merge_counter.CountLocal(snapshot, &merge_stats).ok());
+
+  TriangleCounter adaptive_counter(&graph, TriangleOptions{});
+  TriangleStats adaptive_stats;
+  ASSERT_TRUE(adaptive_counter.CountLocal(snapshot, &adaptive_stats).ok());
+
+  EXPECT_EQ(adaptive_stats.triangles, merge_stats.triangles);
+  // Comparisons are the hardware-independent scoreboard (1-core CI box):
+  // bitmap builds included, adaptive must still do strictly less work.
+  EXPECT_LT(adaptive_stats.total_comparisons(),
+            merge_stats.total_comparisons());
+  // And it actually routed pairs away from merge.
+  EXPECT_GT(adaptive_stats.bitmap_and.intersections +
+                adaptive_stats.probe.intersections +
+                adaptive_stats.gallop.intersections,
+            0u);
+}
+
+TEST(TriangleTest, BoundaryAdjacencyShippedOncePerMachinePair) {
+  const int slaves = 4;
+  auto cloud = NewCloud(slaves);
+  graph::Graph graph(cloud.get());
+  ASSERT_TRUE(graph::Generators::LoadRmat(&graph, 500, 6.0, 23).ok());
+  std::vector<GraphSnapshot> views;
+  ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+
+  TriangleCounter counter(&graph, TriangleOptions{});
+  const std::uint64_t sync_before = cloud->fabric().stats().sync_calls;
+  TriangleStats stats;
+  ASSERT_TRUE(counter.Count(views, &stats).ok());
+  const std::uint64_t sync_after = cloud->fabric().stats().sync_calls;
+
+  // At most one pull per ordered machine pair, and the fabric agrees the
+  // count() pass issued exactly those calls.
+  EXPECT_LE(stats.boundary_calls,
+            static_cast<std::uint64_t>(slaves) * (slaves - 1));
+  EXPECT_EQ(sync_after - sync_before, stats.boundary_calls);
+  EXPECT_GT(stats.boundary_bytes, 0u);
+
+  // Re-running over the same frozen views ships exactly the same bytes —
+  // nothing is re-fetched incrementally or cached stalely.
+  TriangleStats stats2;
+  ASSERT_TRUE(counter.Count(views, &stats2).ok());
+  EXPECT_EQ(stats2.boundary_calls, stats.boundary_calls);
+  EXPECT_EQ(stats2.boundary_bytes, stats.boundary_bytes);
+  EXPECT_EQ(stats2.triangles, stats.triangles);
+}
+
+// ---------------------------------------------------------------------------
+// k-truss
+// ---------------------------------------------------------------------------
+
+/// Brute-force reference: for each k, iteratively delete edges whose
+/// remaining support is below k-2; survivors have trussness >= k.
+std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t>
+ReferenceTruss(const std::vector<std::pair<std::uint32_t, std::uint32_t>>&
+                   undirected_edges) {
+  std::set<std::pair<std::uint32_t, std::uint32_t>> edges;
+  for (auto [a, b] : undirected_edges) {
+    if (a == b) continue;
+    edges.insert({std::min(a, b), std::max(a, b)});
+  }
+  std::map<std::pair<std::uint32_t, std::uint32_t>, std::uint32_t> truss;
+  for (const auto& e : edges) truss[e] = 2;
+  for (std::uint32_t k = 3; !edges.empty(); ++k) {
+    std::set<std::pair<std::uint32_t, std::uint32_t>> current = edges;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (auto it = current.begin(); it != current.end();) {
+        std::uint32_t support = 0;
+        for (const auto& other : current) {
+          // Count w adjacent to both endpoints of *it.
+          const auto [a, b] = *it;
+          const auto [c, d] = other;
+          std::uint32_t w = 0;
+          bool adjacent = false;
+          if (c == a) {
+            w = d;
+            adjacent = true;
+          } else if (d == a) {
+            w = c;
+            adjacent = true;
+          }
+          if (adjacent && w != b &&
+              current.count({std::min(w, b), std::max(w, b)}) > 0) {
+            ++support;
+          }
+        }
+        if (support < k - 2) {
+          it = current.erase(it);
+          changed = true;
+        } else {
+          ++it;
+        }
+      }
+    }
+    for (const auto& e : current) truss[e] = k;
+    edges = current;
+  }
+  return truss;
+}
+
+TEST(KTrussTest, KnownSmallGraphs) {
+  // K4: every edge in the 4-truss. Appended pendant edge stays at 2.
+  auto cloud = NewCloud(2);
+  graph::Graph graph(cloud.get());
+  LoadEdges(&graph,
+            {{1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}, {4, 5}});
+  GraphSnapshot snapshot;
+  ASSERT_TRUE(SnapshotBuilder::BuildGlobal(&graph, &snapshot).ok());
+  KTrussResult result;
+  ASSERT_TRUE(KTrussDecompose(snapshot, &result).ok());
+  EXPECT_EQ(result.num_edges(), 7u);
+  EXPECT_EQ(result.max_trussness, 4u);
+  EXPECT_EQ(result.triangles, 4u);
+
+  std::map<CellId, std::uint32_t> rank_of;
+  for (std::uint32_t r = 0; r < snapshot.num_vertices(); ++r) {
+    rank_of[snapshot.id_by_rank[r]] = r;
+  }
+  for (auto [a, b] : std::vector<std::pair<CellId, CellId>>{
+           {1, 2}, {1, 3}, {1, 4}, {2, 3}, {2, 4}, {3, 4}}) {
+    EXPECT_EQ(result.TrussnessOf(rank_of[a], rank_of[b]), 4u)
+        << a << "-" << b;
+  }
+  EXPECT_EQ(result.TrussnessOf(rank_of[4], rank_of[5]), 2u);
+}
+
+TEST(KTrussTest, MatchesBruteForceReference) {
+  for (const std::uint64_t seed : {1u, 2u, 3u}) {
+    auto cloud = NewCloud(2);
+    graph::Graph graph(cloud.get());
+    graph::Generators::EdgeList list = graph::Generators::Rmat(40, 3.0, seed);
+    ASSERT_TRUE(graph::Generators::Load(&graph, list, false).ok());
+    GraphSnapshot snapshot;
+    ASSERT_TRUE(SnapshotBuilder::BuildGlobal(&graph, &snapshot).ok());
+    KTrussResult result;
+    ASSERT_TRUE(KTrussDecompose(snapshot, &result).ok());
+
+    // Reference works on ranks so the edge keys line up.
+    std::map<CellId, std::uint32_t> rank_of;
+    for (std::uint32_t r = 0; r < snapshot.num_vertices(); ++r) {
+      rank_of[snapshot.id_by_rank[r]] = r;
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> edges;
+    for (std::size_t e = 0; e < result.num_edges(); ++e) {
+      edges.push_back({result.src[e], result.dst[e]});
+    }
+    const auto reference = ReferenceTruss(edges);
+    ASSERT_EQ(reference.size(), result.num_edges()) << "seed=" << seed;
+    for (std::size_t e = 0; e < result.num_edges(); ++e) {
+      const auto key = std::make_pair(std::min(result.src[e], result.dst[e]),
+                                      std::max(result.src[e], result.dst[e]));
+      EXPECT_EQ(result.trussness[e], reference.at(key))
+          << "seed=" << seed << " edge " << result.src[e] << "-"
+          << result.dst[e];
+    }
+  }
+}
+
+TEST(KTrussTest, RejectsPartialView) {
+  auto cloud = NewCloud(2);
+  graph::Graph graph(cloud.get());
+  LoadEdges(&graph, {{1, 2}, {2, 3}, {3, 1}});
+  std::vector<GraphSnapshot> views;
+  ASSERT_TRUE(SnapshotBuilder::Build(&graph, &views).ok());
+  bool any_partial = false;
+  for (const GraphSnapshot& view : views) {
+    if (view.num_local() < view.num_vertices()) {
+      any_partial = true;
+      KTrussResult result;
+      EXPECT_TRUE(KTrussDecompose(view, &result).IsInvalidArgument());
+    }
+  }
+  EXPECT_TRUE(any_partial);
+}
+
+}  // namespace
+}  // namespace trinity::analytics

@@ -274,6 +274,97 @@ TEST(ThreadPoolTest, NestedSubmitDuringWaitIdle) {
   EXPECT_EQ(done.load(), 20);
 }
 
+TEST(ThreadPoolTest, SplitWeightedBalancesSkewedCosts) {
+  // One huge item followed by many tiny ones: equal-count chunking would
+  // put the hub and half the tail in one shard. Weighted splitting must
+  // isolate the hub so no shard greatly exceeds the ideal cost.
+  const int n = 1000;
+  const auto cost = [](int i) { return i == 0 ? 1000.0 : 1.0; };
+  const auto shards = ThreadPool::SplitWeighted(n, cost, 8);
+  ASSERT_GE(shards.size(), 2u);
+  ASSERT_LE(shards.size(), 8u);
+  // Shards tile [0, n) exactly.
+  int expect_begin = 0;
+  double total = 0;
+  double max_shard = 0;
+  for (const auto& s : shards) {
+    EXPECT_EQ(s.begin, expect_begin);
+    EXPECT_GT(s.end, s.begin);
+    expect_begin = s.end;
+    double c = 0;
+    for (int i = s.begin; i < s.end; ++i) c += cost(i);
+    total += c;
+    max_shard = std::max(max_shard, c);
+  }
+  EXPECT_EQ(expect_begin, n);
+  // The hub item is unavoidable (1000), but no shard may exceed the ideal
+  // (total/8 ≈ 250) by more than that one indivisible item.
+  EXPECT_LE(max_shard, total / 8 + 1000.0);
+  // And the tail must actually be spread: the hub's shard is just the hub.
+  double tail_max = 0;
+  for (const auto& s : shards) {
+    if (s.begin == 0) {
+      continue;
+    }
+    double c = 0;
+    for (int i = s.begin; i < s.end; ++i) c += cost(i);
+    tail_max = std::max(tail_max, c);
+  }
+  EXPECT_LE(tail_max, 2 * (total - 1000.0) / 7 + 1.0);
+}
+
+TEST(ThreadPoolTest, SplitWeightedEdgeCases) {
+  // Zero or negative total cost falls back to equal-count chunks.
+  const auto zero = ThreadPool::SplitWeighted(10, [](int) { return 0.0; }, 4);
+  int covered = 0;
+  for (const auto& s : zero) covered += s.end - s.begin;
+  EXPECT_EQ(covered, 10);
+  EXPECT_TRUE(ThreadPool::SplitWeighted(0, [](int) { return 1.0; }, 4).empty());
+  const auto one = ThreadPool::SplitWeighted(1, [](int) { return 5.0; }, 4);
+  ASSERT_EQ(one.size(), 1u);
+  EXPECT_EQ(one[0].begin, 0);
+  EXPECT_EQ(one[0].end, 1);
+  // max_shards == 1 keeps everything together.
+  const auto single =
+      ThreadPool::SplitWeighted(100, [](int) { return 1.0; }, 1);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].end, 100);
+}
+
+TEST(ThreadPoolTest, WeightedParallelForRunsEveryIndexOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(257);
+  pool.ParallelFor(
+      257, [&](int i) { hits[i].fetch_add(1); },
+      [](int i) { return i < 3 ? 1000.0 : 1.0; });
+  for (int i = 0; i < 257; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(ThreadPoolTest, ParallelForShardsReportsShardIndices) {
+  ThreadPool pool(3);
+  const std::vector<ThreadPool::Shard> shards = {{0, 5}, {5, 6}, {6, 20}};
+  std::vector<std::atomic<int>> hits(20);
+  std::atomic<int> shard_mask{0};
+  pool.ParallelForShards(shards, [&](int shard, int begin, int end) {
+    shard_mask.fetch_or(1 << shard);
+    for (int i = begin; i < end; ++i) hits[i].fetch_add(1);
+  });
+  EXPECT_EQ(shard_mask.load(), 0b111);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(HistogramTest, MergeFoldsShardSamples) {
+  Histogram a;
+  Histogram b;
+  for (int i = 1; i <= 50; ++i) a.Add(i);
+  for (int i = 51; i <= 100; ++i) b.Add(i);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 100u);
+  EXPECT_DOUBLE_EQ(a.Min(), 1.0);
+  EXPECT_DOUBLE_EQ(a.Max(), 100.0);
+  EXPECT_NEAR(a.Percentile(50), 50.5, 0.01);
+}
+
 TEST(HistogramTest, Percentiles) {
   Histogram h;
   for (int i = 1; i <= 100; ++i) h.Add(i);

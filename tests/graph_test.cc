@@ -188,6 +188,54 @@ TEST(GeneratorsTest, RmatDeterministic) {
   EXPECT_NE(a.edges, c.edges);
 }
 
+TEST(GeneratorsTest, AllGeneratorsDeterministicUnderSeed) {
+  // Analytics snapshots are validated against naive recounts of the same
+  // graph, so generator runs under one seed must agree edge-for-edge.
+  const auto pl_a = Generators::PowerLaw(512, 6.0, 2.16, 21);
+  const auto pl_b = Generators::PowerLaw(512, 6.0, 2.16, 21);
+  EXPECT_EQ(pl_a.edges, pl_b.edges);
+  EXPECT_NE(pl_a.edges, Generators::PowerLaw(512, 6.0, 2.16, 22).edges);
+
+  const auto un_a = Generators::Uniform(512, 6.0, 21);
+  EXPECT_EQ(un_a.edges, Generators::Uniform(512, 6.0, 21).edges);
+  const auto co_a = Generators::Community(8, 64, 6.0, 2.0, 21);
+  EXPECT_EQ(co_a.edges, Generators::Community(8, 64, 6.0, 2.0, 21).edges);
+}
+
+TEST(GeneratorsTest, DegreeDistributionsMatchShape) {
+  // Skewed generators must produce heavy tails (hubs far above the mean);
+  // the uniform generator must not. This is what the adaptive triangle
+  // kernels key off, so the shapes are load-bearing for the benchmarks.
+  const auto degrees = [](const Generators::EdgeList& list) {
+    std::vector<int> d(list.num_nodes, 0);
+    for (const auto& [src, dst] : list.edges) {
+      ++d[src];
+      ++d[dst];
+    }
+    std::sort(d.begin(), d.end(), std::greater<int>());
+    return d;
+  };
+  const double avg_degree = 8.0;
+  for (const bool powerlaw : {false, true}) {
+    const auto list = powerlaw
+                          ? Generators::PowerLaw(4096, avg_degree, 2.16, 5)
+                          : Generators::Rmat(4096, avg_degree, 5);
+    const std::vector<int> d = degrees(list);
+    const double mean = 2.0 * list.edges.size() / list.num_nodes;
+    EXPECT_GT(d[0], 8 * mean) << "powerlaw=" << powerlaw;
+    // Top 1% of vertices carry a disproportionate share of the edges.
+    std::uint64_t top = 0, total = 0;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      if (i < d.size() / 100) top += d[i];
+      total += d[i];
+    }
+    EXPECT_GT(top * 10, total) << "powerlaw=" << powerlaw;
+  }
+  const std::vector<int> uniform = degrees(Generators::Uniform(4096, 8.0, 5));
+  const double mean = 2.0 * 8.0;
+  EXPECT_LT(uniform[0], 4 * mean);
+}
+
 TEST(GeneratorsTest, PowerLawAverageDegree) {
   const auto edges = Generators::PowerLaw(2000, 13.0, 2.16, 11);
   const double avg =
