@@ -17,6 +17,7 @@ BENCHES=(
   bench_fig12d_giraph_pagerank
   bench_serving
   bench_triangles
+  bench_txn
 )
 if [[ $# -gt 0 ]]; then
   FILTERED=()

@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 
+#include "cloud/cell_stripes.h"
 #include "cloud/replica_placement.h"
 #include "common/logging.h"
 #include "common/serializer.h"
@@ -256,10 +257,10 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
           if (epoch < machines_[m].table_replica.epoch_of_trunk(trunk_id)) {
             recovery_stats_.fenced_writes.fetch_add(
                 1, std::memory_order_relaxed);
-            return Status::Aborted("fenced: replication epoch " +
-                                   std::to_string(epoch) +
-                                   " is stale for trunk " +
-                                   std::to_string(trunk_id));
+            return Status::Aborted(
+                "fenced: replication epoch " + std::to_string(epoch) +
+                    " is stale for trunk " + std::to_string(trunk_id),
+                Status::Subcode::kFenced);
           }
         }
         auto store = StorageOf(m);
@@ -358,7 +359,8 @@ void MemoryCloud::RegisterHandlers(MachineId m) {
           // to establish ack authority by shrinking the in-sync set.
           recovery_stats_.fenced_writes.fetch_add(1,
                                                   std::memory_order_relaxed);
-          return Status::Aborted("fenced: shrink from deposed primary");
+          return Status::Aborted("fenced: shrink from deposed primary",
+                                 Status::Subcode::kFenced);
         }
         primary_table_.RemoveReplica(trunk_id, replica);
         Status ps = PersistTableLocked();
@@ -518,7 +520,8 @@ Status MemoryCloud::ReplicateMutation(MachineId primary, CellOp op, CellId id,
     if (s.IsAborted()) {
       // The replica holds a newer fencing epoch: we were deposed. Terminal.
       return Status::Aborted("fenced: trunk " + std::to_string(t) +
-                             " has a newer primary (" + s.message() + ")");
+                                 " has a newer primary (" + s.message() + ")",
+                             Status::Subcode::kFenced);
     }
     // Replica dead or unreachable. Ask the current leader to shrink it out
     // of the in-sync set before acking without it — the leader knows the
@@ -811,13 +814,23 @@ Status MemoryCloud::RouteOp(MachineId src, CellOp op, CellId id,
                              " attempts: " + last.message());
 }
 
+// Single-cell *mutations* acquire the cell's stripe in the shared
+// CellStripes table so they serialize against in-flight guarded operations
+// (MultiOp, transaction intent CAS) touching the same cell — a bare write
+// can no longer land between a guard's evaluation and its action apply.
+// Reads stay lock-free: they cannot invalidate a guard, and the guarded
+// paths hold the stripes across their own reads. Re-entrant acquisitions
+// from MultiOp's action phase are skipped by the per-thread held list.
+
 Status MemoryCloud::AddCellFrom(MachineId src, CellId id, Slice payload,
                                 CallContext* ctx) {
+  CellStripes::Guard guard(id);
   return RouteOp(src, CellOp::kAdd, id, payload, nullptr, ctx);
 }
 
 Status MemoryCloud::PutCellFrom(MachineId src, CellId id, Slice payload,
                                 CallContext* ctx) {
+  CellStripes::Guard guard(id);
   return RouteOp(src, CellOp::kPut, id, payload, nullptr, ctx);
 }
 
@@ -828,11 +841,13 @@ Status MemoryCloud::GetCellFrom(MachineId src, CellId id, std::string* out,
 
 Status MemoryCloud::RemoveCellFrom(MachineId src, CellId id,
                                    CallContext* ctx) {
+  CellStripes::Guard guard(id);
   return RouteOp(src, CellOp::kRemove, id, Slice(), nullptr, ctx);
 }
 
 Status MemoryCloud::AppendToCellFrom(MachineId src, CellId id, Slice suffix,
                                      CallContext* ctx) {
+  CellStripes::Guard guard(id);
   return RouteOp(src, CellOp::kAppend, id, suffix, nullptr, ctx);
 }
 

@@ -2,30 +2,9 @@
 
 #include <algorithm>
 
-#include "common/hash.h"
-#include "common/spinlock.h"
+#include "cloud/cell_stripes.h"
 
 namespace trinity::cloud {
-
-namespace {
-
-/// Striped lock table for MultiOp isolation. MultiOps lock the stripes of
-/// every touched cell in stripe order (deadlock-free); single-cell cloud
-/// operations remain atomic on their own via the trunk locks, so the
-/// isolation MultiOp adds is against *other MultiOps* — the light-weight
-/// level §4.4 describes.
-constexpr int kStripes = 1024;
-
-SpinLock* Stripes() {
-  static SpinLock* stripes = new SpinLock[kStripes];
-  return stripes;
-}
-
-int StripeOf(CellId id) {
-  return static_cast<int>(InTrunkHash(id ^ 0x517cc1b727220a95ULL) % kStripes);
-}
-
-}  // namespace
 
 MultiOp& MultiOp::CompareEquals(CellId id, Slice expected) {
   guards_.push_back(Guard{GuardKind::kEquals, id, expected.ToString()});
@@ -59,45 +38,54 @@ MultiOp& MultiOp::Remove(CellId id) {
 
 Status MultiOp::Execute(MachineId src) {
   // Collect the distinct stripes of every touched cell and lock them in
-  // ascending order.
+  // ascending order through the shared CellStripes table — the same table
+  // single-cell mutations acquire, so a bare Put/Remove can no longer land
+  // between guard evaluation and action apply.
   std::vector<int> stripes;
   stripes.reserve(guards_.size() + actions_.size());
-  for (const Guard& guard : guards_) stripes.push_back(StripeOf(guard.id));
+  for (const Guard& guard : guards_) {
+    stripes.push_back(CellStripes::StripeOf(guard.id));
+  }
   for (const Action& action : actions_) {
-    stripes.push_back(StripeOf(action.id));
+    stripes.push_back(CellStripes::StripeOf(action.id));
   }
   std::sort(stripes.begin(), stripes.end());
   stripes.erase(std::unique(stripes.begin(), stripes.end()), stripes.end());
-  for (int s : stripes) Stripes()[s].Lock();
-  struct Unlocker {
-    const std::vector<int>& stripes;
-    ~Unlocker() {
-      for (auto it = stripes.rbegin(); it != stripes.rend(); ++it) {
-        Stripes()[*it].Unlock();
-      }
-    }
-  } unlocker{stripes};
+  CellStripes::Guard lock(stripes);
 
   // Phase 1: evaluate every guard.
   for (const Guard& guard : guards_) {
     std::string current;
-    const Status s = cloud_->GetCellFrom(src, guard.id, &current);
+    const Status s = cloud_->GetCellFrom(src, guard.id, &current, ctx_);
     switch (guard.kind) {
       case GuardKind::kEquals:
-        if (!s.ok()) return Status::Aborted("guard cell missing");
+        if (s.IsNotFound()) {
+          return Status::Aborted("guard cell missing",
+                                 Status::Subcode::kGuardFailed);
+        }
+        if (!s.ok()) return s;
         if (current != guard.expected) {
-          return Status::Aborted("guard value mismatch");
+          return Status::Aborted("guard value mismatch",
+                                 Status::Subcode::kGuardFailed);
         }
         break;
       case GuardKind::kExists:
-        if (!s.ok()) return Status::Aborted("guard cell missing");
+        if (s.IsNotFound()) {
+          return Status::Aborted("guard cell missing",
+                                 Status::Subcode::kGuardFailed);
+        }
+        if (!s.ok()) return s;
         break;
       case GuardKind::kAbsent:
-        if (s.ok()) return Status::Aborted("guard cell present");
+        if (s.ok()) {
+          return Status::Aborted("guard cell present",
+                                 Status::Subcode::kGuardFailed);
+        }
         if (!s.IsNotFound()) return s;
         break;
     }
   }
+  if (phase_hook_) phase_hook_();
   // Phase 2: apply every action. Infrastructure failures here can leave a
   // partially applied MultiOp (no undo log) — the documented light-weight
   // semantics.
@@ -105,13 +93,14 @@ Status MultiOp::Execute(MachineId src) {
     Status s;
     switch (action.kind) {
       case ActionKind::kPut:
-        s = cloud_->PutCellFrom(src, action.id, Slice(action.payload));
+        s = cloud_->PutCellFrom(src, action.id, Slice(action.payload), ctx_);
         break;
       case ActionKind::kAppend:
-        s = cloud_->AppendToCellFrom(src, action.id, Slice(action.payload));
+        s = cloud_->AppendToCellFrom(src, action.id, Slice(action.payload),
+                                     ctx_);
         break;
       case ActionKind::kRemove:
-        s = cloud_->RemoveCellFrom(src, action.id);
+        s = cloud_->RemoveCellFrom(src, action.id, ctx_);
         break;
     }
     if (!s.ok()) return s;

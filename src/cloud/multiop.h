@@ -1,10 +1,12 @@
 #ifndef TRINITY_CLOUD_MULTIOP_H_
 #define TRINITY_CLOUD_MULTIOP_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
 #include "cloud/memory_cloud.h"
+#include "common/call_context.h"
 
 namespace trinity::cloud {
 
@@ -40,11 +42,28 @@ class MultiOp {
   /// Action: remove the cell.
   MultiOp& Remove(CellId id);
 
-  /// Executes atomically from `src`'s perspective. Returns Aborted when a
-  /// guard fails (no action applied); other statuses indicate
-  /// infrastructure errors. The builder can be reused after Execute.
+  /// Borrows a per-request deadline/retry-budget context for every cloud
+  /// call Execute makes (guard reads and action writes). The context must
+  /// outlive Execute.
+  MultiOp& WithContext(CallContext* ctx) {
+    ctx_ = ctx;
+    return *this;
+  }
+
+  /// Executes atomically from `src`'s perspective. Returns
+  /// Aborted[guard-failed] when a guard fails (no action applied); other
+  /// statuses indicate infrastructure errors. The builder can be reused
+  /// after Execute.
   Status Execute(MachineId src);
   Status Execute() { return Execute(cloud_->client_id()); }
+
+  /// Test hook: invoked after all guards passed, before the first action is
+  /// applied — i.e. inside the critical section. Regression tests use it to
+  /// try to interleave a racing single-cell write between guard evaluation
+  /// and action apply.
+  void SetPhaseHookForTest(std::function<void()> hook) {
+    phase_hook_ = std::move(hook);
+  }
 
   /// Convenience: classic compare-and-swap of one cell's payload.
   static Status CompareAndSwap(MemoryCloud* cloud, CellId id, Slice expected,
@@ -66,6 +85,8 @@ class MultiOp {
   };
 
   MemoryCloud* cloud_;
+  CallContext* ctx_ = nullptr;
+  std::function<void()> phase_hook_;
   std::vector<Guard> guards_;
   std::vector<Action> actions_;
 };

@@ -36,11 +36,31 @@ const char* CodeName(Status::Code code) {
   return "Unknown";
 }
 
+const char* SubcodeName(Status::Subcode subcode) {
+  switch (subcode) {
+    case Status::Subcode::kNone:
+      return "";
+    case Status::Subcode::kGuardFailed:
+      return "guard-failed";
+    case Status::Subcode::kTxnConflict:
+      return "txn-conflict";
+    case Status::Subcode::kFenced:
+      return "fenced";
+  }
+  return "";
+}
+
 }  // namespace
 
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result = CodeName(code_);
+  const char* sub = SubcodeName(subcode_);
+  if (sub[0] != '\0') {
+    result += "[";
+    result += sub;
+    result += "]";
+  }
   if (!msg_.empty()) {
     result += ": ";
     result += msg_;

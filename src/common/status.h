@@ -27,6 +27,26 @@ class Status {
     kResourceExhausted = 12,  // load shed / retry budget empty
   };
 
+  /// Machine-readable refinement of kAborted. Three very different
+  /// conditions share the Aborted code and callers must not have to parse
+  /// messages to tell them apart:
+  ///  * kGuardFailed   — a MultiOp/CAS compare guard did not hold. Terminal
+  ///                     for the op; the caller owns the re-read-and-retry
+  ///                     decision (its expected value is simply stale).
+  ///  * kTxnConflict   — an optimistic transaction lost a race (stale read
+  ///                     set, another transaction's write intent, aborted by
+  ///                     a recovery sweep). Retrying the *whole transaction*
+  ///                     is expected to succeed, so IsRetryable() is true.
+  ///  * kFenced        — the caller is a deposed, stale primary rejected by
+  ///                     the replication epoch fence. Never retried: the
+  ///                     machine must re-sync its view of the world first.
+  enum class Subcode : unsigned char {
+    kNone = 0,
+    kGuardFailed = 1,
+    kTxnConflict = 2,
+    kFenced = 3,
+  };
+
   Status() : code_(Code::kOk) {}
 
   Status(const Status&) = default;
@@ -62,6 +82,11 @@ class Status {
   static Status Aborted(std::string msg = "") {
     return Status(Code::kAborted, std::move(msg));
   }
+  static Status Aborted(std::string msg, Subcode subcode) {
+    Status s(Code::kAborted, std::move(msg));
+    s.subcode_ = subcode;
+    return s;
+  }
   static Status NotSupported(std::string msg = "") {
     return Status(Code::kNotSupported, std::move(msg));
   }
@@ -90,13 +115,28 @@ class Status {
     return code_ == Code::kResourceExhausted;
   }
 
-  /// True for transient failures where another attempt may succeed
-  /// (machine restarting, stale addressing table, dropped call). Terminal
-  /// codes — including DeadlineExceeded, ResourceExhausted, and Aborted
-  /// (epoch fencing) — are never retried.
-  bool IsRetryable() const { return IsUnavailable() || IsTimedOut(); }
+  bool IsGuardFailed() const {
+    return IsAborted() && subcode_ == Subcode::kGuardFailed;
+  }
+  bool IsTxnConflict() const {
+    return IsAborted() && subcode_ == Subcode::kTxnConflict;
+  }
+  bool IsFenced() const {
+    return IsAborted() && subcode_ == Subcode::kFenced;
+  }
+
+  /// True for transient failures where another attempt may succeed:
+  /// machine restarting, stale addressing table, dropped call — and
+  /// Aborted(kTxnConflict), where re-running the transaction is the
+  /// designed response to losing an optimistic race. Terminal codes —
+  /// DeadlineExceeded, ResourceExhausted, and every other Aborted flavor
+  /// (epoch fencing, failed guards, cancellation) — are never retried.
+  bool IsRetryable() const {
+    return IsUnavailable() || IsTimedOut() || IsTxnConflict();
+  }
 
   Code code() const { return code_; }
+  Subcode subcode() const { return subcode_; }
   const std::string& message() const { return msg_; }
 
   /// Human-readable "<code>: <message>" string for logs and test failures.
@@ -106,6 +146,7 @@ class Status {
   Status(Code code, std::string msg) : code_(code), msg_(std::move(msg)) {}
 
   Code code_;
+  Subcode subcode_ = Subcode::kNone;
   std::string msg_;
 };
 

@@ -14,6 +14,7 @@ QueryFrontend::QueryFrontend(cloud::MemoryCloud* cloud, graph::Graph* graph,
       retry_budget_(options.enable_retry_budget
                         ? std::make_unique<RetryBudget>(options.retry_budget)
                         : nullptr),
+      txn_manager_(cloud),
       degraded_reads_baseline_(cloud->recovery_stats().degraded_reads),
       inflight_per_machine_(static_cast<std::size_t>(cloud->num_endpoints()),
                             0) {}
@@ -161,6 +162,56 @@ Status QueryFrontend::Execute(const Request& request, Response* response) {
   return s;
 }
 
+Status QueryFrontend::ExecuteTransaction(
+    const std::function<Status(txn::Transaction&)>& body,
+    double deadline_micros, const std::atomic<bool>* cancel) {
+  Stopwatch watch;
+  counters_.received.fetch_add(1, std::memory_order_relaxed);
+
+  const double deadline = deadline_micros > 0.0
+                              ? deadline_micros
+                              : options_.default_deadline_micros;
+  CallContext ctx(deadline, retry_budget_.get());
+  if (cancel != nullptr) ctx.set_cancel_token(cancel);
+
+  // Transactions span arbitrary cells, so they hold a global admission
+  // slot only (like batch requests).
+  Status admitted = Admit(-1, &ctx);
+  if (!admitted.ok()) {
+    RecordOutcome(admitted, watch.ElapsedMicros());
+    return admitted;
+  }
+  counters_.admitted.fetch_add(1, std::memory_order_relaxed);
+
+  // Whole-transaction retry loop: Aborted[txn-conflict] is IsRetryable(),
+  // so a contended transaction re-runs (fresh snapshot, fresh read set)
+  // until it commits or the deadline / retry budget calls time. Every
+  // other Aborted flavor — fenced deposed primaries, failed guards,
+  // cancellation — stops the loop immediately.
+  RetryPolicy::RunHooks hooks;
+  hooks.ctx = &ctx;
+  hooks.salt = 0x7c15bd4a'9d2e11ULL;
+  hooks.charge = [this](double micros) {
+    cloud_->fabric().AddCpuMicros(cloud_->client_id(), micros);
+  };
+  Status s = txn_manager_.policy().Run(hooks, [&](int) {
+    txn::Transaction t = txn_manager_.Begin(cloud_->client_id(), &ctx);
+    Status bs = body(t);
+    if (!bs.ok() && !bs.IsTxnConflict()) return bs;
+    Status cs = bs.ok() ? t.Commit() : bs;
+    if (cs.IsTxnConflict()) {
+      counters_.txn_conflict_retries.fetch_add(1,
+                                               std::memory_order_relaxed);
+    }
+    return cs;
+  });
+  Release(-1);
+
+  if (s.ok()) counters_.txn_committed.fetch_add(1, std::memory_order_relaxed);
+  RecordOutcome(s, watch.ElapsedMicros());
+  return s;
+}
+
 void QueryFrontend::RecordOutcome(const Status& status,
                                   double latency_micros) {
   if (status.ok()) {
@@ -171,6 +222,10 @@ void QueryFrontend::RecordOutcome(const Status& status,
     counters_.shed.fetch_add(1, std::memory_order_relaxed);
   } else if (status.IsDeadlineExceeded()) {
     counters_.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+  } else if (status.IsTxnConflict()) {
+    // Terminal conflict: the transaction's optimistic retries ran out of
+    // deadline/budget. Distinct from cancellation — callers may re-submit.
+    counters_.txn_conflicts.fetch_add(1, std::memory_order_relaxed);
   } else if (status.IsAborted()) {
     counters_.cancelled.fetch_add(1, std::memory_order_relaxed);
   } else if (status.IsRetryable()) {
@@ -194,6 +249,10 @@ ServingStats QueryFrontend::stats() const {
   out.cancelled = counters_.cancelled.load(std::memory_order_relaxed);
   out.unavailable = counters_.unavailable.load(std::memory_order_relaxed);
   out.other_errors = counters_.other_errors.load(std::memory_order_relaxed);
+  out.txn_committed = counters_.txn_committed.load(std::memory_order_relaxed);
+  out.txn_conflicts = counters_.txn_conflicts.load(std::memory_order_relaxed);
+  out.txn_conflict_retries =
+      counters_.txn_conflict_retries.load(std::memory_order_relaxed);
   out.degraded_reads =
       cloud_->recovery_stats().degraded_reads - degraded_reads_baseline_;
   if (retry_budget_ != nullptr) {

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -18,6 +19,7 @@
 #include "graph/graph.h"
 #include "query/tql.h"
 #include "serving/serving_stats.h"
+#include "txn/txn.h"
 
 namespace trinity::serving {
 
@@ -114,8 +116,24 @@ class QueryFrontend {
   /// (and returns it). Thread-safe.
   Status Execute(const Request& request, Response* response);
 
+  /// Runs `body` inside an optimistic snapshot-isolation transaction with
+  /// the frontend's full serving treatment: admission control (global
+  /// slot), a CallContext deadline, the cluster-wide retry budget, and a
+  /// whole-transaction retry loop. `body` receives a fresh Transaction per
+  /// attempt — stage reads/writes through it and return OK to request
+  /// Commit (any other status abandons the attempt and is terminal).
+  /// Aborted[txn-conflict] commits are retried within the deadline/budget
+  /// (contended transactions retry); Aborted[fenced] and every other
+  /// terminal status are returned as-is (fenced writes stay terminal).
+  /// Thread-safe; deadline_micros 0 uses the frontend default.
+  Status ExecuteTransaction(
+      const std::function<Status(txn::Transaction&)>& body,
+      double deadline_micros = 0.0,
+      const std::atomic<bool>* cancel = nullptr);
+
   ServingStats stats() const;
   RetryBudget* retry_budget() { return retry_budget_.get(); }
+  txn::TxnManager* txn_manager() { return &txn_manager_; }
 
  private:
   /// machine < 0 means "global slot only" (batch/traversal requests).
@@ -129,6 +147,9 @@ class QueryFrontend {
   graph::Graph* const graph_;
   const Options options_;
   std::unique_ptr<RetryBudget> retry_budget_;
+  /// Transaction factory/oracle shared by every ExecuteTransaction call
+  /// (one per cloud — the timestamp oracle must be unique).
+  txn::TxnManager txn_manager_;
   const std::uint64_t degraded_reads_baseline_;
 
   /// Admission state: inflight counts per machine + global, with a condvar
@@ -155,6 +176,9 @@ class QueryFrontend {
     std::atomic<std::uint64_t> cancelled{0};
     std::atomic<std::uint64_t> unavailable{0};
     std::atomic<std::uint64_t> other_errors{0};
+    std::atomic<std::uint64_t> txn_committed{0};
+    std::atomic<std::uint64_t> txn_conflicts{0};  ///< Terminal conflicts.
+    std::atomic<std::uint64_t> txn_conflict_retries{0};
   };
   Counters counters_;
 };

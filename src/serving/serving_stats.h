@@ -23,6 +23,14 @@ struct ServingStats {
   std::uint64_t unavailable = 0;       ///< Terminal Unavailable/TimedOut.
   std::uint64_t other_errors = 0;
 
+  /// Transaction outcomes (ExecuteTransaction). txn_committed/
+  /// txn_conflicts are terminal (the latter: optimistic retries exhausted
+  /// the deadline or retry budget); txn_conflict_retries counts per-attempt
+  /// conflicts that were retried within one request.
+  std::uint64_t txn_committed = 0;
+  std::uint64_t txn_conflicts = 0;
+  std::uint64_t txn_conflict_retries = 0;
+
   /// Reads served by a replica trunk while the primary was unreachable,
   /// since the frontend was constructed (delta of the cloud's counter).
   std::uint64_t degraded_reads = 0;

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "cloud/multiop.h"
@@ -106,6 +107,53 @@ TEST(MultiOpTest, CompareAndSwapHelper) {
   std::string v;
   ASSERT_TRUE(cloud->GetCell(7, &v).ok());
   EXPECT_EQ(v, "new");
+}
+
+TEST(MultiOpTest, GuardFailureCarriesSubcode) {
+  auto cloud = NewCloud();
+  ASSERT_TRUE(cloud->AddCell(1, Slice("actual")).ok());
+  cloud::MultiOp op(cloud.get());
+  op.CompareEquals(1, Slice("expected")).Put(1, Slice("next"));
+  const Status s = op.Execute();
+  EXPECT_TRUE(s.IsGuardFailed()) << s.ToString();
+  EXPECT_FALSE(s.IsRetryable());  // Caller owns the re-read decision.
+}
+
+// Regression: single-cell Put/Remove used to bypass the MultiOp stripe
+// table, so a racing bare write could land *between* guard evaluation and
+// action apply — the guard checked "counter == 0", the racer wrote
+// "poison", and the MultiOp then blindly overwrote it, violating the
+// compare-and-swap contract. The phase hook below interleaves exactly that
+// window deterministically: with the shared CellStripes table the racing
+// Put must block until the MultiOp finishes, so it lands strictly after and
+// its value wins.
+TEST(MultiOpTest, SingleCellWriteCannotSplitGuardAndApply) {
+  auto cloud = NewCloud();
+  ASSERT_TRUE(cloud->AddCell(1, Slice("0")).ok());
+
+  std::atomic<bool> racer_done{false};
+  std::thread racer;
+  cloud::MultiOp op(cloud.get());
+  op.CompareEquals(1, Slice("0")).Put(1, Slice("1"));
+  op.SetPhaseHookForTest([&] {
+    // Guards have passed; actions not yet applied. Launch a bare Put of the
+    // same cell and give it ample real time to run. Pre-fix it slipped in
+    // here and was silently clobbered; post-fix it blocks on the stripe.
+    racer = std::thread([&] {
+      EXPECT_TRUE(cloud->PutCell(1, Slice("racer")).ok());
+      racer_done.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    EXPECT_FALSE(racer_done.load())
+        << "bare Put overtook a MultiOp inside its critical section";
+  });
+  ASSERT_TRUE(op.Execute().ok());
+  racer.join();
+
+  // Serialized order: MultiOp fully first, then the racer's Put.
+  std::string v;
+  ASSERT_TRUE(cloud->GetCell(1, &v).ok());
+  EXPECT_EQ(v, "racer");
 }
 
 TEST(MultiOpTest, ConcurrentCountersStayConsistent) {
