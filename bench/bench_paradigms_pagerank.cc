@@ -1,6 +1,8 @@
 // Computation-paradigm comparison (paper §5.3 discussion + Table 1 framing):
-// the same PageRank computed three ways —
+// the same PageRank computed four ways —
 //   * Trinity's restrictive vertex-centric BSP on the memory cloud,
+//   * the async engine's prioritized delta formulation (same memory cloud,
+//     no superstep barrier — docs/async_scheduling.md),
 //   * a Giraph-like heap-object BSP engine,
 //   * a GraphChi-like out-of-core asynchronous engine (single PC, real
 //     shard files, sequential I/O accounting).
@@ -18,11 +20,11 @@
 namespace trinity {
 namespace {
 
-void Run() {
+void Run(bench::JsonEmitter& json) {
   bench::PrintHeader("Paradigms (section 5.3)",
-                     "PageRank under three computation models");
-  std::printf("%10s %16s %16s %18s\n", "nodes", "trinity_s/iter",
-              "giraph_s/iter", "graphchi_s/iter");
+                     "PageRank under four computation models");
+  std::printf("%10s %16s %16s %16s %18s\n", "nodes", "trinity_s/iter",
+              "delta_async_s", "giraph_s/iter", "graphchi_s/iter");
   for (std::uint64_t nodes : {16384ull, 32768ull, 65536ull}) {
     const auto edges = graph::Generators::Rmat(nodes, 13.0, 42);
 
@@ -35,6 +37,22 @@ void Run() {
     algos::PageRankResult trinity_result;
     Status s = algos::RunPageRank(graph.get(), pr, &trinity_result);
     TRINITY_CHECK(s.ok(), "trinity pagerank failed");
+
+    // Same memory cloud, asynchronous prioritized delta formulation. No
+    // barrier to amortize, so the comparable number is the whole run, not a
+    // per-iteration slice; epsilon is loose enough to do roughly the work
+    // of a few sweeps.
+    algos::DeltaPageRankResult delta_result;
+    {
+      auto delta_cloud = bench::NewCloud(8);
+      auto delta_graph = bench::LoadGraph(delta_cloud.get(), edges, false,
+                                          /*track_inlinks=*/false);
+      algos::DeltaPageRankOptions delta;
+      delta.epsilon = 1e-6;
+      delta.async.scheduler = compute::SchedulerMode::kPriority;
+      s = algos::RunDeltaPageRank(delta_graph.get(), delta, &delta_result);
+      TRINITY_CHECK(s.ok(), "delta pagerank failed");
+    }
 
     // Giraph-like heap-object engine, same machine count.
     baseline::HeapEngine::Options heap_options;
@@ -54,22 +72,37 @@ void Run() {
     TRINITY_CHECK(disk.RunPageRank(3, 0.85, &disk_stats).ok(),
                   "disk pagerank failed");
 
-    std::printf("%10llu %16.4f %16.4f %18.4f\n",
+    std::printf("%10llu %16.4f %16.4f %16.4f %18.4f\n",
                 static_cast<unsigned long long>(nodes),
                 trinity_result.seconds_per_iteration,
+                delta_result.stats.modeled_seconds,
                 heap_stats.seconds_per_iteration,
                 disk_stats.seconds_per_iteration);
+
+    json.BeginRow("paradigms");
+    json.Add("nodes", nodes);
+    json.Add("trinity_seconds_per_iteration",
+             trinity_result.seconds_per_iteration);
+    json.Add("delta_async_seconds", delta_result.stats.modeled_seconds);
+    json.Add("delta_async_updates", delta_result.stats.updates);
+    json.Add("delta_async_coalesced", delta_result.stats.coalesced_updates);
+    json.Add("giraph_seconds_per_iteration",
+             heap_stats.seconds_per_iteration);
+    json.Add("graphchi_seconds_per_iteration",
+             disk_stats.seconds_per_iteration);
   }
   std::printf(
       "(paper: the disk engine trades expressiveness for sequential I/O on "
-      "one PC; the memory cloud supports every paradigm and scales out)\n");
+      "one PC; the memory cloud supports every paradigm — barriered or "
+      "prioritized-asynchronous — and scales out)\n");
   bench::PrintFooter();
 }
 
 }  // namespace
 }  // namespace trinity
 
-int main() {
-  trinity::Run();
+int main(int argc, char** argv) {
+  trinity::bench::JsonEmitter json("paradigms_pagerank", argc, argv);
+  trinity::Run(json);
   return 0;
 }

@@ -11,6 +11,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BENCHES=(
+  bench_async_priority
   bench_fig12a_people_search
   bench_fig12b_pagerank
   bench_fig12c_bfs

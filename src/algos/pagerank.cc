@@ -1,7 +1,9 @@
 #include "algos/pagerank.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <vector>
 
 namespace trinity::algos {
 
@@ -92,6 +94,70 @@ Status RunPageRank(graph::Graph* graph, const PageRankOptions& options,
       result->stats.supersteps > 0
           ? result->stats.modeled_seconds / result->stats.supersteps
           : 0;
+  return Status::OK();
+}
+
+Status RunDeltaPageRank(graph::Graph* graph,
+                        const DeltaPageRankOptions& options,
+                        DeltaPageRankResult* result) {
+  const double n = static_cast<double>(graph->CountNodes());
+  if (n == 0) return Status::InvalidArgument("empty graph");
+  compute::AsyncEngine::Options async = options.async;
+  if (async.priority_epsilon <= 0) async.priority_epsilon = options.epsilon;
+  if (async.priority_epsilon <= 0) {
+    return Status::InvalidArgument(
+        "delta pagerank needs epsilon > 0: the residual push is geometric "
+        "and only the drop threshold terminates it");
+  }
+  // Residuals sum; the fold order is canonical (deterministic) and the sum
+  // is commutative, so every scheduler mode reaches the same fixed point.
+  async.combiner = [](std::string* accumulated, Slice message) {
+    double acc = 0;
+    std::memcpy(&acc, accumulated->data(), 8);
+    acc += DecodeDouble(message);
+    std::memcpy(accumulated->data(), &acc, 8);
+  };
+  // GraphLab's delta-PageRank priority: the magnitude of the pending
+  // residual — exactly the rank mass this update would move.
+  async.priority = [](CellId, Slice delta, Slice) {
+    return std::fabs(DecodeDouble(delta));
+  };
+  compute::AsyncEngine engine(graph, async);
+  // Seed every vertex with the teleport residual in canonical
+  // (machine, ascending id) order so runs are deterministic.
+  const double seed_residual = (1.0 - options.damping) / n;
+  const int slaves = graph->cloud()->num_slaves();
+  for (MachineId m = 0; m < slaves; ++m) {
+    std::vector<CellId> ids = graph->LocalNodes(m);
+    std::sort(ids.begin(), ids.end());
+    for (CellId v : ids) {
+      Status s = engine.Seed(v, EncodeDouble(seed_residual));
+      if (!s.ok()) return s;
+    }
+  }
+  const double damping = options.damping;
+  Status s = engine.Run(
+      [damping](compute::AsyncEngine::Context& ctx, Slice message) {
+        const double delta = DecodeDouble(message);
+        double rank = 0;
+        if (ctx.value().size() == 8) {
+          std::memcpy(&rank, ctx.value().data(), 8);
+        }
+        rank += delta;
+        ctx.value().assign(reinterpret_cast<const char*>(&rank), 8);
+        if (ctx.out_count() == 0) return;
+        const double share =
+            damping * delta / static_cast<double>(ctx.out_count());
+        for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+          ctx.Send(ctx.out()[i], EncodeDouble(share));
+        }
+      },
+      &result->stats);
+  if (!s.ok()) return s;
+  result->ranks.clear();
+  engine.ForEachValue([&](CellId vertex, const std::string& value) {
+    result->ranks[vertex] = DecodeDouble(Slice(value));
+  });
   return Status::OK();
 }
 

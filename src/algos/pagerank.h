@@ -3,6 +3,7 @@
 
 #include <unordered_map>
 
+#include "compute/async_engine.h"
 #include "compute/bsp.h"
 #include "graph/graph.h"
 
@@ -31,6 +32,35 @@ struct PageRankResult {
 
 Status RunPageRank(graph::Graph* graph, const PageRankOptions& options,
                    PageRankResult* result);
+
+/// Delta (residual-push) PageRank on the AsyncEngine's delta cache — the
+/// GraphLab-style formulation the prioritized scheduler exists for. Every
+/// vertex is seeded with residual (1-d)/n; processing a vertex adds its
+/// accumulated residual to its rank and pushes d*delta/outdeg to each
+/// out-neighbor; the engine folds concurrent residuals through a sum
+/// combiner, orders work by |residual|, and drops residuals below `epsilon`
+/// instead of queueing them (the truncation is what terminates the
+/// otherwise-geometric push). Converges to the fixed point
+/// r(v) = (1-d)/n + d * sum_{u->v} r(u)/outdeg(u) — the same one
+/// RunPageRank reaches when run to convergence.
+struct DeltaPageRankOptions {
+  double damping = 0.85;
+  /// Residual drop threshold; must be > 0. Copied into
+  /// async.priority_epsilon when that is unset.
+  double epsilon = 1e-9;
+  /// Scheduler mode, thread count, max_updates... The combiner, priority
+  /// function, and (if unset) priority_epsilon are installed here.
+  compute::AsyncEngine::Options async;
+};
+
+struct DeltaPageRankResult {
+  std::unordered_map<CellId, double> ranks;
+  compute::AsyncEngine::RunStats stats;
+};
+
+Status RunDeltaPageRank(graph::Graph* graph,
+                        const DeltaPageRankOptions& options,
+                        DeltaPageRankResult* result);
 
 }  // namespace trinity::algos
 

@@ -15,7 +15,35 @@ double SsspEdgeWeight(CellId u, CellId v, std::uint64_t weight_range) {
 
 Status RunSssp(graph::Graph* graph, CellId source, const SsspOptions& options,
                SsspResult* result) {
-  compute::AsyncEngine engine(graph, options.async);
+  compute::AsyncEngine::Options async = options.async;
+  if (options.delta_scheduling) {
+    // Tentative distances coalesce by min — the only candidate worth
+    // relaxing is the best one seen so far.
+    async.combiner = [](std::string* accumulated, Slice message) {
+      double acc = 0, candidate = 0;
+      std::memcpy(&acc, accumulated->data(), 8);
+      std::memcpy(&candidate, message.data(), 8);
+      if (candidate < acc) {
+        std::memcpy(accumulated->data(), &candidate, 8);
+      }
+    };
+    // Priority = how much this candidate improves the settled distance;
+    // unreached vertices are infinitely urgent. Non-improving candidates
+    // score <= 0, so any epsilon > 0 drops them at the queue door instead
+    // of spending an update to discard them as stale.
+    async.priority = [](CellId, Slice delta, Slice value) {
+      double candidate = 0;
+      std::memcpy(&candidate, delta.data(), 8);
+      if (value.size() != 8) {
+        return std::numeric_limits<double>::infinity();
+      }
+      double current = 0;
+      std::memcpy(&current, value.data(), 8);
+      return current - candidate;
+    };
+    if (async.priority_epsilon <= 0) async.priority_epsilon = 1e-12;
+  }
+  compute::AsyncEngine engine(graph, async);
   const double zero = 0.0;
   Status s = engine.Seed(source,
                          Slice(reinterpret_cast<const char*>(&zero), 8));

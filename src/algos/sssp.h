@@ -17,6 +17,13 @@ struct SsspOptions {
   compute::AsyncEngine::Options async;
   /// Weights are 1 + Mix64(u^v) % weight_range (1 = unweighted BFS).
   std::uint64_t weight_range = 8;
+  /// Delta scheduling (docs/async_scheduling.md): install a min-combiner —
+  /// concurrent candidate distances for a vertex coalesce into the best one
+  /// — and an improvement priority (current distance minus candidate, +inf
+  /// for unreached vertices), enabling priority/sweep modes and epsilon
+  /// dropping of non-improving relaxations. Off by default: the classic
+  /// one-message-per-relaxation fifo behavior is kept bit-identical.
+  bool delta_scheduling = false;
 };
 
 struct SsspResult {

@@ -13,6 +13,25 @@ void AsyncEngine::Context::Send(CellId target, Slice message) {
 
 AsyncEngine::AsyncEngine(graph::Graph* graph, Options options)
     : graph_(graph), options_(std::move(options)) {
+  if (options_.scheduler != SchedulerMode::kFifo && !options_.combiner) {
+    config_error_ = Status::InvalidArgument(
+        "priority/sweep scheduling requires a combiner (delta cache)");
+  } else if (options_.scheduler == SchedulerMode::kPriority &&
+             !options_.priority) {
+    config_error_ = Status::InvalidArgument(
+        "priority scheduling requires a priority function");
+  } else if (options_.priority_epsilon > 0 && !options_.priority) {
+    config_error_ = Status::InvalidArgument(
+        "priority_epsilon requires a priority function");
+  }
+  if (!config_error_.ok()) {
+    // Degrade to a safe raw fifo so Seed()-before-Run() cannot trip over
+    // the inconsistent combination; Run() reports the error.
+    options_.scheduler = SchedulerMode::kFifo;
+    options_.combiner = nullptr;
+    options_.priority = nullptr;
+    options_.priority_epsilon = 0;
+  }
   cloud::MemoryCloud* cloud = graph_->cloud();
   num_slaves_ = cloud->num_slaves();
   machines_.resize(num_slaves_);
@@ -30,13 +49,21 @@ AsyncEngine::AsyncEngine(graph::Graph* graph, Options options)
   }
   if (threads < 1) threads = 1;
   pool_ = std::make_unique<ThreadPool>(threads);
+  VertexScheduler::Options sched;
+  sched.mode = options_.scheduler;
+  sched.combiner = options_.combiner;
+  sched.priority = options_.priority;
+  sched.priority_epsilon = options_.priority_epsilon;
   net::Fabric& fabric = cloud->fabric();
   for (MachineId m = 0; m < num_slaves_; ++m) {
+    machines_[m].scheduler.Configure(sched);
     machines_[m].outboxes.resize(num_slaves_);
     fabric.RegisterAsyncHandler(
         m, cloud::kAsyncUpdateHandler, [this, m](MachineId, Slice payload) {
           // One payload packs many updates. Each record makes the machine
-          // black (Safra) and settles one unit of the sender's deficit.
+          // black (Safra) and settles one unit of the sender's deficit —
+          // before the scheduler coalesces or epsilon-drops it, so retired
+          // messages count as settled and never skew termination detection.
           ForEachPackedRecord(payload,
                               [this, m](CellId target, Slice message) {
                                 machines_[m].black = true;
@@ -47,11 +74,13 @@ AsyncEngine::AsyncEngine(graph::Graph* graph, Options options)
   }
   // Discard updates stranded in the fabric's pair buffers by a previous
   // engine's aborted run: they drain into the handlers just registered, and
-  // replaying that stale work would skew the Safra deficit counters. This
+  // replaying that stale work would skew the Safra deficit counters. The
+  // scheduler Clear() covers the raw queue AND the delta cache / priority
+  // index / sweep cursor, so no stale delta survives into this run. This
   // runs before Seed() so seeded updates are never touched.
   fabric.FlushAll();
   for (MachineState& state : machines_) {
-    state.queue.clear();
+    state.scheduler.Clear();
     state.deficit = 0;
     state.black = false;
   }
@@ -74,7 +103,16 @@ Status AsyncEngine::CheckClusterHealthy() const {
 
 void AsyncEngine::EnqueueLocal(MachineId machine, CellId target,
                                Slice message) {
-  machines_[machine].queue.push_back(Update{target, message.ToString()});
+  MachineState& state = machines_[machine];
+  Slice value;
+  if (options_.priority) {
+    auto it = state.values.find(target);
+    // Lookup only — inserting here would materialize empty values for
+    // vertices that were queued but never processed (visible through
+    // ForEachValue and snapshots).
+    if (it != state.values.end()) value = Slice(it->second);
+  }
+  state.scheduler.Offer(target, message, value);
 }
 
 void AsyncEngine::SendUpdate(MachineId src, CellId target, Slice message) {
@@ -124,7 +162,7 @@ bool AsyncEngine::SafraProbe(bool require_idle_queues) {
   bool token_black = false;
   for (MachineId m = 0; m < num_slaves_; ++m) {
     MachineState& state = machines_[m];
-    if (require_idle_queues && !state.queue.empty()) {
+    if (require_idle_queues && !state.scheduler.empty()) {
       return false;  // Active machine: abort probe.
     }
     token_count += state.deficit;
@@ -136,8 +174,28 @@ bool AsyncEngine::SafraProbe(bool require_idle_queues) {
 
 Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
   *stats = RunStats();
+  if (!config_error_.ok()) return config_error_;
   net::Fabric& fabric = graph_->cloud()->fabric();
   fabric.ResetMeters();
+  const Status result = RunLoop(handler, stats);
+  // Fold the per-machine scheduler counters and the fabric meters into the
+  // stats on every exit path, so aborted runs stay explainable too.
+  for (const MachineState& state : machines_) {
+    const VertexScheduler::Stats& s = state.scheduler.stats();
+    stats->messages += s.offered;
+    stats->coalesced_updates += s.coalesced;
+    stats->epsilon_dropped += s.dropped;
+    stats->heap_ops += state.scheduler.heap_ops();
+  }
+  const net::NetworkStats net = fabric.stats();
+  stats->wire_bytes = net.bytes;
+  stats->wire_transfers = net.transfers;
+  stats->modeled_seconds = options_.cost_model.PhaseSeconds(fabric);
+  return result;
+}
+
+Status AsyncEngine::RunLoop(const Handler& handler, RunStats* stats) {
+  net::Fabric& fabric = graph_->cloud()->fabric();
   std::uint64_t since_snapshot = 0;
   Status failure;
   for (;;) {
@@ -146,8 +204,36 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
     // detect the crash itself here, once per scheduling sweep.
     Status healthy = CheckClusterHealthy();
     if (!healthy.ok()) return healthy;
-    // Parallel scheduling sweep: every machine drains up to batch_size
-    // updates from its own queue on a pool worker. Workers touch only their
+    // Per-update max_updates enforcement: carve this sweep's per-machine
+    // budgets out of the remaining allowance serially (machine 0 first) so
+    // the valve can never overshoot and budgeting stays deterministic.
+    std::uint64_t allowance = options_.max_updates > stats->updates
+                                  ? options_.max_updates - stats->updates
+                                  : 0;
+    const std::uint64_t full_batch =
+        static_cast<std::uint64_t>(options_.batch_size);
+    if (allowance / full_batch >= static_cast<std::uint64_t>(num_slaves_)) {
+      // The limit cannot bind this sweep: every machine gets a full batch.
+      // (This is also the pre-scheduler engine's sweep shape — a machine may
+      // process work enqueued locally *during* the sweep, which a
+      // size-capped budget would forbid — so the fifo bit-identical
+      // guarantee rides on this branch.)
+      for (MachineState& state : machines_) state.sweep_budget = full_batch;
+    } else {
+      // Scarce allowance: carve it serially (machine 0 first) against each
+      // machine's actual pending count — an idle machine must not swallow
+      // allowance and starve the machines that hold work. Processed counts
+      // never exceed the budgets, so the valve cannot overshoot, and both
+      // inputs are deterministic, so truncation is too.
+      for (MachineState& state : machines_) {
+        state.sweep_budget = std::min<std::uint64_t>(
+            std::min<std::uint64_t>(full_batch, state.scheduler.size()),
+            allowance);
+        allowance -= state.sweep_budget;
+      }
+    }
+    // Parallel scheduling sweep: every machine drains up to its budget from
+    // its own scheduler on a pool worker. Workers touch only their
     // machine's state and outboxes, so the sweep is lock-free; the
     // ParallelFor join is the sweep barrier.
     pool_->ParallelFor(num_slaves_, [&](int mi) {
@@ -157,22 +243,23 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
       state.sweep_updates = 0;
       net::Fabric::MeterScope meter(fabric, m);
       storage::MemoryStorage* store = graph_->cloud()->storage(m);
-      for (int i = 0; i < options_.batch_size && !state.queue.empty(); ++i) {
-        Update update = std::move(state.queue.front());
-        state.queue.pop_front();
+      CellId vertex = kInvalidCell;
+      std::string delta;
+      for (std::uint64_t i = 0; i < state.sweep_budget; ++i) {
+        if (!state.scheduler.Pop(&vertex, &delta)) break;
         Context ctx;
         ctx.engine_ = this;
         ctx.machine_ = m;
-        ctx.vertex_ = update.vertex;
-        ctx.value_ = &state.values[update.vertex];
+        ctx.vertex_ = vertex;
+        ctx.value_ = &state.values[vertex];
         Status vs = graph_->VisitLocalNode(
-            store, update.vertex,
+            store, vertex,
             [&](Slice data, const CellId*, std::size_t, const CellId* out,
                 std::size_t out_count) {
               ctx.data_ = data;
               ctx.out_ = out;
               ctx.out_count_ = out_count;
-              handler(ctx, Slice(update.message));
+              handler(ctx, Slice(delta));
             });
         if (!vs.ok() && !vs.IsNotFound()) state.sweep_status = vs;
         ++state.sweep_updates;
@@ -186,13 +273,24 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
       processed_any = processed_any || state.sweep_updates > 0;
     }
     if (!failure.ok()) return failure;
-    if (stats->updates >= options_.max_updates) {
-      return Status::Aborted("async update limit reached");
-    }
     // Asynchronous delivery: drain the packed outboxes, then anything the
     // fabric still buffers.
     FlushOutboxes();
     fabric.FlushAll();
+    // The safety valve fires only when the limit is spent AND work remains
+    // (all in-flight messages just drained into the schedulers, so scheduler
+    // emptiness is the complete picture). A run that finishes exactly at
+    // the limit is left to Safra to certify as a normal termination.
+    if (stats->updates >= options_.max_updates) {
+      for (const MachineState& state : machines_) {
+        if (!state.scheduler.empty()) {
+          return Status::ResourceExhausted(
+              "async max_updates limit (" +
+              std::to_string(options_.max_updates) +
+              ") reached with work still pending");
+        }
+      }
+    }
     // Periodic interruption + snapshot (§6.2).
     if (options_.snapshot_interval > 0 && options_.tfs != nullptr &&
         since_snapshot >= options_.snapshot_interval) {
@@ -220,7 +318,6 @@ Status AsyncEngine::Run(const Handler& handler, RunStats* stats) {
       ++stats->safra_rejections;
     }
   }
-  stats->modeled_seconds = options_.cost_model.PhaseSeconds(fabric);
   return Status::OK();
 }
 

@@ -2,7 +2,6 @@
 #define TRINITY_COMPUTE_ASYNC_ENGINE_H_
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 #include <string>
@@ -12,6 +11,7 @@
 #include "common/status.h"
 #include "common/threadpool.h"
 #include "compute/packed_messages.h"
+#include "compute/scheduler.h"
 #include "graph/graph.h"
 #include "net/cost_model.h"
 #include "tfs/tfs.h"
@@ -22,6 +22,13 @@ namespace trinity::compute {
 /// as they arrive with no superstep barrier — the model GraphChi supports
 /// and Trinity also offers ("Trinity can adopt any computation model").
 /// Classic uses: delta-PageRank, asynchronous SSSP relaxation.
+///
+/// The work queue is a pluggable per-machine `VertexScheduler`
+/// (docs/async_scheduling.md): fifo replays the classic message deque, while
+/// priority / sweep modes add GraphLab-style delta caching — incoming
+/// messages fold into one accumulated delta per vertex via a user combiner,
+/// ordered by a user priority function, with sub-`priority_epsilon` work
+/// dropped instead of queued.
 ///
 /// Fault tolerance follows §6.2's asynchronous path exactly: checkpoints
 /// cannot be cut mid-flight, so the engine periodically issues an
@@ -47,10 +54,26 @@ class AsyncEngine {
     /// remote updates travel as packed payloads drained at the sweep
     /// barrier in canonical (source machine, arrival order) order.
     int num_threads = 0;
-    /// Safety valve against non-terminating programs. Checked at sweep
-    /// granularity (a sweep processes at most batch_size updates per
-    /// machine), so a run may overshoot by one sweep before aborting.
+    /// Safety valve against non-terminating programs. Enforced per update:
+    /// each sweep's per-machine budgets are carved out of the remaining
+    /// allowance up front (machine 0 first), so a run never processes more
+    /// than this many updates. Hitting the valve with work still pending
+    /// returns ResourceExhausted naming the limit.
     std::uint64_t max_updates = 100'000'000;
+    /// Work-queue discipline. kPriority and kSweep require `combiner`;
+    /// kPriority also requires `priority`.
+    SchedulerMode scheduler = SchedulerMode::kFifo;
+    /// Delta caching: fold all pending messages for a vertex into one
+    /// accumulated delta (at most one queue entry per vertex). The handler
+    /// then receives the folded delta instead of individual messages.
+    DeltaCombiner combiner;
+    /// Priority of a pending delta (bigger runs sooner). Used for ordering
+    /// in kPriority mode and for epsilon dropping in every mode.
+    PriorityFn priority;
+    /// With a priority function, pending work whose priority falls below
+    /// this threshold is dropped instead of queued (GraphLab's convergence
+    /// threshold). 0 disables dropping.
+    double priority_epsilon = 0;
   };
 
   /// Context handed to the update handler.
@@ -77,11 +100,24 @@ class AsyncEngine {
     std::string* value_ = nullptr;
   };
 
-  /// Processes one update message for one vertex.
+  /// Processes one update for one vertex: an individual message (no
+  /// combiner) or the vertex's accumulated delta (with one).
   using Handler = std::function<void(Context&, Slice message)>;
 
   struct RunStats {
-    std::uint64_t updates = 0;
+    std::uint64_t updates = 0;  ///< Handler invocations.
+    /// Logical messages delivered to the schedulers (local + remote),
+    /// including those later coalesced or dropped.
+    std::uint64_t messages = 0;
+    /// Messages folded into an already-pending delta — work the scheduler
+    /// retired without a handler invocation.
+    std::uint64_t coalesced_updates = 0;
+    /// Pending work dropped below priority_epsilon.
+    std::uint64_t epsilon_dropped = 0;
+    /// Priority-index element moves (heap maintenance cost).
+    std::uint64_t heap_ops = 0;
+    std::uint64_t wire_bytes = 0;      ///< Fabric payload bytes (remote).
+    std::uint64_t wire_transfers = 0;  ///< Fabric physical transfers.
     int safra_probes = 0;        ///< Token rounds launched.
     int safra_rejections = 0;    ///< Probes that found residual activity.
     int snapshots = 0;
@@ -104,13 +140,8 @@ class AsyncEngine {
       const std::function<void(CellId, const std::string&)>& fn) const;
 
  private:
-  struct Update {
-    CellId vertex;
-    std::string message;
-  };
-
   struct MachineState {
-    std::deque<Update> queue;
+    VertexScheduler scheduler;
     std::unordered_map<CellId, std::string> values;
     /// Safra bookkeeping: message deficit (sent - received) and color.
     std::int64_t deficit = 0;
@@ -121,6 +152,9 @@ class AsyncEngine {
     /// Per-machine outcome of the parallel sweep.
     Status sweep_status;
     std::uint64_t sweep_updates = 0;
+    /// This sweep's update allowance (≤ batch_size; ≤ the global
+    /// max_updates remainder).
+    std::uint64_t sweep_budget = 0;
   };
 
   MachineId OwnerOf(CellId vertex) const;
@@ -139,9 +173,15 @@ class AsyncEngine {
   /// condition the snapshot path needs while work is merely paused.
   bool SafraProbe(bool require_idle_queues);
   Status WriteSnapshot(int index);
+  /// The scheduling loop; Run() wraps it so scheduler counters and fabric
+  /// meters land in `stats` on every exit path.
+  Status RunLoop(const Handler& handler, RunStats* stats);
 
   graph::Graph* graph_;
   Options options_;
+  /// Set when the Options combination is inconsistent (e.g. priority mode
+  /// without a combiner); reported by Run().
+  Status config_error_;
   std::vector<MachineState> machines_;
   std::vector<MachineId> trunk_owner_;
   /// owns_trunks_[m]: machine m hosts at least one trunk (precomputed so

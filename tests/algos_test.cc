@@ -149,6 +149,74 @@ TEST(SsspTest, MatchesDijkstraReference) {
   EXPECT_GT(result.stats.updates, 0u);
 }
 
+TEST(DeltaPageRankTest, ReachesTheBspFixedPoint) {
+  // The delta formulation's fixed point r(v) = (1-d)/n + d*sum r(u)/outdeg(u)
+  // is the same one power iteration converges to — run both to convergence
+  // and compare vertex by vertex.
+  Fixture bsp_f = NewGraph();
+  ASSERT_TRUE(
+      graph::Generators::LoadRmat(bsp_f.graph.get(), 256, 6.0, 4).ok());
+  PageRankOptions bsp_options;
+  bsp_options.iterations = 200;
+  bsp_options.convergence_epsilon = 1e-10;
+  PageRankResult bsp;
+  ASSERT_TRUE(RunPageRank(bsp_f.graph.get(), bsp_options, &bsp).ok());
+
+  for (compute::SchedulerMode mode :
+       {compute::SchedulerMode::kFifo, compute::SchedulerMode::kPriority,
+        compute::SchedulerMode::kSweep}) {
+    Fixture f = NewGraph();
+    ASSERT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 6.0, 4).ok());
+    DeltaPageRankOptions options;
+    options.epsilon = 1e-12;
+    options.async.scheduler = mode;
+    DeltaPageRankResult delta;
+    ASSERT_TRUE(RunDeltaPageRank(f.graph.get(), options, &delta).ok());
+    ASSERT_EQ(delta.ranks.size(), bsp.ranks.size());
+    for (const auto& [vertex, rank] : bsp.ranks) {
+      auto it = delta.ranks.find(vertex);
+      ASSERT_NE(it, delta.ranks.end()) << "vertex " << vertex;
+      EXPECT_NEAR(it->second, rank, 1e-6)
+          << "vertex " << vertex << " mode " << static_cast<int>(mode);
+    }
+    EXPECT_GT(delta.stats.coalesced_updates, 0u);
+    EXPECT_GT(delta.stats.epsilon_dropped, 0u);
+    if (mode == compute::SchedulerMode::kPriority) {
+      EXPECT_GT(delta.stats.heap_ops, 0u);
+    }
+  }
+}
+
+TEST(SsspTest, DeltaSchedulingMatchesClassic) {
+  auto run = [](bool delta, compute::SchedulerMode mode) {
+    Fixture f = NewGraph();
+    const auto edges = graph::Generators::Uniform(200, 5.0, 31);
+    EXPECT_TRUE(graph::Generators::Load(f.graph.get(), edges, false, 0).ok());
+    SsspOptions options;
+    options.weight_range = 8;
+    options.delta_scheduling = delta;
+    options.async.scheduler = mode;
+    SsspResult result;
+    EXPECT_TRUE(RunSssp(f.graph.get(), 0, options, &result).ok());
+    return result;
+  };
+  const SsspResult classic = run(false, compute::SchedulerMode::kFifo);
+  for (compute::SchedulerMode mode :
+       {compute::SchedulerMode::kFifo, compute::SchedulerMode::kPriority,
+        compute::SchedulerMode::kSweep}) {
+    const SsspResult delta = run(true, mode);
+    ASSERT_EQ(delta.distances.size(), classic.distances.size())
+        << "mode " << static_cast<int>(mode);
+    for (const auto& [vertex, distance] : classic.distances) {
+      auto it = delta.distances.find(vertex);
+      ASSERT_NE(it, delta.distances.end()) << "vertex " << vertex;
+      // Weights are small integers, so equal shortest distances are exact.
+      EXPECT_EQ(it->second, distance)
+          << "vertex " << vertex << " mode " << static_cast<int>(mode);
+    }
+  }
+}
+
 TEST(WccTest, FindsComponents) {
   Fixture f = NewGraph();
   // Two components: {0,1,2} chained, {10,11} chained, {20} isolated.

@@ -382,6 +382,116 @@ TEST_P(AsyncChaosTest, MaxLabelPropagationSurvivesCrash) {
 INSTANTIATE_TEST_SUITE_P(Seeds, AsyncChaosTest,
                          ::testing::Range<std::uint64_t>(1, 9));
 
+// Prioritized-delta crash hygiene: an aborted prioritized run leaves work
+// in the delta caches / priority indexes and packed updates in the fabric
+// pair buffers. The next engine's constructor must drain and Clear ALL of
+// it — if any stale delta survived, the post-heal run would replay it and
+// its update count would drift from the fault-free baseline pinned here
+// (the engine is deterministic for a fixed seed + scheduler, so the counts
+// must match exactly).
+TEST_P(AsyncChaosTest, PrioritizedDeltaCrashLeavesNoStaleDeltas) {
+  const std::uint64_t seed = GetParam() + SeedOffset();
+  SCOPED_TRACE("chaos seed " + std::to_string(seed));
+
+  const std::uint64_t kLabel = 1000;
+  compute::AsyncEngine::Options aopts;
+  aopts.scheduler = compute::SchedulerMode::kPriority;
+  // Concurrent label candidates coalesce into the strongest one; the
+  // strongest pending label is the most urgent work.
+  aopts.combiner = [](std::string* accumulated, Slice message) {
+    std::uint64_t acc = 0, candidate = 0;
+    std::memcpy(&acc, accumulated->data(), 8);
+    std::memcpy(&candidate, message.data(), 8);
+    if (candidate > acc) std::memcpy(accumulated->data(), &candidate, 8);
+  };
+  aopts.priority = [](CellId, Slice delta, Slice) {
+    std::uint64_t label = 0;
+    std::memcpy(&label, delta.data(), 8);
+    return static_cast<double>(label);
+  };
+  auto handler = [](compute::AsyncEngine::Context& ctx, Slice message) {
+    std::uint64_t label = 0;
+    std::memcpy(&label, message.data(), 8);
+    std::uint64_t current = 0;
+    if (ctx.value().size() == 8) {
+      std::memcpy(&current, ctx.value().data(), 8);
+    }
+    if (label <= current) return;
+    ctx.value().assign(reinterpret_cast<const char*>(&label), 8);
+    char buf[8];
+    std::memcpy(buf, &label, 8);
+    for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+      ctx.Send(ctx.out()[i], Slice(buf, 8));
+    }
+  };
+
+  // Fault-free baseline on an identical, uninjected cluster.
+  compute::AsyncEngine::RunStats baseline;
+  {
+    ChaosCluster quiet = NewCluster("delta_base", seed);
+    graph::Graph::Options gopts;
+    gopts.track_inlinks = false;
+    graph::Graph graph(quiet.cloud.get(), gopts);
+    BuildPageRankGraph(&graph);
+    compute::AsyncEngine engine(&graph, aopts);
+    char buf[8];
+    std::memcpy(buf, &kLabel, 8);
+    ASSERT_TRUE(engine.Seed(0, Slice(buf, 8)).ok());
+    ASSERT_TRUE(engine.Run(handler, &baseline).ok());
+  }
+
+  ChaosCluster c = NewCluster("delta_chaos", seed);
+  graph::Graph::Options gopts;
+  gopts.track_inlinks = false;
+  graph::Graph graph(c.cloud.get(), gopts);
+  BuildPageRankGraph(&graph);
+  ASSERT_TRUE(c.cloud->SaveSnapshot().ok());
+
+  Random rng(seed * 0x9e3779b97f4a7c15ULL + 11);
+  const MachineId victim =
+      static_cast<MachineId>(rng.Uniform(c.cloud->num_slaves()));
+  c.injector->CrashAfter(victim, 1 + rng.Uniform(60));
+
+  bool done = false;
+  for (int attempt = 0; attempt < 6 && !done; ++attempt) {
+    compute::AsyncEngine engine(&graph, aopts);
+    char buf[8];
+    std::memcpy(buf, &kLabel, 8);
+    ASSERT_TRUE(engine.Seed(0, Slice(buf, 8)).ok());
+    compute::AsyncEngine::RunStats stats;
+    Status s = engine.Run(handler, &stats);
+    if (s.ok()) {
+      int labeled = 0;
+      engine.ForEachValue([&](CellId, const std::string& value) {
+        std::uint64_t label = 0;
+        ASSERT_EQ(value.size(), 8u);
+        std::memcpy(&label, value.data(), 8);
+        if (label == kLabel) ++labeled;
+      });
+      EXPECT_EQ(labeled, kPrVertices) << "seed " << seed;
+      // Two stale-delta detectors. Conservation: every update the engine
+      // processed must trace back to a message offered during THIS run — a
+      // stale entry surviving the constructor's Clear would be popped
+      // without ever being offered, breaking the identity. Totals: with a
+      // fresh value map every vertex improves exactly once, so the offered
+      // total is graph-determined (1 seed + each labeled vertex fanning out
+      // once); replayed stale deltas would re-propagate and inflate it.
+      // (Exact per-meter equality is deliberately NOT asserted: recovery
+      // may move trunks, which legally reshapes the coalescing pattern.)
+      EXPECT_EQ(stats.updates + stats.coalesced_updates +
+                    stats.epsilon_dropped,
+                stats.messages)
+          << "seed " << seed;
+      EXPECT_EQ(stats.messages, baseline.messages) << "seed " << seed;
+      done = true;
+      break;
+    }
+    ASSERT_TRUE(s.IsUnavailable()) << "seed " << seed << ": " << s.message();
+    HealCluster(c);
+  }
+  ASSERT_TRUE(done) << "seed " << seed << ": run never completed";
+}
+
 // ------------------------------------------------------- Replication: KV
 
 class ReplicatedKvChaosTest : public ::testing::TestWithParam<std::uint64_t> {

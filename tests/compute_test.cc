@@ -2,15 +2,20 @@
 
 #include <unistd.h>
 
+#include <cmath>
 #include <cstring>
 #include <filesystem>
+#include <limits>
 #include <map>
 #include <queue>
 #include <set>
 
+#include "algos/pagerank.h"
+#include "common/hash.h"
 #include "compute/async_engine.h"
 #include "compute/bsp.h"
 #include "compute/message_optimizer.h"
+#include "compute/scheduler.h"
 #include "compute/traversal.h"
 #include "graph/generators.h"
 
@@ -578,7 +583,7 @@ TEST(AsyncEngineTest, SnapshotsWrittenPeriodically) {
   }
 }
 
-TEST(AsyncEngineTest, UpdateLimitAborts) {
+TEST(AsyncEngineTest, UpdateLimitIsExactAndDistinct) {
   Fixture f = NewGraph();
   BuildChain(f.graph.get());
   AsyncEngine::Options options;
@@ -594,7 +599,354 @@ TEST(AsyncEngineTest, UpdateLimitAborts) {
         }
       },
       &stats);
-  EXPECT_TRUE(s.IsAborted());
+  // The safety valve is enforced per update (budgeted before each sweep),
+  // so the run stops at exactly the limit — no machines×batch_size
+  // overshoot — and reports a distinct terminal status naming it.
+  EXPECT_TRUE(s.IsResourceExhausted()) << s.ToString();
+  EXPECT_EQ(stats.updates, 3u);
+  EXPECT_NE(s.message().find("max_updates limit (3)"), std::string::npos)
+      << s.message();
+}
+
+TEST(AsyncEngineTest, RunAtExactlyTheLimitTerminatesNormally) {
+  // A program whose natural termination coincides with the limit is not a
+  // limit hit: no work is pending, so Safra certifies a normal finish.
+  Fixture f = NewGraph();
+  BuildChain(f.graph.get());
+  AsyncEngine::Options options;
+  options.max_updates = 1;
+  AsyncEngine engine(f.graph.get(), options);
+  ASSERT_TRUE(engine.Seed(0, Slice("once")).ok());
+  AsyncEngine::RunStats stats;
+  ASSERT_TRUE(engine.Run([](AsyncEngine::Context&, Slice) {}, &stats).ok());
+  EXPECT_EQ(stats.updates, 1u);
+}
+
+// ----------------------------------------------------- Scheduler semantics
+
+TEST(PriorityIndexTest, PopsInPriorityOrderWithIdTieBreak) {
+  PriorityIndex heap;
+  heap.PushOrUpdate(5, 1.0);
+  heap.PushOrUpdate(3, 2.0);
+  heap.PushOrUpdate(9, 2.0);  // Tie with 3: smaller id first.
+  heap.PushOrUpdate(1, 0.5);
+  EXPECT_EQ(heap.size(), 4u);
+  double p = 0;
+  EXPECT_EQ(heap.PopTop(&p), 3u);
+  EXPECT_EQ(p, 2.0);
+  EXPECT_EQ(heap.PopTop(), 9u);
+  EXPECT_EQ(heap.PopTop(), 5u);
+  EXPECT_EQ(heap.PopTop(), 1u);
+  EXPECT_TRUE(heap.empty());
+  EXPECT_GT(heap.ops(), 0u);
+}
+
+TEST(PriorityIndexTest, ChangeKeyRestoresHeapOrderBothDirections) {
+  PriorityIndex heap;
+  for (CellId v = 0; v < 64; ++v) {
+    heap.PushOrUpdate(v, static_cast<double>(v % 7));
+  }
+  // Increase-key: a mid vertex jumps to the front.
+  heap.PushOrUpdate(33, 100.0);
+  EXPECT_EQ(heap.PriorityOf(33), 100.0);
+  EXPECT_EQ(heap.PopTop(), 33u);
+  // Decrease-key: the would-be top sinks to the back.
+  CellId top = 6;  // Highest remaining priority class, smallest id: 6.
+  EXPECT_EQ(heap.PriorityOf(top), 6.0);
+  heap.PushOrUpdate(top, -1.0);
+  std::vector<CellId> order;
+  while (!heap.empty()) order.push_back(heap.PopTop());
+  EXPECT_EQ(order.back(), top);
+  // Full pop order is non-increasing in (priority, -id).
+  EXPECT_EQ(order.size(), 63u);
+}
+
+TEST(PriorityIndexTest, RemoveKeepsInvariant) {
+  PriorityIndex heap;
+  for (CellId v = 0; v < 32; ++v) {
+    heap.PushOrUpdate(v, static_cast<double>((v * 13) % 11));
+  }
+  EXPECT_TRUE(heap.Remove(17));
+  EXPECT_FALSE(heap.Remove(17));
+  EXPECT_FALSE(heap.Contains(17));
+  double last = std::numeric_limits<double>::infinity();
+  while (!heap.empty()) {
+    double p = 0;
+    heap.PopTop(&p);
+    EXPECT_LE(p, last);
+    last = p;
+  }
+}
+
+// Spoke graph: vertices 1..kSpokes all point at vertex 0.
+constexpr int kSpokes = 12;
+
+void BuildSpokes(graph::Graph* graph) {
+  for (CellId v = 0; v <= kSpokes; ++v) {
+    ASSERT_TRUE(graph->AddNode(v, Slice()).ok());
+  }
+  for (CellId v = 1; v <= kSpokes; ++v) {
+    ASSERT_TRUE(graph->AddEdge(v, 0).ok());
+  }
+}
+
+Slice EncodeI64(const std::int64_t& v) {
+  return Slice(reinterpret_cast<const char*>(&v), 8);
+}
+
+// Every scheduler mode and thread count folds coalesced messages through a
+// commutative combiner to the same total: the fold commutes, so coalescing
+// order cannot change the answer.
+TEST(AsyncEngineTest, CoalescedFoldsCommuteAcrossModes) {
+  auto run = [](SchedulerMode mode, int threads) {
+    Fixture f = NewGraph(4);
+    BuildSpokes(f.graph.get());
+    AsyncEngine::Options options;
+    options.num_threads = threads;
+    options.scheduler = mode;
+    options.combiner = [](std::string* acc, Slice msg) {
+      std::int64_t a = 0, b = 0;
+      std::memcpy(&a, acc->data(), 8);
+      std::memcpy(&b, msg.data(), 8);
+      a += b;
+      std::memcpy(acc->data(), &a, 8);
+    };
+    if (mode == SchedulerMode::kPriority) {
+      options.priority = [](CellId, Slice delta, Slice) {
+        std::int64_t v = 0;
+        std::memcpy(&v, delta.data(), 8);
+        return static_cast<double>(v);
+      };
+    }
+    AsyncEngine engine(f.graph.get(), options);
+    for (CellId v = 1; v <= kSpokes; ++v) {
+      EXPECT_TRUE(
+          engine.Seed(v, EncodeI64(static_cast<std::int64_t>(v))).ok());
+    }
+    AsyncEngine::RunStats stats;
+    EXPECT_TRUE(engine
+                    .Run(
+                        [](AsyncEngine::Context& ctx, Slice message) {
+                          std::int64_t delta = 0, sum = 0;
+                          std::memcpy(&delta, message.data(), 8);
+                          if (ctx.value().size() == 8) {
+                            std::memcpy(&sum, ctx.value().data(), 8);
+                          }
+                          sum += delta;
+                          ctx.value().assign(
+                              reinterpret_cast<const char*>(&sum), 8);
+                          if (ctx.vertex() != 0) {
+                            for (std::size_t i = 0; i < ctx.out_count();
+                                 ++i) {
+                              ctx.Send(ctx.out()[i], message);
+                            }
+                          }
+                        },
+                        &stats)
+                    .ok());
+    std::string value;
+    EXPECT_TRUE(engine.GetValue(0, &value).ok());
+    std::int64_t total = 0;
+    std::memcpy(&total, value.data(), 8);
+    // Delta caching: at most one pending entry per vertex, so the hub is
+    // processed far fewer times than it received messages.
+    EXPECT_GT(stats.coalesced_updates, 0u) << "no folds happened";
+    EXPECT_EQ(stats.messages,
+              static_cast<std::uint64_t>(kSpokes) + kSpokes);
+    return total;
+  };
+  const std::int64_t expected = kSpokes * (kSpokes + 1) / 2;  // 1+..+12.
+  for (SchedulerMode mode : {SchedulerMode::kFifo, SchedulerMode::kPriority,
+                             SchedulerMode::kSweep}) {
+    EXPECT_EQ(run(mode, 1), expected) << "mode " << static_cast<int>(mode);
+    EXPECT_EQ(run(mode, 4), expected) << "mode " << static_cast<int>(mode);
+  }
+}
+
+TEST(AsyncEngineTest, EpsilonDropNeverLosesLastWriterState) {
+  // 0 -> 1 -> 2. Both seeds carry super-threshold work; every pushed share
+  // is sub-threshold and must be dropped at the queue door — without
+  // touching the values earlier updates wrote.
+  Fixture f = NewGraph(4);
+  for (CellId v = 0; v < 3; ++v) {
+    ASSERT_TRUE(f.graph->AddNode(v, Slice()).ok());
+  }
+  ASSERT_TRUE(f.graph->AddEdge(0, 1).ok());
+  ASSERT_TRUE(f.graph->AddEdge(1, 2).ok());
+  AsyncEngine::Options options;
+  options.num_threads = 1;
+  options.scheduler = SchedulerMode::kPriority;
+  options.combiner = [](std::string* acc, Slice msg) {
+    double a = 0, b = 0;
+    std::memcpy(&a, acc->data(), 8);
+    std::memcpy(&b, msg.data(), 8);
+    a += b;
+    std::memcpy(acc->data(), &a, 8);
+  };
+  options.priority = [](CellId, Slice delta, Slice) {
+    double v = 0;
+    std::memcpy(&v, delta.data(), 8);
+    return std::abs(v);
+  };
+  options.priority_epsilon = 1.0;
+  AsyncEngine engine(f.graph.get(), options);
+  const double five = 5.0, two = 2.0;
+  ASSERT_TRUE(
+      engine.Seed(1, Slice(reinterpret_cast<const char*>(&two), 8)).ok());
+  ASSERT_TRUE(
+      engine.Seed(0, Slice(reinterpret_cast<const char*>(&five), 8)).ok());
+  AsyncEngine::RunStats stats;
+  ASSERT_TRUE(engine
+                  .Run(
+                      [](AsyncEngine::Context& ctx, Slice message) {
+                        double delta = 0, value = 0;
+                        std::memcpy(&delta, message.data(), 8);
+                        if (ctx.value().size() == 8) {
+                          std::memcpy(&value, ctx.value().data(), 8);
+                        }
+                        value += delta;
+                        ctx.value().assign(
+                            reinterpret_cast<const char*>(&value), 8);
+                        const double share = delta / 8;
+                        for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+                          ctx.Send(ctx.out()[i],
+                                   Slice(reinterpret_cast<const char*>(
+                                             &share),
+                                         8));
+                        }
+                      },
+                      &stats)
+                  .ok());
+  // Exactly the two seeds ran; both pushed shares (0.625, 0.25) dropped.
+  EXPECT_EQ(stats.updates, 2u);
+  EXPECT_EQ(stats.epsilon_dropped, 2u);
+  std::string value;
+  ASSERT_TRUE(engine.GetValue(0, &value).ok());
+  double d = 0;
+  std::memcpy(&d, value.data(), 8);
+  EXPECT_EQ(d, 5.0);
+  // Last-writer state survives the drop aimed at it.
+  ASSERT_TRUE(engine.GetValue(1, &value).ok());
+  std::memcpy(&d, value.data(), 8);
+  EXPECT_EQ(d, 2.0);
+  // A vertex that only ever received dropped work has no materialized value.
+  EXPECT_TRUE(engine.GetValue(2, &value).IsNotFound());
+}
+
+TEST(AsyncEngineTest, InvalidSchedulerConfigsAreReported) {
+  Fixture f = NewGraph(4);
+  BuildChain(f.graph.get());
+  AsyncEngine::RunStats stats;
+  auto noop = [](AsyncEngine::Context&, Slice) {};
+  {
+    AsyncEngine::Options options;
+    options.scheduler = SchedulerMode::kPriority;  // No combiner.
+    AsyncEngine engine(f.graph.get(), options);
+    EXPECT_TRUE(engine.Run(noop, &stats).IsInvalidArgument());
+  }
+  {
+    AsyncEngine::Options options;
+    options.scheduler = SchedulerMode::kPriority;
+    options.combiner = [](std::string*, Slice) {};  // No priority fn.
+    AsyncEngine engine(f.graph.get(), options);
+    EXPECT_TRUE(engine.Run(noop, &stats).IsInvalidArgument());
+  }
+  {
+    AsyncEngine::Options options;
+    options.priority_epsilon = 0.5;  // Epsilon without a priority fn.
+    AsyncEngine engine(f.graph.get(), options);
+    EXPECT_TRUE(engine.Run(noop, &stats).IsInvalidArgument());
+  }
+}
+
+// The fifo-mode determinism anchor: this workload, hash, and update count
+// were captured from the engine BEFORE the scheduler refactor (the plain
+// per-machine std::deque). Fifo mode without a combiner must stay
+// bit-identical to that engine for any thread count.
+TEST(AsyncEngineTest, FifoModeBitIdenticalToPreSchedulerEngine) {
+  constexpr std::uint64_t kGoldenHash = 0xcc71ff681b451826ULL;
+  constexpr std::uint64_t kGoldenUpdates = 152099;
+  for (int threads : {1, 8}) {
+    Fixture f = NewGraph(8);
+    ASSERT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 256, 5.0, 13).ok());
+    AsyncEngine::Options options;
+    options.num_threads = threads;
+    AsyncEngine engine(f.graph.get(), options);
+    const std::uint32_t hops = 3;
+    char seed_msg[4];
+    std::memcpy(seed_msg, &hops, 4);
+    ASSERT_TRUE(engine.Seed(0, Slice(seed_msg, 4)).ok());
+    AsyncEngine::RunStats stats;
+    ASSERT_TRUE(engine
+                    .Run(
+                        [](AsyncEngine::Context& ctx, Slice message) {
+                          std::uint32_t budget = 0;
+                          std::memcpy(&budget, message.data(), 4);
+                          // Order-sensitive: append the remaining budget in
+                          // processing order; any reordering changes some
+                          // vertex's concatenation, hence the hash.
+                          ctx.value().push_back(
+                              static_cast<char>('0' + budget));
+                          if (budget == 0) return;
+                          const std::uint32_t next = budget - 1;
+                          char buf[4];
+                          std::memcpy(buf, &next, 4);
+                          for (std::size_t i = 0; i < ctx.out_count(); ++i) {
+                            ctx.Send(ctx.out()[i], Slice(buf, 4));
+                          }
+                        },
+                        &stats)
+                    .ok());
+    EXPECT_EQ(stats.updates, kGoldenUpdates) << "threads " << threads;
+    std::map<CellId, std::string> values;
+    engine.ForEachValue([&](CellId v, const std::string& value) {
+      values[v] = value;
+    });
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const auto& [v, value] : values) {
+      h ^= HashBytes(&v, 8);
+      h *= 0x100000001b3ULL;
+      h ^= HashBytes(value.data(), value.size());
+      h *= 0x100000001b3ULL;
+    }
+    EXPECT_EQ(h, kGoldenHash) << "threads " << threads;
+  }
+}
+
+TEST(AsyncEngineTest, PriorityAndSweepParallelRunsMatchSequential) {
+  // Delta-caching modes keep the engine's bit-identical determinism
+  // guarantee: same seed + same scheduler => same bytes, at any thread
+  // count. Double folds happen in canonical arrival order, never
+  // reassociated by scheduling.
+  auto run = [](SchedulerMode mode, int threads) {
+    Fixture f = NewGraph(8, /*track_inlinks=*/false);
+    EXPECT_TRUE(graph::Generators::LoadRmat(f.graph.get(), 512, 6.0, 9).ok());
+    algos::DeltaPageRankOptions options;
+    options.epsilon = 1e-7;
+    options.async.num_threads = threads;
+    options.async.scheduler = mode;
+    algos::DeltaPageRankResult result;
+    EXPECT_TRUE(
+        algos::RunDeltaPageRank(f.graph.get(), options, &result).ok());
+    return result;
+  };
+  for (SchedulerMode mode : {SchedulerMode::kPriority,
+                             SchedulerMode::kSweep, SchedulerMode::kFifo}) {
+    const auto sequential = run(mode, 1);
+    const auto parallel = run(mode, 8);
+    ASSERT_EQ(sequential.ranks.size(), parallel.ranks.size());
+    for (const auto& [vertex, rank] : sequential.ranks) {
+      auto it = parallel.ranks.find(vertex);
+      ASSERT_NE(it, parallel.ranks.end()) << "vertex " << vertex;
+      EXPECT_EQ(it->second, rank)
+          << "vertex " << vertex << " mode " << static_cast<int>(mode);
+    }
+    EXPECT_EQ(sequential.stats.updates, parallel.stats.updates);
+    EXPECT_EQ(sequential.stats.coalesced_updates,
+              parallel.stats.coalesced_updates);
+    EXPECT_EQ(sequential.stats.epsilon_dropped,
+              parallel.stats.epsilon_dropped);
+  }
 }
 
 TEST(MessageOptimizerTest, PolicyOrderings) {
