@@ -204,12 +204,68 @@ void RunReadThroughputSweep(int argc, char* const* argv) {
   }
 }
 
+/// Trunk footprint report: the memory-hierarchy meters on a churned trunk
+/// (adds, removes, appends), with and without adjacency compression, so a
+/// run shows at a glance how live/dead/resident bytes relate and what the
+/// delta-varint codec buys (docs/memory_hierarchy.md). Rows land in
+/// BENCH_trunk_footprint.json with --json.
+void RunFootprintReport(int argc, char* const* argv) {
+  bench::JsonEmitter json("trunk_footprint", argc, argv);
+  std::printf("\n==== trunk footprint: live/dead/resident meters ====\n");
+  for (const bool compress : {false, true}) {
+    MemoryTrunk::Options options = TrunkOptions();
+    options.compress_adjacency = compress;
+    std::unique_ptr<MemoryTrunk> trunk;
+    (void)MemoryTrunk::Create(options, &trunk);
+    // Sorted adjacency cells (codec-eligible) plus churn that strands dead
+    // bytes: every third cell removed, every fifth grown.
+    for (CellId id = 0; id < 4000; ++id) {
+      graph::NodeImage node;
+      node.id = id;
+      for (CellId k = 0; k < 32; ++k) node.out.push_back(id + k * 3);
+      const std::string blob = graph::Graph::EncodeNode(node);
+      (void)trunk->AddCell(id, Slice(blob));
+    }
+    for (CellId id = 0; id < 4000; id += 3) (void)trunk->RemoveCell(id);
+    const char edge[8] = {0};
+    for (CellId id = 1; id < 4000; id += 5) {
+      (void)trunk->AppendToCell(id, Slice(edge, sizeof(edge)));
+    }
+    const auto stats = trunk->stats();
+    const double dead_ratio =
+        stats.used_bytes == 0
+            ? 0.0
+            : static_cast<double>(stats.dead_bytes) /
+                  static_cast<double>(stats.used_bytes);
+    std::printf(
+        "compress=%d  live=%llu B  dead=%llu B (%.1f%% of used)  "
+        "resident=%llu B  compressed_cells=%llu (%llu B stored)\n",
+        compress ? 1 : 0, static_cast<unsigned long long>(stats.live_bytes),
+        static_cast<unsigned long long>(stats.dead_bytes), 100 * dead_ratio,
+        static_cast<unsigned long long>(stats.resident_bytes),
+        static_cast<unsigned long long>(stats.compressed_cells),
+        static_cast<unsigned long long>(stats.compressed_bytes));
+    json.BeginRow("trunk_footprint");
+    json.Add("compress_adjacency", compress);
+    json.Add("live_cells", stats.live_cells);
+    json.Add("live_bytes", stats.live_bytes);
+    json.Add("dead_bytes", stats.dead_bytes);
+    json.Add("dead_ratio", dead_ratio);
+    json.Add("resident_bytes", stats.resident_bytes);
+    json.Add("used_bytes", stats.used_bytes);
+    json.Add("reserved_slack", stats.reserved_slack);
+    json.Add("compressed_cells", stats.compressed_cells);
+    json.Add("compressed_bytes", stats.compressed_bytes);
+  }
+}
+
 }  // namespace
 }  // namespace trinity::storage
 
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   trinity::storage::RunReadThroughputSweep(argc, argv);
+  trinity::storage::RunFootprintReport(argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

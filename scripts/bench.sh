@@ -16,6 +16,7 @@ BENCHES=(
   bench_fig12b_pagerank
   bench_fig12c_bfs
   bench_fig12d_giraph_pagerank
+  bench_outofcore
   bench_serving
   bench_triangles
   bench_txn

@@ -52,7 +52,18 @@ Status MemoryCloud::Create(const Options& options,
     return Status::InvalidArgument(
         "replication subsumes buffered logging; enable only one");
   }
-  std::unique_ptr<MemoryCloud> cloud(new MemoryCloud(options));
+  Options resolved = options;
+  if (resolved.storage.trunk.memory_budget > 0 &&
+      resolved.storage.trunk.cold_tfs == nullptr) {
+    // Auto-wire the cold tier onto the cloud's TFS: every trunk spills
+    // under <tfs_prefix>/cold (each gets a unique sub-prefix on its own).
+    if (resolved.tfs == nullptr) {
+      return Status::InvalidArgument("trunk memory budget requires a tfs");
+    }
+    resolved.storage.trunk.cold_tfs = resolved.tfs;
+    resolved.storage.trunk.cold_prefix = resolved.tfs_prefix + "/cold";
+  }
+  std::unique_ptr<MemoryCloud> cloud(new MemoryCloud(resolved));
   Status s = cloud->Init();
   if (!s.ok()) return s;
   *out = std::move(cloud);
@@ -410,6 +421,42 @@ std::uint64_t MemoryCloud::TotalCellCount() const {
     if (alive_[m].load(std::memory_order_acquire) && store != nullptr) {
       total += store->TotalCellCount();
     }
+  }
+  return total;
+}
+
+storage::MemoryTrunk::Stats MemoryCloud::AggregateTrunkStats() const {
+  storage::MemoryTrunk::Stats total;
+  for (int m = 0; m < options_.num_slaves; ++m) {
+    auto store = StorageOf(m);
+    if (!alive_[m].load(std::memory_order_acquire) || store == nullptr) {
+      continue;
+    }
+    const storage::MemoryTrunk::Stats s = store->AggregateTrunkStats();
+    total.live_cells += s.live_cells;
+    total.live_bytes += s.live_bytes;
+    total.reserved_slack += s.reserved_slack;
+    total.dead_bytes += s.dead_bytes;
+    total.used_bytes += s.used_bytes;
+    total.resident_bytes += s.resident_bytes;
+    total.committed_bytes += s.committed_bytes;
+    total.capacity += s.capacity;
+    total.defrag_passes += s.defrag_passes;
+    total.cells_moved += s.cells_moved;
+    total.expansions_in_place += s.expansions_in_place;
+    total.expansions_relocated += s.expansions_relocated;
+    total.compressed_cells += s.compressed_cells;
+    total.compressed_bytes += s.compressed_bytes;
+    total.spilled_cells += s.spilled_cells;
+    total.spilled_bytes += s.spilled_bytes;
+    total.cells_evicted += s.cells_evicted;
+    total.cells_faulted += s.cells_faulted;
+    total.cold_bytes_written += s.cold_bytes_written;
+    total.cold_bytes_read += s.cold_bytes_read;
+    total.shared_reads += s.shared_reads;
+    total.read_lock_contended += s.read_lock_contended;
+    total.write_lock_contended += s.write_lock_contended;
+    total.cell_lock_contended += s.cell_lock_contended;
   }
   return total;
 }

@@ -220,6 +220,12 @@ class MemoryCloud {
   std::uint64_t MemoryFootprintBytes() const;
   std::uint64_t TotalCellCount() const;
 
+  /// Memory-hierarchy meters summed over every alive slave's primary
+  /// trunks: resident/compressed/spilled bytes, faults, evictions (see
+  /// MemoryTrunk::Stats). Benchmarks and capacity dashboards read this to
+  /// watch the compressed + out-of-core footprint cloud-wide.
+  storage::MemoryTrunk::Stats AggregateTrunkStats() const;
+
   // --- Fault tolerance ----------------------------------------------------
   /// Persists all trunks and the primary addressing table to TFS and
   /// truncates buffered logs. Requires options.tfs.

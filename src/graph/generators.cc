@@ -197,7 +197,7 @@ std::string Generators::NameFor(CellId id, std::uint64_t seed) {
 }
 
 Status Generators::Load(Graph* graph, const EdgeList& edges, bool with_names,
-                        std::uint64_t seed) {
+                        std::uint64_t seed, bool sort_adjacency) {
   // Build the full adjacency in memory, then bulk-write one cell per node.
   std::vector<std::vector<CellId>> out(edges.num_nodes);
   std::vector<std::vector<CellId>> in;
@@ -220,6 +220,10 @@ Status Generators::Load(Graph* graph, const EdgeList& edges, bool with_names,
     if (with_names) node.data = NameFor(v, seed);
     node.out = std::move(out[v]);
     if (track_in) node.in = std::move(in[v]);
+    if (sort_adjacency) {
+      std::sort(node.out.begin(), node.out.end());
+      std::sort(node.in.begin(), node.in.end());
+    }
     // Issue from the slave that owns the node so bulk load is local.
     MachineId src = cloud->MachineOf(v);
     if (src < 0 || src >= slaves) src = cloud->client_id();

@@ -66,8 +66,12 @@ class Generators {
   /// node's full adjacency in memory, then writes one cell per node. Loading
   /// is issued round-robin from every slave so build-time metering spreads.
   /// `with_names` stores NameFor(id) as node data (people search).
+  /// `sort_adjacency` sorts each node's neighbor lists before writing —
+  /// opt-in because it changes list order for algorithms that care; sorted
+  /// lists are what the trunk's delta-varint codec can compress
+  /// (Options::compress_adjacency), so out-of-core benchmarks load with it.
   static Status Load(Graph* graph, const EdgeList& edges, bool with_names,
-                     std::uint64_t seed = 0);
+                     std::uint64_t seed = 0, bool sort_adjacency = false);
 
   /// Convenience: generate + load an R-MAT graph.
   static Status LoadRmat(Graph* graph, std::uint64_t num_nodes,

@@ -1,0 +1,170 @@
+#include "storage/cell_codec.h"
+
+#include <cstring>
+
+namespace trinity::storage {
+
+namespace {
+
+/// Raw node-cell geometry shared by encode and the sorted check.
+struct NodeShape {
+  std::uint32_t in_count = 0;
+  std::uint32_t data_len = 0;
+  std::size_t in_begin = 0;   ///< Byte offset of the in-id array.
+  std::size_t out_begin = 0;  ///< Byte offset of the out-id array.
+  std::size_t out_count = 0;
+};
+
+bool ParseNodeShape(Slice raw, NodeShape* s) {
+  if (raw.size() < 8 || raw.size() > CellCodec::kMaxCellBytes) return false;
+  std::memcpy(&s->in_count, raw.data(), 4);
+  std::memcpy(&s->data_len, raw.data() + 4, 4);
+  s->in_begin = 8 + static_cast<std::size_t>(s->data_len);
+  if (s->in_begin > raw.size()) return false;
+  const std::size_t in_bytes = static_cast<std::size_t>(s->in_count) * 8;
+  s->out_begin = s->in_begin + in_bytes;
+  if (s->out_begin < s->in_begin || s->out_begin > raw.size()) return false;
+  const std::size_t tail = raw.size() - s->out_begin;
+  if (tail % 8 != 0) return false;
+  s->out_count = tail / 8;
+  return true;
+}
+
+std::uint64_t IdAt(Slice raw, std::size_t begin, std::size_t i) {
+  std::uint64_t id = 0;
+  std::memcpy(&id, raw.data() + begin + i * 8, 8);
+  return id;
+}
+
+/// Appends the gap stream for a sorted id array; false if unsorted.
+bool PutIdList(Slice raw, std::size_t begin, std::size_t count,
+               std::string* out) {
+  if (count == 0) return true;
+  std::uint64_t prev = IdAt(raw, begin, 0);
+  CellCodec::PutVarint(out, prev);
+  for (std::size_t i = 1; i < count; ++i) {
+    const std::uint64_t id = IdAt(raw, begin, i);
+    if (id < prev) return false;  // Unsorted input: store raw instead.
+    CellCodec::PutVarint(out, id - prev);
+    prev = id;
+  }
+  return true;
+}
+
+}  // namespace
+
+void CellCodec::PutVarint(std::string* dst, std::uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+bool CellCodec::GetVarint(const char** p, const char* end, std::uint64_t* v) {
+  std::uint64_t result = 0;
+  int shift = 0;
+  const char* cur = *p;
+  while (cur < end && shift < 64) {
+    const std::uint8_t byte = static_cast<std::uint8_t>(*cur++);
+    if (shift == 63 && (byte & 0x7e) != 0) return false;  // u64 overflow.
+    result |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      *v = result;
+      *p = cur;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;  // Truncated or overlong.
+}
+
+bool CellCodec::EncodeAdjacency(Slice raw, std::string* out) {
+  NodeShape shape;
+  if (!ParseNodeShape(raw, &shape)) return false;
+  std::string enc;
+  enc.reserve(raw.size() / 2);
+  PutVarint(&enc, raw.size());
+  PutVarint(&enc, shape.in_count);
+  PutVarint(&enc, shape.data_len);
+  enc.append(raw.data() + 8, shape.data_len);
+  if (!PutIdList(raw, shape.in_begin, shape.in_count, &enc)) return false;
+  PutVarint(&enc, shape.out_count);
+  if (!PutIdList(raw, shape.out_begin, shape.out_count, &enc)) return false;
+  if (enc.size() >= raw.size()) return false;  // Not worth the tag.
+  *out = std::move(enc);
+  return true;
+}
+
+Status CellCodec::DecodedSize(Slice encoded, std::uint64_t* size) {
+  const char* p = encoded.data();
+  const char* end = p + encoded.size();
+  std::uint64_t raw_size = 0;
+  if (!GetVarint(&p, end, &raw_size) || raw_size > kMaxCellBytes) {
+    return Status::Corruption("cell codec: bad raw size");
+  }
+  *size = raw_size;
+  return Status::OK();
+}
+
+Status CellCodec::DecodeAdjacency(Slice encoded, std::string* out) {
+  const char* p = encoded.data();
+  const char* end = p + encoded.size();
+  std::uint64_t raw_size = 0, in_count = 0, data_len = 0;
+  if (!GetVarint(&p, end, &raw_size) || raw_size > kMaxCellBytes ||
+      !GetVarint(&p, end, &in_count) || !GetVarint(&p, end, &data_len)) {
+    return Status::Corruption("cell codec: bad header");
+  }
+  // Every id costs at least one encoded byte and data bytes are verbatim,
+  // so wildly inflated counts are rejected before any allocation.
+  const std::size_t remaining = static_cast<std::size_t>(end - p);
+  if (data_len > remaining || in_count > remaining) {
+    return Status::Corruption("cell codec: counts exceed payload");
+  }
+  const char* data = p;
+  p += data_len;
+
+  std::string raw;
+  // 8-byte blob header + data now; ids appended below. raw_size is
+  // cross-checked at the end, so a lying header cannot stick.
+  raw.reserve(static_cast<std::size_t>(raw_size) <= encoded.size() * 8 + 16
+                  ? static_cast<std::size_t>(raw_size)
+                  : 0);
+  const std::uint32_t in_count32 = static_cast<std::uint32_t>(in_count);
+  const std::uint32_t data_len32 = static_cast<std::uint32_t>(data_len);
+  if (in_count32 != in_count || data_len32 != data_len) {
+    return Status::Corruption("cell codec: count overflow");
+  }
+  raw.append(reinterpret_cast<const char*>(&in_count32), 4);
+  raw.append(reinterpret_cast<const char*>(&data_len32), 4);
+  raw.append(data, data_len);
+
+  auto append_ids = [&](std::uint64_t count) -> bool {
+    std::uint64_t id = 0;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      std::uint64_t delta = 0;
+      if (!GetVarint(&p, end, &delta)) return false;
+      id = (i == 0) ? delta : id + delta;
+      raw.append(reinterpret_cast<const char*>(&id), 8);
+    }
+    return true;
+  };
+  if (!append_ids(in_count)) {
+    return Status::Corruption("cell codec: truncated in-list");
+  }
+  std::uint64_t out_count = 0;
+  if (!GetVarint(&p, end, &out_count) ||
+      out_count > static_cast<std::size_t>(end - p) + 1) {
+    return Status::Corruption("cell codec: bad out count");
+  }
+  if (!append_ids(out_count)) {
+    return Status::Corruption("cell codec: truncated out-list");
+  }
+  if (p != end || raw.size() != raw_size) {
+    return Status::Corruption("cell codec: size mismatch");
+  }
+  *out = std::move(raw);
+  return Status::OK();
+}
+
+}  // namespace trinity::storage

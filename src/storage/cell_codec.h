@@ -1,0 +1,76 @@
+#ifndef TRINITY_STORAGE_CELL_CODEC_H_
+#define TRINITY_STORAGE_CELL_CODEC_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/slice.h"
+#include "common/status.h"
+
+namespace trinity::storage {
+
+/// Per-cell storage format tag. Kept in two spare bits of the trunk entry
+/// header (and as one byte in trunk images and cold-tier pages), so legacy
+/// raw payloads decode unchanged — format 0 *is* the legacy layout.
+enum class CellFormat : std::uint8_t {
+  kRaw = 0,       ///< Payload stored verbatim.
+  kAdjDelta = 1,  ///< Node cell with delta-varint adjacency (CellCodec).
+};
+
+/// Adaptive compressed encoding for adjacency-list cells, after Trident's
+/// delta-varint neighbor lists (PAPERS.md "Adaptive Low-level Storage of
+/// Very Large Knowledge Graphs").
+///
+/// The codec understands the graph layer's node cell layout
+///
+///   raw := [u32 in_count][u32 data_len][data][in ids (8B)...][out ids (8B)]
+///
+/// and re-encodes the two id arrays as gap streams when both are sorted
+/// (non-decreasing; duplicates = parallel edges are fine):
+///
+///   enc := varint(raw_size) varint(in_count) varint(data_len) data
+///          ids(in_count) varint(out_count) ids(out_count)
+///   ids(n) := varint(first_id) varint(id[i] - id[i-1])*(n-1)   // n > 0
+///
+/// Encoding is *adaptive*: EncodeAdjacency returns false — store raw — for
+/// payloads that do not parse as a node cell, carry unsorted lists, or
+/// would not shrink. Decoding reproduces the raw payload bit-identically,
+/// validates every bound, and never reads outside the input slice, so a
+/// corrupt payload surfaces as Status::Corruption rather than UB (fuzzed in
+/// tests/fuzz_test.cc).
+class CellCodec {
+ public:
+  /// Cells above this logical size are never produced by the trunk (the
+  /// format tag borrows the top bits of the entry header's capacity field).
+  static constexpr std::uint64_t kMaxCellBytes = (1u << 30) - 1;
+
+  /// Attempts the delta-varint encoding. Returns true and fills *out only
+  /// when `raw` parses as a node cell, both id lists are sorted
+  /// (non-decreasing), and the encoding is strictly smaller than `raw`.
+  static bool EncodeAdjacency(Slice raw, std::string* out);
+
+  /// Decodes an EncodeAdjacency payload back to the exact raw bytes.
+  /// Returns Corruption on any malformed input.
+  static Status DecodeAdjacency(Slice encoded, std::string* out);
+
+  /// Reads just the leading raw_size varint (the decoded payload length)
+  /// without materializing the cell.
+  static Status DecodedSize(Slice encoded, std::uint64_t* size);
+
+  /// Logical (decoded) size of a stored payload under `format`.
+  static std::uint64_t LogicalSize(CellFormat format, Slice stored) {
+    if (format == CellFormat::kRaw) return stored.size();
+    std::uint64_t size = 0;
+    return DecodedSize(stored, &size).ok() ? size : stored.size();
+  }
+
+  // LEB128 varint helpers (exposed for tests and the cold-tier pager).
+  static void PutVarint(std::string* dst, std::uint64_t v);
+  /// Advances *p past the varint; false on truncation or overlong (>10B)
+  /// encodings. *p is only advanced on success.
+  static bool GetVarint(const char** p, const char* end, std::uint64_t* v);
+};
+
+}  // namespace trinity::storage
+
+#endif  // TRINITY_STORAGE_CELL_CODEC_H_

@@ -93,6 +93,11 @@ class MemoryStorage {
 
   std::uint64_t TotalCellCount() const;
 
+  /// Sums MemoryTrunk::Stats across the hosted (primary) trunks — the
+  /// machine-level memory-hierarchy meters (resident/compressed/spilled
+  /// bytes, faults, evictions).
+  MemoryTrunk::Stats AggregateTrunkStats() const;
+
   /// Persists every hosted trunk to TFS under `prefix`/trunk_<id>.
   Status SaveToTfs(tfs::Tfs* tfs, const std::string& prefix) const;
 

@@ -11,12 +11,28 @@
 
 namespace trinity::storage {
 
+namespace {
+
+/// Leading u64 of version-2 trunk images. Version-1 images start with the
+/// cell count instead; no real trunk holds ~6e18 cells, so the magic is
+/// unambiguous and legacy images stay readable.
+constexpr std::uint64_t kTrunkImageMagic = 0x54524e4b494d4732ull;  // TRNKIMG2
+
+/// Distinguishes cold-page prefixes across trunk incarnations (replicas,
+/// recovery reloads) sharing one TFS namespace.
+std::atomic<std::uint64_t> cold_tier_instances{0};
+
+}  // namespace
+
 MemoryTrunk::MemoryTrunk(const Options& options) : options_(options) {}
 
 Status MemoryTrunk::Create(const Options& options,
                            std::unique_ptr<MemoryTrunk>* out) {
   if (options.capacity < (1u << 12)) {
     return Status::InvalidArgument("trunk capacity too small");
+  }
+  if (options.memory_budget > 0 && options.cold_tfs == nullptr) {
+    return Status::InvalidArgument("memory budget requires a cold tfs");
   }
   std::unique_ptr<MemoryTrunk> trunk(new MemoryTrunk(options));
   Status s = trunk->Init();
@@ -38,6 +54,17 @@ Status MemoryTrunk::Init() {
   base_ = static_cast<char*>(mem);
   committed_pages_.assign(capacity_ / page_size_, false);
   locks_ = std::make_unique<SpinLock[]>(kLockStripes);
+  ref_bits_ = std::make_unique<std::atomic<std::uint8_t>[]>(kRefStripes);
+  if (options_.memory_budget > 0) {
+    ColdTier::Options cold;
+    cold.tfs = options_.cold_tfs;
+    cold.prefix =
+        options_.cold_prefix + "/t" +
+        std::to_string(
+            cold_tier_instances.fetch_add(1, std::memory_order_relaxed));
+    cold.page_payload_bytes = options_.cold_page_bytes;
+    cold_tier_ = std::make_unique<ColdTier>(std::move(cold));
+  }
   return Status::OK();
 }
 
@@ -152,7 +179,12 @@ Status MemoryTrunk::AllocateLocked(std::uint64_t span,
     const std::uint64_t rem = capacity_ - phys;
     const std::uint64_t pad = rem < span ? rem : 0;
     if (head_ - tail_ + pad + span > capacity_) {
-      if (attempt == 0 && stats_.dead_bytes > 0 && !in_defrag_) {
+      // Compaction can reclaim dead bytes; with a cold tier configured the
+      // pass can also spill to make room even when nothing is dead yet.
+      const bool can_spill =
+          cold_tier_ != nullptr && head_ - tail_ > options_.memory_budget;
+      if (attempt == 0 && (stats_.dead_bytes > 0 || can_spill) &&
+          !in_defrag_) {
         DefragmentLocked();
         continue;
       }
@@ -165,6 +197,8 @@ Status MemoryTrunk::AllocateLocked(std::uint64_t span,
         EntryHeader* hdr = HeaderAt(head_);
         hdr->id = kPadCell;
         hdr->size = 0;
+        // Pads keep the full 32-bit capacity (no format bits): a pad span
+        // can exceed the 1 GB cell cap on a large trunk.
         hdr->capacity = static_cast<std::uint32_t>(rem - kHeaderSize);
       }
       // rem < kHeaderSize leaves an implicit pad the scanner skips.
@@ -182,20 +216,63 @@ Status MemoryTrunk::AllocateLocked(std::uint64_t span,
 
 Status MemoryTrunk::AppendEntryLocked(CellId id, Slice payload,
                                       std::uint64_t capacity,
-                                      std::uint64_t* logical) {
+                                      std::uint64_t* logical,
+                                      CellFormat format) {
   if (capacity < payload.size()) capacity = payload.size();
+  if (capacity > kCapacityMask) {
+    return Status::InvalidArgument("cell exceeds 1 GB capacity cap");
+  }
   const std::uint64_t span = EntrySpan(capacity);
   Status s = AllocateLocked(span, logical);
   if (!s.ok()) return s;
   EntryHeader* hdr = HeaderAt(*logical);
   hdr->id = id;
   hdr->size = static_cast<std::uint32_t>(payload.size());
-  hdr->capacity = static_cast<std::uint32_t>(capacity);
+  SetCapFormat(hdr, capacity, format);
   if (!payload.empty()) {
     std::memcpy(PhysPtr(*logical) + kHeaderSize, payload.data(),
                 payload.size());
   }
   return Status::OK();
+}
+
+Status MemoryTrunk::InstallStoredLocked(CellId id, CellFormat format,
+                                        Slice stored) {
+  std::uint64_t logical = 0;
+  Status s = AppendEntryLocked(id, stored, stored.size(), &logical, format);
+  if (!s.ok()) return s;
+  index_.Upsert(id, logical);
+  ++stats_.live_cells;
+  stats_.live_bytes += stored.size();
+  if (format == CellFormat::kAdjDelta) {
+    ++stats_.compressed_cells;
+    stats_.compressed_bytes += stored.size();
+  }
+  return Status::OK();
+}
+
+Status MemoryTrunk::FaultInLocked(CellId id) {
+  // Make room first: the faulting cell is not resident, so it cannot be
+  // chosen as a victim. This keeps read-only fault storms (e.g. PageRank
+  // sweeping a 4× graph) from overrunning the ring.
+  MaybeEnforceBudgetLocked();
+  std::string stored;
+  ColdTier::CellMeta meta;
+  Status s = cold_tier_->ReadCell(id, &stored, &meta);
+  if (!s.ok()) return s;
+  s = InstallStoredLocked(id, static_cast<CellFormat>(meta.format),
+                          Slice(stored));
+  if (!s.ok()) return s;  // Mapping still in the cold tier: nothing lost.
+  ++stats_.cells_faulted;
+  TouchRefBit(id);  // A fresh fault-in deserves its second chance.
+  cold_tier_->Drop(id);
+  return Status::OK();
+}
+
+void MemoryTrunk::MaybeEnforceBudgetLocked() {
+  if (cold_tier_ == nullptr || in_defrag_) return;
+  if (head_ - tail_ <= options_.memory_budget) return;
+  DefragmentLocked();
 }
 
 Status MemoryTrunk::AddCell(CellId id, Slice payload) {
@@ -204,173 +281,383 @@ Status MemoryTrunk::AddCell(CellId id, Slice payload) {
   if (index_.Find(id) != TrunkIndex::kNoOffset) {
     return Status::AlreadyExists("cell exists");
   }
-  std::uint64_t logical = 0;
-  Status s = AppendEntryLocked(id, payload, payload.size(), &logical);
+  if (cold_tier_ != nullptr && cold_tier_->Contains(id)) {
+    return Status::AlreadyExists("cell exists (spilled)");
+  }
+  std::string enc;
+  const CellFormat format =
+      options_.compress_adjacency && CellCodec::EncodeAdjacency(payload, &enc)
+          ? CellFormat::kAdjDelta
+          : CellFormat::kRaw;
+  const Slice stored = format == CellFormat::kAdjDelta ? Slice(enc) : payload;
+  Status s = InstallStoredLocked(id, format, stored);
   if (!s.ok()) return s;
-  index_.Upsert(id, logical);
-  ++stats_.live_cells;
-  stats_.live_bytes += payload.size();
+  MaybeEnforceBudgetLocked();
   return Status::OK();
 }
 
 Status MemoryTrunk::PutCell(CellId id, Slice payload) {
   if (id >= kDeadCell) return Status::InvalidArgument("reserved cell id");
   auto lock = WriteLock();
+  std::string enc;
+  const CellFormat format =
+      options_.compress_adjacency && CellCodec::EncodeAdjacency(payload, &enc)
+          ? CellFormat::kAdjDelta
+          : CellFormat::kRaw;
+  const Slice stored = format == CellFormat::kAdjDelta ? Slice(enc) : payload;
   const std::uint64_t offset = index_.Find(id);
   if (offset == TrunkIndex::kNoOffset) {
-    std::uint64_t logical = 0;
-    Status s = AppendEntryLocked(id, payload, payload.size(), &logical);
+    // Fresh insert — or blind overwrite of a spilled cell, which never needs
+    // the old bytes: install the new image, then drop the cold mapping.
+    Status s = InstallStoredLocked(id, format, stored);
     if (!s.ok()) return s;
-    index_.Upsert(id, logical);
-    ++stats_.live_cells;
-    stats_.live_bytes += payload.size();
+    if (cold_tier_ != nullptr) cold_tier_->Drop(id);
+    MaybeEnforceBudgetLocked();
     return Status::OK();
   }
   EntryHeader* hdr = HeaderAt(offset);
   CellLockGuard cell_lock(this, id);
-  if (payload.size() <= hdr->capacity) {
+  const CellFormat old_format = FormatOf(hdr);
+  if (stored.size() <= CapOf(hdr)) {
     // In-place overwrite; shrink or grow within the existing allocation.
-    stats_.live_bytes += payload.size();
+    stats_.live_bytes += stored.size();
     stats_.live_bytes -= hdr->size;
     stats_.reserved_slack += hdr->size;
-    stats_.reserved_slack -= payload.size();
-    if (!payload.empty()) {
-      std::memcpy(PhysPtr(offset) + kHeaderSize, payload.data(),
-                  payload.size());
+    stats_.reserved_slack -= stored.size();
+    if (old_format == CellFormat::kAdjDelta) {
+      --stats_.compressed_cells;
+      stats_.compressed_bytes -= hdr->size;
     }
-    hdr->size = static_cast<std::uint32_t>(payload.size());
+    if (format == CellFormat::kAdjDelta) {
+      ++stats_.compressed_cells;
+      stats_.compressed_bytes += stored.size();
+    }
+    if (!stored.empty()) {
+      std::memcpy(PhysPtr(offset) + kHeaderSize, stored.data(),
+                  stored.size());
+    }
+    hdr->size = static_cast<std::uint32_t>(stored.size());
+    SetCapFormat(hdr, CapOf(hdr), format);
     return Status::OK();
   }
   // Relocate: append the new image first; only then kill the old entry.
   // The allocation may trigger an auto-defrag pass that *moves* the old
   // entry, so its location must be re-resolved through the index afterwards.
   std::uint64_t logical = 0;
-  Status s = AppendEntryLocked(id, payload, payload.size(), &logical);
+  Status s = AppendEntryLocked(id, stored, stored.size(), &logical, format);
   if (!s.ok()) return s;  // Old entry untouched and still indexed.
   const std::uint64_t old_offset = index_.Find(id);
   EntryHeader* old_hdr = HeaderAt(old_offset);
   const std::uint64_t old_size = old_hdr->size;
-  const std::uint64_t old_slack = old_hdr->capacity - old_hdr->size;
+  const std::uint64_t old_cap = CapOf(old_hdr);
+  const std::uint64_t old_slack = old_cap - old_size;
   old_hdr->id = kDeadCell;
-  stats_.dead_bytes += EntrySpan(old_hdr->capacity);
+  old_hdr->capacity = static_cast<std::uint32_t>(old_cap);
+  stats_.dead_bytes += EntrySpan(old_cap);
   index_.Upsert(id, logical);
-  stats_.live_bytes += payload.size();
+  stats_.live_bytes += stored.size();
   stats_.live_bytes -= old_size;
   stats_.reserved_slack -= old_slack;
+  if (old_format == CellFormat::kAdjDelta) {
+    --stats_.compressed_cells;
+    stats_.compressed_bytes -= old_size;
+  }
+  if (format == CellFormat::kAdjDelta) {
+    ++stats_.compressed_cells;
+    stats_.compressed_bytes += stored.size();
+  }
+  MaybeEnforceBudgetLocked();
   return Status::OK();
 }
 
+Status MemoryTrunk::ReadPayloadLocked(std::uint64_t logical,
+                                      std::string* out) const {
+  const EntryHeader* hdr = HeaderAt(logical);
+  if (FormatOf(hdr) == CellFormat::kRaw) {
+    out->assign(PhysPtr(logical) + kHeaderSize, hdr->size);
+    return Status::OK();
+  }
+  return CellCodec::DecodeAdjacency(StoredAt(logical), out);
+}
+
 Status MemoryTrunk::GetCell(CellId id, std::string* out) const {
-  auto lock = ReadLock();
-  const std::uint64_t offset = index_.Find(id);
-  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
-  const EntryHeader* hdr = HeaderAt(offset);
-  out->assign(PhysPtr(offset) + kHeaderSize, hdr->size);
-  return Status::OK();
+  {
+    auto lock = ReadLock();
+    const std::uint64_t offset = index_.Find(id);
+    if (offset != TrunkIndex::kNoOffset) {
+      TouchRefBit(id);
+      return ReadPayloadLocked(offset, out);
+    }
+    if (cold_tier_ == nullptr || !cold_tier_->Contains(id)) {
+      return Status::NotFound("no such cell");
+    }
+  }
+  // Spilled: fault it in under the exclusive side, then serve. The double
+  // check below covers a racing fault-in (or removal) between the locks.
+  auto* self = const_cast<MemoryTrunk*>(this);
+  auto lock = self->WriteLock();
+  std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) {
+    if (cold_tier_ == nullptr || !cold_tier_->Contains(id)) {
+      return Status::NotFound("no such cell");
+    }
+    Status s = self->FaultInLocked(id);
+    if (!s.ok()) return s;
+    offset = index_.Find(id);
+  }
+  TouchRefBit(id);
+  return ReadPayloadLocked(offset, out);
 }
 
 bool MemoryTrunk::Contains(CellId id) const {
   auto lock = ReadLock();
-  return index_.Find(id) != TrunkIndex::kNoOffset;
+  if (index_.Find(id) != TrunkIndex::kNoOffset) return true;
+  return cold_tier_ != nullptr && cold_tier_->Contains(id);
 }
 
 Status MemoryTrunk::GetCellSize(CellId id, std::uint64_t* size) const {
   auto lock = ReadLock();
   const std::uint64_t offset = index_.Find(id);
-  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
-  *size = HeaderAt(offset)->size;
-  return Status::OK();
+  if (offset != TrunkIndex::kNoOffset) {
+    const EntryHeader* hdr = HeaderAt(offset);
+    if (FormatOf(hdr) == CellFormat::kRaw) {
+      *size = hdr->size;
+      return Status::OK();
+    }
+    return CellCodec::DecodedSize(StoredAt(offset), size);
+  }
+  ColdTier::CellMeta meta;
+  if (cold_tier_ != nullptr && cold_tier_->Lookup(id, &meta)) {
+    *size = meta.raw_size;  // Answered from the page table: no cold I/O.
+    return Status::OK();
+  }
+  return Status::NotFound("no such cell");
 }
 
 Status MemoryTrunk::RemoveCell(CellId id) {
   auto lock = WriteLock();
   const std::uint64_t offset = index_.Find(id);
-  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  if (offset == TrunkIndex::kNoOffset) {
+    if (cold_tier_ != nullptr && cold_tier_->Contains(id)) {
+      cold_tier_->Drop(id);  // Page space reclaimed when the page drains.
+      return Status::OK();
+    }
+    return Status::NotFound("no such cell");
+  }
   EntryHeader* hdr = HeaderAt(offset);
   CellLockGuard cell_lock(this, id);
   index_.Erase(id);
   --stats_.live_cells;
   stats_.live_bytes -= hdr->size;
-  stats_.reserved_slack -= hdr->capacity - hdr->size;
-  stats_.dead_bytes += EntrySpan(hdr->capacity);
+  const std::uint64_t cap = CapOf(hdr);
+  stats_.reserved_slack -= cap - hdr->size;
+  stats_.dead_bytes += EntrySpan(cap);
+  if (FormatOf(hdr) == CellFormat::kAdjDelta) {
+    --stats_.compressed_cells;
+    stats_.compressed_bytes -= hdr->size;
+  }
   hdr->id = kDeadCell;
+  hdr->capacity = static_cast<std::uint32_t>(cap);
   return Status::OK();
 }
 
 Status MemoryTrunk::AppendToCell(CellId id, Slice suffix) {
   auto lock = WriteLock();
-  const std::uint64_t offset = index_.Find(id);
-  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) {
+    if (cold_tier_ == nullptr || !cold_tier_->Contains(id)) {
+      return Status::NotFound("no such cell");
+    }
+    Status s = FaultInLocked(id);
+    if (!s.ok()) return s;
+    offset = index_.Find(id);
+  }
   EntryHeader* hdr = HeaderAt(offset);
   CellLockGuard cell_lock(this, id);
-  const std::uint64_t new_size = hdr->size + suffix.size();
-  if (new_size <= hdr->capacity) {
-    // The short-lived reservation absorbs the growth; no relocation.
-    if (!suffix.empty()) {
-      std::memcpy(PhysPtr(offset) + kHeaderSize + hdr->size, suffix.data(),
-                  suffix.size());
+  if (FormatOf(hdr) == CellFormat::kRaw) {
+    const std::uint64_t new_size = hdr->size + suffix.size();
+    if (new_size <= CapOf(hdr)) {
+      // The short-lived reservation absorbs the growth; no relocation.
+      if (!suffix.empty()) {
+        std::memcpy(PhysPtr(offset) + kHeaderSize + hdr->size, suffix.data(),
+                    suffix.size());
+      }
+      stats_.reserved_slack -= suffix.size();
+      stats_.live_bytes += suffix.size();
+      hdr->size = static_cast<std::uint32_t>(new_size);
+      ++stats_.expansions_in_place;
+      return Status::OK();
     }
-    stats_.reserved_slack -= suffix.size();
-    stats_.live_bytes += suffix.size();
-    hdr->size = static_cast<std::uint32_t>(new_size);
-    ++stats_.expansions_in_place;
-    return Status::OK();
   }
   // Relocate with a fresh short-lived reservation (§6.1: "if the current
   // key-value pair needs to expand by 16 bytes, we allocate 32 instead").
+  // A compressed cell is materialized to raw here — append-heavy cells stay
+  // raw and cheap to grow; the next defrag move re-compresses them.
+  std::string image;
+  Status s = ReadPayloadLocked(offset, &image);
+  if (!s.ok()) return s;
+  image.append(suffix.data(), suffix.size());
+  const std::uint64_t new_size = image.size();
   const std::uint64_t reserve =
       new_size * static_cast<std::uint64_t>(options_.reservation_pct) / 100;
   const std::uint64_t new_capacity = new_size + reserve;
-  std::string image;
-  image.reserve(new_size);
-  image.assign(PhysPtr(offset) + kHeaderSize, hdr->size);
-  image.append(suffix.data(), suffix.size());
   // Append-first, as in PutCell: auto-defrag during allocation may move the
   // old entry, so re-resolve it via the index before killing it.
   std::uint64_t logical = 0;
-  Status s = AppendEntryLocked(id, Slice(image), new_capacity, &logical);
+  s = AppendEntryLocked(id, Slice(image), new_capacity, &logical);
   if (!s.ok()) return s;
   const std::uint64_t old_offset = index_.Find(id);
   EntryHeader* old_hdr = HeaderAt(old_offset);
   const std::uint64_t old_size = old_hdr->size;
-  const std::uint64_t old_slack = old_hdr->capacity - old_hdr->size;
+  const std::uint64_t old_cap = CapOf(old_hdr);
+  const std::uint64_t old_slack = old_cap - old_size;
+  const CellFormat old_format = FormatOf(old_hdr);
   old_hdr->id = kDeadCell;
-  stats_.dead_bytes += EntrySpan(old_hdr->capacity);
+  old_hdr->capacity = static_cast<std::uint32_t>(old_cap);
+  stats_.dead_bytes += EntrySpan(old_cap);
   index_.Upsert(id, logical);
-  stats_.live_bytes += new_size - old_size;
+  stats_.live_bytes += new_size;
+  stats_.live_bytes -= old_size;
   stats_.reserved_slack -= old_slack;
   stats_.reserved_slack += new_capacity - new_size;
+  if (old_format == CellFormat::kAdjDelta) {
+    --stats_.compressed_cells;
+    stats_.compressed_bytes -= old_size;
+  }
   ++stats_.expansions_relocated;
+  MaybeEnforceBudgetLocked();
   return Status::OK();
 }
 
 Status MemoryTrunk::WriteAt(CellId id, std::uint64_t offset, Slice bytes) {
   auto lock = WriteLock();
-  const std::uint64_t entry = index_.Find(id);
-  if (entry == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
+  std::uint64_t entry = index_.Find(id);
+  if (entry == TrunkIndex::kNoOffset) {
+    if (cold_tier_ == nullptr || !cold_tier_->Contains(id)) {
+      return Status::NotFound("no such cell");
+    }
+    Status s = FaultInLocked(id);
+    if (!s.ok()) return s;
+    entry = index_.Find(id);
+  }
   EntryHeader* hdr = HeaderAt(entry);
-  if (offset + bytes.size() > hdr->size) {
+  if (FormatOf(hdr) == CellFormat::kRaw) {
+    if (offset + bytes.size() > hdr->size) {
+      return Status::InvalidArgument("write past end of cell");
+    }
+    CellLockGuard cell_lock(this, id);
+    if (!bytes.empty()) {
+      std::memcpy(PhysPtr(entry) + kHeaderSize + offset, bytes.data(),
+                  bytes.size());
+    }
+    return Status::OK();
+  }
+  // Compressed: patch the decoded image and re-store (re-encoding when the
+  // patched payload still compresses).
+  std::string image;
+  Status s = ReadPayloadLocked(entry, &image);
+  if (!s.ok()) return s;
+  if (offset + bytes.size() > image.size()) {
     return Status::InvalidArgument("write past end of cell");
   }
-  CellLockGuard cell_lock(this, id);
   if (!bytes.empty()) {
-    std::memcpy(PhysPtr(entry) + kHeaderSize + offset, bytes.data(),
-                bytes.size());
+    std::memcpy(&image[offset], bytes.data(), bytes.size());
   }
+  std::string enc;
+  const CellFormat format =
+      options_.compress_adjacency &&
+              CellCodec::EncodeAdjacency(Slice(image), &enc)
+          ? CellFormat::kAdjDelta
+          : CellFormat::kRaw;
+  const Slice stored = format == CellFormat::kAdjDelta ? Slice(enc)
+                                                       : Slice(image);
+  CellLockGuard cell_lock(this, id);
+  if (stored.size() <= CapOf(hdr)) {
+    stats_.live_bytes += stored.size();
+    stats_.live_bytes -= hdr->size;
+    stats_.reserved_slack += hdr->size;
+    stats_.reserved_slack -= stored.size();
+    --stats_.compressed_cells;
+    stats_.compressed_bytes -= hdr->size;
+    if (format == CellFormat::kAdjDelta) {
+      ++stats_.compressed_cells;
+      stats_.compressed_bytes += stored.size();
+    }
+    std::memcpy(PhysPtr(entry) + kHeaderSize, stored.data(), stored.size());
+    hdr->size = static_cast<std::uint32_t>(stored.size());
+    SetCapFormat(hdr, CapOf(hdr), format);
+    return Status::OK();
+  }
+  std::uint64_t logical = 0;
+  s = AppendEntryLocked(id, stored, stored.size(), &logical, format);
+  if (!s.ok()) return s;
+  const std::uint64_t old_offset = index_.Find(id);
+  EntryHeader* old_hdr = HeaderAt(old_offset);
+  const std::uint64_t old_size = old_hdr->size;
+  const std::uint64_t old_cap = CapOf(old_hdr);
+  old_hdr->id = kDeadCell;
+  old_hdr->capacity = static_cast<std::uint32_t>(old_cap);
+  stats_.dead_bytes += EntrySpan(old_cap);
+  index_.Upsert(id, logical);
+  stats_.live_bytes += stored.size();
+  stats_.live_bytes -= old_size;
+  stats_.reserved_slack -= old_cap - old_size;
+  --stats_.compressed_cells;
+  stats_.compressed_bytes -= old_size;
+  if (format == CellFormat::kAdjDelta) {
+    ++stats_.compressed_cells;
+    stats_.compressed_bytes += stored.size();
+  }
+  MaybeEnforceBudgetLocked();
+  return Status::OK();
+}
+
+Status MemoryTrunk::PinLocked(CellId id, std::uint64_t offset,
+                              ConstAccessor* accessor) const {
+  const EntryHeader* hdr = HeaderAt(offset);
+  accessor->Release();  // Before acquiring: the old stripe may equal ours.
+  if (FormatOf(hdr) == CellFormat::kRaw) {
+    // Pins the cell: defrag/eviction TryLock will skip it. Debug builds
+    // abort on re-entrant stripe acquisition (see AcquireCellLock).
+    accessor->lock_ = AcquireCellLock(id);
+    accessor->data_ = Slice(PhysPtr(offset) + kHeaderSize, hdr->size);
+    return Status::OK();
+  }
+  // Materialize-on-pin: the decoded copy is self-contained, so no stripe
+  // lock is held and the lock-free read path stays untouched.
+  auto owned = std::make_unique<std::string>();
+  Status s = CellCodec::DecodeAdjacency(StoredAt(offset), owned.get());
+  if (!s.ok()) return s;
+  accessor->owned_ = std::move(owned);
+  accessor->data_ = Slice(*accessor->owned_);
   return Status::OK();
 }
 
 Status MemoryTrunk::Access(CellId id, ConstAccessor* accessor) const {
-  auto lock = ReadLock();
-  const std::uint64_t offset = index_.Find(id);
-  if (offset == TrunkIndex::kNoOffset) return Status::NotFound("no such cell");
-  const EntryHeader* hdr = HeaderAt(offset);
-  accessor->Release();  // Before acquiring: the old stripe may equal ours.
-  // Pins the cell: defrag TryLock will skip it. Debug builds abort on
-  // re-entrant stripe acquisition (see AcquireCellLock).
-  accessor->lock_ = AcquireCellLock(id);
-  accessor->data_ = Slice(PhysPtr(offset) + kHeaderSize, hdr->size);
-  return Status::OK();
+  {
+    auto lock = ReadLock();
+    const std::uint64_t offset = index_.Find(id);
+    if (offset != TrunkIndex::kNoOffset) {
+      TouchRefBit(id);
+      return PinLocked(id, offset, accessor);
+    }
+    if (cold_tier_ == nullptr || !cold_tier_->Contains(id)) {
+      return Status::NotFound("no such cell");
+    }
+  }
+  auto* self = const_cast<MemoryTrunk*>(this);
+  auto lock = self->WriteLock();
+  std::uint64_t offset = index_.Find(id);
+  if (offset == TrunkIndex::kNoOffset) {
+    if (cold_tier_ == nullptr || !cold_tier_->Contains(id)) {
+      return Status::NotFound("no such cell");
+    }
+    Status s = self->FaultInLocked(id);
+    if (!s.ok()) return s;
+    offset = index_.Find(id);
+  }
+  TouchRefBit(id);
+  return PinLocked(id, offset, accessor);
 }
 
 std::uint64_t MemoryTrunk::Defragment() {
@@ -378,9 +665,93 @@ std::uint64_t MemoryTrunk::Defragment() {
   return DefragmentLocked();
 }
 
+void MemoryTrunk::SpillColdLocked(std::uint64_t target) {
+  // Clock sweep over the ring from the tail — oldest-written data first,
+  // which approximates LRU once ref bits thin it. Round 0 grants every
+  // referenced cell a second chance (clearing its bit); round 1 takes any
+  // cell that is not pinned by an accessor.
+  auto live_span_bytes = [&] { return head_ - tail_ - stats_.dead_bytes; };
+  for (int round = 0; round < 2 && live_span_bytes() > target; ++round) {
+    std::vector<ColdTier::SpillEntry> victims;
+    std::vector<SpinLock*> held;
+    std::vector<std::uint64_t> offsets;
+    std::uint64_t projected = live_span_bytes();
+    for (std::uint64_t pos = tail_; pos < head_ && projected > target;) {
+      const std::uint64_t phys = pos % capacity_;
+      const std::uint64_t rem = capacity_ - phys;
+      if (rem < kHeaderSize) {
+        pos += rem;
+        continue;
+      }
+      EntryHeader* hdr = HeaderAt(pos);
+      const std::uint64_t cap =
+          hdr->id == kPadCell ? hdr->capacity : CapOf(hdr);
+      const std::uint64_t span = EntrySpan(cap);
+      if (hdr->id == kPadCell || hdr->id == kDeadCell) {
+        pos += span;
+        continue;
+      }
+      const CellId id = hdr->id;
+      if (round == 0 && TestClearRefBit(id)) {
+        pos += span;  // Second chance.
+        continue;
+      }
+      SpinLock& cell_lock = LockFor(id);
+      if (!cell_lock.TryLock()) {
+        pos += span;  // Pinned by an accessor (or a stripe-mate victim).
+        continue;
+      }
+      held.push_back(&cell_lock);
+      offsets.push_back(pos);
+      ColdTier::SpillEntry entry;
+      entry.id = id;
+      entry.format = static_cast<std::uint8_t>(FormatOf(hdr));
+      entry.raw_size = static_cast<std::uint32_t>(
+          CellCodec::LogicalSize(FormatOf(hdr), StoredAt(pos)));
+      entry.stored = StoredAt(pos);
+      victims.push_back(entry);
+      projected -= span;
+      pos += span;
+    }
+    if (victims.empty()) continue;
+    // Crash-safety order: pages first. Only once every victim is durable in
+    // the cold tier do the resident copies die; a failed write rolls back
+    // any partially-installed mappings and leaves all victims resident.
+    Status s = cold_tier_->Spill(victims);
+    if (!s.ok()) {
+      for (const auto& victim : victims) cold_tier_->Drop(victim.id);
+      for (SpinLock* lock : held) lock->Unlock();
+      return;
+    }
+    for (std::size_t i = 0; i < victims.size(); ++i) {
+      EntryHeader* hdr = HeaderAt(offsets[i]);
+      const std::uint64_t cap = CapOf(hdr);
+      index_.Erase(hdr->id);
+      --stats_.live_cells;
+      stats_.live_bytes -= hdr->size;
+      stats_.reserved_slack -= cap - hdr->size;
+      stats_.dead_bytes += EntrySpan(cap);
+      if (FormatOf(hdr) == CellFormat::kAdjDelta) {
+        --stats_.compressed_cells;
+        stats_.compressed_bytes -= hdr->size;
+      }
+      ++stats_.cells_evicted;
+      hdr->id = kDeadCell;
+      hdr->capacity = static_cast<std::uint32_t>(cap);
+      held[i]->Unlock();
+    }
+  }
+}
+
 std::uint64_t MemoryTrunk::DefragmentLocked() {
   ++stats_.defrag_passes;
   in_defrag_ = true;
+  // Over budget? The compaction pass doubles as the eviction pass: spill
+  // down to a low-water mark (7/8 of the budget) so enforcement amortizes
+  // instead of re-triggering on every subsequent allocation.
+  if (cold_tier_ != nullptr && head_ - tail_ > options_.memory_budget) {
+    SpillColdLocked(options_.memory_budget - options_.memory_budget / 8);
+  }
   std::uint64_t reclaimed = 0;
   std::string image;
   const std::uint64_t pass_end = head_;
@@ -395,7 +766,8 @@ std::uint64_t MemoryTrunk::DefragmentLocked() {
       continue;
     }
     EntryHeader* hdr = HeaderAt(tail_);
-    const std::uint64_t span = EntrySpan(hdr->capacity);
+    const std::uint64_t cap = hdr->id == kPadCell ? hdr->capacity : CapOf(hdr);
+    const std::uint64_t span = EntrySpan(cap);
     if (hdr->id == kPadCell || hdr->id == kDeadCell) {
       tail_ += span;
       stats_.dead_bytes -= span;
@@ -406,28 +778,48 @@ std::uint64_t MemoryTrunk::DefragmentLocked() {
     // which is what makes reservations "short-lived").
     const CellId id = hdr->id;
     const std::uint32_t size = hdr->size;
-    const std::uint64_t slack = hdr->capacity - size;
+    const CellFormat format = FormatOf(hdr);
+    const std::uint64_t slack = cap - size;
     // Precheck that re-appending (including any ring padding the move may
     // require) fits once this entry's own span is freed; otherwise stop the
     // pass rather than risk overwriting the bytes being moved.
     {
       const std::uint64_t need = EntrySpan(size);
       const std::uint64_t head_phys = head_ % capacity_;
-      const std::uint64_t rem = capacity_ - head_phys;
-      const std::uint64_t pad = rem < need ? rem : 0;
+      const std::uint64_t head_rem = capacity_ - head_phys;
+      const std::uint64_t pad = head_rem < need ? head_rem : 0;
       if (head_ - (tail_ + span) + pad + need > capacity_) break;
     }
     SpinLock& cell_lock = LockFor(id);
     if (!cell_lock.TryLock()) break;  // Pinned by an accessor; stop here.
     image.assign(PhysPtr(tail_) + kHeaderSize, size);
+    // The move is the natural point to re-compress cells that append-heavy
+    // phases materialized to raw (adaptive: only when strictly smaller).
+    std::string enc;
+    CellFormat new_format = format;
+    Slice stored(image);
+    if (format == CellFormat::kRaw && options_.compress_adjacency &&
+        CellCodec::EncodeAdjacency(Slice(image), &enc)) {
+      new_format = CellFormat::kAdjDelta;
+      stored = Slice(enc);
+    }
     hdr->id = kDeadCell;
+    hdr->capacity = static_cast<std::uint32_t>(cap);
     tail_ += span;
     std::uint64_t logical = 0;
-    Status s = AppendEntryLocked(id, Slice(image), size, &logical);
+    Status s =
+        AppendEntryLocked(id, stored, stored.size(), &logical, new_format);
     TRINITY_CHECK(s.ok(), "defrag re-append failed after space precheck");
     index_.Upsert(id, logical);
     stats_.reserved_slack -= slack;
     reclaimed += slack;
+    if (new_format != format) {
+      stats_.live_bytes -= size;
+      stats_.live_bytes += stored.size();
+      ++stats_.compressed_cells;
+      stats_.compressed_bytes += stored.size();
+      reclaimed += size - stored.size();
+    }
     ++stats_.cells_moved;
     cell_lock.Unlock();
   }
@@ -440,8 +832,17 @@ MemoryTrunk::Stats MemoryTrunk::stats() const {
   auto lock = ReadLock();
   Stats s = stats_;
   s.used_bytes = head_ - tail_;
+  s.resident_bytes = s.used_bytes - stats_.dead_bytes;
   s.committed_bytes = committed_page_count_ * page_size_;
   s.capacity = capacity_;
+  if (cold_tier_ != nullptr) {
+    s.spilled_cells = cold_tier_->spilled_cells();
+    s.spilled_bytes = cold_tier_->spilled_bytes();
+    const ColdTier::Stats cold = cold_tier_->stats();
+    s.cold_bytes_written = cold.bytes_spilled;
+    s.cold_bytes_read = cold.bytes_faulted;
+    s.live_cells += s.spilled_cells;
+  }
   // Lock-contention counters live outside stats_ as relaxed atomics so the
   // hot paths can bump them without owning the trunk lock exclusively.
   s.shared_reads = shared_reads_.load(std::memory_order_relaxed);
@@ -454,7 +855,9 @@ MemoryTrunk::Stats MemoryTrunk::stats() const {
 
 std::uint64_t MemoryTrunk::cell_count() const {
   auto lock = ReadLock();
-  return index_.size();
+  std::uint64_t count = index_.size();
+  if (cold_tier_ != nullptr) count += cold_tier_->spilled_cells();
+  return count;
 }
 
 std::vector<CellId> MemoryTrunk::CellIds() const {
@@ -462,18 +865,43 @@ std::vector<CellId> MemoryTrunk::CellIds() const {
   std::vector<CellId> ids;
   ids.reserve(index_.size());
   index_.ForEach([&](CellId id, std::uint64_t) { ids.push_back(id); });
+  if (cold_tier_ != nullptr && cold_tier_->spilled_cells() > 0) {
+    const std::vector<CellId> cold = cold_tier_->CellIds();
+    ids.insert(ids.end(), cold.begin(), cold.end());
+  }
+  // Sorted so enumeration order is independent of which cells happen to be
+  // spilled (and of index insertion history). Compute engines iterate these
+  // ids and accumulate doubles; a residency-dependent order would make
+  // results bitwise-irreproducible across memory configurations.
+  std::sort(ids.begin(), ids.end());
   return ids;
 }
 
 Status MemoryTrunk::Serialize(std::string* out) const {
   auto lock = ReadLock();
   BinaryWriter writer;
-  writer.PutU64(index_.size());
+  writer.PutU64(kTrunkImageMagic);
+  writer.PutU32(2);
+  const std::uint64_t spilled =
+      cold_tier_ != nullptr ? cold_tier_->spilled_cells() : 0;
+  writer.PutU64(index_.size() + spilled);
   index_.ForEach([&](CellId id, std::uint64_t offset) {
     const EntryHeader* hdr = HeaderAt(offset);
     writer.PutU64(id);
-    writer.PutBytes(Slice(PhysPtr(offset) + kHeaderSize, hdr->size));
+    writer.PutU8(static_cast<std::uint8_t>(FormatOf(hdr)));
+    writer.PutBytes(StoredAt(offset));
   });
+  if (spilled > 0) {
+    // Read the cold pages back so the image is self-contained: snapshots,
+    // replica ships and migrations need no cold-tier state to restore.
+    Status s = cold_tier_->ForEachCell(
+        [&](CellId id, const ColdTier::CellMeta& meta, Slice stored) {
+          writer.PutU64(id);
+          writer.PutU8(meta.format);
+          writer.PutBytes(stored);
+        });
+    if (!s.ok()) return s;
+  }
   *out = writer.Release();
   return Status::OK();
 }
@@ -484,16 +912,45 @@ Status MemoryTrunk::Deserialize(Slice data, const Options& options,
   Status s = Create(options, &trunk);
   if (!s.ok()) return s;
   BinaryReader reader(data);
+  std::uint64_t first = 0;
+  if (!reader.GetU64(&first)) return Status::Corruption("trunk image header");
+  if (first != kTrunkImageMagic) {
+    // Version-1 image: `first` is the cell count; every payload is raw.
+    // AddCell re-encodes under the target trunk's own options.
+    for (std::uint64_t i = 0; i < first; ++i) {
+      CellId id = 0;
+      Slice payload;
+      if (!reader.GetU64(&id) || !reader.GetBytes(&payload)) {
+        return Status::Corruption("trunk image entry");
+      }
+      s = trunk->AddCell(id, payload);
+      if (!s.ok()) return s;
+    }
+    *out = std::move(trunk);
+    return Status::OK();
+  }
+  std::uint32_t version = 0;
   std::uint64_t count = 0;
-  if (!reader.GetU64(&count)) return Status::Corruption("trunk image header");
+  if (!reader.GetU32(&version) || version != 2 || !reader.GetU64(&count)) {
+    return Status::Corruption("trunk image version");
+  }
   for (std::uint64_t i = 0; i < count; ++i) {
     CellId id = 0;
-    Slice payload;
-    if (!reader.GetU64(&id) || !reader.GetBytes(&payload)) {
+    std::uint8_t format = 0;
+    Slice stored;
+    if (!reader.GetU64(&id) || !reader.GetU8(&format) ||
+        !reader.GetBytes(&stored) ||
+        format > static_cast<std::uint8_t>(CellFormat::kAdjDelta)) {
       return Status::Corruption("trunk image entry");
     }
-    s = trunk->AddCell(id, payload);
+    auto lock = trunk->WriteLock();
+    if (trunk->index_.Find(id) != TrunkIndex::kNoOffset) {
+      return Status::Corruption("trunk image duplicate cell");
+    }
+    s = trunk->InstallStoredLocked(id, static_cast<CellFormat>(format),
+                                   stored);
     if (!s.ok()) return s;
+    trunk->MaybeEnforceBudgetLocked();
   }
   *out = std::move(trunk);
   return Status::OK();

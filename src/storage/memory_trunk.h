@@ -10,10 +10,13 @@
 #include <string>
 #include <vector>
 
+#include "common/hash.h"
 #include "common/slice.h"
 #include "common/spinlock.h"
 #include "common/status.h"
 #include "common/types.h"
+#include "storage/cell_codec.h"
+#include "storage/cold_tier.h"
 #include "storage/trunk_index.h"
 
 namespace trinity::storage {
@@ -64,15 +67,27 @@ inline void NoteStripeReleased(const void* stripe) {
 /// append. A reservation lives only until the next defragmentation pass,
 /// exactly as in the paper.
 ///
+/// Memory hierarchy (docs/memory_hierarchy.md): each live entry carries a
+/// CellFormat tag in the spare top bits of its header's capacity field.
+/// With Options::compress_adjacency set, node cells are stored delta-varint
+/// encoded (CellCodec) and decoded transparently on read. With a
+/// memory_budget plus a cold TFS configured, the defragment pass doubles as
+/// the clock eviction pass: cold cells (second-chance ref bits cleared) are
+/// spilled to ColdTier pages, and any access to a spilled cell faults it
+/// back in under the exclusive lock. The trunk index covers resident cells
+/// only; a miss consults the cold tier's page table before reporting
+/// NotFound.
+///
 /// Concurrency: a trunk-level reader/writer lock protects the index and the
 /// ring metadata. Read operations (GetCell / Access / Contains / GetCellSize
 /// and the const scans) take the shared side, so concurrent readers scale
-/// with threads; mutators and Defragment() take the exclusive side. Each
-/// cell additionally has a (striped) spin lock that zero-copy accessors and
-/// the defragmenter acquire, which is what pins a cell's physical location
-/// while it is being accessed (§3): an accessor keeps its stripe locked
-/// after the shared lock is dropped, and defrag — which runs exclusively —
-/// TryLocks each cell and skips pinned ones. The per-cell spin locks are
+/// with threads; mutators, Defragment() and fault-ins take the exclusive
+/// side. Each cell additionally has a (striped) spin lock that zero-copy
+/// accessors and the defragmenter acquire, which is what pins a cell's
+/// physical location while it is being accessed (§3): an accessor keeps its
+/// stripe locked after the shared lock is dropped, and defrag — which runs
+/// exclusively — TryLocks each cell and skips pinned ones (eviction does the
+/// same, so a pinned cell can never be spilled). The per-cell spin locks are
 /// striped 256 ways, so two distinct cells can share a stripe; acquiring a
 /// cell lock while this thread already holds an accessor on the same stripe
 /// would self-deadlock and is rejected by a debug assertion (see
@@ -89,20 +104,50 @@ class MemoryTrunk {
     /// Defragment automatically inside an allocation when the dead-byte
     /// ratio exceeds this fraction and space is tight.
     double auto_defrag_dead_ratio = 0.25;
+
+    /// Store adjacency-list (node) cells delta-varint encoded when that is
+    /// strictly smaller; reads decode transparently. Non-node or unsorted
+    /// payloads fall back to raw storage per cell.
+    bool compress_adjacency = false;
+    /// Resident-byte budget (ring bytes, head - tail). 0 disables the cold
+    /// tier: the trunk is fully resident, exactly the pre-hierarchy
+    /// behavior. When exceeded, the defrag pass spills clock-cold cells to
+    /// `cold_tfs` until usage drops below ~7/8 of the budget. Must be well
+    /// below `capacity` so eviction can actually free ring space.
+    std::uint64_t memory_budget = 0;
+    /// Backing store for spilled pages; required when memory_budget > 0.
+    tfs::Tfs* cold_tfs = nullptr;
+    /// TFS path prefix for this trunk's cold pages. A process-wide instance
+    /// counter is appended so trunk reincarnations and replicas never
+    /// collide on page files.
+    std::string cold_prefix = "cold";
+    /// Target payload bytes per cold page (one sequential read per fault).
+    std::uint64_t cold_page_bytes = 256 << 10;
   };
 
   struct Stats {
-    std::uint64_t live_cells = 0;
-    std::uint64_t live_bytes = 0;        ///< Payload bytes in live cells.
+    std::uint64_t live_cells = 0;  ///< Live cells (resident + spilled).
+    std::uint64_t live_bytes = 0;  ///< Stored payload bytes resident in RAM.
     std::uint64_t reserved_slack = 0;    ///< Reservation bytes not yet used.
     std::uint64_t dead_bytes = 0;        ///< Bytes held by dead entries.
     std::uint64_t used_bytes = 0;        ///< head - tail.
+    std::uint64_t resident_bytes = 0;    ///< Live entry spans in RAM
+                                         ///< (headers + payload + slack).
     std::uint64_t committed_bytes = 0;   ///< Pages currently committed.
     std::uint64_t capacity = 0;
     std::uint64_t defrag_passes = 0;
     std::uint64_t cells_moved = 0;
     std::uint64_t expansions_in_place = 0;
     std::uint64_t expansions_relocated = 0;
+    /// Memory-hierarchy meters:
+    std::uint64_t compressed_cells = 0;  ///< Resident cells stored kAdjDelta.
+    std::uint64_t compressed_bytes = 0;  ///< Stored bytes of those cells.
+    std::uint64_t spilled_cells = 0;     ///< Cells currently in the cold tier.
+    std::uint64_t spilled_bytes = 0;     ///< Stored bytes currently spilled.
+    std::uint64_t cells_evicted = 0;     ///< Cumulative spills.
+    std::uint64_t cells_faulted = 0;     ///< Cumulative fault-ins.
+    std::uint64_t cold_bytes_written = 0;  ///< Cumulative bytes spilled out.
+    std::uint64_t cold_bytes_read = 0;     ///< Cumulative bytes faulted in.
     /// Read-path observability (relaxed-atomic internally; snapshot here):
     std::uint64_t shared_reads = 0;  ///< Shared-lock acquisitions (read ops).
     std::uint64_t read_lock_contended = 0;   ///< Shared acquisitions blocked.
@@ -125,10 +170,14 @@ class MemoryTrunk {
   /// Adds or replaces a cell. In-place when the existing entry has room.
   Status PutCell(CellId id, Slice payload);
 
-  /// Copies the cell payload into *out.
+  /// Copies the (decoded) cell payload into *out. Faults a spilled cell
+  /// back in.
   Status GetCell(CellId id, std::string* out) const;
 
   bool Contains(CellId id) const;
+
+  /// Logical (decoded) payload size. Answered from the header varint or the
+  /// cold page table — never reads cold storage.
   Status GetCellSize(CellId id, std::uint64_t* size) const;
 
   /// Removes a cell; its bytes are reclaimed by the next defrag pass.
@@ -136,17 +185,22 @@ class MemoryTrunk {
 
   /// Appends bytes to an existing cell (the hot path for growing adjacency
   /// lists). Uses the reservation if available; relocates with a fresh
-  /// reservation otherwise.
+  /// reservation otherwise. A compressed cell is materialized to raw first
+  /// (defrag re-compresses it later); a spilled cell is faulted in.
   Status AppendToCell(CellId id, Slice suffix);
 
-  /// Overwrites `bytes` at `offset` within the cell payload (in-place field
-  /// update used by cell accessors). offset+len must lie inside the payload.
+  /// Overwrites `bytes` at `offset` within the (decoded) cell payload
+  /// (in-place field update used by cell accessors). offset+len must lie
+  /// inside the payload.
   Status WriteAt(CellId id, std::uint64_t offset, Slice bytes);
 
-  /// Zero-copy read access. The accessor holds the cell's spin lock, pinning
-  /// the cell against defragmentation until destroyed. Do not call mutating
-  /// trunk methods for the same *lock stripe* (any cell may share the
-  /// stripe) while holding an accessor on the same thread — debug builds
+  /// Read access pinning the cell. For raw resident cells this is zero-copy:
+  /// the accessor holds the cell's spin lock, pinning the cell against
+  /// defragmentation (and eviction) until destroyed. Compressed cells are
+  /// materialized into a buffer owned by the accessor instead — no lock is
+  /// held and data() points at the decoded copy. Do not call mutating trunk
+  /// methods for the same *lock stripe* (any cell may share the stripe)
+  /// while holding a pinning accessor on the same thread — debug builds
   /// assert on such re-entrant stripe acquisition. Lock-free reads
   /// (GetCell / Contains / GetCellSize) stay safe while holding an accessor.
   class ConstAccessor {
@@ -158,6 +212,7 @@ class MemoryTrunk {
       Release();
       lock_ = other.lock_;
       data_ = other.data_;
+      owned_ = std::move(other.owned_);
       other.lock_ = nullptr;
       other.data_ = Slice();
       return *this;
@@ -166,7 +221,7 @@ class MemoryTrunk {
     ConstAccessor& operator=(const ConstAccessor&) = delete;
 
     Slice data() const { return data_; }
-    bool valid() const { return lock_ != nullptr; }
+    bool valid() const { return lock_ != nullptr || owned_ != nullptr; }
 
    private:
     friend class MemoryTrunk;
@@ -178,14 +233,19 @@ class MemoryTrunk {
         lock_->Unlock();
         lock_ = nullptr;
       }
+      owned_.reset();
+      data_ = Slice();
     }
     SpinLock* lock_ = nullptr;
     Slice data_;
+    /// Decoded payload for compressed cells (materialize-on-pin).
+    std::unique_ptr<std::string> owned_;
   };
 
   Status Access(CellId id, ConstAccessor* accessor) const;
 
-  /// One full compaction pass. Returns the number of bytes reclaimed.
+  /// One full compaction pass (doubles as the eviction pass when over
+  /// budget). Returns the number of bytes reclaimed.
   std::uint64_t Defragment();
 
   Stats stats() const;
@@ -208,14 +268,21 @@ class MemoryTrunk {
     return cell_lock_contended_.load(std::memory_order_relaxed);
   }
 
-  /// Number of live cells.
+  /// Number of live cells (resident + spilled).
   std::uint64_t cell_count() const;
 
-  /// Collects the ids of all live cells (order unspecified). Used by compute
-  /// engines to enumerate the vertices hosted on a machine.
+  /// Collects the ids of all live cells, spilled included, in sorted order
+  /// — deterministic regardless of residency, so compute engines that
+  /// accumulate floating point in enumeration order stay bitwise
+  /// reproducible across memory configurations. Used by compute engines to
+  /// enumerate the vertices hosted on a machine.
   std::vector<CellId> CellIds() const;
 
-  /// Serializes all live cells (id + payload) for persistence to TFS.
+  /// Serializes all live cells for persistence to TFS. Spilled cells are
+  /// read back from their cold pages, so the image is self-contained —
+  /// recovery and replica installation need no cold-tier state. Cells are
+  /// written in stored form with their format tag (image version 2; version
+  /// 1 images remain readable).
   Status Serialize(std::string* out) const;
 
   /// Rebuilds a trunk from a Serialize() blob.
@@ -225,7 +292,10 @@ class MemoryTrunk {
  private:
   // On-media entry layout: header followed by `capacity` payload bytes,
   // padded to 8-byte alignment. `id` is kDeadCell for reclaimable entries
-  // and kPadCell for end-of-ring padding.
+  // and kPadCell for end-of-ring padding. The top two bits of `capacity`
+  // hold the CellFormat for live entries (cells are capped at 1 GB), so the
+  // header did not grow; pad entries use the full 32 bits (a pad can exceed
+  // 1 GB on a large trunk) and dead entries have the bits cleared.
   struct EntryHeader {
     CellId id;
     std::uint32_t size;
@@ -237,6 +307,20 @@ class MemoryTrunk {
   static constexpr CellId kDeadCell = ~static_cast<CellId>(0) - 1;
   static constexpr std::uint64_t kHeaderSize = sizeof(EntryHeader);
   static constexpr int kLockStripes = 256;
+  static constexpr int kRefStripes = 4096;
+  static constexpr std::uint32_t kCapacityMask = (1u << 30) - 1;
+
+  static std::uint32_t CapOf(const EntryHeader* hdr) {
+    return hdr->capacity & kCapacityMask;
+  }
+  static CellFormat FormatOf(const EntryHeader* hdr) {
+    return static_cast<CellFormat>(hdr->capacity >> 30);
+  }
+  static void SetCapFormat(EntryHeader* hdr, std::uint64_t capacity,
+                           CellFormat format) {
+    hdr->capacity = static_cast<std::uint32_t>(capacity) |
+                    (static_cast<std::uint32_t>(format) << 30);
+  }
 
   explicit MemoryTrunk(const Options& options);
   Status Init();
@@ -252,7 +336,23 @@ class MemoryTrunk {
   EntryHeader* HeaderAt(std::uint64_t logical) const {
     return reinterpret_cast<EntryHeader*>(PhysPtr(logical));
   }
+  Slice StoredAt(std::uint64_t logical) const {
+    return Slice(PhysPtr(logical) + kHeaderSize, HeaderAt(logical)->size);
+  }
   SpinLock& LockFor(CellId id) const;
+
+  /// Second-chance bit maintenance. Touch is called by the read paths under
+  /// the shared lock (relaxed store — clock accuracy is best-effort and
+  /// stripe collisions only make eviction more conservative); TestClear is
+  /// the clock hand, called under the exclusive lock.
+  void TouchRefBit(CellId id) const {
+    ref_bits_[InTrunkHash(id) % kRefStripes].store(
+        1, std::memory_order_relaxed);
+  }
+  bool TestClearRefBit(CellId id) {
+    return ref_bits_[InTrunkHash(id) % kRefStripes].exchange(
+               0, std::memory_order_relaxed) != 0;
+  }
 
   /// Contention-counted lock acquisition. ReadLock/WriteLock wrap mu_;
   /// AcquireCellLock takes the cell's stripe spin lock with the debug
@@ -284,8 +384,35 @@ class MemoryTrunk {
   Status EnsureCommitted(std::uint64_t phys_begin, std::uint64_t length);
   void DecommitDeadPagesLocked();
   Status AppendEntryLocked(CellId id, Slice payload, std::uint64_t capacity,
-                           std::uint64_t* logical);
+                           std::uint64_t* logical,
+                           CellFormat format = CellFormat::kRaw);
   std::uint64_t DefragmentLocked();
+
+  /// Decodes (or copies) the stored payload at `logical` into *out. Caller
+  /// holds mu_ (either side).
+  Status ReadPayloadLocked(std::uint64_t logical, std::string* out) const;
+
+  /// Fills `accessor` for the resident cell at `offset`: zero-copy pin for
+  /// raw cells, materialized decode for compressed ones. Caller holds mu_.
+  Status PinLocked(CellId id, std::uint64_t offset,
+                   ConstAccessor* accessor) const;
+
+  /// Installs a cell in its already-stored form (fault-in, image v2 load).
+  /// Caller holds mu_ exclusively; id must not be resident.
+  Status InstallStoredLocked(CellId id, CellFormat format, Slice stored);
+
+  /// Re-admits a spilled cell from the cold tier (enforcing the budget
+  /// first, so a read-only fault storm cannot overrun the ring). Caller
+  /// holds mu_ exclusively; id must not be resident.
+  Status FaultInLocked(CellId id);
+
+  /// Clock eviction: spills cold, unpinned cells until ring usage drops to
+  /// `target` bytes or every candidate had its second chance. Caller holds
+  /// mu_ exclusively.
+  void SpillColdLocked(std::uint64_t target);
+
+  /// Runs a defrag/eviction pass when the ring exceeds the memory budget.
+  void MaybeEnforceBudgetLocked();
 
   const Options options_;
   std::uint64_t capacity_ = 0;  ///< Page-rounded reserved bytes.
@@ -301,6 +428,8 @@ class MemoryTrunk {
   bool in_defrag_ = false;  ///< Guards against recursive auto-defrag.
   mutable Stats stats_;
   mutable std::unique_ptr<SpinLock[]> locks_;
+  std::unique_ptr<ColdTier> cold_tier_;  ///< Null when fully resident.
+  mutable std::unique_ptr<std::atomic<std::uint8_t>[]> ref_bits_;
   // Lock-contention counters live outside stats_ so the read path can bump
   // them without exclusive ownership; stats() folds them into the snapshot.
   mutable std::atomic<std::uint64_t> shared_reads_{0};

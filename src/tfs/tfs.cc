@@ -95,6 +95,7 @@ Status Tfs::WriteBlockLocked(Slice data, BlockLocation* loc) {
     if (!s.ok()) return s;
     loc->replicas.push_back(dn);
     ++placed;
+    bytes_written_.fetch_add(data.size(), std::memory_order_relaxed);
   }
   if (placed == 0) return Status::Unavailable("no alive datanode");
   ++stats_.blocks_written;
@@ -119,6 +120,7 @@ Status Tfs::ReadBlockLocked(const BlockLocation& loc, std::string* out) {
       }
       if (!first) ++stats_.replica_read_failovers;
       ++stats_.blocks_read;
+      bytes_read_.fetch_add(data.size(), std::memory_order_relaxed);
       *out = std::move(data);
       return Status::OK();
     }
@@ -238,7 +240,10 @@ bool Tfs::IsDatanodeAlive(int datanode) const {
 
 Tfs::Stats Tfs::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return stats_;
+  Stats s = stats_;
+  s.bytes_written = bytes_written_.load(std::memory_order_relaxed);
+  s.bytes_read = bytes_read_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Status Tfs::PersistManifestLocked() {

@@ -1,6 +1,7 @@
 #ifndef TRINITY_TFS_TFS_H_
 #define TRINITY_TFS_TFS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -38,6 +39,8 @@ class Tfs {
     std::uint64_t blocks_read = 0;
     std::uint64_t replica_read_failovers = 0;  ///< Reads served by a backup.
     std::uint64_t files_read = 0;  ///< Whole-file ReadFile completions.
+    std::uint64_t bytes_written = 0;  ///< Payload bytes (per replica write).
+    std::uint64_t bytes_read = 0;     ///< Payload bytes served to readers.
   };
 
   /// Opens (or creates) a TFS instance rooted at options.root. Reloads the
@@ -74,6 +77,16 @@ class Tfs {
 
   Stats stats() const;
 
+  /// Lock-free byte meters (relaxed atomics). Safe to poll from spill and
+  /// recovery paths without touching the TFS mutex; stats() folds the same
+  /// values into its snapshot.
+  std::uint64_t bytes_written() const noexcept {
+    return bytes_written_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bytes_read() const noexcept {
+    return bytes_read_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct BlockLocation {
     std::uint64_t block_id = 0;
@@ -104,6 +117,10 @@ class Tfs {
   std::uint64_t next_block_id_ = 1;
   int next_placement_ = 0;  ///< Round-robin placement cursor.
   Stats stats_;
+  // Byte meters live outside stats_ as relaxed atomics so they can be read
+  // without the mutex (PR 5 contention-counter style).
+  std::atomic<std::uint64_t> bytes_written_{0};
+  std::atomic<std::uint64_t> bytes_read_{0};
 };
 
 }  // namespace trinity::tfs

@@ -10,7 +10,9 @@
 
 #include "cloud/memory_cloud.h"
 #include "common/random.h"
+#include "graph/graph.h"
 #include "net/fabric.h"
+#include "storage/cell_codec.h"
 #include "tfs/tfs.h"
 #include "tsl/cell_accessor.h"
 
@@ -308,6 +310,68 @@ TEST_P(FabricFuzzTest, EveryMessageDeliveredOncePerPairInOrder) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FabricFuzzTest, ::testing::Values(1, 2, 3));
+
+// -------------------------------------------------- Adjacency codec fuzz
+
+class CellCodecFuzzTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+// Random node cells must round-trip bit-identically whenever the codec
+// accepts them, and decoding corrupt or truncated bytes must never read out
+// of bounds — it returns Corruption (the trunk surfaces it), or, for a
+// lucky mutation that stays well-formed, some equally well-formed payload.
+TEST_P(CellCodecFuzzTest, RoundTripsAndNeverCrashesOnGarbage) {
+  Random rng(GetParam());
+  for (int iter = 0; iter < 2000; ++iter) {
+    graph::NodeImage node;
+    node.id = rng.Uniform(1000);
+    node.data = std::string(rng.Uniform(32), 'd');
+    const std::uint64_t in_count = rng.Uniform(40);
+    const std::uint64_t out_count = rng.Uniform(40);
+    // Mostly-sorted lists with occasional inversions, duplicates, and huge
+    // gaps, so both the accept and the reject paths run.
+    CellId prev = 0;
+    for (std::uint64_t k = 0; k < in_count; ++k) {
+      prev = rng.Bernoulli(0.05) ? rng.Next()
+                                 : prev + rng.Uniform(1u << 16);
+      node.in.push_back(prev);
+    }
+    prev = 0;
+    for (std::uint64_t k = 0; k < out_count; ++k) {
+      prev = rng.Bernoulli(0.05) ? rng.Next()
+                                 : prev + rng.Uniform(1u << 16);
+      node.out.push_back(prev);
+    }
+    const std::string raw = graph::Graph::EncodeNode(node);
+    std::string enc;
+    if (!storage::CellCodec::EncodeAdjacency(Slice(raw), &enc)) continue;
+    std::string dec;
+    ASSERT_TRUE(storage::CellCodec::DecodeAdjacency(Slice(enc), &dec).ok());
+    ASSERT_EQ(dec, raw);
+    std::uint64_t size = 0;
+    ASSERT_TRUE(storage::CellCodec::DecodedSize(Slice(enc), &size).ok());
+    ASSERT_EQ(size, raw.size());
+
+    // Truncate at a random point.
+    std::string cut = enc.substr(0, rng.Uniform(enc.size()));
+    (void)storage::CellCodec::DecodeAdjacency(Slice(cut), &dec);
+    // Flip random bytes. Decode either rejects the mutation or produces a
+    // payload of exactly the size its header varint promised.
+    std::string mutated = enc;
+    for (int flips = 1 + static_cast<int>(rng.Uniform(4)); flips > 0;
+         --flips) {
+      mutated[rng.Uniform(mutated.size())] =
+          static_cast<char>(rng.Uniform(256));
+    }
+    if (storage::CellCodec::DecodeAdjacency(Slice(mutated), &dec).ok()) {
+      ASSERT_TRUE(
+          storage::CellCodec::DecodedSize(Slice(mutated), &size).ok());
+      ASSERT_EQ(dec.size(), size);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CellCodecFuzzTest,
+                         ::testing::Values(5, 55, 555));
 
 }  // namespace
 }  // namespace trinity

@@ -277,12 +277,17 @@ TEST(ReplicationTest, TfsColdTierUsedOnlyWhenEveryReplicaIsLost) {
   ASSERT_TRUE(c.cloud->FailMachine(replica).ok());
 
   const tfs::Tfs::Stats before = c.tfs->stats();
+  // The snapshot write above must already be metered in bytes.
+  EXPECT_GT(before.bytes_written, 0u);
   cloud::MemoryCloud::SweepReport report;
   EXPECT_EQ(c.cloud->DetectAndRecover(&report), 2);
   const tfs::Tfs::Stats after = c.tfs->stats();
   EXPECT_GT(c.cloud->recovery_stats().tfs_fallback_reloads, 0u);
   EXPECT_GT(after.files_read, before.files_read)
       << "all-replicas-lost trunk was not reloaded from the cold tier";
+  EXPECT_GT(after.bytes_read, before.bytes_read)
+      << "trunk image reload did not meter bytes_read";
+  EXPECT_EQ(after.bytes_read, c.tfs->bytes_read());  // Lock-free view agrees.
 
   // Snapshot-covered data is back; every cell is readable somewhere.
   for (CellId id = 0; id < 64; ++id) {
